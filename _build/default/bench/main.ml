@@ -1,0 +1,349 @@
+(** Benchmark and reproduction harness.
+
+    The paper's evaluation is a body of formal claims, not measurement
+    tables (its figures are definitions).  This harness regenerates every
+    claim as a table (experiments E1–E8 of DESIGN.md), then runs bechamel
+    micro-benchmarks (P1–P5) for the throughput of the checkers, the
+    explorer, and the optimizer.
+
+    Usage: dune exec bench/main.exe [-- --full] [-- --no-bechamel]
+    [--full] also sweeps the complete adequacy matrix (E5) instead of the
+    default slice. *)
+
+open Lang
+module C = Litmus.Catalog
+module M = Promising.Machine
+
+let header title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+let values = Domain.default_values
+
+(* ------------------------------------------------------------------ *)
+(* E1/E2: the transformation soundness matrix                           *)
+(* ------------------------------------------------------------------ *)
+
+let transformation_matrix () =
+  header "E1/E2 — Transformation soundness matrix (SEQ, Def 2.4 and Def 3.3)";
+  Fmt.pr "%-32s %-26s %-18s %-18s %s@." "name" "paper ref" "simple(exp/got)"
+    "advanced(exp/got)" "ok";
+  let mismatches = ref 0 in
+  List.iter
+    (fun (tr : C.transformation) ->
+      let src = Parser.stmt_of_string tr.C.src in
+      let tgt = Parser.stmt_of_string tr.C.tgt in
+      let d = Domain.of_stmts ~values [ src; tgt ] in
+      let simple = Seq_model.Refine.check d ~src ~tgt in
+      let advanced = if simple then true else Seq_model.Advanced.check d ~src ~tgt in
+      let verdict b = if b then C.Sound else C.Unsound in
+      let ok = verdict simple = tr.C.simple && verdict advanced = tr.C.advanced in
+      if not ok then incr mismatches;
+      Fmt.pr "%-32s %-26s %-18s %-18s %s@." tr.C.name tr.C.paper_ref
+        (Printf.sprintf "%s/%s"
+           (C.verdict_to_string tr.C.simple)
+           (C.verdict_to_string (verdict simple)))
+        (Printf.sprintf "%s/%s"
+           (C.verdict_to_string tr.C.advanced)
+           (C.verdict_to_string (verdict advanced)))
+        (if ok then "ok" else "MISMATCH"))
+    C.transformations;
+  Fmt.pr "-- %d transformations, %d mismatches@."
+    (List.length C.transformations) !mismatches
+
+(* ------------------------------------------------------------------ *)
+(* E3: the certified optimizer                                          *)
+(* ------------------------------------------------------------------ *)
+
+let optimizer_table () =
+  header "E3 — Certified optimizer (§4): passes, fixpoint iterations, validation";
+  let programs =
+    [
+      ("Fig4",
+       "X.store(na, 2); l = Y.load(acq); \
+        if l == 0 { a = X.load(na); Y.store(rel, 1) }; \
+        b = X.load(na); return 10*a + b");
+      ("loop-kernel",
+       "X.store(na, 1); X.store(na, 2); s = 0; i = 0; \
+        while i < 2 { a = X.load(na); b = X.load(na); s = s + a + b; \
+        i = i + 1 }; return s");
+      ("dse-rel",
+       "X.store(na, 1); Y.store(rel, 0); X.store(na, 2)");
+      ("llf-chain",
+       "a = X.load(na); Y.store(rel, 1); b = X.load(na); c = X.load(na); \
+        return a + 3*b + 9*c");
+    ]
+  in
+  Fmt.pr "%-12s %-6s %-6s %-6s %-6s %-10s %-10s %s@." "program" "slf" "llf"
+    "dse" "licm" "iters<=3" "size" "validated";
+  List.iter
+    (fun (name, src) ->
+      let prog = Parser.stmt_of_string src in
+      let report, v = Optimizer.Validate.certified_optimize prog in
+      let rewrites p =
+        match
+          List.find_opt
+            (fun (r : Optimizer.Driver.pass_report) -> r.Optimizer.Driver.pass = p)
+            report.Optimizer.Driver.passes
+        with
+        | Some r -> r.Optimizer.Driver.rewrites
+        | None -> 0
+      in
+      let max_iters =
+        List.fold_left
+          (fun acc (r : Optimizer.Driver.pass_report) ->
+            max acc r.Optimizer.Driver.loop_iters)
+          1 report.Optimizer.Driver.passes
+      in
+      Fmt.pr "%-12s %-6d %-6d %-6d %-6d %-10s %-10s %s@." name
+        (rewrites Optimizer.Driver.SLF)
+        (rewrites Optimizer.Driver.LLF)
+        (rewrites Optimizer.Driver.DSE)
+        (rewrites Optimizer.Driver.LICM)
+        (Printf.sprintf "%d %s" max_iters (if max_iters <= 3 then "ok" else "BAD"))
+        (Printf.sprintf "%d->%d" report.Optimizer.Driver.size_before
+           report.Optimizer.Driver.size_after)
+        (if v.Optimizer.Validate.valid then
+           if v.Optimizer.Validate.simple then "ok (simple)" else "ok (advanced)"
+         else "INVALID"))
+    programs
+
+(* ------------------------------------------------------------------ *)
+(* E4: PS_na litmus outcomes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let litmus_table () =
+  header "E4 — PS_na behaviors of the paper's concurrent programs (Fig 5)";
+  Fmt.pr "%-12s %-18s %-8s %-7s %s@." "litmus" "paper ref" "states" "races"
+    "behaviors";
+  List.iter
+    (fun (c : C.concurrent) ->
+      let r = M.explore (Parser.threads_of_string c.C.threads) in
+      Fmt.pr "%-12s %-18s %-8d %-7b %a%s@." c.C.cname c.C.cref r.M.states
+        r.M.races M.pp_behaviors r.M.behaviors
+        (if r.M.truncated then " (TRUNCATED)" else ""))
+    C.concurrent_programs
+
+(* ------------------------------------------------------------------ *)
+(* E5: adequacy                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let adequacy_table ~full () =
+  header
+    (if full then "E5 — Adequacy (Thm 6.2): full corpus × context matrix"
+     else "E5 — Adequacy (Thm 6.2): corpus slice (use --full for the matrix)");
+  let corpus =
+    if full then C.transformations
+    else List.filteri (fun i _ -> i mod 4 = 0) C.transformations
+  in
+  let contexts =
+    if full then C.contexts else List.filteri (fun i _ -> i < 4) C.contexts
+  in
+  Fmt.pr "%-32s %-9s %-11s %s@." "transformation" "SEQ-adv" "PS-refines" "ok";
+  let violations = ref 0 in
+  List.iter
+    (fun (tr : C.transformation) ->
+      let row = Litmus.Adequacy.check_transformation ~contexts tr in
+      let all_refine =
+        List.for_all (fun (_, ok, _) -> ok) row.Litmus.Adequacy.contexts
+      in
+      let ok = Litmus.Adequacy.row_ok row in
+      if not ok then incr violations;
+      Fmt.pr "%-32s %-9b %-11b %s@." tr.C.name row.Litmus.Adequacy.seq_advanced
+        all_refine
+        (if ok then "ok" else "ADEQUACY VIOLATION"))
+    corpus;
+  Fmt.pr "-- %d rows x %d contexts, %d adequacy violations@."
+    (List.length corpus) (List.length contexts) !violations
+
+(* ------------------------------------------------------------------ *)
+(* E6: catch-fire comparison                                            *)
+(* ------------------------------------------------------------------ *)
+
+let catchfire_table () =
+  header "E6 — Load introduction: PS_na vs the catch-fire baseline (§1)";
+  let cases =
+    [
+      ("load-intro", "return 0", "a = X.load(na); return 0",
+       "X.store(na, 1); return 0");
+      ("licm-dead-loop",
+       "b = 1; while b == 0 { a = X.load(na); b = Y.load(rlx) }; return a",
+       "b = 1; c = X.load(na); while b == 0 { a = c; b = Y.load(rlx) }; return a",
+       "X.store(na, 2); return 0");
+      ("slf", "X.store(na, 1); b = X.load(na); return b",
+       "X.store(na, 1); b = 1; return b", "Y.store(rel, 1); return 0");
+    ]
+  in
+  Fmt.pr "%-16s %-12s %-12s@." "transformation" "PS_na" "catch-fire";
+  List.iter
+    (fun (name, src, tgt, ctx) ->
+      let th s = Parser.threads_of_string (s ^ " ||| " ^ ctx) in
+      let ps_ok =
+        let rs = M.explore (th src) and rt = M.explore (th tgt) in
+        M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors
+      in
+      let cf_ok =
+        let rs = Baselines.Catchfire.explore (th src) in
+        let rt = Baselines.Catchfire.explore (th tgt) in
+        Baselines.Catchfire.refines ~src:rs ~tgt:rt
+      in
+      Fmt.pr "%-16s %-12s %-12s@." name
+        (if ps_ok then "sound" else "unsound")
+        (if cf_ok then "sound" else "unsound"))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E7: DRF guarantees                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let drf_table () =
+  header "E7 — DRF guarantees (§5 Results, ported from [8])";
+  let cases =
+    [
+      ("MP-rel-acq",
+       "X.store(na,1); Y.store(rel,1); return 0 ||| \
+        a = Y.load(acq); if a == 1 { b = X.load(na) }; return 10*a+b", 1);
+      ("SB-rel-acq",
+       "Y.store(rel,1); a = Z.load(acq); return a ||| \
+        Z.store(rel,1); b = Y.load(acq); return b", 1);
+      ("LB-rlx",
+       "a = Y.load(rlx); Z.store(rlx,1); return a ||| \
+        b = Z.load(rlx); Y.store(rlx,1); return b", 1);
+      ("lock",
+       "a = 0; while a == 0 { a = cas(L, 0, 1) }; X.store(na, 1); \
+        L.store(rel, 0); return 0 ||| \
+        b = 0; while b == 0 { b = cas(L, 0, 1) }; c = X.load(na); \
+        L.store(rel, 0); return c", 0);
+    ]
+  in
+  Fmt.pr "%-12s %-11s %-11s %-13s %-11s@." "program" "PF-racefree" "DRF-PF"
+    "LOCK-racefree" "DRF-LOCK";
+  List.iter
+    (fun (name, text, budget) ->
+      let params =
+        { Promising.Thread.default_params with promise_budget = budget }
+      in
+      let lock_locs =
+        if name = "lock" then Loc.Set.singleton (Loc.make "L")
+        else Loc.Set.empty
+      in
+      let r =
+        Baselines.Drf.check ~params ~lock_locs (Parser.threads_of_string text)
+      in
+      let show premise conclusion =
+        if premise then if conclusion then "holds" else "FAILS" else "vacuous"
+      in
+      Fmt.pr "%-12s %-11b %-11s %-13b %-11s@." name r.Baselines.Drf.pf_race_free
+        (show r.Baselines.Drf.pf_race_free r.Baselines.Drf.drf_pf_holds)
+        r.Baselines.Drf.lock_race_free
+        (show r.Baselines.Drf.lock_race_free r.Baselines.Drf.drf_lock_holds))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E8: determinism premise / Remark 3 / App C                           *)
+(* ------------------------------------------------------------------ *)
+
+let determinism_table () =
+  header "E8 — Remark 3 / App C: internal choice vs release writes";
+  let check name src tgt =
+    let src = Parser.stmt_of_string src and tgt = Parser.stmt_of_string tgt in
+    let d = Domain.of_stmts ~values [ src; tgt ] in
+    let adv = Seq_model.Advanced.check d ~src ~tgt in
+    Fmt.pr "%-44s %s@." name (if adv then "accepted" else "refuted")
+  in
+  check "choose ; rel-write  ~>  rel-write ; choose"
+    "a = choose(); Y.store(rel, 1); return a"
+    "Y.store(rel, 1); a = choose(); return a";
+  check "choose ; na-write  ~>  na-write ; choose"
+    "a = choose(); X.store(na, 1); return a"
+    "X.store(na, 1); a = choose(); return a";
+  Fmt.pr "(SEQ records choose(_) labels precisely so the first reordering is@.";
+  Fmt.pr " refuted — PS forbids it, App C — while the second stays allowed.)@."
+
+(* ------------------------------------------------------------------ *)
+(* P1–P5: bechamel micro-benchmarks                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  header "P1–P5 — Throughput (bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let parse = Parser.stmt_of_string in
+  let pair_of name =
+    let tr = Option.get (C.find_transformation name) in
+    let src = parse tr.C.src and tgt = parse tr.C.tgt in
+    (Domain.of_stmts ~values [ src; tgt ], src, tgt)
+  in
+  let slf_pair = pair_of "slf-across-acq-read" in
+  let warw_pair = pair_of "na-write-into-rel" in
+  let mp_threads =
+    Parser.threads_of_string
+      "X.store(na,1); Y.store(rel,1); return 0 ||| \
+       a = Y.load(acq); if a == 1 { b = X.load(na) }; return 10*a+b"
+  in
+  let gen_prog size =
+    let st = Random.State.make [| 42; size |] in
+    Stmt.seq
+      (Gen.gen_linear Gen.default_config st ~size)
+      (Stmt.Return (Expr.int 0))
+  in
+  let p100 = gen_prog 100 in
+  let p400 = gen_prog 400 in
+  let fig4 =
+    parse
+      "X.store(na, 2); l = Y.load(acq); \
+       if l == 0 { a = X.load(na); Y.store(rel, 1) }; \
+       b = X.load(na); return 10*a + b"
+  in
+  let tests =
+    [
+      Test.make ~name:"P1 SEQ simple refinement (Ex 2.11)"
+        (Staged.stage (fun () ->
+             let d, src, tgt = slf_pair in
+             ignore (Seq_model.Refine.check d ~src ~tgt)));
+      Test.make ~name:"P2 SEQ advanced refinement (Ex 2.9 ii')"
+        (Staged.stage (fun () ->
+             let d, src, tgt = warw_pair in
+             ignore (Seq_model.Advanced.check d ~src ~tgt)));
+      Test.make ~name:"P3 PS_na exploration (MP rel-acq)"
+        (Staged.stage (fun () -> ignore (M.explore mp_threads)));
+      Test.make ~name:"P4 optimizer pipeline, 100-instr program"
+        (Staged.stage (fun () -> ignore (Optimizer.Driver.optimize p100)));
+      Test.make ~name:"P4 optimizer pipeline, 400-instr program"
+        (Staged.stage (fun () -> ignore (Optimizer.Driver.optimize p400)));
+      Test.make ~name:"P5 translation validation (Fig 4)"
+        (Staged.stage (fun () ->
+             ignore (Optimizer.Validate.certified_optimize fig4)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "%-50s %14.0f ns/run@." name est
+      | Some _ | None -> Fmt.pr "%-50s (no estimate)@." name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  transformation_matrix ();
+  optimizer_table ();
+  litmus_table ();
+  adequacy_table ~full ();
+  catchfire_table ();
+  drf_table ();
+  determinism_table ();
+  if not no_bechamel then bechamel_benches ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,1 @@
+bin/litmus_run.ml: Arg Baselines Cmd Cmdliner Fmt In_channel Lang List Litmus Parser Printf Promising String Term

@@ -1,0 +1,1 @@
+bin/litmus_run.mli:

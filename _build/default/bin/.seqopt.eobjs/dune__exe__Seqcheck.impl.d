@@ -1,0 +1,1 @@
+bin/seqcheck.ml: Arg Cmd Cmdliner Domain Fmt In_channel Lang List Loc Parser Prog Seq_model Term Value

@@ -1,0 +1,1 @@
+bin/seqopt.ml: Arg Cmd Cmdliner Fmt In_channel Lang List Loc Optimizer Parser Printf Seq_model Stmt Term

@@ -1,0 +1,90 @@
+(** litmus_run — explore all PS_na behaviors of a concurrent program.
+
+    The input is a WHILE program with threads separated by [|||]; the tool
+    prints the exhaustively explored behavior set (bounded promises), and
+    optionally the SC / catch-fire baselines and the DRF report. *)
+
+open Cmdliner
+open Lang
+
+let read_input = function
+  | None | Some "-" -> In_channel.input_all In_channel.stdin
+  | Some path -> In_channel.with_open_text path In_channel.input_all
+
+let run input promises batch max_states compare_baselines named =
+  try
+    let text =
+      match named with
+      | Some n ->
+        (match
+           List.find_opt
+             (fun c -> c.Litmus.Catalog.cname = n)
+             Litmus.Catalog.concurrent_programs
+         with
+         | Some c -> c.Litmus.Catalog.threads
+         | None ->
+           failwith
+             (Printf.sprintf "unknown litmus %S; available: %s" n
+                (String.concat ", "
+                   (List.map
+                      (fun c -> c.Litmus.Catalog.cname)
+                      Litmus.Catalog.concurrent_programs))))
+      | None -> read_input input
+    in
+    let progs = Parser.threads_of_string text in
+    let params =
+      {
+        Promising.Thread.default_params with
+        promise_budget = promises;
+        batch_bound = batch;
+        max_states;
+      }
+    in
+    let r = Promising.Machine.explore ~params progs in
+    Fmt.pr "PS_na behaviors (%d states%s%s):@.  %a@." r.Promising.Machine.states
+      (if r.Promising.Machine.truncated then ", TRUNCATED" else "")
+      (if r.Promising.Machine.races then ", races observed" else "")
+      Promising.Machine.pp_behaviors r.Promising.Machine.behaviors;
+    if compare_baselines then begin
+      let sc = Baselines.Sc.explore progs in
+      Fmt.pr "SC behaviors (%d states%s):@.  %a@." sc.Baselines.Sc.states
+        (if sc.Baselines.Sc.races then ", races" else "")
+        Promising.Machine.pp_behaviors sc.Baselines.Sc.behaviors;
+      let cf = Baselines.Catchfire.explore progs in
+      Fmt.pr "catch-fire: %s@."
+        (if cf.Baselines.Catchfire.catches_fire then "UB (data race)"
+         else "race-free")
+    end;
+    0
+  with
+  | Parser.Error msg | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+
+let input = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let promises =
+  Arg.(value & opt int 1 & info [ "promises" ] ~doc:"Promise-step budget per thread.")
+
+let batch =
+  Arg.(value & opt int 1 & info [ "batch" ]
+         ~doc:"Extra-message budget per non-atomic write.")
+
+let max_states =
+  Arg.(value & opt int 200_000 & info [ "max-states" ] ~doc:"State budget.")
+
+let compare_baselines =
+  Arg.(value & flag & info [ "baselines" ]
+         ~doc:"Also print SC and catch-fire baselines.")
+
+let named =
+  Arg.(value & opt (some string) None & info [ "name" ]
+         ~doc:"Run a named litmus test from the built-in catalog.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "litmus_run" ~version:"1.0"
+       ~doc:"PS_na litmus-test explorer (PLDI 2022)")
+    Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines $ named)
+
+let () = exit (Cmd.eval' cmd)

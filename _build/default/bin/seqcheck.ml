@@ -1,0 +1,66 @@
+(** seqcheck — decide SEQ behavioral refinement between two programs.
+
+    Usage: seqcheck SRC.wm TGT.wm — checks whether TGT (weakly)
+    behaviorally refines SRC over the finite domain (Def 2.4 / Def 3.3).
+    Exit code 0: refines; 3: does not. *)
+
+open Cmdliner
+open Lang
+
+let read path = In_channel.with_open_text path In_channel.input_all
+
+let run src_path tgt_path values advanced_only =
+  try
+    let src = Parser.stmt_of_string (read src_path) in
+    let tgt = Parser.stmt_of_string (read tgt_path) in
+    let values = List.map (fun n -> Value.Int n) values in
+    let d = Domain.of_stmts ~values [ src; tgt ] in
+    Fmt.epr "domain: %a@." Domain.pp d;
+    let simple =
+      if advanced_only then false else Seq_model.Refine.check d ~src ~tgt
+    in
+    let advanced =
+      if simple then true else Seq_model.Advanced.check d ~src ~tgt
+    in
+    if simple then Fmt.pr "REFINES (simple notion, Def 2.4)@."
+    else if advanced then Fmt.pr "REFINES (advanced notion, Def 3.3)@."
+    else begin
+      Fmt.pr "DOES NOT REFINE@.";
+      let roots =
+        Seq_model.Refine.initial_pairs d ~src:(Prog.init src)
+          ~tgt:(Prog.init tgt)
+      in
+      match Seq_model.Refine.find_counterexample d roots with
+      | Some cex -> Fmt.pr "%a@." Seq_model.Refine.pp_counterexample cex
+      | None ->
+        Fmt.pr
+          "(no simple-notion counterexample: the failure is specific to the            advanced notion)@."
+    end;
+    if advanced then 0 else 3
+  with
+  | Parser.Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Seq_model.Config.Mixed_access x ->
+    Fmt.epr "error: location %s is accessed both atomically and non-atomically@."
+      (Loc.name x);
+    1
+
+let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC")
+let tgt = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT")
+
+let values =
+  Arg.(value & opt (list int) [ 0; 1; 2 ] & info [ "values" ] ~docv:"INTS"
+         ~doc:"Defined values of the finite checking domain.")
+
+let advanced_only =
+  Arg.(value & flag & info [ "advanced-only" ]
+         ~doc:"Skip the simple-notion check.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "seqcheck" ~version:"1.0"
+       ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
+    Term.(const run $ src $ tgt $ values $ advanced_only)
+
+let () = exit (Cmd.eval' cmd)

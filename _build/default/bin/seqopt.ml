@@ -1,0 +1,76 @@
+(** seqopt — the certified optimizer as a command-line tool.
+
+    Reads a WHILE program (file or stdin), runs the §4 pass pipeline,
+    validates the result in SEQ (translation validation), and prints the
+    optimized program. *)
+
+open Cmdliner
+open Lang
+
+let read_input = function
+  | None | Some "-" -> In_channel.input_all In_channel.stdin
+  | Some path -> In_channel.with_open_text path In_channel.input_all
+
+let run input passes no_validate quiet =
+  try
+    let src_text = read_input input in
+    let prog = Parser.stmt_of_string src_text in
+    let passes =
+      match passes with
+      | [] -> Optimizer.Driver.all_passes
+      | names ->
+        List.map
+          (fun n ->
+            match Optimizer.Driver.pass_of_string n with
+            | Some p -> p
+            | None -> failwith (Printf.sprintf "unknown pass %S" n))
+          names
+    in
+    let report = Optimizer.Driver.optimize ~passes prog in
+    if not quiet then
+      Fmt.epr "%a@." Optimizer.Driver.pp_report report;
+    if not no_validate then begin
+      let v =
+        Optimizer.Validate.validate ~src:report.Optimizer.Driver.input
+          ~tgt:report.Optimizer.Driver.output ()
+      in
+      if not v.Optimizer.Validate.valid then begin
+        Fmt.epr "validation FAILED: output does not refine input in SEQ@.";
+        exit 2
+      end;
+      if not quiet then
+        Fmt.epr "validated: SEQ %s refinement holds@."
+          (if v.Optimizer.Validate.simple then "simple" else "advanced")
+    end;
+    Fmt.pr "%s@." (Stmt.to_string report.Optimizer.Driver.output);
+    0
+  with
+  | Parser.Error msg | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Seq_model.Config.Mixed_access x ->
+    Fmt.epr "error: location %s is accessed both atomically and non-atomically@."
+      (Loc.name x);
+    1
+
+let input =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Input program ('-' or absent for stdin).")
+
+let passes =
+  Arg.(value & opt (list string) [] & info [ "p"; "passes" ] ~docv:"PASSES"
+         ~doc:"Comma-separated passes to run (slf, llf, dse, licm).")
+
+let no_validate =
+  Arg.(value & flag & info [ "no-validate" ]
+         ~doc:"Skip SEQ translation validation.")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the output program.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "seqopt" ~version:"1.0"
+       ~doc:"Certified optimizer for weak-memory WHILE programs (PLDI 2022)")
+    Term.(const run $ input $ passes $ no_validate $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/adequacy_audit.ml: Fmt List Litmus Printf Promising_seq String

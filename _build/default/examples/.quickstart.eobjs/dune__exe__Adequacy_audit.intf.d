@@ -1,0 +1,1 @@
+examples/adequacy_audit.mli:

@@ -1,0 +1,1 @@
+examples/message_passing.ml: Baselines Fmt Lang Parser Promising_seq Ps Value

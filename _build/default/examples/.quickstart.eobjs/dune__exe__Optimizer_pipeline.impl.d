@@ -1,0 +1,1 @@
+examples/optimizer_pipeline.ml: Fmt Lang Opt Parser Promising_seq Stmt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Fmt Lang Parser Promising_seq Ps Seq

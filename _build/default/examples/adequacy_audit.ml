@@ -1,0 +1,43 @@
+(** Auditing the adequacy theorem (Thm 6.2) on a slice of the corpus.
+
+    Run with: dune exec examples/adequacy_audit.exe
+
+    For a selection of transformations, compares the SEQ verdicts (simple
+    and advanced refinement) against PS_na contextual refinement in the
+    context library.  Every SEQ-validated transformation must refine in
+    every context; refuted ones usually exhibit a refusing context too. *)
+
+open Promising_seq
+module A = Litmus.Adequacy
+module C = Litmus.Catalog
+
+let corpus =
+  [
+    "slf-basic"; "reorder-na-rw-same"; "na-write-into-acq";
+    "na-write-into-rel"; "slf-across-rel-acq"; "rlx-read-then-na-write";
+    "dse-across-rel-write"; "store-intro-after-rel"; "irrelevant-load-intro";
+  ]
+
+let () =
+  Fmt.pr "%-26s %-8s %-9s %s@." "transformation" "simple" "advanced"
+    "PS_na contexts (✓ refines)";
+  List.iter
+    (fun name ->
+      match C.find_transformation name with
+      | None -> ()
+      | Some tr ->
+        let row = A.check_transformation tr in
+        let ctxs =
+          String.concat " "
+            (List.map
+               (fun (n, ok, _) -> Printf.sprintf "%s:%s" n (if ok then "✓" else "✗"))
+               row.A.contexts)
+        in
+        Fmt.pr "%-26s %-8b %-9b %s@." name row.A.seq_simple row.A.seq_advanced
+          ctxs;
+        if not (A.row_ok row) then begin
+          Fmt.pr "ADEQUACY VIOLATION on %s@." name;
+          exit 1
+        end)
+    corpus;
+  Fmt.pr "@.No SEQ-accepts/PS_na-refutes pair: adequacy holds on this slice.@."

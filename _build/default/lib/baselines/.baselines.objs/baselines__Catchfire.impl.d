@@ -1,0 +1,1 @@
+lib/baselines/catchfire.ml: Lang Promising Sc Stmt

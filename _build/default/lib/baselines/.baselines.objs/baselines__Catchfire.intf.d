@@ -1,0 +1,1 @@
+lib/baselines/catchfire.mli: Lang Sc Stmt Value

@@ -1,0 +1,1 @@
+lib/baselines/drf.ml: Lang Loc Promising Sc Stmt

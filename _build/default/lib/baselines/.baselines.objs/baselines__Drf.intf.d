@@ -1,0 +1,1 @@
+lib/baselines/drf.mli: Lang Loc Promising Stmt

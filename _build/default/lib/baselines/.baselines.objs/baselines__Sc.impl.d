@@ -1,0 +1,1 @@
+lib/baselines/sc.ml: Array Fmt Hashtbl Lang List Loc Mode Prog Promising Queue Stmt Value Vclock

@@ -1,0 +1,1 @@
+lib/baselines/sc.mli: Lang Loc Promising Stmt Value

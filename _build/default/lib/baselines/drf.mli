@@ -1,0 +1,29 @@
+(** Data-race-freedom guarantee experiments (E7; §5 "Results", following
+    the DRF theorems the paper ports from Cho et al. [8]), checked
+    empirically by comparing the full PS_na, promise-free, and SC behavior
+    sets. *)
+
+open Lang
+module M = Promising.Machine
+
+type report = {
+  pf_race_free : bool;
+      (** no race involving a rlx-or-weaker access in any promise-free
+          execution (the DRF-PF premise) *)
+  sc_race_free : bool;
+      (** no conflicting unordered pair at all under SC (the DRF-SC
+          premise; no access in the fragment is an SC atomic) *)
+  lock_race_free : bool;
+      (** conflicting unordered pairs confined to the designated lock
+          locations (the DRF-LOCK premise) *)
+  drf_pf_holds : bool;  (** premise ⟹ full = promise-free behaviors *)
+  drf_sc_holds : bool;  (** premise ⟹ full = SC behaviors *)
+  drf_lock_holds : bool;  (** premise ⟹ full = SC behaviors *)
+  full : M.Behavior_set.t;
+  promise_free : M.Behavior_set.t;
+  sc : M.Behavior_set.t;
+}
+
+val check :
+  ?params:Promising.Thread.params -> ?lock_locs:Loc.Set.t -> Stmt.t list ->
+  report

@@ -1,0 +1,20 @@
+(** Vector clocks for happens-before race detection in the SC baseline. *)
+
+type t = int array  (** index = thread id *)
+
+val make : int -> t
+
+(** Initial clock of a thread: its own component starts at 1 so that its
+    accesses are unordered with other threads' initial clocks. *)
+val init_thread : int -> int -> t
+
+val copy : t -> t
+val tick : t -> int -> t
+val join : t -> t -> t
+
+(** epoch (tid, clock) ≤ vector clock *)
+val epoch_le : int * int -> t -> bool
+
+val le : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Promising_seq — umbrella library for the PLDI 2022 reproduction
+    "Sequential Reasoning for Optimizing Compilers under Weak Memory
+    Concurrency" (Cho, Lee, Lee, Hur, Lahav).
+
+    The library is organised like the paper:
+
+    - {!Lang}: the WHILE language and its labeled transition system
+      (values with [undef], access modes, expressions, statements, parser,
+      finite checking domains, random generators);
+    - {!Seq}: the sequential permission machine SEQ (§2), behaviors and
+      simple refinement (Def 2.1–2.4), oracles and advanced refinement up
+      to commitment sets (§3, Fig 2/Fig 6);
+    - {!Ps}: PS_na — the promising semantics with non-atomic accesses
+      (§5, Fig 5): views, messages, promises, certification, bounded
+      exhaustive exploration, and behavioral refinement (Def 5.2/5.3);
+    - {!Baselines}: SC interleaving with happens-before race detection,
+      the C/C++11-style catch-fire semantics, and DRF-guarantee checks;
+    - {!Opt}: the certified optimizer (§4, App D): SLF, LLF, DSE, LICM,
+      and per-run translation validation in SEQ;
+    - {!Litmus}: the paper's examples as a machine-readable corpus, and
+      the empirical adequacy experiment (Thm 6.2).
+
+    Quickstart:
+    {[
+      open Promising_seq
+      let src = Lang.Parser.stmt_of_string "X.store(na,1); a = X.load(na); return a"
+      let tgt = Lang.Parser.stmt_of_string "X.store(na,1); a = 1; return a"
+      let d = Lang.Domain.of_stmts [src; tgt]
+      let sound = Seq.Refine.check d ~src ~tgt   (* = true *)
+    ]} *)
+
+module Lang = Lang
+module Seq = Seq_model
+module Ps = Promising
+module Baselines = Baselines
+module Opt = Optimizer
+module Litmus = Litmus

@@ -1,0 +1,1 @@
+lib/lang/domain.ml: Fmt List Loc Stmt Value

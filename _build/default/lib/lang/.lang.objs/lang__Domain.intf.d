@@ -1,0 +1,1 @@
+lib/lang/domain.mli: Format Loc Stmt Value

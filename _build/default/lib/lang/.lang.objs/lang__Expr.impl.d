@@ -1,0 +1,1 @@
+lib/lang/expr.ml: Fmt Reg Value

@@ -1,0 +1,1 @@
+lib/lang/gen.ml: Expr List Loc Mode Random Reg Stmt

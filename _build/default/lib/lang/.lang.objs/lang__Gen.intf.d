@@ -1,0 +1,1 @@
+lib/lang/gen.mli: Expr Loc Random Reg Stmt

@@ -1,0 +1,1 @@
+lib/lang/mode.ml: Fmt

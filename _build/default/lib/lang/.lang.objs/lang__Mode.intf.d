@@ -1,0 +1,1 @@
+lib/lang/mode.mli: Format

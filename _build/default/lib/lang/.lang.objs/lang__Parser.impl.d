@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Expr Lexer List Loc Mode Printf Reg Stmt

@@ -1,0 +1,1 @@
+lib/lang/prog.ml: Expr Fmt Loc Mode Option Reg Stdlib Stmt Value

@@ -1,0 +1,1 @@
+lib/lang/prog.mli: Format Loc Mode Reg Stmt Value

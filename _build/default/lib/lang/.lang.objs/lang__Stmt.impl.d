@@ -1,0 +1,1 @@
+lib/lang/stmt.ml: Expr Fmt Loc Mode Printf Reg

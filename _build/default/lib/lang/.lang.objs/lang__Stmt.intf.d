@@ -1,0 +1,1 @@
+lib/lang/stmt.mli: Expr Format Loc Mode Reg

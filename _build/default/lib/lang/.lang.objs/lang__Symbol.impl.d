@@ -1,0 +1,1 @@
+lib/lang/symbol.ml: Fmt Hashtbl List Map Set String

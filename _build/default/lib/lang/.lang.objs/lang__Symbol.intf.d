@@ -1,0 +1,1 @@
+lib/lang/symbol.mli: Format Map Set

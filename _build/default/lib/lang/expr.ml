@@ -1,0 +1,116 @@
+(** Pure expressions over registers.
+
+    Expression evaluation can fault (division by zero or by [undef] is UB,
+    matching the paper's "error state ⊥, e.g. when dividing by 0").  All
+    other operators propagate [undef] (LLVM-style poison-free [undef]
+    semantics: any use of an undefined operand yields an undefined
+    result). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type t =
+  | Const of Value.t
+  | Reg of Reg.t
+  | Binop of binop * t * t
+  | Unop of unop * t
+
+let int n = Const (Value.Int n)
+let undef = Const Value.Undef
+let reg r = Reg r
+
+let rec regs_of acc = function
+  | Const _ -> acc
+  | Reg r -> Reg.Set.add r acc
+  | Binop (_, a, b) -> regs_of (regs_of acc a) b
+  | Unop (_, a) -> regs_of acc a
+
+let regs e = regs_of Reg.Set.empty e
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y
+  | Reg x, Reg y -> Reg.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal a1 a2
+  | (Const _ | Reg _ | Binop _ | Unop _), _ -> false
+
+type eval_result =
+  | Ok of Value.t
+  | Fault  (* immediate UB, e.g. division by zero *)
+
+let apply_binop op x y : eval_result =
+  match op, x, y with
+  | Div, _, Value.Int 0 | Mod, _, Value.Int 0 -> Fault
+  | (Div | Mod), _, Value.Undef -> Fault
+  | _, Value.Undef, _ | _, _, Value.Undef -> Ok Value.Undef
+  | _, Value.Int a, Value.Int b ->
+    let bool b = Value.of_bool b in
+    Ok
+      (match op with
+       | Add -> Value.Int (a + b)
+       | Sub -> Value.Int (a - b)
+       | Mul -> Value.Int (a * b)
+       | Div -> Value.Int (a / b)
+       | Mod -> Value.Int (a mod b)
+       | Eq -> bool (a = b)
+       | Ne -> bool (a <> b)
+       | Lt -> bool (a < b)
+       | Le -> bool (a <= b)
+       | Gt -> bool (a > b)
+       | Ge -> bool (a >= b)
+       | And -> bool (a <> 0 && b <> 0)
+       | Or -> bool (a <> 0 || b <> 0))
+
+let apply_unop op x : eval_result =
+  match op, x with
+  | _, Value.Undef -> Ok Value.Undef
+  | Neg, Value.Int a -> Ok (Value.Int (-a))
+  | Not, Value.Int a -> Ok (Value.of_bool (a = 0))
+
+(* Registers that were never assigned read as 0, like zero-initialised
+   locals; this keeps whole-program refinement insensitive to the initial
+   register file, matching the paper's "with some initial register file". *)
+let rec eval (rf : Value.t Reg.Map.t) (e : t) : eval_result =
+  match e with
+  | Const v -> Ok v
+  | Reg r -> Ok (Reg.Map.find_default ~default:Value.zero r rf)
+  | Binop (op, a, b) ->
+    (match eval rf a with
+     | Fault -> Fault
+     | Ok va ->
+       (match eval rf b with
+        | Fault -> Fault
+        | Ok vb -> apply_binop op va vb))
+  | Unop (op, a) ->
+    (match eval rf a with
+     | Fault -> Fault
+     | Ok va -> apply_unop op va)
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+     | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+     | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">"
+     | Ge -> ">=" | And -> "&&" | Or -> "||")
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Reg r -> Reg.pp ppf r
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp a pp_binop op pp b
+  | Unop (Neg, a) -> Fmt.pf ppf "(-%a)" pp a
+  | Unop (Not, a) -> Fmt.pf ppf "(!%a)" pp a

@@ -1,0 +1,50 @@
+(** Pure expressions over registers.
+
+    Division/modulo by zero or by [undef] is immediate UB (the paper's
+    "error state ⊥, e.g. when dividing by 0"); every other operator
+    propagates [undef]. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type t =
+  | Const of Value.t
+  | Reg of Reg.t
+  | Binop of binop * t * t
+  | Unop of unop * t
+
+val int : int -> t
+val undef : t
+val reg : Reg.t -> t
+
+(** Registers occurring in the expression. *)
+val regs : t -> Reg.Set.t
+
+val equal : t -> t -> bool
+
+type eval_result =
+  | Ok of Value.t
+  | Fault  (** immediate UB *)
+
+val apply_binop : binop -> Value.t -> Value.t -> eval_result
+val apply_unop : unop -> Value.t -> eval_result
+
+(** Evaluate under a register file; unset registers read as 0. *)
+val eval : Value.t Reg.Map.t -> t -> eval_result
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp : Format.formatter -> t -> unit

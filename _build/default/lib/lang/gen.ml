@@ -1,0 +1,133 @@
+(** Random WHILE-program generation, for property-based tests (QCheck) and
+    benchmark workloads.
+
+    Generated programs respect the SEQ well-formedness constraint: the
+    non-atomic and atomic location pools are disjoint. *)
+
+type config = {
+  na_locs : Loc.t list;
+  at_locs : Loc.t list;
+  regs : Reg.t list;
+  values : int list;
+  allow_loops : bool;
+  allow_atomics : bool;
+  allow_rmw : bool;
+  allow_abort : bool;
+  max_depth : int;
+}
+
+let default_config =
+  {
+    na_locs = [ Loc.make "X"; Loc.make "W" ];
+    at_locs = [ Loc.make "Y" ];
+    regs = [ Reg.make "a"; Reg.make "b"; Reg.make "c" ];
+    values = [ 0; 1; 2 ];
+    allow_loops = false;
+    allow_atomics = true;
+    allow_rmw = false;
+    allow_abort = false;
+    max_depth = 3;
+  }
+
+let oneof (st : Random.State.t) (l : 'a list) =
+  List.nth l (Random.State.int st (List.length l))
+
+let gen_expr (cfg : config) (st : Random.State.t) ~depth : Expr.t =
+  let rec go depth =
+    if depth = 0 || Random.State.int st 3 = 0 then
+      if Random.State.bool st then Expr.int (oneof st cfg.values)
+      else Expr.reg (oneof st cfg.regs)
+    else
+      match Random.State.int st 6 with
+      | 0 -> Expr.Binop (Expr.Add, go (depth - 1), go (depth - 1))
+      | 1 -> Expr.Binop (Expr.Sub, go (depth - 1), go (depth - 1))
+      | 2 -> Expr.Binop (Expr.Eq, go (depth - 1), go (depth - 1))
+      | 3 -> Expr.Binop (Expr.Lt, go (depth - 1), go (depth - 1))
+      | 4 -> Expr.Binop (Expr.Mul, go (depth - 1), go (depth - 1))
+      | _ -> Expr.Unop (Expr.Not, go (depth - 1))
+  in
+  go depth
+
+(** A random statement of roughly [size] instructions. *)
+let rec gen_stmt (cfg : config) (st : Random.State.t) ~size : Stmt.t =
+  if size <= 0 then Stmt.Skip
+  else if size = 1 then gen_instr cfg st
+  else
+    match Random.State.int st 10 with
+    | 0 | 1 ->
+      let k = 1 + Random.State.int st (size - 1) in
+      Stmt.seq (gen_stmt cfg st ~size:k) (gen_stmt cfg st ~size:(size - k))
+    | 2 ->
+      let e = gen_expr cfg st ~depth:1 in
+      let k = size / 2 in
+      Stmt.If (e, gen_stmt cfg st ~size:k, gen_stmt cfg st ~size:(size - 1 - k))
+    | 3 when cfg.allow_loops ->
+      (* bounded counting loops only, so explorations terminate *)
+      let i = oneof st cfg.regs in
+      let n = 1 + Random.State.int st 2 in
+      let body = gen_stmt cfg st ~size:(size - 2) in
+      Stmt.seq
+        (Stmt.Assign (i, Expr.int 0))
+        (Stmt.While
+           ( Expr.Binop (Expr.Lt, Expr.reg i, Expr.int n),
+             Stmt.seq body (Stmt.Assign (i, Expr.Binop (Expr.Add, Expr.reg i, Expr.int 1))) ))
+    | _ ->
+      Stmt.seq (gen_instr cfg st) (gen_stmt cfg st ~size:(size - 1))
+
+and gen_instr (cfg : config) (st : Random.State.t) : Stmt.t =
+  let reg () = oneof st cfg.regs in
+  let val_ () = oneof st cfg.values in
+  let choices =
+    [
+      (fun () -> Stmt.Assign (reg (), gen_expr cfg st ~depth:2));
+      (fun () -> Stmt.Load (reg (), Mode.Rna, oneof st cfg.na_locs));
+      (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.int (val_ ())));
+      (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.reg (reg ())));
+      (fun () -> Stmt.Freeze (reg (), gen_expr cfg st ~depth:1));
+      (fun () -> Stmt.Print (Expr.reg (reg ())));
+    ]
+    @ (if cfg.allow_atomics && cfg.at_locs <> [] then
+         [
+           (fun () -> Stmt.Load (reg (), Mode.Rrlx, oneof st cfg.at_locs));
+           (fun () -> Stmt.Load (reg (), Mode.Racq, oneof st cfg.at_locs));
+           (fun () ->
+             Stmt.Store (Mode.Wrlx, oneof st cfg.at_locs, Expr.int (val_ ())));
+           (fun () ->
+             Stmt.Store (Mode.Wrel, oneof st cfg.at_locs, Expr.int (val_ ())));
+         ]
+       else [])
+    @ (if cfg.allow_rmw && cfg.at_locs <> [] then
+         [
+           (fun () ->
+             Stmt.Cas (reg (), oneof st cfg.at_locs, Expr.int (val_ ()),
+                       Expr.int (val_ ())));
+           (fun () -> Stmt.Fadd (reg (), oneof st cfg.at_locs, Expr.int 1));
+         ]
+       else [])
+    @ if cfg.allow_abort then [ (fun () -> Stmt.Abort) ] else []
+  in
+  (oneof st choices) ()
+
+(** A random whole program: statement closed by an observer return. *)
+let gen_program (cfg : config) (st : Random.State.t) ~size : Stmt.t =
+  let body = gen_stmt cfg st ~size in
+  let obs =
+    List.mapi
+      (fun i r -> Expr.Binop (Expr.Mul, Expr.int (i + 1), Expr.reg r))
+      cfg.regs
+  in
+  let sum =
+    List.fold_left
+      (fun acc e -> Expr.Binop (Expr.Add, acc, e))
+      (Expr.int 0) obs
+  in
+  Stmt.seq body (Stmt.Return sum)
+
+(** A straight-line workload of [size] non-atomic/atomic accesses with
+    occasional constants — used by benchmark sweeps. *)
+let gen_linear (cfg : config) (st : Random.State.t) ~size : Stmt.t =
+  let rec go n acc =
+    if n = 0 then Stmt.seq_list (List.rev acc)
+    else go (n - 1) (gen_instr cfg st :: acc)
+  in
+  go size []

@@ -1,0 +1,31 @@
+(** Random WHILE-program generation for property-based tests and benchmark
+    workloads.  Generated programs keep the non-atomic and atomic location
+    pools disjoint (SEQ well-formedness). *)
+
+type config = {
+  na_locs : Loc.t list;
+  at_locs : Loc.t list;
+  regs : Reg.t list;
+  values : int list;
+  allow_loops : bool;  (** bounded counting loops only *)
+  allow_atomics : bool;
+  allow_rmw : bool;
+  allow_abort : bool;
+  max_depth : int;
+}
+
+val default_config : config
+
+val gen_expr : config -> Random.State.t -> depth:int -> Expr.t
+
+(** A random statement of roughly [size] instructions. *)
+val gen_stmt : config -> Random.State.t -> size:int -> Stmt.t
+
+val gen_instr : config -> Random.State.t -> Stmt.t
+
+(** A random whole program, closed by an observer [return] mixing all
+    registers. *)
+val gen_program : config -> Random.State.t -> size:int -> Stmt.t
+
+(** A straight-line workload of [size] instructions (benchmark sweeps). *)
+val gen_linear : config -> Random.State.t -> size:int -> Stmt.t

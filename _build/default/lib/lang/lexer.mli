@@ -1,0 +1,15 @@
+(** Hand-written lexer for the WHILE concrete syntax. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | OP of string
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string * int * int
+
+val tokenize : string -> located list

@@ -1,0 +1,9 @@
+(** Shared-memory locations.
+
+    SEQ (§2) partitions locations into non-atomic ([Loc_na]) and atomic
+    ([Loc_at]) ones and forbids mixed-mode access to a single location;
+    PS_na (§5) allows mixing.  We represent locations by name only and let
+    each client compute/validate the partition from a program's footprint
+    (see {!Footprint}). *)
+
+include Symbol

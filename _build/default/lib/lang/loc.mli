@@ -1,0 +1,5 @@
+(** Shared-memory locations.  SEQ partitions them into non-atomic and
+    atomic ones and forbids mixing (§2, footnote 3); PS_na allows mixing.
+    The partition is derived from program footprints ({!Stmt.footprint}). *)
+
+include module type of Symbol

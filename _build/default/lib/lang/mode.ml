@@ -1,0 +1,45 @@
+(** Access and fence modes.
+
+    The paper's presented fragment has non-atomic, relaxed, and
+    release/acquire reads and writes.  We additionally carry fence modes and
+    an acquire-release RMW (atomic update), which the paper's Coq
+    development covers but the paper text elides. *)
+
+type read = Rna | Rrlx | Racq
+
+type write = Wna | Wrlx | Wrel
+
+type fence = Facq | Frel | Facqrel | Fsc
+
+let read_is_atomic = function Rna -> false | Rrlx | Racq -> true
+let write_is_atomic = function Wna -> false | Wrlx | Wrel -> true
+
+let pp_read ppf m =
+  Fmt.string ppf (match m with Rna -> "na" | Rrlx -> "rlx" | Racq -> "acq")
+
+let pp_write ppf m =
+  Fmt.string ppf (match m with Wna -> "na" | Wrlx -> "rlx" | Wrel -> "rel")
+
+let pp_fence ppf m =
+  Fmt.string ppf
+    (match m with
+     | Facq -> "acq" | Frel -> "rel" | Facqrel -> "acqrel" | Fsc -> "sc")
+
+let read_of_string = function
+  | "na" -> Some Rna
+  | "rlx" -> Some Rrlx
+  | "acq" -> Some Racq
+  | _ -> None
+
+let write_of_string = function
+  | "na" -> Some Wna
+  | "rlx" -> Some Wrlx
+  | "rel" -> Some Wrel
+  | _ -> None
+
+let fence_of_string = function
+  | "acq" -> Some Facq
+  | "rel" -> Some Frel
+  | "acqrel" -> Some Facqrel
+  | "sc" -> Some Fsc
+  | _ -> None

@@ -1,0 +1,17 @@
+(** Access and fence modes (the paper's fragment plus fences and RMW from
+    its Coq development). *)
+
+type read = Rna | Rrlx | Racq
+type write = Wna | Wrlx | Wrel
+type fence = Facq | Frel | Facqrel | Fsc
+
+val read_is_atomic : read -> bool
+val write_is_atomic : write -> bool
+
+val pp_read : Format.formatter -> read -> unit
+val pp_write : Format.formatter -> write -> unit
+val pp_fence : Format.formatter -> fence -> unit
+
+val read_of_string : string -> read option
+val write_of_string : string -> write option
+val fence_of_string : string -> fence option

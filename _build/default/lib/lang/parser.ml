@@ -1,0 +1,326 @@
+(** Recursive-descent parser for WHILE programs and multi-thread litmus
+    programs (threads separated by [|||]).
+
+    Grammar sketch:
+    {v
+      program  ::= stmts ( "|||" stmts )*
+      stmts    ::= stmt ( ";" stmt )*          (trailing ";" allowed)
+      stmt     ::= "skip" | "abort" | "return" exp | "print" "(" exp ")"
+                 | "fence" "(" mode ")"
+                 | "if" exp "{" stmts "}" ( "else" "{" stmts "}" )?
+                 | "while" exp "{" stmts "}"
+                 | ident "." "store" "(" mode "," exp ")"
+                 | ident "=" rhs
+      rhs      ::= "choose" "(" ")" | "freeze" "(" exp ")"
+                 | "cas" "(" ident "," exp "," exp ")"
+                 | "fadd" "(" ident "," exp ")"
+                 | ident "." "load" "(" mode ")"
+                 | exp
+      exp      ::= usual precedence: || < && < comparisons < + - < * / % < unary
+    v} *)
+
+exception Error of string
+
+type stream = { mutable toks : Lexer.located list }
+
+let fail_at (t : Lexer.located) msg =
+  raise (Error (Printf.sprintf "%d:%d: %s" t.Lexer.line t.Lexer.col msg))
+
+let peek st =
+  match st.toks with
+  | [] -> raise (Error "unexpected end of token stream")
+  | t :: _ -> t
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let eat_punct st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.PUNCT p when p = s -> ()
+  | _ -> fail_at t (Printf.sprintf "expected %S" s)
+
+let eat_kw st s =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.KW k when k = s -> ()
+  | _ -> fail_at t (Printf.sprintf "expected keyword %S" s)
+
+let try_punct st s =
+  match (peek st).Lexer.tok with
+  | Lexer.PUNCT p when p = s ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> s
+  | _ -> fail_at t "expected identifier"
+
+let mode_name st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.IDENT s -> s
+  | _ -> fail_at t "expected access mode (na/rlx/acq/rel/acqrel)"
+
+let read_mode st =
+  let t = peek st in
+  let s = mode_name st in
+  match Mode.read_of_string s with
+  | Some m -> m
+  | None -> fail_at t (Printf.sprintf "invalid read mode %S" s)
+
+let write_mode st =
+  let t = peek st in
+  let s = mode_name st in
+  match Mode.write_of_string s with
+  | Some m -> m
+  | None -> fail_at t (Printf.sprintf "invalid write mode %S" s)
+
+let fence_mode st =
+  let t = peek st in
+  let s = mode_name st in
+  match Mode.fence_of_string s with
+  | Some m -> m
+  | None -> fail_at t (Printf.sprintf "invalid fence mode %S" s)
+
+(* --- expressions, precedence climbing --- *)
+
+let rec parse_exp st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  match (peek st).Lexer.tok with
+  | Lexer.OP "||" ->
+    advance st;
+    Expr.Binop (Expr.Or, lhs, parse_or st)
+  | _ -> lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  match (peek st).Lexer.tok with
+  | Lexer.OP "&&" ->
+    advance st;
+    Expr.Binop (Expr.And, lhs, parse_and st)
+  | _ -> lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match (peek st).Lexer.tok with
+  | Lexer.OP (("==" | "!=" | "<" | "<=" | ">" | ">=") as op) ->
+    advance st;
+    let rhs = parse_add st in
+    let o =
+      match op with
+      | "==" -> Expr.Eq
+      | "!=" -> Expr.Ne
+      | "<" -> Expr.Lt
+      | "<=" -> Expr.Le
+      | ">" -> Expr.Gt
+      | _ -> Expr.Ge
+    in
+    Expr.Binop (o, lhs, rhs)
+  | _ -> lhs
+
+and parse_add st =
+  let rec loop lhs =
+    match (peek st).Lexer.tok with
+    | Lexer.OP (("+" | "-") as op) ->
+      advance st;
+      let rhs = parse_mul st in
+      loop (Expr.Binop ((if op = "+" then Expr.Add else Expr.Sub), lhs, rhs))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match (peek st).Lexer.tok with
+    | Lexer.OP (("*" | "/" | "%") as op) ->
+      advance st;
+      let rhs = parse_unary st in
+      let o = match op with "*" -> Expr.Mul | "/" -> Expr.Div | _ -> Expr.Mod in
+      loop (Expr.Binop (o, lhs, rhs))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match (peek st).Lexer.tok with
+  | Lexer.OP "-" ->
+    advance st;
+    Expr.Unop (Expr.Neg, parse_unary st)
+  | Lexer.OP "!" ->
+    advance st;
+    Expr.Unop (Expr.Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t = next st in
+  match t.Lexer.tok with
+  | Lexer.INT n -> Expr.int n
+  | Lexer.KW "undef" -> Expr.undef
+  | Lexer.IDENT r -> Expr.reg (Reg.make r)
+  | Lexer.PUNCT "(" ->
+    let e = parse_exp st in
+    eat_punct st ")";
+    e
+  | _ -> fail_at t "expected expression"
+
+(* --- statements --- *)
+
+let rec parse_stmts st : Stmt.t =
+  let rec loop acc =
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT "}" | Lexer.PUNCT "|||" | Lexer.EOF -> Stmt.seq_list (List.rev acc)
+    | Lexer.PUNCT ";" ->
+      advance st;
+      loop acc
+    | _ ->
+      let s = parse_stmt st in
+      loop (s :: acc)
+  in
+  loop []
+
+and parse_block st =
+  eat_punct st "{";
+  let s = parse_stmts st in
+  eat_punct st "}";
+  s
+
+and parse_stmt st : Stmt.t =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW "skip" ->
+    advance st;
+    Stmt.Skip
+  | Lexer.KW "abort" ->
+    advance st;
+    Stmt.Abort
+  | Lexer.KW "return" ->
+    advance st;
+    Stmt.Return (parse_exp st)
+  | Lexer.KW "print" ->
+    advance st;
+    eat_punct st "(";
+    let e = parse_exp st in
+    eat_punct st ")";
+    Stmt.Print e
+  | Lexer.KW "fence" ->
+    advance st;
+    eat_punct st "(";
+    let m = fence_mode st in
+    eat_punct st ")";
+    Stmt.Fence m
+  | Lexer.KW "if" ->
+    advance st;
+    let e = parse_exp st in
+    let then_ = parse_block st in
+    let else_ =
+      match (peek st).Lexer.tok with
+      | Lexer.KW "else" ->
+        advance st;
+        parse_block st
+      | _ -> Stmt.Skip
+    in
+    Stmt.If (e, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    let e = parse_exp st in
+    let body = parse_block st in
+    Stmt.While (e, body)
+  | Lexer.IDENT name ->
+    advance st;
+    (match (peek st).Lexer.tok with
+     | Lexer.PUNCT "." ->
+       advance st;
+       eat_kw st "store";
+       eat_punct st "(";
+       let m = write_mode st in
+       eat_punct st ",";
+       let e = parse_exp st in
+       eat_punct st ")";
+       Stmt.Store (m, Loc.make name, e)
+     | Lexer.PUNCT "=" ->
+       advance st;
+       parse_rhs st (Reg.make name)
+     | _ -> fail_at (peek st) "expected '=' or '.store(...)' after identifier")
+  | _ -> fail_at t "expected statement"
+
+and parse_rhs st (r : Reg.t) : Stmt.t =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Lexer.KW "choose" ->
+    advance st;
+    eat_punct st "(";
+    eat_punct st ")";
+    Stmt.Choose r
+  | Lexer.KW "freeze" ->
+    advance st;
+    eat_punct st "(";
+    let e = parse_exp st in
+    eat_punct st ")";
+    Stmt.Freeze (r, e)
+  | Lexer.KW "cas" ->
+    advance st;
+    eat_punct st "(";
+    let x = ident st in
+    eat_punct st ",";
+    let e1 = parse_exp st in
+    eat_punct st ",";
+    let e2 = parse_exp st in
+    eat_punct st ")";
+    Stmt.Cas (r, Loc.make x, e1, e2)
+  | Lexer.KW "fadd" ->
+    advance st;
+    eat_punct st "(";
+    let x = ident st in
+    eat_punct st ",";
+    let e = parse_exp st in
+    eat_punct st ")";
+    Stmt.Fadd (r, Loc.make x, e)
+  | Lexer.IDENT name ->
+    (* could be "x.load(m)" or an expression starting with a register *)
+    (match st.toks with
+     | _ :: { Lexer.tok = Lexer.PUNCT "."; _ } :: _ ->
+       advance st;
+       eat_punct st ".";
+       eat_kw st "load";
+       eat_punct st "(";
+       let m = read_mode st in
+       eat_punct st ")";
+       Stmt.Load (r, m, Loc.make name)
+     | _ -> Stmt.Assign (r, parse_exp st))
+  | _ -> Stmt.Assign (r, parse_exp st)
+
+(** Parse a single-thread program. *)
+let stmt_of_string (src : string) : Stmt.t =
+  let st = { toks = Lexer.tokenize src } in
+  let s = parse_stmts st in
+  (match (peek st).Lexer.tok with
+   | Lexer.EOF -> ()
+   | _ -> fail_at (peek st) "trailing input");
+  s
+
+(** Parse a multi-thread litmus program: threads separated by [|||]. *)
+let threads_of_string (src : string) : Stmt.t list =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    let s = parse_stmts st in
+    match (peek st).Lexer.tok with
+    | Lexer.PUNCT "|||" ->
+      advance st;
+      loop (s :: acc)
+    | Lexer.EOF -> List.rev (s :: acc)
+    | _ -> fail_at (peek st) "trailing input"
+  in
+  loop []

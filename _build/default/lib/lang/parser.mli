@@ -1,0 +1,10 @@
+(** Recursive-descent parser for WHILE programs and multi-thread litmus
+    programs.  See README.md for the grammar. *)
+
+exception Error of string  (** "line:col: message" *)
+
+(** Parse a single-thread program. *)
+val stmt_of_string : string -> Stmt.t
+
+(** Parse a multi-thread program: threads separated by [|||]. *)
+val threads_of_string : string -> Stmt.t list

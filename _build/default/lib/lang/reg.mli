@@ -1,0 +1,3 @@
+(** Thread-local registers. *)
+
+include module type of Symbol

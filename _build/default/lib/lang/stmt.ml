@@ -1,0 +1,123 @@
+(** Abstract syntax of the WHILE language (§4).
+
+    A thread body is a statement.  Shared-memory accesses are explicit
+    ([Load]/[Store]/[Cas]/[Fadd]) and carry an access mode; everything else
+    is thread-local.  [Choose] and [Freeze] expose the non-deterministic
+    choices that the paper records as [choose(v)] transitions (Remark 3);
+    [Print] is the system call used for observable behaviors; [Abort] is an
+    explicit source of UB. *)
+
+type t =
+  | Skip
+  | Assign of Reg.t * Expr.t
+  | Load of Reg.t * Mode.read * Loc.t
+  | Store of Mode.write * Loc.t * Expr.t
+  | Cas of Reg.t * Loc.t * Expr.t * Expr.t
+      (** [r := CAS(x, e_expected, e_new)]: acquire-release atomic update;
+          [r] is 1 on success, 0 on failure (failure is an acquire read). *)
+  | Fadd of Reg.t * Loc.t * Expr.t
+      (** [r := FADD(x, e)]: acquire-release fetch-and-add; [r] gets the
+          old value. *)
+  | Fence of Mode.fence
+  | Seq of t * t
+  | If of Expr.t * t * t
+  | While of Expr.t * t
+  | Choose of Reg.t  (** [r := choose()]: any defined value. *)
+  | Freeze of Reg.t * Expr.t
+      (** [r := freeze(e)]: identity on defined values; resolves [undef] to
+          an arbitrary defined value (a [choose] transition). *)
+  | Print of Expr.t
+  | Abort
+  | Return of Expr.t
+
+let seq a b =
+  match a, b with
+  | Skip, s | s, Skip -> s
+  | a, b -> Seq (a, b)
+
+let rec seq_list = function
+  | [] -> Skip
+  | [ s ] -> s
+  | s :: rest -> seq s (seq_list rest)
+
+(* Structural size, used by benchmarks and the optimizer report. *)
+let rec size = function
+  | Skip | Assign _ | Load _ | Store _ | Cas _ | Fadd _ | Fence _ | Choose _
+  | Freeze _ | Print _ | Abort | Return _ -> 1
+  | Seq (a, b) -> size a + size b
+  | If (_, a, b) -> 1 + size a + size b
+  | While (_, a) -> 1 + size a
+
+(** Static footprint of a statement: which locations are accessed
+    non-atomically, which atomically, and which registers occur. *)
+type footprint = {
+  na : Loc.Set.t;
+  at : Loc.Set.t;
+  regs : Reg.Set.t;
+}
+
+let empty_footprint =
+  { na = Loc.Set.empty; at = Loc.Set.empty; regs = Reg.Set.empty }
+
+let footprint stmt =
+  let add_regs fp e = { fp with regs = Reg.Set.union fp.regs (Expr.regs e) } in
+  let add_na fp x = { fp with na = Loc.Set.add x fp.na } in
+  let add_at fp x = { fp with at = Loc.Set.add x fp.at } in
+  let add_reg fp r = { fp with regs = Reg.Set.add r fp.regs } in
+  let rec go fp = function
+    | Skip | Abort | Fence _ -> fp
+    | Assign (r, e) -> add_reg (add_regs fp e) r
+    | Load (r, m, x) ->
+      let fp = add_reg fp r in
+      if Mode.read_is_atomic m then add_at fp x else add_na fp x
+    | Store (m, x, e) ->
+      let fp = add_regs fp e in
+      if Mode.write_is_atomic m then add_at fp x else add_na fp x
+    | Cas (r, x, e1, e2) -> add_at (add_reg (add_regs (add_regs fp e1) e2) r) x
+    | Fadd (r, x, e) -> add_at (add_reg (add_regs fp e) r) x
+    | Seq (a, b) -> go (go fp a) b
+    | If (e, a, b) -> go (go (add_regs fp e) a) b
+    | While (e, a) -> go (add_regs fp e) a
+    | Choose r -> add_reg fp r
+    | Freeze (r, e) -> add_reg (add_regs fp e) r
+    | Print e -> add_regs fp e
+    | Return e -> add_regs fp e
+  in
+  go empty_footprint stmt
+
+(** Locations accessed both atomically and non-atomically.  SEQ forbids
+    such mixing (§2, footnote 3); PS_na allows it. *)
+let mixed_locations stmt =
+  let fp = footprint stmt in
+  Loc.Set.inter fp.na fp.at
+
+let fresh_reg stmt base =
+  let fp = footprint stmt in
+  let rec go i =
+    let candidate = Reg.make (Printf.sprintf "%s%d" base i) in
+    if Reg.Set.mem candidate fp.regs then go (i + 1) else candidate
+  in
+  let base_reg = Reg.make base in
+  if Reg.Set.mem base_reg fp.regs then go 0 else base_reg
+
+let rec pp ppf = function
+  | Skip -> Fmt.string ppf "skip"
+  | Assign (r, e) -> Fmt.pf ppf "%a = %a" Reg.pp r Expr.pp e
+  | Load (r, m, x) -> Fmt.pf ppf "%a = %a.load(%a)" Reg.pp r Loc.pp x Mode.pp_read m
+  | Store (m, x, e) -> Fmt.pf ppf "%a.store(%a, %a)" Loc.pp x Mode.pp_write m Expr.pp e
+  | Cas (r, x, e1, e2) ->
+    Fmt.pf ppf "%a = cas(%a, %a, %a)" Reg.pp r Loc.pp x Expr.pp e1 Expr.pp e2
+  | Fadd (r, x, e) -> Fmt.pf ppf "%a = fadd(%a, %a)" Reg.pp r Loc.pp x Expr.pp e
+  | Fence m -> Fmt.pf ppf "fence(%a)" Mode.pp_fence m
+  | Seq (a, b) -> Fmt.pf ppf "%a;@ %a" pp a pp b
+  | If (e, a, Skip) -> Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ }" Expr.pp e pp a
+  | If (e, a, b) ->
+    Fmt.pf ppf "@[<v 2>if %a {@ %a@]@ @[<v 2>} else {@ %a@]@ }" Expr.pp e pp a pp b
+  | While (e, a) -> Fmt.pf ppf "@[<v 2>while %a {@ %a@]@ }" Expr.pp e pp a
+  | Choose r -> Fmt.pf ppf "%a = choose()" Reg.pp r
+  | Freeze (r, e) -> Fmt.pf ppf "%a = freeze(%a)" Reg.pp r Expr.pp e
+  | Print e -> Fmt.pf ppf "print(%a)" Expr.pp e
+  | Abort -> Fmt.string ppf "abort"
+  | Return e -> Fmt.pf ppf "return %a" Expr.pp e
+
+let to_string s = Fmt.str "@[<v>%a@]" pp s

@@ -1,0 +1,58 @@
+(** Abstract syntax of the WHILE language (§4).
+
+    Shared-memory accesses are explicit and carry an access mode;
+    [Choose]/[Freeze] expose the non-deterministic choices the paper
+    records as [choose(v)] transitions (Remark 3); [Print] is the system
+    call used for observable behaviors; [Abort] is explicit UB. *)
+
+type t =
+  | Skip
+  | Assign of Reg.t * Expr.t
+  | Load of Reg.t * Mode.read * Loc.t
+  | Store of Mode.write * Loc.t * Expr.t
+  | Cas of Reg.t * Loc.t * Expr.t * Expr.t
+      (** [r := CAS(x, e_expected, e_new)]: acquire-release update; [r] is
+          1 on success, 0 on failure (a failed CAS is an acquire read). *)
+  | Fadd of Reg.t * Loc.t * Expr.t
+      (** [r := FADD(x, e)]: acquire-release fetch-and-add; [r] gets the
+          old value. *)
+  | Fence of Mode.fence
+  | Seq of t * t
+  | If of Expr.t * t * t
+  | While of Expr.t * t
+  | Choose of Reg.t  (** [r := choose()]: any defined value *)
+  | Freeze of Reg.t * Expr.t
+      (** [r := freeze(e)]: identity on defined values; resolves [undef]
+          to an arbitrary defined value *)
+  | Print of Expr.t
+  | Abort
+  | Return of Expr.t
+
+(** Smart sequencing ([Skip] is a unit). *)
+val seq : t -> t -> t
+
+val seq_list : t list -> t
+
+(** Structural instruction count. *)
+val size : t -> int
+
+(** Static footprint: locations accessed non-atomically / atomically, and
+    the registers occurring. *)
+type footprint = {
+  na : Loc.Set.t;
+  at : Loc.Set.t;
+  regs : Reg.Set.t;
+}
+
+val empty_footprint : footprint
+val footprint : t -> footprint
+
+(** Locations accessed both atomically and non-atomically — forbidden in
+    SEQ (§2, footnote 3), allowed in PS_na. *)
+val mixed_locations : t -> Loc.Set.t
+
+(** A register not occurring in the statement, derived from [base]. *)
+val fresh_reg : t -> string -> Reg.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,37 @@
+(** Interned string symbols, used for both shared-memory locations and
+    thread-local registers.  Provides total order, maps and sets. *)
+
+module T = struct
+  type t = string
+  let compare = String.compare
+  let equal = String.equal
+end
+
+include T
+
+let make (s : string) : t = s
+let name (s : t) : string = s
+let hash = Hashtbl.hash
+let pp = Fmt.string
+
+module Set = struct
+  include Set.Make (T)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") string) (elements s)
+end
+
+module Map = struct
+  include Map.Make (T)
+
+  let find_default ~default k m =
+    match find_opt k m with
+    | Some v -> v
+    | None -> default
+
+  let keys m = fold (fun k _ acc -> k :: acc) m [] |> List.rev
+
+  let pp pp_v ppf m =
+    let pp_binding ppf (k, v) = Fmt.pf ppf "%s↦%a" k pp_v v in
+    Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ";") pp_binding) (bindings m)
+end

@@ -1,0 +1,25 @@
+(** Interned string symbols (locations and registers) with total order,
+    maps, and sets. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val make : string -> t
+val name : t -> string
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Map : sig
+  include Map.S with type key = t
+
+  val find_default : default:'a -> key -> 'a t -> 'a
+  val keys : 'a t -> key list
+  val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+end

@@ -1,0 +1,62 @@
+(** Values of the language and of the memory models.
+
+    Following §2 of the paper, the set of values contains a distinguished
+    "undefined value" [undef] (LLVM's [undef]): racy non-atomic reads return
+    it, and a [freeze] instruction can later resolve it to an arbitrary
+    defined value.  The partial order [le] is the paper's [⊑]:
+    [v ⊑ v' ⇔ v = v' ∨ v' = undef], i.e. [undef] is the top element and all
+    defined values are incomparable. *)
+
+type t =
+  | Int of int
+  | Undef
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Undef, Undef -> true
+  | Int _, Undef | Undef, Int _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Undef, Undef -> 0
+  | Int _, Undef -> -1
+  | Undef, Int _ -> 1
+
+let hash = function
+  | Int x -> x * 2
+  | Undef -> 1
+
+(* v ⊑ v'  ⇔  v = v' ∨ v' = undef *)
+let le a b =
+  match b with
+  | Undef -> true
+  | Int _ -> equal a b
+
+let is_undef = function Undef -> true | Int _ -> false
+let is_defined v = not (is_undef v)
+
+let zero = Int 0
+let one = Int 1
+
+let of_int n = Int n
+
+let to_int = function
+  | Int n -> Some n
+  | Undef -> None
+
+(* Truthiness for conditionals.  Branching on [undef] is UB (Remark 1),
+   so this returns [None] on [undef]. *)
+let to_bool = function
+  | Int 0 -> Some false
+  | Int _ -> Some true
+  | Undef -> None
+
+let of_bool b = if b then one else zero
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Undef -> Fmt.string ppf "undef"
+
+let to_string v = Fmt.str "%a" pp v

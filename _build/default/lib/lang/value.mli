@@ -1,0 +1,34 @@
+(** Values with the distinguished undefined value (§2, "Values").
+
+    [undef] is what racy non-atomic reads return in PS_na and SEQ; it can
+    be resolved to an arbitrary defined value by [freeze] (Remark 1).  The
+    partial order {!le} is the paper's [⊑]:
+    [v ⊑ v' ⇔ v = v' ∨ v' = undef] — [undef] is the top element. *)
+
+type t =
+  | Int of int
+  | Undef
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [le v v'] is [v ⊑ v']. *)
+val le : t -> t -> bool
+
+val is_undef : t -> bool
+val is_defined : t -> bool
+
+val zero : t
+val one : t
+val of_int : int -> t
+val to_int : t -> int option
+
+(** Truthiness for conditionals; [None] on [undef] (branching on [undef]
+    is UB, Remark 1). *)
+val to_bool : t -> bool option
+
+val of_bool : bool -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

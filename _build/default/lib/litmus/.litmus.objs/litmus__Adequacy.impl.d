@@ -1,0 +1,1 @@
+lib/litmus/adequacy.ml: Catalog Domain Lang List Parser Promising Seq_model

@@ -1,0 +1,1 @@
+lib/litmus/adequacy.mli: Catalog Promising

@@ -1,0 +1,56 @@
+(** Empirical validation of the adequacy theorem (Thm 6.2, E5).
+
+    Adequacy states: if σ_tgt ⊑w σ_src in SEQ (and σ_src is deterministic,
+    which WHILE programs are by construction), then for {e any} concurrent
+    context, the target contextually refines the source in PS_na.  We
+    cannot quantify over all contexts, but we can falsify: for every corpus
+    transformation and every context in the library, a SEQ-accepted
+    transformation must PS_na-refine.  A single SEQ-accepts/PS_na-refutes
+    pair would be a counterexample to the implementation (or the
+    theorem). *)
+
+open Lang
+module M = Promising.Machine
+
+type row = {
+  tr : Catalog.transformation;
+  seq_simple : bool;
+  seq_advanced : bool;
+  contexts : (string * bool * bool) list;
+      (** context name, PS_na refines, exploration complete *)
+}
+
+(** Does the adequacy implication hold on this row? *)
+let row_ok (r : row) =
+  (not r.seq_advanced) || List.for_all (fun (_, refines, _) -> refines) r.contexts
+
+let check_transformation ?(params = Promising.Thread.default_params)
+    ?(contexts = Catalog.contexts) (tr : Catalog.transformation) : row =
+  let src = Parser.stmt_of_string tr.Catalog.src in
+  let tgt = Parser.stmt_of_string tr.Catalog.tgt in
+  let d = Domain.of_stmts ~values:params.Promising.Thread.values [ src; tgt ] in
+  let seq_simple = Seq_model.Refine.check d ~src ~tgt in
+  let seq_advanced =
+    if seq_simple then true (* Prop 3.4 *)
+    else Seq_model.Advanced.check d ~src ~tgt
+  in
+  let contexts =
+    List.map
+      (fun (name, ctx_src) ->
+        let ctx_threads = Parser.threads_of_string ctx_src in
+        (* a ⊥ behavior of the source matches everything, so the source
+           exploration may stop at the first ⊥ and skip the target *)
+        let rs = M.explore ~params ~until_bot:true (src :: ctx_threads) in
+        if M.Behavior_set.mem M.Bot rs.M.behaviors then (name, true, true)
+        else
+          let rt = M.explore ~params (tgt :: ctx_threads) in
+          ( name,
+            M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors,
+            (not rs.M.truncated) && not rt.M.truncated ))
+      contexts
+  in
+  { tr; seq_simple; seq_advanced; contexts }
+
+(** Run the experiment over (a sublist of) the corpus. *)
+let run ?params ?contexts ?(corpus = Catalog.transformations) () : row list =
+  List.map (check_transformation ?params ?contexts) corpus

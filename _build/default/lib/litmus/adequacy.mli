@@ -1,0 +1,28 @@
+(** Empirical validation of the adequacy theorem (Thm 6.2, experiment E5):
+    every SEQ-(weakly-)validated transformation must contextually refine in
+    PS_na for every context in the library; a single
+    SEQ-accepts/PS_na-refutes pair would be a counterexample. *)
+
+type row = {
+  tr : Catalog.transformation;
+  seq_simple : bool;
+  seq_advanced : bool;
+  contexts : (string * bool * bool) list;
+      (** context name, PS_na refines, exploration complete *)
+}
+
+(** Does the adequacy implication hold on this row? *)
+val row_ok : row -> bool
+
+val check_transformation :
+  ?params:Promising.Thread.params ->
+  ?contexts:(string * string) list ->
+  Catalog.transformation ->
+  row
+
+val run :
+  ?params:Promising.Thread.params ->
+  ?contexts:(string * string) list ->
+  ?corpus:Catalog.transformation list ->
+  unit ->
+  row list

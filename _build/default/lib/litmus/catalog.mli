@@ -1,0 +1,34 @@
+(** The paper's examples as a machine-readable corpus.
+
+    Conventions: [X], [W] are non-atomic locations; [Y], [Z] atomic;
+    [a]..[d] registers.  Transformation snippets end with an observer
+    [return] so register results are behaviors. *)
+
+type verdict = Sound | Unsound
+
+val verdict_to_string : verdict -> string
+
+type transformation = {
+  name : string;
+  paper_ref : string;  (** example / section number in the paper *)
+  src : string;
+  tgt : string;
+  simple : verdict;  (** expected under simple refinement (Def 2.4) *)
+  advanced : verdict;  (** expected under advanced refinement (Def 3.3) *)
+}
+
+val transformations : transformation list
+val find_transformation : string -> transformation option
+
+(** Concurrent litmus programs (for E4). *)
+type concurrent = {
+  cname : string;
+  cref : string;
+  threads : string;  (** [|||]-separated program text *)
+}
+
+val concurrent_programs : concurrent list
+
+(** Concurrent contexts for the adequacy experiment (E5), following the
+    corpus location conventions. *)
+val contexts : (string * string) list

@@ -1,0 +1,1 @@
+lib/optimizer/cp.ml: Expr Lang Reg Stmt Value

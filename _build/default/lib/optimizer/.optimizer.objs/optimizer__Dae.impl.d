@@ -1,0 +1,1 @@
+lib/optimizer/dae.ml: Expr Lang Mode Reg Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/driver.ml: Cp Dae Dse Fmt Lang Licm List Llf Slf Stdlib Stmt

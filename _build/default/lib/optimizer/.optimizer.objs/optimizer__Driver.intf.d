@@ -1,0 +1,1 @@
+lib/optimizer/driver.mli: Format Lang Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/dse.ml: Lang Loc Mode Option Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/dse.mli: Lang Loc Stmt

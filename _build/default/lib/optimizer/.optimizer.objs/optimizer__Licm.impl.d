@@ -1,0 +1,1 @@
+lib/optimizer/licm.ml: Lang List Llf Loc Mode Printf Stmt

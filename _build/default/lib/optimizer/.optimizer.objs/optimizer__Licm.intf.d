@@ -1,0 +1,1 @@
+lib/optimizer/licm.mli: Lang Loc Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/llf.ml: Expr Lang Loc Mode Reg Stmt

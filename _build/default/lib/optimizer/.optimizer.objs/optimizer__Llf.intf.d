@@ -1,0 +1,1 @@
+lib/optimizer/llf.mli: Lang Loc Reg Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/slf.ml: Expr Lang Loc Mode Option Stmt Value

@@ -1,0 +1,1 @@
+lib/optimizer/slf.mli: Lang Loc Stmt Value

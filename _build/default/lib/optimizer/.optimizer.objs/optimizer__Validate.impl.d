@@ -1,0 +1,1 @@
+lib/optimizer/validate.ml: Domain Driver Lang Seq_model Stmt

@@ -1,0 +1,1 @@
+lib/optimizer/validate.mli: Domain Driver Lang Loc Stmt Value

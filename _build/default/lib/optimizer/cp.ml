@@ -1,0 +1,118 @@
+(** Constant propagation (pipeline extension beyond the paper's four
+    passes; purely thread-local, so trivially justified in SEQ).
+
+    Forward analysis mapping registers to known constant values;
+    expressions are partially evaluated under that environment.  Folding
+    is conservative about UB: divisions and modulos are never folded (the
+    fault must stay at run time), and [undef] operands fold to [undef]
+    only through total operators — so the rewritten program has exactly
+    the behaviors of the original. *)
+
+open Lang
+
+type astate = Value.t Reg.Map.t  (* absent = unknown *)
+
+let join (s1 : astate) (s2 : astate) : astate =
+  Reg.Map.merge
+    (fun _ v1 v2 ->
+      match v1, v2 with
+      | Some v1, Some v2 when Value.equal v1 v2 -> Some v1
+      | _, _ -> None)
+    s1 s2
+
+let equal (s1 : astate) (s2 : astate) = Reg.Map.equal Value.equal s1 s2
+
+(* Partial evaluation: substitute known registers and fold total
+   operators. *)
+let rec peval (st : astate) (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Const _ -> e
+  | Expr.Reg r ->
+    (match Reg.Map.find_opt r st with
+     | Some v -> Expr.Const v
+     | None -> e)
+  | Expr.Binop (op, a, b) ->
+    let a = peval st a and b = peval st b in
+    (match op, a, b with
+     | (Expr.Div | Expr.Mod), _, _ -> Expr.Binop (op, a, b)  (* keep faults *)
+     | _, Expr.Const va, Expr.Const vb ->
+       (match Expr.apply_binop op va vb with
+        | Expr.Ok v -> Expr.Const v
+        | Expr.Fault -> Expr.Binop (op, a, b))
+     | _, _, _ -> Expr.Binop (op, a, b))
+  | Expr.Unop (op, a) ->
+    let a = peval st a in
+    (match a with
+     | Expr.Const va ->
+       (match Expr.apply_unop op va with
+        | Expr.Ok v -> Expr.Const v
+        | Expr.Fault -> Expr.Unop (op, a))
+     | _ -> Expr.Unop (op, a))
+
+let kill r (st : astate) = Reg.Map.remove r st
+
+type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+
+let count_if stats changed = if changed then stats.rewrites <- stats.rewrites + 1
+
+let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+  let rw e =
+    let e' = peval st e in
+    count_if stats (not (Expr.equal e e'));
+    e'
+  in
+  match s with
+  | Stmt.Assign (r, e) ->
+    let e' = rw e in
+    let st' =
+      match e' with
+      | Expr.Const v -> Reg.Map.add r v st
+      | _ -> kill r st
+    in
+    (Stmt.Assign (r, e'), st')
+  | Stmt.Load (r, m, x) -> (s, kill r st)
+  | Stmt.Store (m, x, e) -> (Stmt.Store (m, x, rw e), st)
+  | Stmt.Cas (r, x, e1, e2) -> (Stmt.Cas (r, x, rw e1, rw e2), kill r st)
+  | Stmt.Fadd (r, x, e) -> (Stmt.Fadd (r, x, rw e), kill r st)
+  | Stmt.Choose r -> (s, kill r st)
+  | Stmt.Freeze (r, e) ->
+    let e' = rw e in
+    (* freeze of a known defined value is the identity *)
+    (match e' with
+     | Expr.Const (Value.Int _ as v) ->
+       stats.rewrites <- stats.rewrites + 1;
+       (Stmt.Assign (r, Expr.Const v), Reg.Map.add r v st)
+     | _ -> (Stmt.Freeze (r, e'), kill r st))
+  | Stmt.Print e -> (Stmt.Print (rw e), st)
+  | Stmt.Return e -> (Stmt.Return (rw e), st)
+  | Stmt.Skip | Stmt.Abort | Stmt.Fence _ -> (s, st)
+  | Stmt.Seq (a, b) ->
+    let a', st = go stats st a in
+    let b', st = go stats st b in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let e' = rw e in
+    let a', sa = go stats st a in
+    let b', sb = go stats st b in
+    (Stmt.If (e', a', b'), join sa sb)
+  | Stmt.While (e, body) ->
+    let rec fix h iters =
+      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let h'' = join h h' in
+      if equal h h'' then (h, iters) else fix h'' (iters + 1)
+    in
+    let head, iters = fix st 1 in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let e' =
+      let e' = peval head e in
+      count_if stats (not (Expr.equal e e'));
+      e'
+    in
+    let body', _ = go stats head body in
+    (Stmt.While (e', body'), head)
+
+(** Run the constant-propagation pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let stats = { rewrites = 0; max_loop_iters = 1 } in
+  let s', _ = go stats Reg.Map.empty s in
+  (s', stats.rewrites, stats.max_loop_iters)

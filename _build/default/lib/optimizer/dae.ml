@@ -1,0 +1,68 @@
+(** Dead register-assignment elimination (pipeline extension; thread-local
+    and behavior-preserving).
+
+    Backward liveness over registers.  An assignment to a dead register is
+    removed only when its expression is {e total} (no division/modulo —
+    run-time faults must be preserved so the pass keeps the exact behavior
+    set); dead {e non-atomic} loads are removed too (unused load
+    elimination, Ex 2.8).  Dead atomic loads, [choose], and [freeze] are
+    kept: their SEQ trace labels are observable. *)
+
+open Lang
+
+let rec total (e : Expr.t) : bool =
+  match e with
+  | Expr.Const _ | Expr.Reg _ -> true
+  | Expr.Binop ((Expr.Div | Expr.Mod), _, _) -> false
+  | Expr.Binop (_, a, b) -> total a && total b
+  | Expr.Unop (_, a) -> total a
+
+type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+
+(* Backward pass: [live] is the live-register set after [s]; returns the
+   rewritten statement and the live set before it. *)
+let rec go (stats : stats) (s : Stmt.t) (live : Reg.Set.t) :
+    Stmt.t * Reg.Set.t =
+  let use e = Reg.Set.union (Expr.regs e) in
+  match s with
+  | Stmt.Assign (r, e) ->
+    if (not (Reg.Set.mem r live)) && total e then begin
+      stats.rewrites <- stats.rewrites + 1;
+      (Stmt.Skip, live)
+    end
+    else (s, use e (Reg.Set.remove r live))
+  | Stmt.Load (r, Mode.Rna, _) when not (Reg.Set.mem r live) ->
+    stats.rewrites <- stats.rewrites + 1;
+    (Stmt.Skip, live)
+  | Stmt.Load (r, _, _) -> (s, Reg.Set.remove r live)
+  | Stmt.Store (_, _, e) -> (s, use e live)
+  | Stmt.Cas (r, _, e1, e2) -> (s, use e1 (use e2 (Reg.Set.remove r live)))
+  | Stmt.Fadd (r, _, e) -> (s, use e (Reg.Set.remove r live))
+  | Stmt.Choose r -> (s, Reg.Set.remove r live)
+  | Stmt.Freeze (r, e) -> (s, use e (Reg.Set.remove r live))
+  | Stmt.Print e | Stmt.Return e -> (s, use e live)
+  | Stmt.Skip | Stmt.Abort | Stmt.Fence _ -> (s, live)
+  | Stmt.Seq (a, b) ->
+    let b', live = go stats b live in
+    let a', live = go stats a live in
+    (Stmt.seq a' b', live)
+  | Stmt.If (e, a, b) ->
+    let a', la = go stats a live in
+    let b', lb = go stats b live in
+    (Stmt.If (e, a', b'), use e (Reg.Set.union la lb))
+  | Stmt.While (e, body) ->
+    let rec fix h iters =
+      let _, before = go { rewrites = 0; max_loop_iters = 0 } body h in
+      let h' = Reg.Set.union h (Reg.Set.union live before) in
+      if Reg.Set.equal h h' then (h, iters) else fix h' (iters + 1)
+    in
+    let head, iters = fix (use e live) 1 in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go stats body head in
+    (Stmt.While (e, body'), use e head)
+
+(** Run the dead-assignment elimination pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let stats = { rewrites = 0; max_loop_iters = 1 } in
+  let s', _ = go stats s Reg.Set.empty in
+  (s', stats.rewrites, stats.max_loop_iters)

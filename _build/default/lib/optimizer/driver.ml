@@ -1,0 +1,111 @@
+(** The optimizer pipeline (§4): SLF, LLF, DSE, LICM, with per-pass
+    statistics, plus whole-pipeline entry points. *)
+
+open Lang
+
+type pass = CP | SLF | LLF | DSE | LICM | DAE
+
+(* The paper's four passes, bracketed by the sequential clean-up passes:
+   constant propagation feeds SLF (its Fig 3 domain forwards constants),
+   dead-assignment elimination sweeps up the copies LLF leaves behind. *)
+let all_passes = [ CP; SLF; LLF; DSE; LICM; DAE ]
+
+let paper_passes = [ SLF; LLF; DSE; LICM ]
+
+let pass_name = function
+  | CP -> "constant propagation"
+  | SLF -> "store-to-load forwarding"
+  | LLF -> "load-to-load forwarding"
+  | DSE -> "dead store elimination"
+  | LICM -> "loop invariant code motion"
+  | DAE -> "dead assignment elimination"
+
+let pass_of_string = function
+  | "cp" -> Some CP
+  | "slf" -> Some SLF
+  | "llf" -> Some LLF
+  | "dse" -> Some DSE
+  | "licm" -> Some LICM
+  | "dae" -> Some DAE
+  | _ -> None
+
+let run_pass (p : pass) (s : Stmt.t) : Stmt.t * int * int =
+  match p with
+  | CP -> Cp.run s
+  | SLF -> Slf.run s
+  | LLF -> Llf.run s
+  | DSE -> Dse.run s
+  | LICM -> Licm.run s
+  | DAE -> Dae.run s
+
+type pass_report = {
+  pass : pass;
+  rewrites : int;  (** instructions rewritten/removed *)
+  loop_iters : int;  (** max analysis fixpoint iterations over any loop *)
+}
+
+type report = {
+  input : Stmt.t;
+  output : Stmt.t;
+  passes : pass_report list;
+  size_before : int;
+  size_after : int;
+}
+
+let run_pipeline passes s =
+  List.fold_left
+    (fun (s, acc) p ->
+      let s', rewrites, loop_iters = run_pass p s in
+      (s', { pass = p; rewrites; loop_iters } :: acc))
+    (s, []) passes
+
+(* Merge per-round reports: sum rewrites, max loop iterations, per pass in
+   pipeline order. *)
+let merge_reports (rounds : pass_report list list) (passes : pass list) :
+    pass_report list =
+  List.map
+    (fun p ->
+      List.fold_left
+        (fun acc round ->
+          List.fold_left
+            (fun acc r ->
+              if r.pass = p then
+                {
+                  acc with
+                  rewrites = acc.rewrites + r.rewrites;
+                  loop_iters = max acc.loop_iters r.loop_iters;
+                }
+              else acc)
+            acc round)
+        { pass = p; rewrites = 0; loop_iters = 1 }
+        rounds)
+    passes
+
+(** Run a pipeline of passes (default: {!all_passes}), iterated until the
+    program stabilises (passes enable one another: constant propagation
+    feeds SLF, forwarding feeds dead-code removal, ...) — so [optimize] is
+    idempotent.  [max_rounds] bounds the iteration; each pass strictly
+    reduces or preserves a well-founded measure, so 8 rounds is far more
+    than any pipeline needs in practice. *)
+let optimize ?(passes = all_passes) ?(max_rounds = 8) (s : Stmt.t) : report =
+  let rec rounds s acc n =
+    let s', round = run_pipeline passes s in
+    let acc = List.rev round :: acc in
+    if n <= 1 || Stdlib.compare s s' = 0 then (s', acc)
+    else rounds s' acc (n - 1)
+  in
+  let output, rev_rounds = rounds s [] max_rounds in
+  {
+    input = s;
+    output;
+    passes = merge_reports (List.rev rev_rounds) passes;
+    size_before = Stmt.size s;
+    size_after = Stmt.size output;
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>size: %d -> %d@ %a@]" r.size_before r.size_after
+    (Fmt.list ~sep:Fmt.cut (fun ppf pr ->
+         Fmt.pf ppf "%-28s rewrites=%d loop-iters<=%d" (pass_name pr.pass)
+           pr.rewrites pr.loop_iters))
+    r.passes

@@ -1,0 +1,40 @@
+(** The optimizer pipeline (§4): SLF, LLF, DSE, LICM, with per-pass
+    statistics. *)
+
+open Lang
+
+type pass = CP | SLF | LLF | DSE | LICM | DAE
+
+(** CP; SLF; LLF; DSE; LICM; DAE — the paper's four passes bracketed by
+    the sequential clean-up extensions. *)
+val all_passes : pass list
+
+(** The paper's §4 pipeline only. *)
+val paper_passes : pass list
+val pass_name : pass -> string
+val pass_of_string : string -> pass option
+
+(** Run one pass: transformed program, number of rewrites, and max loop
+    fixpoint iterations. *)
+val run_pass : pass -> Stmt.t -> Stmt.t * int * int
+
+type pass_report = {
+  pass : pass;
+  rewrites : int;  (** instructions rewritten/removed *)
+  loop_iters : int;  (** max analysis fixpoint iterations over any loop *)
+}
+
+type report = {
+  input : Stmt.t;
+  output : Stmt.t;
+  passes : pass_report list;
+  size_before : int;
+  size_after : int;
+}
+
+(** Run a pipeline of passes (default: {!all_passes}), iterating the
+    whole pipeline until the program stabilises, so the result is
+    idempotent. *)
+val optimize : ?passes:pass list -> ?max_rounds:int -> Stmt.t -> report
+
+val pp_report : Format.formatter -> report -> unit

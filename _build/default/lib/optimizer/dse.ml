@@ -1,0 +1,122 @@
+(** Dead (overwritten) store elimination (App D, Fig 8b).
+
+    Backward analysis assigning each non-atomic location a token:
+    - [Dead_near] (the paper's ◦): an overwriting store lies ahead, with no
+      acquire read and no read of x before it;
+    - [Dead_far] (the paper's •): an overwriting store lies ahead, possibly
+      past an acquire read, but with no release write and no read of x
+      before it;
+    - [Live] (⊤): anything else.
+
+    Walking backward, a store to x makes x ◦; an acquire read demotes ◦ to
+    •; a release write kills • (a full release-acquire pair in program
+    order between the store and its overwrite blocks the elimination, per
+    Example 3.5); a read of x kills everything.  A non-atomic store whose
+    post-token is ◦ or • is removed. *)
+
+open Lang
+
+type token = Dead_near | Dead_far | Live
+
+(* ◦ ⊑ • ⊑ ⊤; join = max *)
+let token_join t1 t2 =
+  match t1, t2 with
+  | Live, _ | _, Live -> Live
+  | Dead_far, _ | _, Dead_far -> Dead_far
+  | Dead_near, Dead_near -> Dead_near
+
+type astate = token Loc.Map.t  (* absent = Live *)
+
+let get (st : astate) x = Loc.Map.find_default ~default:Live x st
+
+let set (st : astate) x t =
+  match t with Live -> Loc.Map.remove x st | _ -> Loc.Map.add x t st
+
+let join (s1 : astate) (s2 : astate) : astate =
+  Loc.Map.merge
+    (fun _ t1 t2 ->
+      match
+        token_join (Option.value ~default:Live t1) (Option.value ~default:Live t2)
+      with
+      | Live -> None
+      | t -> Some t)
+    s1 s2
+
+let equal (s1 : astate) (s2 : astate) =
+  Loc.Map.equal (fun a b -> a = b) s1 s2
+
+let all_live : astate = Loc.Map.empty
+
+(* backward effect of an acquire read: ◦ → • *)
+let on_acquire (st : astate) : astate =
+  Loc.Map.map (fun t -> match t with Dead_near -> Dead_far | t -> t) st
+
+(* backward effect of a release write: • → ⊤ *)
+let on_release (st : astate) : astate =
+  Loc.Map.filter (fun _ t -> t <> Dead_far) st
+
+(* backward transfer: given the token state after the instruction, the
+   state before it *)
+let transfer_back (st : astate) (s : Stmt.t) : astate =
+  match s with
+  | Stmt.Store (Mode.Wna, x, _) -> set st x Dead_near
+  | Stmt.Load (_, _, x) ->
+    let st = set st x Live in
+    (match s with
+     | Stmt.Load (_, Mode.Racq, _) -> on_acquire st
+     | _ -> st)
+  | Stmt.Store (Mode.Wrel, _, _) | Stmt.Fence Mode.Frel -> on_release st
+  | Stmt.Fence Mode.Facq -> on_acquire st
+  | Stmt.Cas (_, x, _, _) | Stmt.Fadd (_, x, _) ->
+    (* RMW: acquire-then-release in program order; backward composition is
+       TB_acq ∘ TB_rel, under which ◦ survives as • — elimination across a
+       single RMW stays possible (only a rel-acq *pair* blocks it) *)
+    on_acquire (on_release (set st x Live))
+  | Stmt.Fence (Mode.Facqrel | Mode.Fsc) ->
+    (* SEQ models acq-rel and SC fences as release-then-acquire, i.e. a
+       full rel-acq pair: backward TB_rel ∘ TB_acq kills ◦ and • *)
+    on_release (on_acquire st)
+  | Stmt.Store (Mode.Wrlx, _, _) | Stmt.Skip | Stmt.Assign _ | Stmt.Choose _
+  | Stmt.Freeze _ | Stmt.Print _ -> st
+  | Stmt.Abort | Stmt.Return _ ->
+    (* execution ends here: nothing ahead overwrites anything *)
+    all_live
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
+
+type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+
+(* Backward analyze-and-rewrite: [st] is the abstract state *after* [s]. *)
+let rec go (stats : stats) (s : Stmt.t) (st : astate) : Stmt.t * astate =
+  match s with
+  | Stmt.Store (Mode.Wna, x, _) ->
+    (match get st x with
+     | Dead_near | Dead_far ->
+       stats.rewrites <- stats.rewrites + 1;
+       (Stmt.Skip, st)
+     | Live -> (s, transfer_back st s))
+  | Stmt.Seq (a, b) ->
+    let b', st = go stats b st in
+    let a', st = go stats a st in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let a', sa = go stats a st in
+    let b', sb = go stats b st in
+    (Stmt.If (e, a', b'), join sa sb)
+  | Stmt.While (e, body) ->
+    let rec fix h iters =
+      let _, h_before = go { rewrites = 0; max_loop_iters = 0 } body h in
+      let h' = join h h_before in
+      if equal h h' then (h, iters) else fix h' (iters + 1)
+    in
+    (* at the loop head the future is: exit (st) or body-then-head *)
+    let head, iters = fix st 1 in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go stats body head in
+    (Stmt.While (e, body'), head)
+  | s -> (s, transfer_back st s)
+
+(** Run the DSE pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let stats = { rewrites = 0; max_loop_iters = 1 } in
+  let s', _ = go stats s all_live in
+  (s', stats.rewrites, stats.max_loop_iters)

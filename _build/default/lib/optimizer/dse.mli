@@ -1,0 +1,27 @@
+(** Dead (overwritten) store elimination (App D, Fig 8b).
+
+    Backward tokens per non-atomic location: [Dead_near] (◦: overwrite
+    ahead, no acquire read and no read of x before it), [Dead_far] (•:
+    possibly past an acquire, but no release and no read of x), [Live]
+    (⊤).  A non-atomic store with post-token ◦/• is removed — sound even
+    across a release write (Example 3.5, needs the advanced refinement
+    notion), but not across a release-acquire pair. *)
+
+open Lang
+
+type token = Dead_near | Dead_far | Live
+
+val token_join : token -> token -> token
+
+type astate = token Loc.Map.t  (** absent = [Live] *)
+
+val get : astate -> Loc.t -> token
+val join : astate -> astate -> astate
+
+(** Backward transfer: the state before an instruction, given the state
+    after it. *)
+val transfer_back : astate -> Stmt.t -> astate
+
+(** Run the pass: transformed program, stores removed, max loop fixpoint
+    iterations. *)
+val run : Stmt.t -> Stmt.t * int * int

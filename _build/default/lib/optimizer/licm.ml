@@ -1,0 +1,79 @@
+(** Loop-invariant code motion (§4, App D).
+
+    Two stages, exactly as the paper describes:
+    1. for each loop whose body loads a non-atomic location x but contains
+       no store to x and no acquire access, introduce an {e irrelevant
+       load} [c := x^na] (c fresh) before the loop — load introduction is
+       unconditionally sound in SEQ, so this stage needs no analysis for
+       correctness, only for profitability;
+    2. run load-to-load forwarding ({!Llf}), which rewrites the loads
+       inside the loop to register copies of c.
+
+    Stage 1 is [insert_hoisting_loads]; [run] composes both stages. *)
+
+open Lang
+
+(* Does the statement contain an acquire-flavoured access (which would
+   invalidate the forwarded value inside the loop)? *)
+let rec has_acquire = function
+  | Stmt.Load (_, Mode.Racq, _) | Stmt.Cas _ | Stmt.Fadd _
+  | Stmt.Fence (Mode.Facq | Mode.Facqrel | Mode.Fsc) -> true
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> has_acquire a || has_acquire b
+  | Stmt.While (_, a) -> has_acquire a
+  | Stmt.Load (_, (Mode.Rna | Mode.Rrlx), _)
+  | Stmt.Skip | Stmt.Assign _ | Stmt.Store _ | Stmt.Fence Mode.Frel
+  | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Print _ | Stmt.Abort | Stmt.Return _
+    -> false
+
+let rec na_loaded acc = function
+  | Stmt.Load (_, Mode.Rna, x) -> Loc.Set.add x acc
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> na_loaded (na_loaded acc a) b
+  | Stmt.While (_, a) -> na_loaded acc a
+  | _ -> acc
+
+let rec na_stored acc = function
+  | Stmt.Store (Mode.Wna, x, _) -> Loc.Set.add x acc
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> na_stored (na_stored acc a) b
+  | Stmt.While (_, a) -> na_stored acc a
+  | _ -> acc
+
+(** Loop-invariant non-atomic locations of a loop body. *)
+let candidates (body : Stmt.t) : Loc.t list =
+  if has_acquire body then []
+  else
+    Loc.Set.elements
+      (Loc.Set.diff (na_loaded Loc.Set.empty body) (na_stored Loc.Set.empty body))
+
+(** Stage 1: insert [c := x^na] before every loop with invariant loads. *)
+let insert_hoisting_loads (prog : Stmt.t) : Stmt.t * int =
+  let counter = ref 0 in
+  let fresh () =
+    let r = Stmt.fresh_reg prog (Printf.sprintf "licm%d" !counter) in
+    incr counter;
+    r
+  in
+  let inserted = ref 0 in
+  let rec rewrite s =
+    match s with
+    | Stmt.Seq (a, b) -> Stmt.seq (rewrite a) (rewrite b)
+    | Stmt.If (e, a, b) -> Stmt.If (e, rewrite a, rewrite b)
+    | Stmt.While (e, body) ->
+      let body = rewrite body in
+      let pre =
+        List.map
+          (fun x ->
+            incr inserted;
+            Stmt.Load (fresh (), Mode.Rna, x))
+          (candidates body)
+      in
+      Stmt.seq_list (pre @ [ Stmt.While (e, body) ])
+    | s -> s
+  in
+  (rewrite prog, !inserted)
+
+(** Run the LICM pass (stage 1 + LLF).  Returns the transformed program,
+    the number of loads rewritten by the forwarding stage, and the maximal
+    loop fixpoint iteration count. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let s, _inserted = insert_hoisting_loads s in
+  Llf.run s

@@ -1,0 +1,16 @@
+(** Loop-invariant code motion (§4, App D): insert an irrelevant load
+    [c := x^na] before every loop whose body loads x but neither stores to
+    x nor acquires (stage 1 — load introduction is unconditionally sound
+    in SEQ), then run load-to-load forwarding (stage 2). *)
+
+open Lang
+
+(** Loop-invariant non-atomic locations of a loop body. *)
+val candidates : Stmt.t -> Loc.t list
+
+(** Stage 1 only; returns the program and the number of loads inserted. *)
+val insert_hoisting_loads : Stmt.t -> Stmt.t * int
+
+(** Both stages: transformed program, loads rewritten by forwarding, max
+    loop fixpoint iterations. *)
+val run : Stmt.t -> Stmt.t * int * int

@@ -1,0 +1,100 @@
+(** Load-to-load forwarding (App D, Fig 8a).
+
+    Forward analysis assigning each non-atomic location the set of
+    registers known to hold its current memory value (more precisely, per
+    the paper's invariant: x ∈ P ∧ r ∈ R(x) ⟹ rs(r) ⊑ M(x)).
+    Registers are added by loads, invalidated by stores to the location,
+    by acquire accesses (which may import fresh memory), and — a detail
+    Fig 8a elides — whenever the register itself is reassigned.
+
+    Extension beyond Fig 8a: a store [x :=na b] of a register records
+    [R(x) = {b}], giving register-level store-to-load forwarding for free
+    (the invariant holds by the store itself). *)
+
+open Lang
+
+type astate = Reg.Set.t Loc.Map.t  (* absent = ∅ *)
+
+let get (st : astate) x = Loc.Map.find_default ~default:Reg.Set.empty x st
+
+let set (st : astate) x rs =
+  if Reg.Set.is_empty rs then Loc.Map.remove x st else Loc.Map.add x rs st
+
+(* join = pointwise intersection (D1 ⊑ D2 ⇔ ∀x. D1(x) ⊇ D2(x)) *)
+let join (s1 : astate) (s2 : astate) : astate =
+  Loc.Map.merge
+    (fun _ r1 r2 ->
+      match r1, r2 with
+      | Some r1, Some r2 ->
+        let i = Reg.Set.inter r1 r2 in
+        if Reg.Set.is_empty i then None else Some i
+      | _, _ -> None)
+    s1 s2
+
+let leq (s1 : astate) (s2 : astate) =
+  Loc.Map.for_all (fun x r2 -> Reg.Set.subset r2 (get s1 x)) s2
+
+let bottom_like : astate = Loc.Map.empty  (* all sets empty: the initial state *)
+
+let kill_reg (st : astate) r : astate =
+  Loc.Map.filter_map
+    (fun _ rs ->
+      let rs = Reg.Set.remove r rs in
+      if Reg.Set.is_empty rs then None else Some rs)
+    st
+
+let clear : astate -> astate = fun _ -> Loc.Map.empty
+
+let transfer (st : astate) (s : Stmt.t) : astate =
+  match s with
+  | Stmt.Load (a, Mode.Rna, x) -> set (kill_reg st a) x (Reg.Set.add a (get (kill_reg st a) x))
+  | Stmt.Load (a, Mode.Rrlx, _) -> kill_reg st a
+  | Stmt.Load (a, Mode.Racq, _) -> clear (kill_reg st a)
+  | Stmt.Store (Mode.Wna, x, Expr.Reg b) -> set st x (Reg.Set.singleton b)
+  | Stmt.Store (Mode.Wna, x, _) -> set st x Reg.Set.empty
+  | Stmt.Store ((Mode.Wrlx | Mode.Wrel), _, _) -> st
+  | Stmt.Assign (a, _) | Stmt.Choose a | Stmt.Freeze (a, _) -> kill_reg st a
+  | Stmt.Cas (a, _, _, _) | Stmt.Fadd (a, _, _) -> clear (kill_reg st a)
+  | Stmt.Fence (Mode.Facq | Mode.Facqrel | Mode.Fsc) -> clear st
+  | Stmt.Fence Mode.Frel | Stmt.Skip | Stmt.Print _ | Stmt.Abort
+  | Stmt.Return _ -> st
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
+
+type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+
+let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+  match s with
+  | Stmt.Load (a, Mode.Rna, x) ->
+    let holders = get st x in
+    (match Reg.Set.min_elt_opt (Reg.Set.remove a holders) with
+     | Some b ->
+       stats.rewrites <- stats.rewrites + 1;
+       (* a := b; afterwards a also holds x's value *)
+       let st = set (kill_reg st a) x (Reg.Set.add a (get (kill_reg st a) x)) in
+       (Stmt.Assign (a, Expr.Reg b), st)
+     | None -> (s, transfer st s))
+  | Stmt.Seq (a, b) ->
+    let a', st = go stats st a in
+    let b', st = go stats st b in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let a', sa = go stats st a in
+    let b', sb = go stats st b in
+    (Stmt.If (e, a', b'), join sa sb)
+  | Stmt.While (e, body) ->
+    let rec fix h iters =
+      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let h'' = join h h' in
+      if leq h'' h && leq h h'' then (h, iters) else fix h'' (iters + 1)
+    in
+    let head, iters = fix st 1 in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go stats head body in
+    (Stmt.While (e, body'), head)
+  | s -> (s, transfer st s)
+
+(** Run the LLF pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let stats = { rewrites = 0; max_loop_iters = 1 } in
+  let s', _ = go stats bottom_like s in
+  (s', stats.rewrites, stats.max_loop_iters)

@@ -1,0 +1,20 @@
+(** Load-to-load forwarding (App D, Fig 8a).
+
+    Per non-atomic location, the set of registers known to hold its
+    current value (invariant: x ∈ P ∧ r ∈ R(x) ⟹ rs(r) ⊑ M(x)); killed
+    by stores to the location, acquire accesses, and register
+    reassignment.  Extension over Fig 8a: [x :=na b] records [R(x) = {b}],
+    giving register-level store-to-load forwarding. *)
+
+open Lang
+
+type astate = Reg.Set.t Loc.Map.t  (** absent = ∅ *)
+
+val get : astate -> Loc.t -> Reg.Set.t
+val join : astate -> astate -> astate  (** pointwise intersection *)
+val leq : astate -> astate -> bool
+val transfer : astate -> Stmt.t -> astate
+
+(** Run the pass: transformed program, loads rewritten, max loop fixpoint
+    iterations. *)
+val run : Stmt.t -> Stmt.t * int * int

@@ -1,0 +1,125 @@
+(** Store-to-load forwarding (§4, Fig 3).
+
+    Forward analysis with, per non-atomic location, the abstract tokens
+    - [Fresh v] (the paper's ◦(v)): v was written by the most recent store
+      to x and no release has been executed since — so x ∈ P and
+      v ⊑ M(x);
+    - [Rel v] (the paper's •(v)): as above but a release (and no completing
+      acquire) intervened — so x ∈ P ⟹ v ⊑ M(x);
+    - [Top]: anything else.
+
+    A non-atomic load of x is rewritten to a register assignment when the
+    token is ◦(v) or •(v): the thread will read v (or undef ⊒ v if it lost
+    the permission), exactly Fig 4's reasoning. *)
+
+open Lang
+
+type token = Fresh of Value.t | Rel of Value.t | Top
+
+let token_join t1 t2 =
+  match t1, t2 with
+  | Top, _ | _, Top -> Top
+  | Fresh v, Fresh w -> if Value.equal v w then Fresh v else Top
+  | (Fresh v | Rel v), (Fresh w | Rel w) ->
+    if Value.equal v w then Rel v else Top
+
+let token_leq t1 t2 =
+  match t1, t2 with
+  | _, Top -> true
+  | Fresh v, Fresh w -> Value.equal v w
+  | Fresh v, Rel w | Rel v, Rel w -> Value.equal v w
+  | _, _ -> false
+
+(* Abstract state: tokens per location; absent = Top. *)
+type astate = token Loc.Map.t
+
+let get (st : astate) x = Loc.Map.find_default ~default:Top x st
+
+let set (st : astate) x t =
+  match t with Top -> Loc.Map.remove x st | _ -> Loc.Map.add x t st
+
+let join (s1 : astate) (s2 : astate) : astate =
+  Loc.Map.merge
+    (fun _ t1 t2 ->
+      match token_join (Option.value ~default:Top t1) (Option.value ~default:Top t2) with
+      | Top -> None
+      | t -> Some t)
+    s1 s2
+
+let leq (s1 : astate) (s2 : astate) =
+  Loc.Map.for_all (fun x t2 -> token_leq (get s1 x) t2) s2
+
+let top : astate = Loc.Map.empty
+
+(* Effect of an acquire: •(v) → ⊤. *)
+let on_acquire (st : astate) : astate =
+  Loc.Map.filter_map
+    (fun _ t -> match t with Rel _ -> None | t -> Some t)
+    st
+
+(* Effect of a release: ◦(v) → •(v). *)
+let on_release (st : astate) : astate =
+  Loc.Map.map (fun t -> match t with Fresh v -> Rel v | t -> t) st
+
+(* Transfer for non-control instructions. *)
+let transfer (st : astate) (s : Stmt.t) : astate =
+  match s with
+  | Stmt.Store (Mode.Wna, x, Expr.Const v) -> set st x (Fresh v)
+  | Stmt.Store (Mode.Wna, x, _) -> set st x Top
+  | Stmt.Store (Mode.Wrel, _, _) | Stmt.Fence Mode.Frel -> on_release st
+  | Stmt.Load (_, Mode.Racq, _) | Stmt.Fence Mode.Facq -> on_acquire st
+  | Stmt.Cas _ | Stmt.Fadd _ ->
+    (* RMW: acquire-then-release in program order, so ◦(v) survives as
+       •(v) — forwarding across a single RMW is sound (cf. Ex 2.11/2.12:
+       only a release-acquire *pair* blocks it) *)
+    on_release (on_acquire st)
+  | Stmt.Fence (Mode.Facqrel | Mode.Fsc) ->
+    (* SEQ models acq-rel and SC fences as release-then-acquire: kills
+       both token levels *)
+    on_acquire (on_release st)
+  | Stmt.Store (Mode.Wrlx, _, _)
+  | Stmt.Load (_, (Mode.Rna | Mode.Rrlx), _)
+  | Stmt.Skip | Stmt.Assign _ | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Print _
+  | Stmt.Abort | Stmt.Return _ -> st
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false  (* handled below *)
+
+type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+
+(* Analyze-and-rewrite in one forward traversal; loops run the analysis to
+   a fixpoint first (the token lattice has height 3, so ≤ 3 joins — the
+   paper's termination claim, which E3 measures). *)
+let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+  match s with
+  | Stmt.Load (r, Mode.Rna, x) ->
+    (match get st x with
+     | Fresh v | Rel v ->
+       stats.rewrites <- stats.rewrites + 1;
+       (Stmt.Assign (r, Expr.Const v), st)
+     | Top -> (s, st))
+  | Stmt.Seq (a, b) ->
+    let a', st = go stats st a in
+    let b', st = go stats st b in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let a', sa = go stats st a in
+    let b', sb = go stats st b in
+    (Stmt.If (e, a', b'), join sa sb)
+  | Stmt.While (e, body) ->
+    let rec fix h iters =
+      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let h'' = join h h' in
+      if leq h h'' && leq h'' h then (h, iters)
+      else fix h'' (iters + 1)
+    in
+    let head, iters = fix st 1 in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go stats head body in
+    (Stmt.While (e, body'), head)
+  | s -> (s, transfer st s)
+
+(** Run the SLF pass.  Returns the transformed program, the number of loads
+    rewritten, and the maximum number of loop fixpoint iterations. *)
+let run (s : Stmt.t) : Stmt.t * int * int =
+  let stats = { rewrites = 0; max_loop_iters = 1 } in
+  let s', _ = go stats top s in
+  (s', stats.rewrites, stats.max_loop_iters)

@@ -1,0 +1,29 @@
+(** Store-to-load forwarding (§4, Fig 3).
+
+    Tokens per non-atomic location: [Fresh v] (◦(v): most recent store
+    wrote v, no release since — so x ∈ P and v ⊑ M(x)), [Rel v] (•(v):
+    a release, but no completing acquire, intervened — so
+    x ∈ P ⟹ v ⊑ M(x)), [Top].  A non-atomic load is rewritten to a
+    register assignment under ◦(v)/•(v).  The token lattice has height 3,
+    so loop fixpoints stabilise within 3 iterations (measured by E3). *)
+
+open Lang
+
+type token = Fresh of Value.t | Rel of Value.t | Top
+
+val token_join : token -> token -> token
+val token_leq : token -> token -> bool
+
+type astate = token Loc.Map.t  (** absent = [Top] *)
+
+val get : astate -> Loc.t -> token
+val join : astate -> astate -> astate
+val leq : astate -> astate -> bool
+val top : astate
+
+(** Transfer for non-control instructions. *)
+val transfer : astate -> Stmt.t -> astate
+
+(** Run the pass: transformed program, loads rewritten, max loop fixpoint
+    iterations. *)
+val run : Stmt.t -> Stmt.t * int * int

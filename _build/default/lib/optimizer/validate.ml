@@ -1,0 +1,35 @@
+(** Translation validation: per-run certification of optimizer output.
+
+    Where the paper certifies the optimizer once and for all in Coq by
+    establishing a simulation in SEQ, we certify each {e run}: the output
+    must (advanced-)behaviorally refine the input in SEQ over the finite
+    domain (Def 3.3, decided by the Fig 6 simulation).  By the adequacy
+    theorem (Thm 6.2) this entails contextual refinement in PS_na — and E5
+    cross-checks that implication empirically. *)
+
+open Lang
+
+type verdict = {
+  valid : bool;
+  simple : bool;  (** the stronger §2 notion also holds *)
+  domain : Domain.t;
+}
+
+exception Mixed_access = Seq_model.Config.Mixed_access
+
+(** Validate a transformation in SEQ: [tgt] must weakly behaviorally
+    refine [src]. *)
+let validate ?(values = Domain.default_values) ~(src : Stmt.t) ~(tgt : Stmt.t)
+    () : verdict =
+  let d = Domain.of_stmts ~values [ src; tgt ] in
+  let valid = Seq_model.Advanced.check d ~src ~tgt in
+  let simple = valid && Seq_model.Refine.check d ~src ~tgt in
+  { valid; simple; domain = d }
+
+(** Optimize and validate; raises [Invalid_argument] if the optimizer
+    produced an output that SEQ refuses — which would be an optimizer
+    bug. *)
+let certified_optimize ?passes ?values (s : Stmt.t) : Driver.report * verdict =
+  let report = Driver.optimize ?passes s in
+  let v = validate ?values ~src:report.Driver.input ~tgt:report.Driver.output () in
+  (report, v)

@@ -1,0 +1,28 @@
+(** Translation validation: per-run certification of optimizer output.
+
+    Where the paper certifies the optimizer once and for all in Coq (via a
+    simulation in SEQ), this reproduction certifies each run: the output
+    must weakly behaviorally refine the input in SEQ over the finite
+    domain (Def 3.3); by adequacy (Thm 6.2) this entails contextual
+    refinement in PS_na. *)
+
+open Lang
+
+type verdict = {
+  valid : bool;  (** advanced refinement (Def 3.3) holds *)
+  simple : bool;  (** the stronger §2 notion (Def 2.4) also holds *)
+  domain : Domain.t;  (** the finite domain the check ranged over *)
+}
+
+exception Mixed_access of Loc.t
+
+(** Validate a transformation in SEQ. *)
+val validate :
+  ?values:Value.t list -> src:Stmt.t -> tgt:Stmt.t -> unit -> verdict
+
+(** Optimize and validate the result. *)
+val certified_optimize :
+  ?passes:Driver.pass list ->
+  ?values:Value.t list ->
+  Stmt.t ->
+  Driver.report * verdict

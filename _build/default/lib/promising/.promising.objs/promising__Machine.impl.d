@@ -1,0 +1,1 @@
+lib/promising/machine.ml: Buffer Fmt Hashtbl Lang List Loc Map Memory Message Mode Option Printf Prog Queue Set Stmt Thread Time Tview Value View

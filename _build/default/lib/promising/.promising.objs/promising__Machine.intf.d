@@ -1,0 +1,1 @@
+lib/promising/machine.mli: Format Hashtbl Lang Memory Set Stmt Thread Value

@@ -1,0 +1,1 @@
+lib/promising/memory.ml: Fmt Lang List Loc Message Time Value View

@@ -1,0 +1,1 @@
+lib/promising/memory.mli: Format Lang Loc Message Time View

@@ -1,0 +1,1 @@
+lib/promising/message.ml: Bool Fmt Lang Loc Time Value View

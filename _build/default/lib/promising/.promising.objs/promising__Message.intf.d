@@ -1,0 +1,1 @@
+lib/promising/message.mli: Format Lang Loc Time Value View

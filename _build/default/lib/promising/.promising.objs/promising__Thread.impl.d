@@ -1,0 +1,1 @@
+lib/promising/thread.ml: Fmt Int Lang List Loc Memory Message Mode Option Prog Stmt Time Tview Value View

@@ -1,0 +1,1 @@
+lib/promising/thread.mli: Format Lang Loc Memory Message Prog Stmt Tview Value View

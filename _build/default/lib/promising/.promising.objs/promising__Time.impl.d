@@ -1,0 +1,1 @@
+lib/promising/time.ml: Fmt Stdlib

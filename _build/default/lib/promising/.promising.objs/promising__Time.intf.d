@@ -1,0 +1,1 @@
+lib/promising/time.mli: Format

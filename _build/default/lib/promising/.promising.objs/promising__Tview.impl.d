@@ -1,0 +1,1 @@
+lib/promising/tview.ml: Fmt View

@@ -1,0 +1,1 @@
+lib/promising/view.ml: Lang Loc Time

@@ -1,0 +1,1 @@
+lib/promising/view.mli: Format Lang Loc Time

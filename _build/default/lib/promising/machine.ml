@@ -1,0 +1,366 @@
+(** PS_na machine states, certification, exhaustive bounded exploration,
+    and behavioral refinement (Def 5.2/5.3).
+
+    Machine steps follow Fig 5: a thread takes a step (here: one step at a
+    time, with promise/lower steps enumerated separately and bounded) and
+    must then {e certify} — running alone, it must be able to fulfill all
+    its outstanding promises (reaching ⊥ also empties the promise set, per
+    the (fail)/(racy-write) rules).
+
+    Explored states are deduplicated up to order-isomorphism of the
+    per-location timestamp orders (timestamp values never matter beyond
+    their relative order and attachment structure), which keeps litmus
+    explorations finite. *)
+
+open Lang
+
+type state = { threads : Thread.t list; memory : Memory.t }
+
+(** A PS_na behavior: per-thread return value and output (system-call)
+    sequence, or ⊥ for a UB run (Def 5.2 + footnote 10). *)
+type behavior =
+  | Ret of (Value.t * Value.t list) list
+  | Bot
+
+let compare_behavior b1 b2 =
+  match b1, b2 with
+  | Bot, Bot -> 0
+  | Bot, Ret _ -> -1
+  | Ret _, Bot -> 1
+  | Ret l1, Ret l2 ->
+    List.compare
+      (fun (v1, o1) (v2, o2) ->
+        let c = Value.compare v1 v2 in
+        if c <> 0 then c else List.compare Value.compare o1 o2)
+      l1 l2
+
+module Behavior_set = Set.Make (struct
+  type t = behavior
+  let compare = compare_behavior
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Interner for program states: canonical keys would otherwise
+   pretty-print the entire remaining program of every thread for every
+   explored state, which dominates exploration time. *)
+module Prog_map = Map.Make (struct
+  type t = Prog.state
+  let compare = Prog.compare_state
+end)
+
+type interner = { mutable next : int; mutable ids : int Prog_map.t }
+
+let make_interner () = { next = 0; ids = Prog_map.empty }
+
+let intern (i : interner) (p : Prog.state) : int =
+  match Prog_map.find_opt p i.ids with
+  | Some id -> id
+  | None ->
+    let id = i.next in
+    i.next <- id + 1;
+    i.ids <- Prog_map.add p id i.ids;
+    id
+
+(* Rank of a timestamp within its location's message list (0 = the init
+   message).  Views always point at message timestamps. *)
+let canon_key ?interner (s : state) : string =
+  let buf = Buffer.create 256 in
+  let ranks : (Loc.t * (Time.t * int) list) list =
+    Loc.Map.fold
+      (fun x ms acc ->
+        (x, List.mapi (fun i m -> (m.Message.ts, i)) ms) :: acc)
+      s.memory.Memory.msgs []
+  in
+  let rank x ts =
+    match List.assoc_opt x ranks with
+    | None -> -1
+    | Some l ->
+      (match List.find_opt (fun (t, _) -> Time.equal t ts) l with
+       | Some (_, i) -> i
+       | None -> -2)
+  in
+  let add_view v =
+    Loc.Map.iter
+      (fun x t ->
+        if not (Time.equal t Time.zero) then
+          Buffer.add_string buf (Printf.sprintf "%s@%d;" x (rank x t)))
+      v
+  in
+  let add_msg m =
+    Buffer.add_string buf
+      (Printf.sprintf "%s@%d%s:" m.Message.loc
+         (rank m.Message.loc m.Message.ts)
+         (if m.Message.attached then "!" else ""));
+    (match m.Message.payload with
+     | Message.Reserved -> Buffer.add_string buf "res"
+     | Message.Concrete { value; view } ->
+       Buffer.add_string buf (Value.to_string value);
+       Buffer.add_char buf '[';
+       add_view view;
+       Buffer.add_char buf ']');
+    Buffer.add_char buf ' '
+  in
+  Loc.Map.iter
+    (fun x ms ->
+      Buffer.add_string buf x;
+      Buffer.add_string buf "::";
+      List.iter add_msg ms;
+      Buffer.add_char buf '\n')
+    s.memory.Memory.msgs;
+  Buffer.add_string buf "S:";
+  add_view s.memory.Memory.scv;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (th : Thread.t) ->
+      Buffer.add_string buf "T:";
+      (match interner with
+       | Some i -> Buffer.add_string buf (string_of_int (intern i th.Thread.prog))
+       | None -> Buffer.add_string buf (Fmt.str "%a" Prog.pp_state th.Thread.prog));
+      Buffer.add_char buf '|';
+      add_view th.Thread.views.Tview.cur;
+      Buffer.add_char buf ';';
+      add_view th.Thread.views.Tview.acq;
+      Buffer.add_char buf ';';
+      add_view th.Thread.views.Tview.rel;
+      Buffer.add_char buf '|';
+      List.iter add_msg th.Thread.promises;
+      Buffer.add_char buf '|';
+      List.iter
+        (fun v -> Buffer.add_string buf (Value.to_string v ^ ","))
+        th.Thread.outs;
+      Buffer.add_string buf (Printf.sprintf "|%d\n" th.Thread.promised))
+    s.threads;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Certification                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Thread-alone search for a promise-free point (new promises excluded;
+   failure steps empty the promise set and therefore certify).  [memo]
+   caches verdicts across the exploration, keyed by the canonical
+   single-thread state (sound: certification only depends on it). *)
+let certify ?memo ?interner (p : Thread.params) (mem : Memory.t)
+    (th : Thread.t) : bool =
+  let key mem th = canon_key ?interner { threads = [ th ]; memory = mem } in
+  let top_key = key mem th in
+  match Option.bind memo (fun m -> Hashtbl.find_opt m top_key) with
+  | Some b -> b
+  | None ->
+    let visited = Hashtbl.create 64 in
+    let rec go fuel mem th =
+      if th.Thread.promises = [] then true
+      else if fuel = 0 then false
+      else
+        let k = key mem th in
+        if Hashtbl.mem visited k then false
+        else begin
+          Hashtbl.add visited k ();
+          let outcomes = Thread.steps p mem th @ Thread.lower_steps mem th in
+          List.exists
+            (function
+              | Thread.Failure -> Thread.may_fail th
+              | Thread.Step (th', mem', _) -> go (fuel - 1) mem' th')
+            outcomes
+        end
+    in
+    let result = go p.Thread.cert_fuel mem th in
+    Option.iter (fun m -> Hashtbl.replace m top_key result) memo;
+    result
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  behaviors : Behavior_set.t;
+  truncated : bool;  (** state budget exhausted: the set may be partial *)
+  states : int;  (** distinct canonical states explored *)
+  races : bool;  (** some explored state had an enabled racy access *)
+  weak_races : bool;
+      (** some state had a conflicting unseen message at an access of mode
+          rlx or weaker — the premise of the DRF-PF guarantee counts races
+          involving any non-acquire/release access *)
+}
+
+let terminal_behavior (s : state) : behavior option =
+  let rec go acc = function
+    | [] -> Some (Ret (List.rev acc))
+    | (th : Thread.t) :: rest ->
+      (match Prog.step th.Thread.prog with
+       | Prog.Terminated v when th.Thread.promises = [] ->
+         go ((v, List.rev th.Thread.outs) :: acc) rest
+       | _ -> None)
+  in
+  go [] s.threads
+
+let state_has_race (s : state) : bool =
+  List.exists
+    (fun (th : Thread.t) ->
+      match Prog.step th.Thread.prog with
+      | Prog.Do_read (o, x, _) ->
+        Thread.is_racy s.memory th x ~atomic:(Mode.read_is_atomic o)
+      | Prog.Do_write (o, x, _, _) ->
+        Thread.is_racy s.memory th x ~atomic:(Mode.write_is_atomic o)
+      | Prog.Do_update (x, _) -> Thread.is_racy s.memory th x ~atomic:true
+      | _ -> false)
+    s.threads
+
+(* An unseen message of another thread at an access of mode rlx or weaker
+   (reads: na/rlx; writes: na/rlx). *)
+let state_has_weak_race (s : state) : bool =
+  let unseen (th : Thread.t) x =
+    List.exists
+      (fun m ->
+        (not (Thread.has_promise th m))
+        && Time.lt (View.find x (Thread.cur th)) m.Message.ts)
+      (Memory.messages_at s.memory x)
+  in
+  List.exists
+    (fun (th : Thread.t) ->
+      match Prog.step th.Thread.prog with
+      | Prog.Do_read ((Mode.Rna | Mode.Rrlx), x, _) -> unseen th x
+      | Prog.Do_write ((Mode.Wna | Mode.Wrlx), x, _, _) -> unseen th x
+      | _ -> false)
+    s.threads
+
+(** Exhaustive bounded exploration of all PS_na behaviors of a concurrent
+    program.  [until_bot] stops as soon as a ⊥ behavior is recorded — sound
+    when the caller only needs the behaviors of a refinement {e source}
+    (⊥ subsumes everything). *)
+let rec stmt_has_fence = function
+  | Stmt.Fence _ -> true
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> stmt_has_fence a || stmt_has_fence b
+  | Stmt.While (_, a) -> stmt_has_fence a
+  | Stmt.Skip | Stmt.Assign _ | Stmt.Load _ | Stmt.Store _ | Stmt.Cas _
+  | Stmt.Fadd _ | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Print _ | Stmt.Abort
+  | Stmt.Return _ -> false
+
+let explore ?(params = Thread.default_params) ?(until_bot = false)
+    (progs : Stmt.t list) : result =
+  let params =
+    if List.exists stmt_has_fence progs then params
+    else { params with Thread.track_fence_views = false }
+  in
+  let locs =
+    let fps = List.map Stmt.footprint progs in
+    let all =
+      List.fold_left
+        (fun acc (fp : Stmt.footprint) ->
+          Loc.Set.union acc (Loc.Set.union fp.Stmt.na fp.Stmt.at))
+        Loc.Set.empty fps
+    in
+    Loc.Set.elements all
+  in
+  let init_state =
+    {
+      threads = List.map (fun s -> Thread.init (Prog.init s)) progs;
+      memory = Memory.init locs;
+    }
+  in
+  (* promises only make sense at locations the promising thread writes *)
+  let writable =
+    List.map
+      (fun s -> Loc.Set.elements (Thread.writable_locs Loc.Set.empty s))
+      progs
+  in
+  let cert_memo = Hashtbl.create 1024 in
+  let interner = make_interner () in
+  let visited = Hashtbl.create 4096 in
+  let behaviors = ref Behavior_set.empty in
+  let races = ref false in
+  let weak_races = ref false in
+  let truncated = ref false in
+  let queue = Queue.create () in
+  let push s =
+    let k = canon_key ~interner s in
+    if not (Hashtbl.mem visited k) then
+      if Hashtbl.length visited >= params.Thread.max_states then
+        truncated := true
+      else begin
+        Hashtbl.add visited k ();
+        Queue.push s queue
+      end
+  in
+  push init_state;
+  let stop = ref false in
+  while (not !stop) && not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    if state_has_race s then races := true;
+    if state_has_weak_race s then weak_races := true;
+    (match terminal_behavior s with
+     | Some b -> behaviors := Behavior_set.add b !behaviors
+     | None -> ());
+    List.iteri
+      (fun tid (th : Thread.t) ->
+        let outcomes =
+          Thread.steps params s.memory th
+          @ Thread.promise_steps params (List.nth writable tid) s.memory th
+          @ Thread.lower_steps s.memory th
+        in
+        List.iter
+          (function
+            | Thread.Failure ->
+              behaviors := Behavior_set.add Bot !behaviors;
+              if until_bot then stop := true
+            | Thread.Step (th', mem', _) ->
+              if certify ~memo:cert_memo ~interner params mem' th' then
+                push
+                  {
+                    threads =
+                      List.mapi (fun i t -> if i = tid then th' else t) s.threads;
+                    memory = mem';
+                  })
+          outcomes)
+      s.threads
+  done;
+  {
+    behaviors = !behaviors;
+    truncated = !truncated;
+    states = Hashtbl.length visited;
+    races = !races;
+    weak_races = !weak_races;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Behavioral refinement (Def 5.2 / 5.3)                                *)
+(* ------------------------------------------------------------------ *)
+
+let behavior_le (bt : behavior) (bs : behavior) : bool =
+  match bt, bs with
+  | _, Bot -> true
+  | Bot, Ret _ -> false
+  | Ret lt, Ret ls ->
+    List.length lt = List.length ls
+    && List.for_all2
+         (fun (vt, ot) (vs, os) ->
+           Value.le vt vs
+           && List.length ot = List.length os
+           && List.for_all2 Value.le ot os)
+         lt ls
+
+(** [refines ~src ~tgt]: every target behavior is ⊑-matched by a source
+    behavior (a source ⊥ matches everything). *)
+let refines ~(src : Behavior_set.t) ~(tgt : Behavior_set.t) : bool =
+  Behavior_set.mem Bot src
+  || Behavior_set.for_all
+       (fun bt -> Behavior_set.exists (fun bs -> behavior_le bt bs) src)
+       tgt
+
+let pp_behavior ppf = function
+  | Bot -> Fmt.string ppf "⊥"
+  | Ret l ->
+    let pp_one ppf (v, outs) =
+      match outs with
+      | [] -> Value.pp ppf v
+      | _ -> Fmt.pf ppf "%a(out:%a)" Value.pp v Fmt.(list ~sep:comma Value.pp) outs
+    in
+    Fmt.pf ppf "⟨%a⟩" Fmt.(list ~sep:(any " ∥ ") pp_one) l
+
+let pp_behaviors ppf set =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any "; ") pp_behavior)
+    (Behavior_set.elements set)

@@ -1,0 +1,64 @@
+(** PS_na machine states, certification, exhaustive bounded exploration,
+    and behavioral refinement (§5, Def 5.2/5.3).
+
+    Exploration deduplicates states up to order-isomorphism of the
+    per-location timestamp orders; promise steps, non-atomic write batches,
+    and certification depth are bounded by {!Thread.params} (see
+    DESIGN.md). *)
+
+open Lang
+
+type state = { threads : Thread.t list; memory : Memory.t }
+
+(** A behavior: per-thread return value and output sequence, or ⊥ for a UB
+    run (Def 5.2 + footnote 10). *)
+type behavior =
+  | Ret of (Value.t * Value.t list) list
+  | Bot
+
+val compare_behavior : behavior -> behavior -> int
+
+module Behavior_set : Set.S with type elt = behavior
+
+(** Interner assigning small ids to program states, so canonical keys need
+    not pretty-print whole programs. *)
+type interner
+
+val make_interner : unit -> interner
+
+(** Canonical key of a machine state: per-location timestamps replaced by
+    their rank, preserving order, adjacency, views and payloads. *)
+val canon_key : ?interner:interner -> state -> string
+
+(** [certify p mem th]: can the thread, running alone without new promise
+    steps, reach an empty promise set (⊥ counts: failure steps empty the
+    promise set)?  [memo] caches verdicts across an exploration. *)
+val certify :
+  ?memo:(string, bool) Hashtbl.t -> ?interner:interner ->
+  Thread.params -> Memory.t -> Thread.t -> bool
+
+type result = {
+  behaviors : Behavior_set.t;
+  truncated : bool;  (** state budget exhausted: the set may be partial *)
+  states : int;  (** distinct canonical states explored *)
+  races : bool;  (** some state had an enabled racy access (race-helper) *)
+  weak_races : bool;
+      (** some state had a conflicting unseen message at an access of mode
+          rlx or weaker — the DRF-PF premise *)
+}
+
+(** Exhaustive bounded exploration of all PS_na behaviors of a concurrent
+    program (one statement per thread).  [until_bot] stops as soon as ⊥ is
+    recorded — sound when only the behaviors of a refinement {e source} are
+    needed (⊥ subsumes everything). *)
+val explore : ?params:Thread.params -> ?until_bot:bool -> Stmt.t list -> result
+
+(** [⊑] on behaviors: pointwise value/output [⊑]; everything ⊑ ⊥. *)
+val behavior_le : behavior -> behavior -> bool
+
+(** [refines ~src ~tgt]: Def 5.3 — every target behavior is ⊑-matched by a
+    source behavior (a source ⊥ matches everything). *)
+val refines : src:Behavior_set.t -> tgt:Behavior_set.t -> bool
+
+val pp_behavior : Format.formatter -> behavior -> unit
+val pp_behaviors : Format.formatter -> Behavior_set.t -> unit

@@ -1,0 +1,38 @@
+(** Timestamps: non-negative rationals (Time ≜ {0} ∪ ℚ⁺, §5).
+
+    The [num] library is not available in the sealed toolchain, so this is
+    a small exact-rational module over [int].  Litmus-scale explorations
+    keep numerators/denominators tiny; operations normalize so overflow is
+    not a practical concern. *)
+
+type t = { num : int; den : int }  (* invariant: den > 0, gcd(|num|,den)=1 *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  assert (den <> 0);
+  let s = if den < 0 then -1 else 1 in
+  let num = s * num and den = s * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let of_int n = { num = n; den = 1 }
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let max a b = if lt a b then b else a
+
+(** Strictly between [a] and [b] (requires [a < b]): the midpoint. *)
+let between a b =
+  assert (lt a b);
+  make ((a.num * b.den) + (b.num * a.den)) (2 * a.den * b.den)
+
+(** Strictly above [a]. *)
+let above a = make (a.num + a.den) a.den
+
+let pp ppf t =
+  if t.den = 1 then Fmt.int ppf t.num else Fmt.pf ppf "%d/%d" t.num t.den

@@ -1,0 +1,22 @@
+(** Timestamps: non-negative exact rationals (Time ≜ {0} ∪ ℚ⁺, §5). *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+val zero : t
+val one : t
+val of_int : int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val max : t -> t -> t
+
+(** Strictly between [a] and [b] (requires [a < b]). *)
+val between : t -> t -> t
+
+(** Strictly above [a]. *)
+val above : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/seq_model/advanced.ml: Config Domain Event Lang List Loc Map Mode Prog Set Stmt Value

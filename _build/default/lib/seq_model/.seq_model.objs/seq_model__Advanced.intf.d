@@ -1,0 +1,1 @@
+lib/seq_model/advanced.mli: Config Domain Lang Loc Stmt

@@ -1,0 +1,1 @@
+lib/seq_model/behavior.ml: Config Domain Event Fmt Lang List Loc Seq Set Stdlib Value

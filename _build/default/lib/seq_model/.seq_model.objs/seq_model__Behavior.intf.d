@@ -1,0 +1,1 @@
+lib/seq_model/behavior.mli: Config Domain Event Format Lang Loc Set Stdlib Value

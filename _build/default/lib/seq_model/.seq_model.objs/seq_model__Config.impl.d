@@ -1,0 +1,1 @@
+lib/seq_model/config.ml: Domain Event Fmt Lang List Loc Mode Prog Set Stmt Value

@@ -1,0 +1,1 @@
+lib/seq_model/config.mli: Domain Event Format Lang Loc Prog Stmt Value

@@ -1,0 +1,1 @@
+lib/seq_model/event.ml: Fmt Int Lang List Loc Value

@@ -1,0 +1,1 @@
+lib/seq_model/event.mli: Format Lang Loc Value

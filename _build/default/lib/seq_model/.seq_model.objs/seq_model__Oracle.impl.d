@@ -1,0 +1,1 @@
+lib/seq_model/oracle.ml: Behavior Config Domain Event Lang Loc Value

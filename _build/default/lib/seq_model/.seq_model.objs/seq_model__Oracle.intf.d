@@ -1,0 +1,1 @@
+lib/seq_model/oracle.mli: Behavior Config Domain Event Lang Loc Value

@@ -1,0 +1,1 @@
+lib/seq_model/refine.ml: Config Domain Event Fmt Lang List Loc Map Mode Prog Stmt Value

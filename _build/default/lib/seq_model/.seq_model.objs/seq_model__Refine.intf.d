@@ -1,0 +1,1 @@
+lib/seq_model/refine.mli: Config Domain Event Format Lang Prog Stmt

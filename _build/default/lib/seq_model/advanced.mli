@@ -1,0 +1,26 @@
+(** Advanced behavioral refinement (§3): refinement up to commitment sets
+    (Fig 2) quantified over all oracles (Def 3.2/3.3), decided by the
+    simulation of Fig 6 over the finite domain. *)
+
+open Lang
+
+(** Can the configuration reach ⊥ without any acquire event, under every
+    oracle (environment choices universally quantified)?  The late-UB
+    escape of Fig 6: such a source matches every target behavior. *)
+val can_fail_universally : Domain.t -> Config.t -> bool
+
+(** Can the configuration, without acquires and under every oracle, extend
+    its execution until its writes cover [need]?  (rule beh-partial;
+    reaching ⊥ also wins, via beh-failure.) *)
+val can_fulfill_universally : Domain.t -> need:Loc.Set.t -> Config.t -> bool
+
+(** A simulation node: commitment set R plus the two configurations. *)
+type pair = { commit : Loc.Set.t; tgt : Config.t; src : Config.t }
+
+val check_pairs : Domain.t -> pair list -> bool
+
+(** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
+    domain.  Implies nothing about termination; by Prop 3.4 it is implied
+    by {!Refine.check}.  @raise Config.Mixed_access on mixed-mode use of a
+    location. *)
+val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool

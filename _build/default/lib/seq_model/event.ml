@@ -1,0 +1,223 @@
+(** SEQ trace labels (Fig 1) and the [⊑] relation on labels (Def 2.3).
+
+    Acquire and release events record the permission sets before/after the
+    transition, the written-locations set, and a memory fragment — exactly
+    the annotations Fig 1 puts on [Racq]/[Wrel] transitions.  Fences
+    (covered by the paper's Coq development, elided in the paper text) are
+    represented as acquire/release events without a location; an
+    acquire-release RMW is emitted as an acquire event immediately followed
+    by a release event. *)
+
+open Lang
+
+type acq_kind =
+  | Acq_read of Loc.t * Value.t
+  | Acq_fence
+  | Acq_fence_sc  (** acquire half of an SC fence *)
+  | Acq_update of Loc.t * Value.t  (** acquire half of an RMW, read value *)
+
+type rel_kind =
+  | Rel_write of Loc.t * Value.t
+  | Rel_fence
+  | Rel_fence_sc  (** release half of an SC fence *)
+  | Rel_update of Loc.t * Value.t  (** release half of an RMW, written value *)
+
+type acq = {
+  akind : acq_kind;
+  apre : Loc.Set.t;   (** permission set [P] before *)
+  apost : Loc.Set.t;  (** permission set [P'] after, [P ⊆ P'] *)
+  awritten : Loc.Set.t;  (** written-locations set [F] at the transition *)
+  agained : Value.t Loc.Map.t;
+      (** [V : P'∖P → Val], environment-provided values for gained
+          locations *)
+}
+
+type rel = {
+  rkind : rel_kind;
+  rpre : Loc.Set.t;   (** [P] before *)
+  rpost : Loc.Set.t;  (** [P'] after, [P' ⊆ P] *)
+  rwritten : Loc.Set.t;  (** [F] at the transition (reset to ∅ after) *)
+  rreleased : Value.t Loc.Map.t;  (** [V = M|P], the released memory *)
+}
+
+type t =
+  | Choose of Value.t
+  | Rlx_read of Loc.t * Value.t
+  | Rlx_write of Loc.t * Value.t
+  | Acq of acq
+  | Rel of rel
+  | Out of Value.t  (** system call (print) *)
+
+(* --- total order, for sets/dedup --- *)
+
+let compare_kinds_a a b =
+  match a, b with
+  | Acq_read (x, v), Acq_read (y, w) ->
+    let c = Loc.compare x y in
+    if c <> 0 then c else Value.compare v w
+  | Acq_read _, _ -> -1
+  | _, Acq_read _ -> 1
+  | Acq_fence, Acq_fence -> 0
+  | Acq_fence, _ -> -1
+  | _, Acq_fence -> 1
+  | Acq_fence_sc, Acq_fence_sc -> 0
+  | Acq_fence_sc, _ -> -1
+  | _, Acq_fence_sc -> 1
+  | Acq_update (x, v), Acq_update (y, w) ->
+    let c = Loc.compare x y in
+    if c <> 0 then c else Value.compare v w
+
+let compare_kinds_r a b =
+  match a, b with
+  | Rel_write (x, v), Rel_write (y, w) ->
+    let c = Loc.compare x y in
+    if c <> 0 then c else Value.compare v w
+  | Rel_write _, _ -> -1
+  | _, Rel_write _ -> 1
+  | Rel_fence, Rel_fence -> 0
+  | Rel_fence, _ -> -1
+  | _, Rel_fence -> 1
+  | Rel_fence_sc, Rel_fence_sc -> 0
+  | Rel_fence_sc, _ -> -1
+  | _, Rel_fence_sc -> 1
+  | Rel_update (x, v), Rel_update (y, w) ->
+    let c = Loc.compare x y in
+    if c <> 0 then c else Value.compare v w
+
+let compare_acq a b =
+  let c = compare_kinds_a a.akind b.akind in
+  if c <> 0 then c
+  else
+    let c = Loc.Set.compare a.apre b.apre in
+    if c <> 0 then c
+    else
+      let c = Loc.Set.compare a.apost b.apost in
+      if c <> 0 then c
+      else
+        let c = Loc.Set.compare a.awritten b.awritten in
+        if c <> 0 then c
+        else Loc.Map.compare Value.compare a.agained b.agained
+
+let compare_rel a b =
+  let c = compare_kinds_r a.rkind b.rkind in
+  if c <> 0 then c
+  else
+    let c = Loc.Set.compare a.rpre b.rpre in
+    if c <> 0 then c
+    else
+      let c = Loc.Set.compare a.rpost b.rpost in
+      if c <> 0 then c
+      else
+        let c = Loc.Set.compare a.rwritten b.rwritten in
+        if c <> 0 then c
+        else Loc.Map.compare Value.compare a.rreleased b.rreleased
+
+let rank = function
+  | Choose _ -> 0
+  | Rlx_read _ -> 1
+  | Rlx_write _ -> 2
+  | Acq _ -> 3
+  | Rel _ -> 4
+  | Out _ -> 5
+
+let compare e1 e2 =
+  match e1, e2 with
+  | Choose a, Choose b -> Value.compare a b
+  | Rlx_read (x, v), Rlx_read (y, w) | Rlx_write (x, v), Rlx_write (y, w) ->
+    let c = Loc.compare x y in
+    if c <> 0 then c else Value.compare v w
+  | Acq a, Acq b -> compare_acq a b
+  | Rel a, Rel b -> compare_rel a b
+  | Out a, Out b -> Value.compare a b
+  | _ -> Int.compare (rank e1) (rank e2)
+
+let equal a b = compare a b = 0
+
+let is_acquire = function Acq _ -> true | Choose _ | Rlx_read _ | Rlx_write _ | Rel _ | Out _ -> false
+let is_release = function Rel _ -> true | Choose _ | Rlx_read _ | Rlx_write _ | Acq _ | Out _ -> false
+
+(* --- the ⊑ relation on labels (Def 2.3) --- *)
+
+let map_le m1 m2 =
+  (* pointwise v1 ⊑ v2 on an equal domain *)
+  Loc.Map.cardinal m1 = Loc.Map.cardinal m2
+  && Loc.Map.for_all
+       (fun x v1 ->
+         match Loc.Map.find_opt x m2 with
+         | Some v2 -> Value.le v1 v2
+         | None -> false)
+       m1
+
+(* e_tgt ⊑ e_src *)
+let le (etgt : t) (esrc : t) : bool =
+  match etgt, esrc with
+  | Choose a, Choose b -> Value.equal a b
+  | Rlx_read (x, v), Rlx_read (y, w) -> Loc.equal x y && Value.equal v w
+  | Rlx_write (x, v), Rlx_write (y, w) -> Loc.equal x y && Value.le v w
+  | Out a, Out b -> Value.le a b
+  | Acq a, Acq b ->
+    compare_kinds_a a.akind b.akind = 0
+    && Loc.Set.equal a.apre b.apre
+    && Loc.Set.equal a.apost b.apost
+    && Loc.Set.subset a.awritten b.awritten
+    && Loc.Map.equal Value.equal a.agained b.agained
+  | Rel a, Rel b ->
+    (match a.rkind, b.rkind with
+     | Rel_write (x, v), Rel_write (y, w) | Rel_update (x, v), Rel_update (y, w)
+       -> Loc.equal x y && Value.le v w
+     | Rel_fence, Rel_fence | Rel_fence_sc, Rel_fence_sc -> true
+     | (Rel_write _ | Rel_fence | Rel_fence_sc | Rel_update _), _ -> false)
+    && Loc.Set.equal a.rpre b.rpre
+    && Loc.Set.equal a.rpost b.rpost
+    && Loc.Set.subset a.rwritten b.rwritten
+    && map_le a.rreleased b.rreleased
+  | (Choose _ | Rlx_read _ | Rlx_write _ | Acq _ | Rel _ | Out _), _ -> false
+
+let trace_le trtgt trsrc =
+  List.length trtgt = List.length trsrc && List.for_all2 le trtgt trsrc
+
+(* --- stripped labels |e| (for oracles, §3) --- *)
+
+type stripped =
+  | S_choose of Value.t
+  | S_rlx_read of Loc.t * Value.t
+  | S_rlx_write of Loc.t * Value.t
+  | S_acq of acq_kind * Loc.Set.t * Loc.Set.t * Value.t Loc.Map.t
+  | S_rel of rel_kind * Loc.Set.t * Loc.Set.t
+  | S_out of Value.t
+
+let strip = function
+  | Choose v -> S_choose v
+  | Rlx_read (x, v) -> S_rlx_read (x, v)
+  | Rlx_write (x, v) -> S_rlx_write (x, v)
+  | Acq a -> S_acq (a.akind, a.apre, a.apost, a.agained)
+  | Rel r -> S_rel (r.rkind, r.rpre, r.rpost)
+  | Out v -> S_out v
+
+(* --- pretty-printing --- *)
+
+let pp_akind ppf = function
+  | Acq_read (x, v) -> Fmt.pf ppf "R^acq(%a,%a)" Loc.pp x Value.pp v
+  | Acq_fence -> Fmt.string ppf "F^acq"
+  | Acq_fence_sc -> Fmt.string ppf "F^sc-acq"
+  | Acq_update (x, v) -> Fmt.pf ppf "U^acq(%a,%a)" Loc.pp x Value.pp v
+
+let pp_rkind ppf = function
+  | Rel_write (x, v) -> Fmt.pf ppf "W^rel(%a,%a)" Loc.pp x Value.pp v
+  | Rel_fence -> Fmt.string ppf "F^rel"
+  | Rel_fence_sc -> Fmt.string ppf "F^sc-rel"
+  | Rel_update (x, v) -> Fmt.pf ppf "U^rel(%a,%a)" Loc.pp x Value.pp v
+
+let pp ppf = function
+  | Choose v -> Fmt.pf ppf "choose(%a)" Value.pp v
+  | Rlx_read (x, v) -> Fmt.pf ppf "R^rlx(%a,%a)" Loc.pp x Value.pp v
+  | Rlx_write (x, v) -> Fmt.pf ppf "W^rlx(%a,%a)" Loc.pp x Value.pp v
+  | Acq a ->
+    Fmt.pf ppf "%a[P:%a→%a,F:%a,V:%a]" pp_akind a.akind Loc.Set.pp a.apre
+      Loc.Set.pp a.apost Loc.Set.pp a.awritten (Loc.Map.pp Value.pp) a.agained
+  | Rel r ->
+    Fmt.pf ppf "%a[P:%a→%a,F:%a,V:%a]" pp_rkind r.rkind Loc.Set.pp r.rpre
+      Loc.Set.pp r.rpost Loc.Set.pp r.rwritten (Loc.Map.pp Value.pp) r.rreleased
+  | Out v -> Fmt.pf ppf "out(%a)" Value.pp v
+
+let pp_trace ppf tr = Fmt.(list ~sep:(any "·") pp) ppf tr

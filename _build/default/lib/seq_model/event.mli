@@ -1,0 +1,73 @@
+(** SEQ trace labels (Fig 1) and the [⊑] relation on labels (Def 2.3).
+
+    Acquire/release events record the permission sets before/after, the
+    written-locations set, and a memory fragment.  Fences are
+    acquire/release events without a location; an RMW is an acquire event
+    immediately followed by a release event (both from one atomic move). *)
+
+open Lang
+
+type acq_kind =
+  | Acq_read of Loc.t * Value.t
+  | Acq_fence
+  | Acq_fence_sc  (** acquire half of an SC fence *)
+  | Acq_update of Loc.t * Value.t  (** acquire half of an RMW: read value *)
+
+type rel_kind =
+  | Rel_write of Loc.t * Value.t
+  | Rel_fence
+  | Rel_fence_sc  (** release half of an SC fence *)
+  | Rel_update of Loc.t * Value.t  (** release half of an RMW: new value *)
+
+type acq = {
+  akind : acq_kind;
+  apre : Loc.Set.t;  (** P before *)
+  apost : Loc.Set.t;  (** P' after, P ⊆ P' *)
+  awritten : Loc.Set.t;  (** F at the transition *)
+  agained : Value.t Loc.Map.t;  (** V : P'∖P → Val, gained values *)
+}
+
+type rel = {
+  rkind : rel_kind;
+  rpre : Loc.Set.t;  (** P before *)
+  rpost : Loc.Set.t;  (** P' after, P' ⊆ P *)
+  rwritten : Loc.Set.t;  (** F at the transition (reset afterwards) *)
+  rreleased : Value.t Loc.Map.t;  (** V = M|P, the released memory *)
+}
+
+type t =
+  | Choose of Value.t
+  | Rlx_read of Loc.t * Value.t
+  | Rlx_write of Loc.t * Value.t
+  | Acq of acq
+  | Rel of rel
+  | Out of Value.t  (** system call (print) *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_kinds_a : acq_kind -> acq_kind -> int
+val compare_kinds_r : rel_kind -> rel_kind -> int
+
+val is_acquire : t -> bool
+val is_release : t -> bool
+
+(** [le e_tgt e_src] is [e_tgt ⊑ e_src] (Def 2.3(1)). *)
+val le : t -> t -> bool
+
+(** Pointwise [⊑] on same-length traces (Def 2.3(2)). *)
+val trace_le : t list -> t list -> bool
+
+(** Stripped labels [|e|] — what oracles observe (§3): acquire labels drop
+    F; release labels drop F and V. *)
+type stripped =
+  | S_choose of Value.t
+  | S_rlx_read of Loc.t * Value.t
+  | S_rlx_write of Loc.t * Value.t
+  | S_acq of acq_kind * Loc.Set.t * Loc.Set.t * Value.t Loc.Map.t
+  | S_rel of rel_kind * Loc.Set.t * Loc.Set.t
+  | S_out of Value.t
+
+val strip : t -> stripped
+
+val pp : Format.formatter -> t -> unit
+val pp_trace : Format.formatter -> t list -> unit

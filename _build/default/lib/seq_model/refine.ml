@@ -1,0 +1,459 @@
+(** Simple behavioral refinement in SEQ (Def 2.4), decided by a simulation
+    game.
+
+    Because WHILE programs are deterministic (Def 6.1), the unlabeled
+    fragment of any SEQ execution is a straight line ({!Config.line}), and
+    the environment's choices are recorded inside the trace labels
+    (read values, gained/dropped permissions, fresh memory values).  Hence
+    on the finite domain, step-wise label matching — a simulation — decides
+    trace-set inclusion exactly:
+
+    - every instantiated labeled move of the target must be answered by the
+      source emitting a ⊑-greater label (the environment parts of which are
+      copied from the target's label),
+    - at every point the target's partial behaviors ⟨ε, prt(F)⟩ must be
+      matched, which amounts to [F_tgt ⊆ F_src] along the unlabeled lines,
+    - a source that reaches ⊥ by unlabeled steps matches everything
+      (⟨tr·_, _⟩ ⊑ ⟨tr, ⊥⟩),
+    - termination must be matched with [v ⊑ v'], [F ⊆ F'], [M ⊑ M'].
+
+    The set of reachable pairs is explored, then a greatest fixpoint prunes
+    pairs whose obligations fail — sound for the safety-style (partial,
+    non-termination-preserving) refinement of the paper. *)
+
+open Lang
+
+type pair = { tgt : Config.t; src : Config.t }
+
+let compare_pair a b =
+  let c = Config.compare a.tgt b.tgt in
+  if c <> 0 then c else Config.compare a.src b.src
+
+module Pair_map = Map.Make (struct
+  type t = pair
+  let compare = compare_pair
+end)
+
+let mem_le (d : Domain.t) m1 m2 =
+  List.for_all
+    (fun x ->
+      Value.le
+        (Loc.Map.find_default ~default:Value.zero x m1)
+        (Loc.Map.find_default ~default:Value.zero x m2))
+    d.Domain.na_locs
+
+(* The source's position while answering the labels of one target move.
+   RMWs and acquire-release fences emit two labels atomically; the pending
+   constructors hold the forced second half. *)
+type src_point =
+  | Plain of Config.t
+  | Pend_rel of Event.rel_kind * Config.t  (* release half of an RMW due *)
+  | Pend_acq of Event.acq_kind * Config.t
+      (* acquire half of an acq-rel/SC fence due *)
+
+(* Outcome of the source answering one target move. *)
+type answer =
+  | Const of bool
+  | Dep of pair  (* holds iff this pair holds *)
+
+(* Answer one target label from a source configuration that sits at a
+   labeled step (caller has advanced the line).  Returns the successor
+   point, [`Bot] if the source emits the label and then moves to ⊥ (which
+   matches every continuation), or [`No] on mismatch. *)
+let respond1 (scfg : Config.t) (ev : Event.t) :
+    [ `Ok of src_point | `Bot | `No ] =
+  let open Event in
+  match ev, Prog.step scfg.Config.prog with
+  | Choose v, Prog.Choice f -> `Ok (Plain { scfg with prog = f v })
+  | Rlx_read (x, v), Prog.Do_read (Mode.Rrlx, y, f) when Loc.equal x y ->
+    `Ok (Plain { scfg with prog = f v })
+  | Rlx_write (x, vt), Prog.Do_write (Mode.Wrlx, y, vs, p) when Loc.equal x y ->
+    if Value.le vt vs then `Ok (Plain { scfg with prog = p }) else `No
+  | Out vt, Prog.Do_out (vs, p) ->
+    if Value.le vt vs then `Ok (Plain { scfg with prog = p }) else `No
+  | Acq a, shape ->
+    (* label ⊑ requires equal P, P', V and F_tgt ⊆ F_src *)
+    if
+      not
+        (Loc.Set.equal a.apre scfg.Config.perm
+         && Loc.Set.subset a.awritten scfg.Config.written)
+    then `No
+    else
+      let continue prog' =
+        `Ok
+          (Plain
+             (Config.apply_acquire { scfg with prog = prog' } ~post:a.apost
+                ~vnew:a.agained))
+      in
+      (match a.akind, shape with
+       | Acq_read (x, v), Prog.Do_read (Mode.Racq, y, f) when Loc.equal x y ->
+         continue (f v)
+       | Acq_fence, Prog.Do_fence (Mode.Facq, p) -> continue p
+       | Acq_update (x, v), Prog.Do_update (y, f) when Loc.equal x y ->
+         (match f v with
+          | Prog.Upd_fault -> `Bot
+          | Prog.Upd_read_only p -> continue p
+          | Prog.Upd_write (v_new, p) ->
+            let cfg' =
+              Config.apply_acquire { scfg with prog = p } ~post:a.apost
+                ~vnew:a.agained
+            in
+            `Ok (Pend_rel (Rel_update (x, v_new), cfg')))
+       | _, _ -> `No)
+  | Rel r, shape ->
+    if
+      not
+        (Loc.Set.equal r.rpre scfg.Config.perm
+         && Loc.Set.subset r.rwritten scfg.Config.written)
+    then `No
+    else
+      (* V_tgt ⊑ V_src pointwise on the recorded (pre-release) permission
+         set; both sides share P so the domains coincide. *)
+      let src_released =
+        Loc.Set.fold
+          (fun y acc -> Loc.Map.add y (Config.read_mem scfg y) acc)
+          scfg.Config.perm Loc.Map.empty
+      in
+      let mem_cond =
+        Loc.Map.for_all
+          (fun y vt ->
+            match Loc.Map.find_opt y src_released with
+            | Some vs -> Value.le vt vs
+            | None -> false)
+          r.rreleased
+      in
+      if not mem_cond then `No
+      else
+        let continue prog' =
+          `Ok (Plain (Config.apply_release { scfg with prog = prog' } ~post:r.rpost))
+        in
+        (match r.rkind, shape with
+         | Rel_write (x, vt), Prog.Do_write (Mode.Wrel, y, vs, p)
+           when Loc.equal x y ->
+           if Value.le vt vs then continue p else `No
+         | Rel_fence, Prog.Do_fence (Mode.Frel, p) -> continue p
+         | Rel_fence, Prog.Do_fence (Mode.Facqrel, p) ->
+           (* acq-rel fence: release half now, acquire half pending *)
+           `Ok
+             (Pend_acq
+                (Event.Acq_fence,
+                 Config.apply_release { scfg with prog = p } ~post:r.rpost))
+         | Rel_fence_sc, Prog.Do_fence (Mode.Fsc, p) ->
+           `Ok
+             (Pend_acq
+                (Event.Acq_fence_sc,
+                 Config.apply_release { scfg with prog = p } ~post:r.rpost))
+         | _, _ -> `No)
+  | (Choose _ | Rlx_read _ | Rlx_write _ | Out _), _ -> `No
+
+(* Answer a pending second half. *)
+let respond_pending (point : src_point) (ev : Event.t) :
+    [ `Ok of src_point | `Bot | `No ] =
+  let open Event in
+  match point, ev with
+  | Pend_rel (skind, scfg), Rel r ->
+    if
+      not
+        (Loc.Set.equal r.rpre scfg.Config.perm
+         && Loc.Set.subset r.rwritten scfg.Config.written)
+    then `No
+    else
+      let src_released =
+        Loc.Set.fold
+          (fun y acc -> Loc.Map.add y (Config.read_mem scfg y) acc)
+          scfg.Config.perm Loc.Map.empty
+      in
+      let mem_cond =
+        Loc.Map.for_all
+          (fun y vt ->
+            match Loc.Map.find_opt y src_released with
+            | Some vs -> Value.le vt vs
+            | None -> false)
+          r.rreleased
+      in
+      let kind_ok =
+        match r.rkind, skind with
+        | Rel_update (x, vt), Rel_update (y, vs) -> Loc.equal x y && Value.le vt vs
+        | _, _ -> false
+      in
+      if mem_cond && kind_ok then
+        `Ok (Plain (Config.apply_release scfg ~post:r.rpost))
+      else `No
+  | Pend_acq (k, scfg), Acq a ->
+    if
+      not
+        (Loc.Set.equal a.apre scfg.Config.perm
+         && Loc.Set.subset a.awritten scfg.Config.written
+         && Event.compare_kinds_a a.akind k = 0)
+    then `No
+    else `Ok (Plain (Config.apply_acquire scfg ~post:a.apost ~vnew:a.agained))
+  | (Plain _ | Pend_rel _ | Pend_acq _), _ -> `No
+
+(* Have the source answer the label list of one target move, advancing
+   through its unlabeled line between moves. *)
+let rec consume (point : src_point) (evs : Event.t list)
+    (next_t : Config.next) : answer =
+  match evs with
+  | [] ->
+    (match point with
+     | Pend_rel _ | Pend_acq _ ->
+       (* the source owes a label the target will not produce *)
+       Const false
+     | Plain scfg ->
+       (match next_t with
+        | Config.Bot ->
+          (* target ⊥ now: source must reach ⊥ by unlabeled steps *)
+          let ln = Config.line scfg in
+          Const (ln.Config.line_end = Config.L_bot)
+        | Config.Cont tcfg' -> Dep { tgt = tcfg'; src = scfg }))
+  | ev :: rest ->
+    (match point with
+     | Pend_rel _ | Pend_acq _ ->
+       (match respond_pending point ev with
+        | `Ok point' -> consume point' rest next_t
+        | `Bot -> Const true
+        | `No -> Const false)
+     | Plain scfg ->
+       let ln = Config.line scfg in
+       (match ln.Config.line_end with
+        | Config.L_bot -> Const true  (* ⟨matched-prefix, ⊥⟩ matches all *)
+        | Config.L_label scfg' ->
+          (match respond1 scfg' ev with
+           | `Ok point' -> consume point' rest next_t
+           | `Bot -> Const true
+           | `No -> Const false)
+        | Config.L_term _ | Config.L_diverge -> Const false))
+
+(* Local obligations and dependencies of a pair. *)
+type node = {
+  local_ok : bool;
+  deps : answer list;  (* one per instantiated target move *)
+}
+
+let analyze (d : Domain.t) (p : pair) : node =
+  let ln_t = Config.line p.tgt in
+  let ln_s = Config.line p.src in
+  if ln_s.Config.line_end = Config.L_bot then { local_ok = true; deps = [] }
+  else if not (Loc.Set.subset ln_t.Config.written_max ln_s.Config.written_max)
+  then { local_ok = false; deps = [] }
+  else
+    match ln_t.Config.line_end with
+    | Config.L_bot -> { local_ok = false; deps = [] }
+    | Config.L_diverge -> { local_ok = true; deps = [] }
+    | Config.L_term (v, tcfg') ->
+      (match ln_s.Config.line_end with
+       | Config.L_term (v', scfg') ->
+         let ok =
+           Value.le v v'
+           && Loc.Set.subset tcfg'.Config.written scfg'.Config.written
+           && mem_le d tcfg'.Config.mem scfg'.Config.mem
+         in
+         { local_ok = ok; deps = [] }
+       | Config.L_bot | Config.L_diverge | Config.L_label _ ->
+         { local_ok = false; deps = [] })
+    | Config.L_label tcfg' ->
+      (match ln_s.Config.line_end with
+       | Config.L_label scfg' ->
+         let answers =
+           List.map
+             (fun (evs, next_t) -> consume (Plain scfg') evs next_t)
+             (Config.moves d tcfg')
+         in
+         { local_ok = true; deps = answers }
+       | Config.L_bot | Config.L_term _ | Config.L_diverge ->
+         { local_ok = false; deps = [] })
+
+(** Decide simple behavioral refinement from a set of initial configuration
+    pairs (target, source) that share P, F, M.  Greatest fixpoint over the
+    reachable pair graph. *)
+let check_pairs (d : Domain.t) (roots : pair list) : bool =
+  (* Phase 1: explore the reachable pair graph. *)
+  let nodes : node Pair_map.t ref = ref Pair_map.empty in
+  let rec explore p =
+    if not (Pair_map.mem p !nodes) then begin
+      (* insert a stub first to cut cycles *)
+      nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
+      let node = analyze d p in
+      nodes := Pair_map.add p node !nodes;
+      List.iter
+        (function Dep q -> explore q | Const _ -> ())
+        node.deps
+    end
+  in
+  List.iter explore roots;
+  (* Phase 2: prune to the greatest fixpoint. *)
+  let alive = ref (Pair_map.map (fun _ -> true) !nodes) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Pair_map.iter
+      (fun p node ->
+        if Pair_map.find p !alive then begin
+          let ok =
+            node.local_ok
+            && List.for_all
+                 (function
+                   | Const b -> b
+                   | Dep q -> Pair_map.find q !alive)
+                 node.deps
+          in
+          if not ok then begin
+            alive := Pair_map.add p false !alive;
+            changed := true
+          end
+        end)
+      !nodes
+  done;
+  List.for_all (fun p -> Pair_map.find p !alive) roots
+
+(** Initial configuration pairs for Def 2.4's "for every P, F, M".
+    [quantify_written] additionally ranges the initial F over all subsets
+    (all refinement conditions are monotone in a common initial F, so
+    F = ∅ is the strongest instance; the flag exists for assurance
+    testing). *)
+let initial_pairs ?(quantify_written = false) (d : Domain.t)
+    ~(src : Prog.state) ~(tgt : Prog.state) : pair list =
+  let perms = Domain.subsets d.Domain.na_locs in
+  let writtens =
+    if quantify_written then Domain.subsets d.Domain.na_locs
+    else [ Loc.Set.empty ]
+  in
+  let mems = Domain.memories d in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun written ->
+          List.map
+            (fun mem ->
+              {
+                tgt = Config.make ~perm ~written ~mem tgt;
+                src = Config.make ~perm ~written ~mem src;
+              })
+            mems)
+        writtens)
+    perms
+
+(** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
+    domain: SEQ simple behavioral refinement for every initial permission
+    set, written set, and memory. *)
+let check ?quantify_written (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) :
+    bool =
+  Config.check_no_mixing [ src; tgt ];
+  let roots =
+    initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+  in
+  check_pairs d roots
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample extraction                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counterexample = {
+  initial : pair;  (** the failing initial configuration pair *)
+  trace : Event.t list;  (** target labels leading to the failure *)
+  failing : pair;  (** the pair at which matching breaks *)
+  reason : string;
+}
+
+let describe_local (d : Domain.t) (p : pair) : string =
+  let ln_t = Config.line p.tgt in
+  let ln_s = Config.line p.src in
+  if not (Loc.Set.subset ln_t.Config.written_max ln_s.Config.written_max) then
+    Fmt.str
+      "partial behavior mismatch: target writes %a but the source can only \
+       reach written set %a"
+      Loc.Set.pp ln_t.Config.written_max Loc.Set.pp ln_s.Config.written_max
+  else
+    match ln_t.Config.line_end, ln_s.Config.line_end with
+    | Config.L_bot, _ -> "the target reaches ⊥ but the source cannot"
+    | Config.L_term (v, tcfg), Config.L_term (v', scfg) ->
+      Fmt.str
+        "termination mismatch: target trm(%a,%a,%a) vs source trm(%a,%a,%a)"
+        Value.pp v Loc.Set.pp tcfg.Config.written (Loc.Map.pp Value.pp)
+        tcfg.Config.mem Value.pp v' Loc.Set.pp scfg.Config.written
+        (Loc.Map.pp Value.pp) scfg.Config.mem
+    | Config.L_term _, _ -> "the target terminates but the source cannot"
+    | Config.L_label _, _ ->
+      "the target performs a labeled action the source cannot answer"
+    | Config.L_diverge, _ -> "unexpected divergence mismatch"
+
+(** Extract a counterexample when [check_pairs] fails: the target-side
+    trace of an unmatched behavior plus a description of the final
+    mismatch.  Returns [None] when refinement holds. *)
+let find_counterexample (d : Domain.t) (roots : pair list) :
+    counterexample option =
+  let nodes : node Pair_map.t ref = ref Pair_map.empty in
+  let rec explore p =
+    if not (Pair_map.mem p !nodes) then begin
+      nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
+      let node = analyze d p in
+      nodes := Pair_map.add p node !nodes;
+      List.iter (function Dep q -> explore q | Const _ -> ()) node.deps
+    end
+  in
+  List.iter explore roots;
+  let alive = ref (Pair_map.map (fun _ -> true) !nodes) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Pair_map.iter
+      (fun p node ->
+        if Pair_map.find p !alive then begin
+          let ok =
+            node.local_ok
+            && List.for_all
+                 (function Const b -> b | Dep q -> Pair_map.find q !alive)
+                 node.deps
+          in
+          if not ok then begin
+            alive := Pair_map.add p false !alive;
+            changed := true
+          end
+        end)
+      !nodes
+  done;
+  match List.find_opt (fun p -> not (Pair_map.find p !alive)) roots with
+  | None -> None
+  | Some root ->
+    (* walk dead pairs, collecting the target labels of failing moves *)
+    let rec walk p trace fuel =
+      let node = Pair_map.find p !nodes in
+      if fuel = 0 then
+        Some { initial = root; trace = List.rev trace; failing = p;
+               reason = "deep mismatch (walk fuel exhausted)" }
+      else if not node.local_ok then
+        Some { initial = root; trace = List.rev trace; failing = p;
+               reason = describe_local d p }
+      else begin
+        (* align deps with the instantiated target moves *)
+        let moves =
+          match (Config.line p.tgt).Config.line_end with
+          | Config.L_label tcfg' -> Config.moves d tcfg'
+          | _ -> []
+        in
+        let rec first_bad deps moves =
+          match deps, moves with
+          | Const false :: _, (evs, _) :: _ ->
+            Some
+              { initial = root; trace = List.rev (List.rev_append evs trace);
+                failing = p;
+                reason =
+                  Fmt.str "the source cannot answer the target action %a"
+                    Event.pp_trace evs }
+          | Dep q :: _, (evs, _) :: _ when not (Pair_map.find q !alive) ->
+            walk q (List.rev_append evs trace) (fuel - 1)
+          | _ :: deps', _ :: moves' -> first_bad deps' moves'
+          | _, _ ->
+            Some { initial = root; trace = List.rev trace; failing = p;
+                   reason = "internal: no failing dependency found" }
+        in
+        first_bad node.deps moves
+      end
+    in
+    walk root [] 1000
+
+let pp_counterexample ppf (c : counterexample) =
+  Fmt.pf ppf
+    "@[<v>counterexample (initial P=%a, M=%a):@ target trace: %a@ %s@]"
+    Loc.Set.pp c.initial.tgt.Config.perm (Loc.Map.pp Value.pp)
+    c.initial.tgt.Config.mem Event.pp_trace c.trace c.reason

@@ -1,0 +1,48 @@
+(** Simple behavioral refinement in SEQ (§2, Def 2.4), decided by a
+    simulation game over the finite domain.
+
+    Because WHILE programs are deterministic (Def 6.1) and all environment
+    choices are recorded inside trace labels, step-wise label matching
+    coincides with trace-set inclusion; the reachable pair graph is pruned
+    to a greatest fixpoint (the refinement is safety-style: partial, not
+    termination-preserving). *)
+
+open Lang
+
+(** A simulation-game node: a target and a source configuration that agree
+    on the permission set. *)
+type pair = { tgt : Config.t; src : Config.t }
+
+val compare_pair : pair -> pair -> int
+
+(** Initial pairs realizing Def 2.4's "for every P, F, M".
+    [quantify_written] additionally ranges the initial F over all subsets;
+    by monotonicity of all F-side conditions in a common initial F, the
+    default F = ∅ already decides the quantified statement (tested). *)
+val initial_pairs :
+  ?quantify_written:bool ->
+  Domain.t ->
+  src:Prog.state ->
+  tgt:Prog.state ->
+  pair list
+
+(** Decide refinement from a set of initial pairs. *)
+val check_pairs : Domain.t -> pair list -> bool
+
+(** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
+    domain.  @raise Config.Mixed_access on mixed atomic/non-atomic use of a
+    location. *)
+val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+
+(** A witness for a refuted refinement. *)
+type counterexample = {
+  initial : pair;  (** the failing initial configuration pair *)
+  trace : Event.t list;  (** target labels leading to the failure *)
+  failing : pair;  (** the pair at which matching breaks *)
+  reason : string;
+}
+
+(** Extract a counterexample when refinement fails ([None] if it holds). *)
+val find_counterexample : Domain.t -> pair list -> counterexample option
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,1 @@
+test/test_adequacy.ml: Alcotest List Litmus Option String Sys

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Lang List Parser Promising Value

@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Domain Lang List Litmus Loc Parser Prog Seq_model Stmt Value

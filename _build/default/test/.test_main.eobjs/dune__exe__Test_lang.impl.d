@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Expr Hashtbl Lang List Litmus Loc Parser Prog Reg Stmt Value

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Lang List Optimizer Parser Stmt

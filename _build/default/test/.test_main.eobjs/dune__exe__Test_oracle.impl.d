@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Domain Lang List Loc Parser Prog Seq_model Value

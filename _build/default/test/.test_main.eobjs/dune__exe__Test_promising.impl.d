@@ -1,0 +1,1 @@
+test/test_promising.ml: Alcotest Lang List Parser Promising Value

@@ -1,0 +1,1 @@
+test/test_properties.ml: Baselines Domain Gen Lang List Loc Optimizer Parser Prog Promising QCheck QCheck_alcotest Reg Seq_model Stmt String Value

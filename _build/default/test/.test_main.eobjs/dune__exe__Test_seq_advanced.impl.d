@@ -1,0 +1,1 @@
+test/test_seq_advanced.ml: Alcotest Domain Lang List Litmus Parser Printf Seq_model

@@ -1,0 +1,1 @@
+test/test_seq_refine.ml: Alcotest Domain Lang List Litmus Option Parser Printf Prog Seq_model

@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Lang List Loc Promising Value

@@ -1,0 +1,54 @@
+(* E5: empirical adequacy (Thm 6.2) — SEQ-validated transformations must
+   contextually refine in PS_na on the context library.  The quick suite
+   covers a representative slice; the full corpus × context sweep runs in
+   the benchmark harness (bench/main.exe, table E5) and in the `Slow
+   test. *)
+
+module A = Litmus.Adequacy
+module C = Litmus.Catalog
+
+let quick_corpus =
+  [
+    "slf-basic";
+    "reorder-na-rw-diff";
+    "na-write-into-acq";
+    "na-read-into-rel";
+    "slf-across-rel-write";
+    "rlx-read-then-na-write";  (* needs the advanced notion: late UB *)
+    "na-write-into-rel";  (* needs commitments *)
+    "dse-across-rel-write";
+    "irrelevant-load-intro";  (* the load-introduction headline *)
+  ]
+
+let quick_contexts =
+  List.filter
+    (fun (n, _) -> List.mem n [ "idle"; "na-writer"; "rel-acq-flagger"; "acq-guarded-writer" ])
+    C.contexts
+
+let check_row (r : A.row) =
+  if not (A.row_ok r) then
+    let bad =
+      List.filter_map
+        (fun (n, ok, _) -> if ok then None else Some n)
+        r.A.contexts
+    in
+    Alcotest.failf "adequacy violated on %s in context(s) %s" r.A.tr.C.name
+      (String.concat ", " bad)
+
+let suite =
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun tr ->
+          Alcotest.test_case ("adequacy: " ^ name) `Quick (fun () ->
+              check_row (A.check_transformation ~contexts:quick_contexts tr)))
+        (C.find_transformation name))
+    quick_corpus
+  @ [
+      (* the full corpus × context matrix takes minutes; run it via
+         PSEQ_FULL=1 dune runtest, or through `bench/main.exe --full` *)
+      Alcotest.test_case "adequacy: full corpus sweep" `Slow (fun () ->
+          if Sys.getenv_opt "PSEQ_FULL" = None then
+            Alcotest.skip ()
+          else List.iter check_row (A.run ()));
+    ]

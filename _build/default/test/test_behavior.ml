@@ -1,0 +1,112 @@
+(* SEQ behaviors by direct enumeration (Def 2.1/2.3) and the differential
+   check against the simulation-game refinement decision procedure. *)
+
+open Lang
+module B = Seq_model.Behavior
+
+let parse = Parser.stmt_of_string
+
+let cfg_of ?(perm = []) ?(mem = []) src =
+  let mem =
+    List.fold_left (fun m (x, v) -> Loc.Map.add (Loc.make x) v m) Loc.Map.empty mem
+  in
+  Seq_model.Config.make
+    ~perm:(Loc.Set.of_list (List.map Loc.make perm))
+    ~mem (Prog.init (parse src))
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* Example 2.2 of the paper: behaviors of x^rlx := 1; y^na := 2; return 3 *)
+let example_2_2 () =
+  let d =
+    Domain.make ~values:[ Value.Int 1; Value.Int 2; Value.Int 3 ]
+      ~na_locs:[ Loc.make "Y" ] ~at_locs:[ Loc.make "X" ] ()
+  in
+  let src = "X.store(rlx, 1); Y.store(na, 2); return 3" in
+  let with_perm = cfg_of ~perm:[ "Y" ] src in
+  let behs = B.enumerate d ~fuel:10 with_perm in
+  let y = Loc.make "Y" in
+  let w1 = Seq_model.Event.Rlx_write (Loc.make "X", Value.Int 1) in
+  let expect =
+    [
+      ([], B.Prt Loc.Set.empty);
+      ([ w1 ], B.Prt Loc.Set.empty);
+      ([ w1 ], B.Prt (Loc.Set.singleton y));
+      ([ w1 ],
+       B.Trm (Value.Int 3, Loc.Set.singleton y, Loc.Map.singleton y (Value.Int 2)));
+    ]
+  in
+  List.iter
+    (fun b ->
+      if not (B.Set.mem b behs) then
+        Alcotest.failf "missing behavior %a" B.pp b)
+    expect;
+  (* without permission on Y, the only terminating behavior is ⊥ *)
+  let behs' = B.enumerate d ~fuel:10 (cfg_of src) in
+  Alcotest.(check bool) "⊥ present" true (B.Set.mem ([ w1 ], B.Bot) behs');
+  B.Set.iter
+    (function
+      | _, B.Trm _ -> Alcotest.fail "unexpected termination without permission"
+      | _ -> ())
+    behs'
+
+(* Differential: the enumeration-based Def 2.4 agrees with the simulation
+   game on the corpus entries without loops (enumeration needs finite
+   traces to be meaningful at small fuel). *)
+let differential () =
+  let loopless (tr : Litmus.Catalog.transformation) =
+    let has_loop s =
+      let rec go = function
+        | Stmt.While _ -> true
+        | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> go a || go b
+        | _ -> false
+      in
+      go (parse s)
+    in
+    (not (has_loop tr.Litmus.Catalog.src)) && not (has_loop tr.Litmus.Catalog.tgt)
+  in
+  let values = [ Value.Int 0; Value.Int 1 ] in
+  List.iter
+    (fun (tr : Litmus.Catalog.transformation) ->
+      let src = parse tr.Litmus.Catalog.src in
+      let tgt = parse tr.Litmus.Catalog.tgt in
+      let d = Domain.of_stmts ~values [ src; tgt ] in
+      let game = Seq_model.Refine.check d ~src ~tgt in
+      let enum =
+        List.for_all
+          (fun (p : Seq_model.Refine.pair) ->
+            match
+              B.refines_at d ~fuel:12 ~src:p.Seq_model.Refine.src
+                ~tgt:p.Seq_model.Refine.tgt
+            with
+            | Ok () -> true
+            | Error _ -> false)
+          (Seq_model.Refine.initial_pairs d ~src:(Prog.init src)
+             ~tgt:(Prog.init tgt))
+      in
+      if game <> enum then
+        Alcotest.failf "game=%b enum=%b disagree on %s" game enum
+          tr.Litmus.Catalog.name)
+    (List.filter loopless Litmus.Catalog.transformations)
+
+let suite =
+  [
+    test "Example 2.2 behaviors" example_2_2;
+    Alcotest.test_case "enumeration vs game differential (loop-free corpus)"
+      `Slow differential;
+    test "behavior ⊑: source ⊥ matches extensions" (fun () ->
+        let d = Domain.make ~na_locs:[] ~at_locs:[ Loc.make "X" ] () in
+        let w v = Seq_model.Event.Rlx_write (Loc.make "X", Value.Int v) in
+        Alcotest.(check bool) "prefix" true
+          (B.le d ([ w 1; w 2 ], B.Prt Loc.Set.empty) ([ w 1 ], B.Bot));
+        Alcotest.(check bool) "non-prefix" false
+          (B.le d ([ w 2; w 2 ], B.Prt Loc.Set.empty) ([ w 1 ], B.Bot)));
+    test "behavior ⊑: undef in source write" (fun () ->
+        let d = Domain.make ~na_locs:[] ~at_locs:[ Loc.make "X" ] () in
+        let wt = Seq_model.Event.Rlx_write (Loc.make "X", Value.Int 1) in
+        let ws = Seq_model.Event.Rlx_write (Loc.make "X", Value.Undef) in
+        Alcotest.(check bool) "W(1) ⊑ W(undef)" true
+          (B.le d ([ wt ], B.Prt Loc.Set.empty) ([ ws ], B.Prt Loc.Set.empty));
+        Alcotest.(check bool) "W(undef) ⋢ W(1)" false
+          (B.le d ([ ws ], B.Prt Loc.Set.empty) ([ wt ], B.Prt Loc.Set.empty)));
+  ]

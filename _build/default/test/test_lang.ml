@@ -1,0 +1,150 @@
+(* Language substrate: values and the ⊑ order, expression evaluation with
+   undef/UB, footprints, parsing, and the LTS determinism claim. *)
+
+open Lang
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let eval_str rf_bindings e_src =
+  (* parse via a statement to reuse the expression grammar *)
+  let s = Parser.stmt_of_string ("r = " ^ e_src) in
+  match s with
+  | Stmt.Assign (_, e) ->
+    let rf =
+      List.fold_left
+        (fun m (r, x) -> Reg.Map.add (Reg.make r) x m)
+        Reg.Map.empty rf_bindings
+    in
+    Expr.eval rf e
+  | _ -> assert false
+
+let test name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    test "⊑: undef is top" (fun () ->
+        Alcotest.(check bool) "v ⊑ undef" true (Value.le (Value.Int 3) Value.Undef);
+        Alcotest.(check bool) "undef ⋢ v" false (Value.le Value.Undef (Value.Int 3));
+        Alcotest.(check bool) "refl" true (Value.le (Value.Int 3) (Value.Int 3));
+        Alcotest.(check bool) "distinct" false (Value.le (Value.Int 3) (Value.Int 4)));
+    test "arith propagates undef" (fun () ->
+        match eval_str [ ("a", Value.Undef) ] "a + 1" with
+        | Expr.Ok x -> Alcotest.check v "undef" Value.Undef x
+        | Expr.Fault -> Alcotest.fail "unexpected fault");
+    test "division by zero is UB" (fun () ->
+        Alcotest.(check bool) "fault" true (eval_str [] "1 / 0" = Expr.Fault));
+    test "division by undef is UB" (fun () ->
+        Alcotest.(check bool) "fault" true
+          (eval_str [ ("a", Value.Undef) ] "1 / a" = Expr.Fault));
+    test "comparison on values" (fun () ->
+        match eval_str [ ("a", Value.Int 2) ] "a < 3 && a > 1" with
+        | Expr.Ok x -> Alcotest.check v "true" Value.one x
+        | Expr.Fault -> Alcotest.fail "unexpected fault");
+    test "unset registers read as zero" (fun () ->
+        match eval_str [] "q + 5" with
+        | Expr.Ok x -> Alcotest.check v "5" (Value.Int 5) x
+        | Expr.Fault -> Alcotest.fail "unexpected fault");
+    test "footprint separates na and atomic" (fun () ->
+        let s =
+          Parser.stmt_of_string
+            "a = X.load(na); Y.store(rel, 1); b = cas(Z, 0, 1); W.store(na, 2)"
+        in
+        let fp = Stmt.footprint s in
+        Alcotest.(check (list string)) "na" [ "W"; "X" ]
+          (Loc.Set.elements fp.Stmt.na);
+        Alcotest.(check (list string)) "at" [ "Y"; "Z" ]
+          (Loc.Set.elements fp.Stmt.at));
+    test "mixed access detection" (fun () ->
+        let s = Parser.stmt_of_string "a = X.load(na); X.store(rlx, 1)" in
+        Alcotest.(check (list string)) "mixed" [ "X" ]
+          (Loc.Set.elements (Stmt.mixed_locations s)));
+    test "parser round-trip" (fun () ->
+        let src =
+          "a = X.load(na); if a == 1 { Y.store(rel, a + 1) } else { \
+           while a < 3 { a = a + 1 } }; b = freeze(a); print(b); return b"
+        in
+        let s1 = Parser.stmt_of_string src in
+        let s2 = Parser.stmt_of_string (Stmt.to_string s1) in
+        Alcotest.(check string) "round-trip" (Stmt.to_string s1) (Stmt.to_string s2));
+    test "parser rejects bad mode" (fun () ->
+        Alcotest.check_raises "bad mode"
+          (Parser.Error "1:12: invalid read mode \"sc\"") (fun () ->
+            ignore (Parser.stmt_of_string "a = X.load(sc)")));
+    test "threads split on |||" (fun () ->
+        let ts = Parser.threads_of_string "return 1 ||| return 2 ||| return 3" in
+        Alcotest.(check int) "3 threads" 3 (List.length ts));
+    test "branching on undef is UB" (fun () ->
+        let st = Prog.init (Parser.stmt_of_string "if 1/0 { skip }; return 1") in
+        (match Prog.step st with
+         | Prog.Undefined -> ()
+         | _ -> Alcotest.fail "expected UB"));
+    test "freeze of a defined value is silent" (fun () ->
+        let st = Prog.init (Parser.stmt_of_string "a = freeze(4); return a") in
+        match Prog.step st with
+        | Prog.Silent _ -> ()
+        | _ -> Alcotest.fail "expected silent step");
+    test "freeze of undef offers choices" (fun () ->
+        let st = Prog.init (Parser.stmt_of_string "a = freeze(undef); return a") in
+        let rec run st n =
+          if n > 10 then Alcotest.fail "did not terminate"
+          else
+            match Prog.step st with
+            | Prog.Terminated x -> x
+            | Prog.Silent st' -> run st' (n + 1)
+            | _ -> Alcotest.fail "unexpected label"
+        in
+        match Prog.step st with
+        | Prog.Choice f -> Alcotest.check v "7" (Value.Int 7) (run (f (Value.Int 7)) 0)
+        | _ -> Alcotest.fail "expected choice");
+    test "program end returns 0 after one silent step" (fun () ->
+        match Prog.step (Prog.init Stmt.Skip) with
+        | Prog.Silent st' ->
+          (match Prog.step st' with
+           | Prog.Terminated x -> Alcotest.check v "0" Value.zero x
+           | _ -> Alcotest.fail "expected termination")
+        | _ -> Alcotest.fail "expected silent implicit-return step");
+    test "while loops unfold" (fun () ->
+        let st =
+          Prog.init (Parser.stmt_of_string "i = 0; while i < 3 { i = i + 1 }; return i")
+        in
+        let rec run st n =
+          if n > 100 then Alcotest.fail "did not terminate"
+          else
+            match Prog.step st with
+            | Prog.Terminated x -> x
+            | Prog.Silent st' -> run st' (n + 1)
+            | _ -> Alcotest.fail "unexpected label"
+        in
+        Alcotest.check v "3" (Value.Int 3) (run st 0));
+  ]
+
+(* Corpus sanity: every catalog entry parses, has a unique name, and
+   respects the SEQ location conventions. *)
+let catalog_sanity =
+  [
+    test "litmus corpus is well-formed" (fun () ->
+        let names = Hashtbl.create 64 in
+        List.iter
+          (fun (tr : Litmus.Catalog.transformation) ->
+            let n = tr.Litmus.Catalog.name in
+            if Hashtbl.mem names n then Alcotest.failf "duplicate name %s" n;
+            Hashtbl.add names n ();
+            let src = Parser.stmt_of_string tr.Litmus.Catalog.src in
+            let tgt = Parser.stmt_of_string tr.Litmus.Catalog.tgt in
+            (* each side must be internally unmixed (SEQ precondition) *)
+            List.iter
+              (fun s ->
+                if not (Loc.Set.is_empty (Stmt.mixed_locations s)) then
+                  Alcotest.failf "mixed-mode location in %s" n)
+              [ src; tgt ])
+          Litmus.Catalog.transformations;
+        List.iter
+          (fun (c : Litmus.Catalog.concurrent) ->
+            ignore (Parser.threads_of_string c.Litmus.Catalog.threads))
+          Litmus.Catalog.concurrent_programs;
+        List.iter
+          (fun (_, ctx) -> ignore (Parser.threads_of_string ctx))
+          Litmus.Catalog.contexts);
+  ]
+
+let suite = suite @ catalog_sanity

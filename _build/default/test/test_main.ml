@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "promising_seq"
+    [
+      ("lang", Test_lang.suite);
+      ("substrate", Test_substrate.suite);
+      ("seq-behavior", Test_behavior.suite);
+      ("seq-refine", Test_seq_refine.suite);
+      ("seq-advanced", Test_seq_advanced.suite);
+      ("seq-oracle", Test_oracle.suite);
+      ("promising", Test_promising.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("baselines", Test_baselines.suite);
+      ("adequacy", Test_adequacy.suite);
+      ("properties", Test_properties.suite);
+    ]

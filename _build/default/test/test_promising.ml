@@ -1,0 +1,292 @@
+(* PS_na (§5): exhaustive bounded exploration of the paper's concurrent
+   examples and the classic litmus shapes the promising semantics is
+   calibrated on. *)
+
+open Lang
+module M = Promising.Machine
+
+let params = Promising.Thread.default_params
+
+let explore ?(params = params) src =
+  M.explore ~params (Parser.threads_of_string src)
+
+let ret vs = M.Ret (List.map (fun v -> (v, [])) vs)
+let i n = Value.Int n
+let u = Value.Undef
+
+let has r b = M.Behavior_set.mem b r.M.behaviors
+let complete r = not r.M.truncated
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.(check bool) msg
+
+let suite =
+  [
+    test "SB-rlx allows both-zero" (fun () ->
+        let r = explore
+            "X.store(rlx,1); a = Y.load(rlx); return a ||| \
+             Y.store(rlx,1); b = X.load(rlx); return b"
+        in
+        check_bool "complete" true (complete r);
+        check_bool "0,0" true (has r (ret [ i 0; i 0 ]));
+        check_bool "1,1" true (has r (ret [ i 1; i 1 ])));
+    test "SB-rel-acq still allows both-zero" (fun () ->
+        let r = explore
+            "X.store(rel,1); a = Y.load(acq); return a ||| \
+             Y.store(rel,1); b = X.load(acq); return b"
+        in
+        check_bool "0,0" true (has r (ret [ i 0; i 0 ])));
+    test "MP-rel-acq forbids stale and racy reads" (fun () ->
+        let r = explore
+            "X.store(na,1); Y.store(rel,1); return 0 ||| \
+             a = Y.load(acq); if a == 1 { b = X.load(na) }; return 10*a+b"
+        in
+        check_bool "complete" true (complete r);
+        check_bool "synchronised" true (has r (ret [ i 0; i 11 ]));
+        check_bool "no stale" false (has r (ret [ i 0; i 10 ]));
+        check_bool "no undef" false (has r (ret [ i 0; u ]));
+        check_bool "no UB" false (has r M.Bot));
+    test "MP-rlx allows racy undef" (fun () ->
+        let r = explore
+            "X.store(na,1); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); if a == 1 { b = X.load(na) }; return b"
+        in
+        check_bool "undef read" true (has r (ret [ i 0; u ]));
+        check_bool "no UB" false (has r M.Bot));
+    test "LB-rlx allows 1,1 (promises)" (fun () ->
+        let r = explore
+            "a = X.load(rlx); Y.store(rlx,1); return a ||| \
+             b = Y.load(rlx); X.store(rlx,1); return b"
+        in
+        check_bool "1,1" true (has r (ret [ i 1; i 1 ])));
+    test "LB-data forbids thin-air" (fun () ->
+        let r = explore
+            "a = X.load(rlx); Y.store(rlx,a); return a ||| \
+             b = Y.load(rlx); X.store(rlx,b); return b"
+        in
+        check_bool "complete" true (complete r);
+        check_bool "only 0,0" true
+          (M.Behavior_set.equal r.M.behaviors
+             (M.Behavior_set.singleton (ret [ i 0; i 0 ]))));
+    test "write-write race is UB" (fun () ->
+        let r = explore "X.store(na,1); return 0 ||| X.store(na,2); return 0" in
+        check_bool "⊥" true (has r M.Bot));
+    test "atomic-nonatomic write race is UB" (fun () ->
+        let r = explore "X.store(na,1); return 0 ||| X.store(rlx,2); return 0" in
+        check_bool "⊥" true (has r M.Bot));
+    test "write-read race reads undef, no UB" (fun () ->
+        let r = explore "a = X.load(na); return a ||| X.store(na,1); return 0" in
+        check_bool "undef" true (has r (ret [ u; i 0 ]));
+        check_bool "no ⊥" false (has r M.Bot));
+    test "atomic accesses to the same location do not race" (fun () ->
+        let r = explore "a = X.load(rlx); return a ||| X.store(rlx,1); return 0" in
+        check_bool "no undef" false (has r (ret [ u; i 0 ]));
+        check_bool "no ⊥" false (has r M.Bot));
+    test "coherence: per-location order (CoRR)" (fun () ->
+        let r = explore "X.store(rlx,1); X.store(rlx,2); a = X.load(rlx); return a" in
+        check_bool "reads own latest" true
+          (M.Behavior_set.equal r.M.behaviors (M.Behavior_set.singleton (ret [ i 2 ]))));
+    test "Example 5.1: promise + racy na read" (fun () ->
+        let r = explore
+            "a = X.load(na); Y.store(rlx,1); return a ||| \
+             b = Y.load(rlx); if b == 1 { X.store(na,1) }; return b"
+        in
+        check_bool "a=undef, b=1" true (has r (ret [ u; i 1 ])));
+    test "CAS success and failure" (fun () ->
+        let r = explore "a = cas(X, 0, 1); return a ||| b = cas(X, 0, 2); return b" in
+        check_bool "complete" true (complete r);
+        check_bool "left wins" true (has r (ret [ i 1; i 0 ]));
+        check_bool "right wins" true (has r (ret [ i 0; i 1 ]));
+        check_bool "not both" false (has r (ret [ i 1; i 1 ])));
+    test "fetch-add serialises" (fun () ->
+        let r = explore
+            "a = fadd(X, 1); return a ||| b = fadd(X, 1); return b"
+        in
+        check_bool "0,1" true (has r (ret [ i 0; i 1 ]));
+        check_bool "1,0" true (has r (ret [ i 1; i 0 ]));
+        check_bool "no duplicate" false (has r (ret [ i 0; i 0 ])));
+    test "spinlock via CAS protects a na location" (fun () ->
+        (* classic DRF-by-lock: both threads update X under the lock L *)
+        let r = explore ~params:{ params with promise_budget = 0 }
+            "a = 0; while a == 0 { a = cas(L, 0, 1) }; \
+             t = X.load(na); X.store(na, t + 1); L.store(rel, 0); return 0 ||| \
+             b = 0; while b == 0 { b = cas(L, 0, 1) }; \
+             s = X.load(na); X.store(na, s + 1); L.store(rel, 0); return s"
+        in
+        check_bool "no UB under lock" false (has r M.Bot);
+        check_bool "second sees first" true (has r (ret [ i 0; i 1 ])));
+    test "print outputs are part of behaviors" (fun () ->
+        let r = explore "print(7); return 1" in
+        check_bool "out" true
+          (M.Behavior_set.mem (M.Ret [ (i 1, [ i 7 ]) ]) r.M.behaviors));
+    (* Appendix C / Remark 3: PS disallows reordering an internal choice
+       past a release write — the promise is blocked by the release. *)
+    test "App C: choice before release blocks promise-reorder behavior"
+      (fun () ->
+        let src = "b = choose(); X.store(rel, 0); \
+                   if b == 1 { c = Y.load(rlx); if c == 1 { X.store(rlx,1) } } \
+                   else { X.store(rlx,1) }; return 0 ||| \
+                   a = X.load(rlx); Y.store(rlx, a); return a"
+        in
+        let r = explore ~params:{ params with promise_budget = 1 } src in
+        (* thread 2 must not observe X=1 with b=1-branch printing 1; we
+           check the machine explores without UB and that a=1 requires the
+           else-branch timing: a=1 ∥ feasible, but never via thin air *)
+        check_bool "no UB" false (has r M.Bot));
+  ]
+
+(* Appendix B: the multi-message non-atomic write is needed — a promise of
+   X=2 is fulfilled as a batch extra of the write X :=na 1, letting the
+   *source* of the App B optimization print 1. *)
+let appendix_b =
+  test "App B: batch fulfillment lets the source print 1" (fun () ->
+      let src =
+        "a = X.load(na); Y.store(rlx, a); return 0 ||| \
+         b = Y.load(rlx); c = freeze(b); \
+         if c == 1 { X.store(na, 1); print(1) } else { X.store(na, 2) }; \
+         return c"
+      in
+      let r =
+        explore ~params:{ params with promise_budget = 1; batch_bound = 1 } src
+      in
+      let printed_one =
+        M.Behavior_set.exists
+          (function
+            | M.Ret [ _; (_, outs) ] -> List.mem (i 1) outs
+            | _ -> false)
+          r.M.behaviors
+      in
+      check_bool "print(1) reachable in the source" true printed_one)
+
+(* Appendix C: PS forbids reordering an internal choice (freeze) past a
+   release write — the release blocks the promise, so only the *target*
+   (release hoisted before the freeze) can print 1. *)
+let appendix_c =
+  let pi1 = "a = X.load(rlx); Y.store(rlx, a); return a" in
+  let src_pi2 =
+    "b = freeze(undef); X.store(rel, 0); \
+     if b == 1 { c = Y.load(rlx); if c == 1 { X.store(rlx, 1); print(1) } } \
+     else { X.store(rlx, 1) }; return b"
+  in
+  let tgt_pi2 =
+    "X.store(rel, 0); b = freeze(undef); \
+     if b == 1 { c = Y.load(rlx); if c == 1 { X.store(rlx, 1); print(1) } } \
+     else { X.store(rlx, 1) }; return b"
+  in
+  let printed_one r =
+    M.Behavior_set.exists
+      (function
+        | M.Ret [ _; (_, outs) ] -> List.mem (i 1) outs
+        | _ -> false)
+      r.M.behaviors
+  in
+  test "App C: freeze;rel-write reorder changes PS behaviors" (fun () ->
+      let p = { params with promise_budget = 1 } in
+      let r_src = explore ~params:p (pi1 ^ " ||| " ^ src_pi2) in
+      let r_tgt = explore ~params:p (pi1 ^ " ||| " ^ tgt_pi2) in
+      check_bool "source cannot print 1" false (printed_one r_src);
+      check_bool "target can print 1" true (printed_one r_tgt);
+      check_bool "so the reordering is not a PS refinement" false
+        (M.refines ~src:r_src.M.behaviors ~tgt:r_tgt.M.behaviors))
+
+let suite = suite @ [ appendix_b; appendix_c ]
+
+(* §5 "Results": strengthening non-atomic accesses to atomic ones is sound
+   in PS_na (checked contextually — it is a PS-level theorem, not a SEQ
+   transformation, since it changes the location's access class). *)
+let strengthening =
+  [
+    test "strengthening na read to rlx is a PS_na refinement" (fun () ->
+        let ctx = " ||| X.store(rlx, 1); return 0" in
+        let rs = explore ("a = X.load(na); return a" ^ ctx) in
+        let rt = explore ("a = X.load(rlx); return a" ^ ctx) in
+        check_bool "refines" true
+          (M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors));
+    test "strengthening na write to rel is a PS_na refinement" (fun () ->
+        let ctx = " ||| a = X.load(rlx); return a" in
+        let rs = explore ("X.store(na, 1); return 0" ^ ctx) in
+        let rt = explore ("X.store(rel, 1); return 0" ^ ctx) in
+        check_bool "refines" true
+          (M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors));
+    test "weakening rlx to na is NOT a PS_na refinement" (fun () ->
+        (* the na target races (undef, even UB) where the rlx source
+           cannot *)
+        let ctx = " ||| X.store(rlx, 1); return 0" in
+        let rs = explore ("a = X.load(rlx); return a" ^ ctx) in
+        let rt = explore ("a = X.load(na); return a" ^ ctx) in
+        check_bool "does not refine" false
+          (M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors));
+  ]
+
+let suite = suite @ strengthening
+
+(* Fences (PS2-style view triples, extension): a release fence before a
+   relaxed flag write synchronises with an acquire fence after a relaxed
+   flag read — MP without rel/acq accesses. *)
+let fences =
+  [
+    test "fence MP: rel-fence + rlx flag synchronises via acq-fence"
+      (fun () ->
+        let r =
+          explore
+            "X.store(na,1); fence(rel); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); fence(acq); if a == 1 { b = X.load(na) }; \
+             return 10*a+b"
+        in
+        check_bool "complete" true (complete r);
+        check_bool "synchronised read" true (has r (ret [ i 0; i 11 ]));
+        check_bool "no stale read" false (has r (ret [ i 0; i 10 ]));
+        check_bool "no racy undef" false (has r (ret [ i 0; u ]));
+        check_bool "no UB" false (has r M.Bot));
+    test "fence MP: missing acq fence leaves the race" (fun () ->
+        let r =
+          explore
+            "X.store(na,1); fence(rel); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); if a == 1 { b = X.load(na) }; return b"
+        in
+        check_bool "racy undef possible" true (has r (ret [ i 0; u ])));
+    test "fence MP: missing rel fence leaves the race" (fun () ->
+        let r =
+          explore
+            "X.store(na,1); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); fence(acq); if a == 1 { b = X.load(na) }; \
+             return b"
+        in
+        check_bool "racy undef possible" true (has r (ret [ i 0; u ])));
+    test "fences do not make SB sequentially consistent" (fun () ->
+        let r =
+          explore
+            "Y.store(rlx,1); fence(acqrel); a = Z.load(rlx); return a ||| \
+             Z.store(rlx,1); fence(acqrel); b = Y.load(rlx); return b"
+        in
+        (* PS2-style acq/rel fences are not SC fences: both-zero remains *)
+        check_bool "0,0 allowed" true (has r (ret [ i 0; i 0 ])));
+  ]
+
+let suite = suite @ fences
+
+(* SC fences (PS2-style global SC view, extension): SB with SC fences
+   recovers sequential consistency — both-zero is forbidden. *)
+let sc_fences =
+  [
+    test "SC fences forbid SB both-zero" (fun () ->
+        let r =
+          explore
+            "Y.store(rlx,1); fence(sc); a = Z.load(rlx); return a ||| \
+             Z.store(rlx,1); fence(sc); b = Y.load(rlx); return b"
+        in
+        check_bool "complete" true (complete r);
+        check_bool "no 0,0" false (has r (ret [ i 0; i 0 ]));
+        check_bool "0,1 still there" true (has r (ret [ i 0; i 1 ])));
+    test "SC fence also synchronises like rel-acq fences" (fun () ->
+        let r =
+          explore
+            "X.store(na,1); fence(sc); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); fence(sc); if a == 1 { b = X.load(na) }; \
+             return 10*a+b"
+        in
+        check_bool "synchronised" true (has r (ret [ i 0; i 11 ]));
+        check_bool "no racy undef" false (has r (ret [ i 0; u ])));
+  ]
+
+let suite = suite @ sc_fences

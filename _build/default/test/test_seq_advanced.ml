@@ -1,0 +1,47 @@
+(* Advanced behavioral refinement (§3, Def 3.3) over the litmus corpus,
+   plus Proposition 3.4 (simple implies advanced) as a meta-check on every
+   corpus entry. *)
+
+open Lang
+module C = Litmus.Catalog
+
+let values = Domain.default_values
+
+let parse_pair (tr : C.transformation) =
+  let src = Parser.stmt_of_string tr.C.src in
+  let tgt = Parser.stmt_of_string tr.C.tgt in
+  let d = Domain.of_stmts ~values [ src; tgt ] in
+  (d, src, tgt)
+
+let suite =
+  List.map
+    (fun (tr : C.transformation) ->
+      let name = Printf.sprintf "%s [%s]" tr.C.name tr.C.paper_ref in
+      Alcotest.test_case name `Quick (fun () ->
+          let d, src, tgt = parse_pair tr in
+          let got =
+            if Seq_model.Advanced.check d ~src ~tgt then C.Sound else C.Unsound
+          in
+          Alcotest.(check string)
+            "advanced refinement verdict"
+            (C.verdict_to_string tr.C.advanced)
+            (C.verdict_to_string got)))
+    C.transformations
+
+(* Prop 3.4: σ_tgt ⊑ σ_src ⇒ σ_tgt ⊑w σ_src — as computed, not just as
+   recorded in the catalog. *)
+let prop_3_4_suite =
+  [
+    Alcotest.test_case "Prop 3.4 over the corpus" `Slow (fun () ->
+        List.iter
+          (fun (tr : C.transformation) ->
+            let d, src, tgt = parse_pair tr in
+            let simple = Seq_model.Refine.check d ~src ~tgt in
+            if simple then
+              let adv = Seq_model.Advanced.check d ~src ~tgt in
+              if not adv then
+                Alcotest.failf "Prop 3.4 violated on %s" tr.C.name)
+          C.transformations);
+  ]
+
+let suite = suite @ prop_3_4_suite

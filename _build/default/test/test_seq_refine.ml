@@ -1,0 +1,78 @@
+(* Simple behavioral refinement in SEQ (§2, Def 2.4) over the whole litmus
+   corpus: every transformation the paper validates must be accepted, every
+   counterexample refuted — with the expected verdicts recorded in
+   Litmus.Catalog. *)
+
+open Lang
+module C = Litmus.Catalog
+
+let values = Domain.default_values
+
+let check_simple (tr : C.transformation) =
+  let src = Parser.stmt_of_string tr.C.src in
+  let tgt = Parser.stmt_of_string tr.C.tgt in
+  let d = Domain.of_stmts ~values [ src; tgt ] in
+  if Seq_model.Refine.check d ~src ~tgt then C.Sound else C.Unsound
+
+let suite =
+  List.map
+    (fun (tr : C.transformation) ->
+      let name = Printf.sprintf "%s [%s]" tr.C.name tr.C.paper_ref in
+      Alcotest.test_case name `Quick (fun () ->
+          Alcotest.(check string)
+            "simple refinement verdict"
+            (C.verdict_to_string tr.C.simple)
+            (C.verdict_to_string (check_simple tr))))
+    C.transformations
+
+(* The quantify-written flag must not change any verdict: all F-conditions
+   are monotone in a common initial F (see Refine.initial_pairs). *)
+let written_quantification_suite =
+  let pick =
+    [ "overwritten-store-elim"; "na-write-then-rel"; "store-intro-after-rel" ]
+  in
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun (tr : C.transformation) ->
+          Alcotest.test_case ("quantify-written: " ^ name) `Quick (fun () ->
+              let src = Parser.stmt_of_string tr.C.src in
+              let tgt = Parser.stmt_of_string tr.C.tgt in
+              let d = Domain.of_stmts ~values [ src; tgt ] in
+              let v1 = Seq_model.Refine.check d ~src ~tgt in
+              let v2 =
+                Seq_model.Refine.check ~quantify_written:true d ~src ~tgt
+              in
+              Alcotest.(check bool) "same verdict" v1 v2))
+        (C.find_transformation name))
+    pick
+
+let suite = suite @ written_quantification_suite
+
+(* Every refuted transformation must come with an extractable
+   counterexample; validated ones must not. *)
+let counterexample_suite =
+  [
+    Alcotest.test_case "counterexamples exist exactly for refuted entries"
+      `Quick (fun () ->
+        List.iter
+          (fun (tr : C.transformation) ->
+            let src = Parser.stmt_of_string tr.C.src in
+            let tgt = Parser.stmt_of_string tr.C.tgt in
+            let d = Domain.of_stmts ~values [ src; tgt ] in
+            let roots =
+              Seq_model.Refine.initial_pairs d ~src:(Prog.init src)
+                ~tgt:(Prog.init tgt)
+            in
+            let cex = Seq_model.Refine.find_counterexample d roots in
+            match tr.C.simple, cex with
+            | C.Sound, Some c ->
+              Alcotest.failf "unexpected counterexample for %s: %s" tr.C.name
+                c.Seq_model.Refine.reason
+            | C.Unsound, None ->
+              Alcotest.failf "missing counterexample for %s" tr.C.name
+            | C.Sound, None | C.Unsound, Some _ -> ())
+          C.transformations);
+  ]
+
+let suite = suite @ counterexample_suite

@@ -1,0 +1,114 @@
+(* Unit tests for the PS_na substrate: rational timestamps, views, view
+   triples, and message memories. *)
+
+open Lang
+module T = Promising.Time
+module V = Promising.View
+module Tv = Promising.Tview
+module Mem = Promising.Memory
+module Msg = Promising.Message
+
+let test name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.(check bool) msg
+let x = Loc.make "X"
+let y = Loc.make "Y"
+
+let msg ?(attached = false) loc ts v =
+  {
+    Msg.loc;
+    ts = T.make ts 1;
+    attached;
+    payload = Msg.Concrete { value = Value.Int v; view = V.bot };
+  }
+
+let suite =
+  [
+    test "Time: exact rationals" (fun () ->
+        let a = T.make 1 3 and b = T.make 2 6 in
+        check_bool "1/3 = 2/6" true (T.equal a b);
+        check_bool "normalized" true (T.equal (T.make (-2) (-6)) a);
+        let m = T.between T.zero T.one in
+        check_bool "0 < mid" true (T.lt T.zero m);
+        check_bool "mid < 1" true (T.lt m T.one);
+        check_bool "above" true (T.lt T.one (T.above T.one)));
+    test "Time: between is strictly inside arbitrarily often" (fun () ->
+        let rec go lo hi n =
+          if n = 0 then ()
+          else begin
+            let m = T.between lo hi in
+            check_bool "lo<m" true (T.lt lo m);
+            check_bool "m<hi" true (T.lt m hi);
+            go lo m (n - 1)
+          end
+        in
+        go T.zero T.one 12);
+    test "View: join and order" (fun () ->
+        let v1 = V.singleton x T.one in
+        let v2 = V.singleton y (T.make 2 1) in
+        let j = V.join v1 v2 in
+        check_bool "x" true (T.equal (V.find x j) T.one);
+        check_bool "y" true (T.equal (V.find y j) (T.make 2 1));
+        check_bool "v1 ⊑ j" true (V.le v1 j);
+        check_bool "j ⋢ v1" false (V.le j v1);
+        check_bool "bot is bot" true (V.is_bot V.bot);
+        check_bool "zero entries are canonical" true
+          (V.equal V.bot (V.set x T.zero V.bot)));
+    test "Tview: read/write/fence effects" (fun () ->
+        let mv = V.singleton y (T.make 3 1) in
+        (* rlx read: cur gets the timestamp, acq additionally the message
+           view *)
+        let v = Tv.read x T.one ~mview:mv ~sync:false ~track:true Tv.bot in
+        check_bool "cur has x" true (T.equal (V.find x v.Tv.cur) T.one);
+        check_bool "cur misses y" true (T.equal (V.find y v.Tv.cur) T.zero);
+        check_bool "acq has y" true (T.equal (V.find y v.Tv.acq) (T.make 3 1));
+        (* acquire fence promotes acq into cur *)
+        let v' = Tv.acq_fence v in
+        check_bool "after F^acq cur has y" true
+          (T.equal (V.find y v'.Tv.cur) (T.make 3 1));
+        (* release fence publishes cur *)
+        let v'' = Tv.rel_fence v' in
+        check_bool "rel view published" true (V.le v'.Tv.cur v''.Tv.rel));
+    test "Memory: insertion positions respect attachment" (fun () ->
+        let mem = Mem.init [ x ] in
+        let mem = Mem.add mem (msg x 2 1) in
+        (* positions: between init@0 and @2, and above @2 *)
+        check_bool "two gaps" true
+          (List.length (Mem.insert_positions mem x) = 2);
+        let mem = Mem.add mem (msg ~attached:true x 3 2) in
+        (* the slot in front of the attached message is gone *)
+        let ps = Mem.insert_positions mem x in
+        check_bool "attached blocks its gap" true (List.length ps = 2);
+        List.iter
+          (fun (ts, _) ->
+            check_bool "not between 2 and 3" false
+              (T.lt (T.make 2 1) ts && T.lt ts (T.make 3 1)))
+          ps);
+    test "Memory: readable respects the view floor" (fun () ->
+        let mem = Mem.init [ x ] in
+        let mem = Mem.add mem (msg x 2 1) in
+        let mem = Mem.add mem (msg x 4 2) in
+        check_bool "all at 0" true (List.length (Mem.readable mem x T.zero) = 3);
+        check_bool "two at 2" true
+          (List.length (Mem.readable mem x (T.make 2 1)) = 2);
+        check_bool "one at 3" true
+          (List.length (Mem.readable mem x (T.make 3 1)) = 1));
+    test "Memory: successor" (fun () ->
+        let mem = Mem.init [ x ] in
+        let m1 = msg x 2 1 in
+        let mem = Mem.add mem m1 in
+        (match Mem.successor mem m1 with
+         | None -> ()
+         | Some _ -> Alcotest.fail "m1 is last");
+        let m2 = msg x 4 2 in
+        let mem = Mem.add mem m2 in
+        match Mem.successor mem m1 with
+        | Some m when Msg.equal m m2 -> ()
+        | _ -> Alcotest.fail "successor of m1 should be m2");
+    test "Memory: SC view round-trips" (fun () ->
+        let mem = Mem.init [ x ] in
+        check_bool "initially bot" true (V.is_bot (Mem.sc_view mem));
+        let v = V.singleton x T.one in
+        let mem = Mem.with_sc_view mem v in
+        check_bool "updated" true (V.equal (Mem.sc_view mem) v);
+        check_bool "compare sees it" false (Mem.compare mem (Mem.init [ x ]) = 0));
+  ]
