@@ -6,16 +6,27 @@
     micro-benchmarks (P1–P5) for the throughput of the checkers, the
     explorer, and the optimizer.
 
+    The heavy matrices (E1/E2, E4, E5) are swept in parallel by the
+    engine (lib/engine, docs/ENGINE.md); [--jobs N] sets the domain
+    count.  Swept tables are byte-identical for every N except the
+    wall-clock columns (ms / "swept in" lines).
+
     Usage: dune exec bench/main.exe [-- --full] [-- --no-bechamel]
+    [-- --jobs N]
     [--full] also sweeps the complete adequacy matrix (E5) instead of the
     default slice. *)
 
 open Lang
 module C = Litmus.Catalog
 module M = Promising.Machine
+module Matrix = Litmus.Matrix
 
 let header title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* Wall-clock line for a swept table: timing only, everything above it is
+   deterministic. *)
+let swept_in jobs ms = Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs
 
 let values = Domain.default_values
 
@@ -23,32 +34,11 @@ let values = Domain.default_values
 (* E1/E2: the transformation soundness matrix                           *)
 (* ------------------------------------------------------------------ *)
 
-let transformation_matrix () =
+let transformation_matrix ~pool () =
   header "E1/E2 — Transformation soundness matrix (SEQ, Def 2.4 and Def 3.3)";
-  Fmt.pr "%-32s %-26s %-18s %-18s %s@." "name" "paper ref" "simple(exp/got)"
-    "advanced(exp/got)" "ok";
-  let mismatches = ref 0 in
-  List.iter
-    (fun (tr : C.transformation) ->
-      let src = Parser.stmt_of_string tr.C.src in
-      let tgt = Parser.stmt_of_string tr.C.tgt in
-      let d = Domain.of_stmts ~values [ src; tgt ] in
-      let simple = Seq_model.Refine.check d ~src ~tgt in
-      let advanced = if simple then true else Seq_model.Advanced.check d ~src ~tgt in
-      let verdict b = if b then C.Sound else C.Unsound in
-      let ok = verdict simple = tr.C.simple && verdict advanced = tr.C.advanced in
-      if not ok then incr mismatches;
-      Fmt.pr "%-32s %-26s %-18s %-18s %s@." tr.C.name tr.C.paper_ref
-        (Printf.sprintf "%s/%s"
-           (C.verdict_to_string tr.C.simple)
-           (C.verdict_to_string (verdict simple)))
-        (Printf.sprintf "%s/%s"
-           (C.verdict_to_string tr.C.advanced)
-           (C.verdict_to_string (verdict advanced)))
-        (if ok then "ok" else "MISMATCH"))
-    C.transformations;
-  Fmt.pr "-- %d transformations, %d mismatches@."
-    (List.length C.transformations) !mismatches
+  let rows, ms = Engine.Stats.timed (fun () -> Matrix.e12_rows ~pool ()) in
+  Fmt.pr "%s" (Matrix.render_e12 ~stats:true rows);
+  swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
 (* E3: the certified optimizer                                          *)
@@ -111,23 +101,17 @@ let optimizer_table () =
 (* E4: PS_na litmus outcomes                                            *)
 (* ------------------------------------------------------------------ *)
 
-let litmus_table () =
+let litmus_table ~pool () =
   header "E4 — PS_na behaviors of the paper's concurrent programs (Fig 5)";
-  Fmt.pr "%-12s %-18s %-8s %-7s %s@." "litmus" "paper ref" "states" "races"
-    "behaviors";
-  List.iter
-    (fun (c : C.concurrent) ->
-      let r = M.explore (Parser.threads_of_string c.C.threads) in
-      Fmt.pr "%-12s %-18s %-8d %-7b %a%s@." c.C.cname c.C.cref r.M.states
-        r.M.races M.pp_behaviors r.M.behaviors
-        (if r.M.truncated then " (TRUNCATED)" else ""))
-    C.concurrent_programs
+  let rows, ms = Engine.Stats.timed (fun () -> Matrix.e4_rows ~pool ()) in
+  Fmt.pr "%s" (Matrix.render_e4 ~stats:true rows);
+  swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
 (* E5: adequacy                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let adequacy_table ~full () =
+let adequacy_table ~pool ~full () =
   header
     (if full then "E5 — Adequacy (Thm 6.2): full corpus × context matrix"
      else "E5 — Adequacy (Thm 6.2): corpus slice (use --full for the matrix)");
@@ -138,22 +122,12 @@ let adequacy_table ~full () =
   let contexts =
     if full then C.contexts else List.filteri (fun i _ -> i < 4) C.contexts
   in
-  Fmt.pr "%-32s %-9s %-11s %s@." "transformation" "SEQ-adv" "PS-refines" "ok";
-  let violations = ref 0 in
-  List.iter
-    (fun (tr : C.transformation) ->
-      let row = Litmus.Adequacy.check_transformation ~contexts tr in
-      let all_refine =
-        List.for_all (fun (_, ok, _) -> ok) row.Litmus.Adequacy.contexts
-      in
-      let ok = Litmus.Adequacy.row_ok row in
-      if not ok then incr violations;
-      Fmt.pr "%-32s %-9b %-11b %s@." tr.C.name row.Litmus.Adequacy.seq_advanced
-        all_refine
-        (if ok then "ok" else "ADEQUACY VIOLATION"))
-    corpus;
-  Fmt.pr "-- %d rows x %d contexts, %d adequacy violations@."
-    (List.length corpus) (List.length contexts) !violations
+  let rows, ms =
+    Engine.Stats.timed (fun () ->
+        Litmus.Adequacy.run ~pool ~contexts ~corpus ())
+  in
+  Fmt.pr "%s" (Matrix.render_e5 ~stats:true rows);
+  swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
 (* E6: catch-fire comparison                                            *)
@@ -334,16 +308,24 @@ let bechamel_benches () =
 
 (* ------------------------------------------------------------------ *)
 
+let rec parse_jobs = function
+  | [] -> None
+  | "--jobs" :: v :: _ -> int_of_string_opt v
+  | _ :: rest -> parse_jobs rest
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
-  transformation_matrix ();
+  let jobs = Option.value (parse_jobs args) ~default:1 in
+  let pool = Engine.Pool.create ~jobs () in
+  transformation_matrix ~pool ();
   optimizer_table ();
-  litmus_table ();
-  adequacy_table ~full ();
+  litmus_table ~pool ();
+  adequacy_table ~pool ~full ();
   catchfire_table ();
   drf_table ();
   determinism_table ();
+  Engine.Pool.shutdown pool;
   if not no_bechamel then bechamel_benches ();
   Fmt.pr "@.done.@."

@@ -2,7 +2,9 @@
 
     The input is a WHILE program with threads separated by [|||]; the tool
     prints the exhaustively explored behavior set (bounded promises), and
-    optionally the SC / catch-fire baselines and the DRF report. *)
+    optionally the SC / catch-fire baselines and the DRF report.
+    [--all] instead sweeps the whole built-in catalog in parallel
+    ([--jobs N], engine-backed; see docs/ENGINE.md). *)
 
 open Cmdliner
 open Lang
@@ -11,8 +13,27 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all In_channel.stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
-let run input promises batch max_states compare_baselines named =
+let run_all params jobs =
+  let rows, ms =
+    Engine.Stats.timed (fun () -> Litmus.Matrix.e4_rows ~jobs ~params ())
+  in
+  Fmt.pr "%s" (Litmus.Matrix.render_e4 ~stats:true rows);
+  Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+  if List.exists (fun (r : Litmus.Matrix.e4_row) -> r.truncated) rows then 3
+  else 0
+
+let run input promises batch max_states compare_baselines named all jobs =
   try
+    let params =
+      {
+        Promising.Thread.default_params with
+        promise_budget = promises;
+        batch_bound = batch;
+        max_states;
+      }
+    in
+    if all then run_all params jobs
+    else
     let text =
       match named with
       | Some n ->
@@ -32,14 +53,6 @@ let run input promises batch max_states compare_baselines named =
       | None -> read_input input
     in
     let progs = Parser.threads_of_string text in
-    let params =
-      {
-        Promising.Thread.default_params with
-        promise_budget = promises;
-        batch_bound = batch;
-        max_states;
-      }
-    in
     let r = Promising.Machine.explore ~params progs in
     Fmt.pr "PS_na behaviors (%d states%s%s):@.  %a@." r.Promising.Machine.states
       (if r.Promising.Machine.truncated then ", TRUNCATED" else "")
@@ -81,10 +94,18 @@ let named =
   Arg.(value & opt (some string) None & info [ "name" ]
          ~doc:"Run a named litmus test from the built-in catalog.")
 
+let all =
+  Arg.(value & flag & info [ "all" ]
+         ~doc:"Sweep every litmus test of the built-in catalog (parallel).")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ]
+         ~doc:"Worker domains for the --all sweep.")
+
 let cmd =
   Cmd.v
     (Cmd.info "litmus_run" ~version:"1.0"
        ~doc:"PS_na litmus-test explorer (PLDI 2022)")
-    Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines $ named)
+    Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines $ named $ all $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,15 +2,34 @@
 
     Usage: seqcheck SRC.wm TGT.wm — checks whether TGT (weakly)
     behaviorally refines SRC over the finite domain (Def 2.4 / Def 3.3).
-    Exit code 0: refines; 3: does not. *)
+    Exit code 0: refines; 3: does not.
+
+    [--corpus] instead re-checks the whole built-in transformation corpus
+    against its expected verdicts, swept in parallel ([--jobs N],
+    engine-backed; see docs/ENGINE.md).  Exit 0: all verdicts match. *)
 
 open Cmdliner
 open Lang
 
 let read path = In_channel.with_open_text path In_channel.input_all
 
-let run src_path tgt_path values advanced_only =
+let run_corpus jobs =
+  let rows, ms =
+    Engine.Stats.timed (fun () -> Litmus.Matrix.e12_rows ~jobs ())
+  in
+  Fmt.pr "%s" (Litmus.Matrix.render_e12 ~stats:true rows);
+  Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+  if List.for_all Litmus.Matrix.e12_ok rows then 0 else 3
+
+let run src_path tgt_path values advanced_only corpus jobs =
   try
+    if corpus then run_corpus jobs
+    else
+    match src_path, tgt_path with
+    | None, _ | _, None ->
+      Fmt.epr "error: SRC and TGT are required (or use --corpus)@.";
+      1
+    | Some src_path, Some tgt_path ->
     let src = Parser.stmt_of_string (read src_path) in
     let tgt = Parser.stmt_of_string (read tgt_path) in
     let values = List.map (fun n -> Value.Int n) values in
@@ -46,8 +65,8 @@ let run src_path tgt_path values advanced_only =
       (Loc.name x);
     1
 
-let src = Arg.(required & pos 0 (some file) None & info [] ~docv:"SRC")
-let tgt = Arg.(required & pos 1 (some file) None & info [] ~docv:"TGT")
+let src = Arg.(value & pos 0 (some file) None & info [] ~docv:"SRC")
+let tgt = Arg.(value & pos 1 (some file) None & info [] ~docv:"TGT")
 
 let values =
   Arg.(value & opt (list int) [ 0; 1; 2 ] & info [ "values" ] ~docv:"INTS"
@@ -57,10 +76,18 @@ let advanced_only =
   Arg.(value & flag & info [ "advanced-only" ]
          ~doc:"Skip the simple-notion check.")
 
+let corpus =
+  Arg.(value & flag & info [ "corpus" ]
+         ~doc:"Re-check the built-in transformation corpus (parallel).")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ]
+         ~doc:"Worker domains for the --corpus sweep.")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqcheck" ~version:"1.0"
        ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
-    Term.(const run $ src $ tgt $ values $ advanced_only)
+    Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -18,7 +18,10 @@
     - {!Opt}: the certified optimizer (§4, App D): SLF, LLF, DSE, LICM,
       and per-run translation validation in SEQ;
     - {!Litmus}: the paper's examples as a machine-readable corpus, and
-      the empirical adequacy experiment (Thm 6.2).
+      the empirical adequacy experiment (Thm 6.2);
+    - {!Engine}: the multicore sweep engine the experiment matrices run
+      on, with a parallel = sequential determinism contract
+      (docs/ENGINE.md).
 
     Quickstart:
     {[
@@ -35,3 +38,4 @@ module Ps = Promising
 module Baselines = Baselines
 module Opt = Optimizer
 module Litmus = Litmus
+module Engine = Engine

@@ -1,0 +1,136 @@
+(** Fixed-size domain pool with a chunked work queue (see pool.mli).
+
+    Synchronization is a single mutex plus two conditions: [work] wakes
+    workers when chunks are enqueued (or at shutdown), [finished] wakes
+    the orchestrator when a job's remaining-item count hits zero.  The
+    job's [remaining] counter counts items {e accounted for} (run or
+    skipped after an escape), so it reaches zero even if a [run]
+    callback violates the no-raise contract — the pool never deadlocks
+    on a raising task. *)
+
+type job = {
+  run : wid:int -> int -> unit;
+  mutable remaining : int;  (* items not yet accounted for *)
+  mutable poison : exn option;  (* first contract-violating exception *)
+}
+
+type range = { job : job; lo : int; hi : int }
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  queue : range Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  size : int;
+}
+
+let size t = t.size
+
+(* Run one range.  Exceptions escaping [job.run] poison the job but
+   still account for the whole range, so [remaining] always drains. *)
+let exec t ~wid (r : range) =
+  (try
+     for i = r.lo to r.hi - 1 do
+       r.job.run ~wid i
+     done
+   with e ->
+     Mutex.lock t.mutex;
+     if r.job.poison = None then r.job.poison <- Some e;
+     Mutex.unlock t.mutex);
+  Mutex.lock t.mutex;
+  r.job.remaining <- r.job.remaining - (r.hi - r.lo);
+  if r.job.remaining <= 0 then Condition.broadcast t.finished;
+  Mutex.unlock t.mutex
+
+let rec worker t wid =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex  (* closed *)
+  else begin
+    let r = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    exec t ~wid r;
+    worker t wid
+  end
+
+let create ?jobs () =
+  let size =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> max 1 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+      size;
+    }
+  in
+  t.domains <-
+    List.init (size - 1) (fun k -> Domain.spawn (fun () -> worker t (k + 1)));
+  t
+
+let run_job t ?chunk ~n run =
+  if n > 0 then begin
+    let job = { run; remaining = n; poison = None } in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (4 * t.size))
+    in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Engine.Pool.run_job: pool is shut down"
+    end;
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + chunk) in
+      Queue.push { job; lo = !lo; hi } t.queue;
+      lo := hi
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The caller participates as worker 0 until the queue is drained,
+       then blocks until in-flight chunks finish. *)
+    let rec drain () =
+      Mutex.lock t.mutex;
+      if not (Queue.is_empty t.queue) then begin
+        let r = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        exec t ~wid:0 r;
+        drain ()
+      end
+      else begin
+        while job.remaining > 0 do
+          Condition.wait t.finished t.mutex
+        done;
+        Mutex.unlock t.mutex
+      end
+    in
+    drain ();
+    match job.poison with None -> () | Some e -> raise e
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

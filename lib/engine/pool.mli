@@ -1,0 +1,43 @@
+(** A fixed-size pool of worker domains draining a chunked work queue.
+
+    The pool owns [size - 1] spawned domains; the caller of {!run_job}
+    participates as worker 0, so [jobs = 1] runs everything synchronously
+    on the calling domain with no spawning at all.  Work is submitted as
+    one job of [n] indexed items, split into contiguous index ranges
+    (chunks) that workers pull off a shared queue under a mutex.
+
+    The pool is an orchestration primitive, not a general scheduler: one
+    job runs at a time, submitted from a single orchestrating domain
+    (concurrent {!run_job} calls are not supported).  See
+    {!Sweep} for the high-level, exception-safe API. *)
+
+type t
+
+(** [create ?jobs ()] spawns a pool with [jobs] worker slots (including
+    the caller).  Default: [Domain.recommended_domain_count ()].  Values
+    are clamped to at least 1. *)
+val create : ?jobs:int -> unit -> t
+
+(** Worker slots, including the calling domain. *)
+val size : t -> int
+
+(** [run_job t ~n run] executes [run ~wid i] for every [i] in
+    [0 .. n-1] across the pool and returns when all items are accounted
+    for.  [wid] is the worker slot (0 = caller) — distinct concurrent
+    invocations always carry distinct [wid]s, so [wid]-indexed state
+    needs no locking.  [chunk] is the queue granularity (default:
+    [max 1 (n / (4 * size))]).
+
+    [run] is expected not to raise; if it does, the first exception
+    observed is re-raised after the job completes (remaining items of
+    the raising chunk are skipped, other chunks still run).  For
+    deterministic error reporting use {!Sweep}, which catches per item. *)
+val run_job : t -> ?chunk:int -> n:int -> (wid:int -> int -> unit) -> unit
+
+(** Signal workers to exit and join them.  Idempotent.  Jobs must not be
+    running. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] runs [f] with a fresh pool and always shuts it
+    down. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

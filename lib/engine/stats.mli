@@ -1,0 +1,22 @@
+(** Per-task timing/stats records for parallel sweeps.
+
+    [wall_ms] is the only field that may legitimately differ between
+    runs (and between [--jobs] settings); [states] and [memo_hits] are
+    deterministic as long as the task's memo tables are task-local (see
+    docs/ENGINE.md for the determinism contract). *)
+
+type task = {
+  wall_ms : float;  (** wall-clock time of the task, milliseconds *)
+  states : int;  (** states / simulation pairs explored *)
+  memo_hits : int;  (** memoization-table hits *)
+}
+
+val zero : task
+val add : task -> task -> task
+val sum : task list -> task
+
+(** [timed f] runs [f ()] and returns its result with the elapsed
+    wall-clock milliseconds (monotonic enough for coarse task timing). *)
+val timed : (unit -> 'a) -> 'a * float
+
+val pp : Format.formatter -> task -> unit

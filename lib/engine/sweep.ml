@@ -1,0 +1,106 @@
+(** Parallel sweeps over a {!Pool} with a sequential contract (see
+    sweep.mli).
+
+    Each task index gets one cell; cells are written by exactly one
+    domain each, and the pool's mutex hand-offs publish them to the
+    orchestrator before [Pool.run_job] returns.  Cancellation is a
+    monotonically decreasing atomic index bound: an event (match or
+    exception) at index [i] stops tasks [> i] from starting, while tasks
+    [< i] always run — which is exactly what makes min-index selection
+    deterministic. *)
+
+type 'b cell =
+  | Empty  (* cancelled before starting *)
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+let cancel_down bound i =
+  let rec go () =
+    let c = Atomic.get bound in
+    if i < c && not (Atomic.compare_and_set bound c i) then go ()
+  in
+  go ()
+
+let with_pool_opt ?pool ?jobs f =
+  match pool with Some p -> f p | None -> Pool.with_pool ?jobs f
+
+(* Core sweep: fill one cell per task, honouring cancellation. *)
+let run_cells ?pool ?jobs ?chunk ~stop ~init ~f tasks =
+  let arr = Array.of_list tasks in
+  let n = Array.length arr in
+  let cells = Array.make n Empty in
+  if n > 0 then
+    with_pool_opt ?pool ?jobs (fun pool ->
+        let envs = Array.make (Pool.size pool) None in
+        let bound = Atomic.make max_int in
+        let run ~wid i =
+          if i < Atomic.get bound then begin
+            let env =
+              match envs.(wid) with
+              | Some e -> e
+              | None ->
+                let e = init () in
+                envs.(wid) <- Some e;
+                e
+            in
+            match f env arr.(i) with
+            | r ->
+              cells.(i) <- Value r;
+              if stop r then cancel_down bound (i + 1)
+            | exception e ->
+              cells.(i) <- Raised (e, Printexc.get_raw_backtrace ());
+              cancel_down bound (i + 1)
+          end
+        in
+        Pool.run_job pool ?chunk ~n run);
+  cells
+
+(* Deterministic collection: re-raise the lowest-index exception, else
+   all cells are values. *)
+let collect cells =
+  let exn = ref None in
+  for i = Array.length cells - 1 downto 0 do
+    match cells.(i) with
+    | Raised (e, bt) -> exn := Some (e, bt)
+    | Value _ | Empty -> ()
+  done;
+  match !exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    Array.to_list
+      (Array.map
+         (function
+           | Value v -> v
+           | Empty | Raised _ -> assert false (* no exception, no stop *))
+         cells)
+
+let run_with ?pool ?jobs ?chunk ~init ~f tasks =
+  collect
+    (run_cells ?pool ?jobs ?chunk ~stop:(fun _ -> false) ~init ~f tasks)
+
+let run ?pool ?jobs ?chunk ~f tasks =
+  run_with ?pool ?jobs ?chunk ~init:(fun () -> ()) ~f:(fun () x -> f x) tasks
+
+let run_timed ?pool ?jobs ?chunk ~f tasks =
+  run ?pool ?jobs ?chunk ~f:(fun x -> Stats.timed (fun () -> f x)) tasks
+
+let find_first ?pool ?jobs ?chunk ~f tasks =
+  let cells =
+    run_cells ?pool ?jobs ?chunk
+      ~stop:(fun r -> Option.is_some r)
+      ~init:(fun () -> ())
+      ~f:(fun () x -> f x)
+      tasks
+  in
+  (* The first decisive cell wins: a lower-index exception beats a
+     higher-index match, as in a sequential left-to-right scan. *)
+  let n = Array.length cells in
+  let rec scan i =
+    if i >= n then None
+    else
+      match cells.(i) with
+      | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Value (Some r) -> Some (i, r)
+      | Value None | Empty -> scan (i + 1)
+  in
+  scan 0

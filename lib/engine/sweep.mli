@@ -1,0 +1,62 @@
+(** Parallel sweeps with a sequential contract.
+
+    Every function here returns results {e in input order} and behaves
+    observationally like its sequential counterpart, whatever [jobs] is:
+
+    - results are collected by task index, never by completion order;
+    - if several tasks raise, the exception of the {e lowest-index}
+      raising task is re-raised (with its backtrace), as a sequential
+      left-to-right run would have done;
+    - {!find_first} returns the match of lowest task index, even when a
+      higher-index worker finds its match earlier in wall-clock time;
+      tasks beyond the best match so far are cancelled, tasks before it
+      always run.
+
+    The determinism contract requires [f] to be observationally pure:
+    given the same task it must return the same value regardless of
+    scheduling.  Per-domain state handed out by {!run_with} may make
+    [f] {e faster} (warm memo tables) but must never change its result
+    — see docs/ENGINE.md.
+
+    [?pool] reuses an existing {!Pool.t} (its size wins); otherwise a
+    temporary pool of [?jobs] slots is created and shut down around the
+    sweep. *)
+
+(** [run ?jobs ~f tasks] = [List.map f tasks], swept across domains. *)
+val run :
+  ?pool:Pool.t -> ?jobs:int -> ?chunk:int -> f:('a -> 'b) -> 'a list -> 'b list
+
+(** [run_with ~init ~f tasks]: like {!run}, but each worker domain
+    lazily creates one ['env] with [init] and passes it to every task it
+    executes (fresh envs per call, never shared across domains) — the
+    hook for per-domain memo/interner tables. *)
+val run_with :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  init:(unit -> 'env) ->
+  f:('env -> 'a -> 'b) ->
+  'a list ->
+  'b list
+
+(** [run_timed ~f tasks]: {!run}, pairing each result with the task's
+    wall-clock milliseconds. *)
+val run_timed :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  f:('a -> 'b) ->
+  'a list ->
+  ('b * float) list
+
+(** [find_first ~f tasks] is [List.find_map]-with-index: the first task
+    (lowest index) for which [f] returns [Some].  Remaining tasks are
+    cancelled once a match is known — the "stop on first UB/mismatch"
+    mode. *)
+val find_first :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  f:('a -> 'b option) ->
+  'a list ->
+  (int * 'b) option

@@ -16,8 +16,11 @@ type row = {
   tr : Catalog.transformation;
   seq_simple : bool;
   seq_advanced : bool;
+  seq_pairs : int;  (** SEQ simulation pairs explored (simple + advanced) *)
   contexts : (string * bool * bool) list;
       (** context name, PS_na refines, exploration complete *)
+  states : int;  (** PS_na states explored, summed over the contexts *)
+  memo_hits : int;  (** certification-memo hits across the row *)
 }
 
 (** Does the adequacy implication hold on this row? *)
@@ -25,32 +28,56 @@ let row_ok (r : row) =
   (not r.seq_advanced) || List.for_all (fun (_, refines, _) -> refines) r.contexts
 
 let check_transformation ?(params = Promising.Thread.default_params)
-    ?(contexts = Catalog.contexts) (tr : Catalog.transformation) : row =
+    ?contexts ?memo (tr : Catalog.transformation) : row =
+  let contexts = Option.value contexts ~default:Catalog.contexts in
+  (* one memo per row: the src thread's certification verdicts recur
+     across contexts, and a row-local table keeps the hit count
+     deterministic however rows are scheduled *)
+  let memo = match memo with Some m -> m | None -> M.make_memo () in
   let src = Parser.stmt_of_string tr.Catalog.src in
   let tgt = Parser.stmt_of_string tr.Catalog.tgt in
   let d = Domain.of_stmts ~values:params.Promising.Thread.values [ src; tgt ] in
-  let seq_simple = Seq_model.Refine.check d ~src ~tgt in
-  let seq_advanced =
-    if seq_simple then true (* Prop 3.4 *)
-    else Seq_model.Advanced.check d ~src ~tgt
+  let seq_simple, simple_pairs = Seq_model.Refine.check_count d ~src ~tgt in
+  let seq_advanced, advanced_pairs =
+    if seq_simple then (true, 0) (* Prop 3.4 *)
+    else Seq_model.Advanced.check_count d ~src ~tgt
   in
+  let states = ref 0 in
+  let memo_hits = ref 0 in
   let contexts =
     List.map
       (fun (name, ctx_src) ->
         let ctx_threads = Parser.threads_of_string ctx_src in
         (* a ⊥ behavior of the source matches everything, so the source
            exploration may stop at the first ⊥ and skip the target *)
-        let rs = M.explore ~params ~until_bot:true (src :: ctx_threads) in
+        let rs = M.explore ~params ~until_bot:true ~memo (src :: ctx_threads) in
+        states := !states + rs.M.states;
+        memo_hits := !memo_hits + rs.M.memo_hits;
         if M.Behavior_set.mem M.Bot rs.M.behaviors then (name, true, true)
-        else
-          let rt = M.explore ~params (tgt :: ctx_threads) in
+        else begin
+          let rt = M.explore ~params ~memo (tgt :: ctx_threads) in
+          states := !states + rt.M.states;
+          memo_hits := !memo_hits + rt.M.memo_hits;
           ( name,
             M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors,
-            (not rs.M.truncated) && not rt.M.truncated ))
+            (not rs.M.truncated) && not rt.M.truncated )
+        end)
       contexts
   in
-  { tr; seq_simple; seq_advanced; contexts }
+  {
+    tr;
+    seq_simple;
+    seq_advanced;
+    seq_pairs = simple_pairs + advanced_pairs;
+    contexts;
+    states = !states;
+    memo_hits = !memo_hits;
+  }
 
-(** Run the experiment over (a sublist of) the corpus. *)
-let run ?params ?contexts ?(corpus = Catalog.transformations) () : row list =
-  List.map (check_transformation ?params ?contexts) corpus
+(** Run the experiment over (a sublist of) the corpus, one engine task
+    per row. *)
+let run ?pool ?jobs ?params ?contexts ?(corpus = Catalog.transformations) () :
+    row list =
+  Engine.Sweep.run ?pool ?jobs
+    ~f:(fun tr -> check_transformation ?params ?contexts tr)
+    corpus

@@ -7,20 +7,34 @@ type row = {
   tr : Catalog.transformation;
   seq_simple : bool;
   seq_advanced : bool;
+  seq_pairs : int;  (** SEQ simulation pairs explored (simple + advanced) *)
   contexts : (string * bool * bool) list;
       (** context name, PS_na refines, exploration complete *)
+  states : int;  (** PS_na states explored, summed over the contexts *)
+  memo_hits : int;
+      (** certification-memo hits — the row's explorations share one memo
+          context, so this is deterministic unless [memo] was pre-warmed *)
 }
 
 (** Does the adequacy implication hold on this row? *)
 val row_ok : row -> bool
 
+(** Check one corpus transformation against the context library.  All
+    explorations of the row share [memo] (fresh by default), so the source
+    thread's certification verdicts are computed once across contexts. *)
 val check_transformation :
   ?params:Promising.Thread.params ->
   ?contexts:(string * string) list ->
+  ?memo:Promising.Machine.memo ->
   Catalog.transformation ->
   row
 
+(** Run the experiment over (a sublist of) the corpus, swept in parallel
+    by the engine when [pool]/[jobs] ask for it (each row gets a fresh
+    memo context, so results and stats are identical for every [jobs]). *)
 val run :
+  ?pool:Engine.Pool.t ->
+  ?jobs:int ->
   ?params:Promising.Thread.params ->
   ?contexts:(string * string) list ->
   ?corpus:Catalog.transformation list ->

@@ -1,0 +1,159 @@
+(** Engine-swept litmus/soundness matrices (see matrix.mli).
+
+    Every sweep here parallelizes at row granularity; all deterministic
+    columns (verdicts, pair/state counts) are computed with row-local or
+    per-domain memo state so they are byte-identical for every [jobs]
+    setting — only the trailing [ms] column may vary. *)
+
+open Lang
+module M = Promising.Machine
+
+(* ------------------------------------------------------------------ *)
+(* E1/E2: transformation soundness                                      *)
+(* ------------------------------------------------------------------ *)
+
+type e12_row = {
+  tr : Catalog.transformation;
+  simple_got : Catalog.verdict;
+  advanced_got : Catalog.verdict;
+  pairs : int;
+  wall_ms : float;
+}
+
+let e12_ok (r : e12_row) =
+  r.simple_got = r.tr.Catalog.simple && r.advanced_got = r.tr.Catalog.advanced
+
+let verdict b = if b then Catalog.Sound else Catalog.Unsound
+
+let e12_row ?(values = Domain.default_values) (tr : Catalog.transformation) :
+    e12_row =
+  let row, ms =
+    Engine.Stats.timed (fun () ->
+        let src = Parser.stmt_of_string tr.Catalog.src in
+        let tgt = Parser.stmt_of_string tr.Catalog.tgt in
+        let d = Domain.of_stmts ~values [ src; tgt ] in
+        let simple, simple_pairs = Seq_model.Refine.check_count d ~src ~tgt in
+        let advanced, advanced_pairs =
+          if simple then (true, 0)
+          else Seq_model.Advanced.check_count d ~src ~tgt
+        in
+        {
+          tr;
+          simple_got = verdict simple;
+          advanced_got = verdict advanced;
+          pairs = simple_pairs + advanced_pairs;
+          wall_ms = 0.;
+        })
+  in
+  { row with wall_ms = ms }
+
+let e12_rows ?pool ?jobs ?values () : e12_row list =
+  Engine.Sweep.run ?pool ?jobs ~f:(e12_row ?values) Catalog.transformations
+
+let render_e12 ?(stats = false) (rows : e12_row list) : string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%-32s %-26s %-18s %-18s %-10s %-8s%s\n" "name" "paper ref"
+    "simple(exp/got)" "advanced(exp/got)" "ok" "pairs"
+    (if stats then " ms" else "");
+  let mismatches = ref 0 in
+  List.iter
+    (fun r ->
+      let ok = e12_ok r in
+      if not ok then incr mismatches;
+      pr "%-32s %-26s %-18s %-18s %-10s %-8d%s\n" r.tr.Catalog.name
+        r.tr.Catalog.paper_ref
+        (Printf.sprintf "%s/%s"
+           (Catalog.verdict_to_string r.tr.Catalog.simple)
+           (Catalog.verdict_to_string r.simple_got))
+        (Printf.sprintf "%s/%s"
+           (Catalog.verdict_to_string r.tr.Catalog.advanced)
+           (Catalog.verdict_to_string r.advanced_got))
+        (if ok then "ok" else "MISMATCH")
+        r.pairs
+        (if stats then Printf.sprintf " %.1f" r.wall_ms else ""))
+    rows;
+  pr "-- %d transformations, %d mismatches\n" (List.length rows) !mismatches;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* E4: PS_na litmus outcomes                                            *)
+(* ------------------------------------------------------------------ *)
+
+type e4_row = {
+  c : Catalog.concurrent;
+  states : int;
+  races : bool;
+  truncated : bool;
+  behaviors : string;
+  wall_ms : float;
+}
+
+let e4_row ?params ?memo (c : Catalog.concurrent) : e4_row =
+  let row, ms =
+    Engine.Stats.timed (fun () ->
+        let r = M.explore ?params ?memo (Parser.threads_of_string c.Catalog.threads) in
+        {
+          c;
+          states = r.M.states;
+          races = r.M.races;
+          truncated = r.M.truncated;
+          behaviors = Fmt.str "%a" M.pp_behaviors r.M.behaviors;
+          wall_ms = 0.;
+        })
+  in
+  { row with wall_ms = ms }
+
+let e4_rows ?pool ?jobs ?params () : e4_row list =
+  Engine.Sweep.run_with ?pool ?jobs ~init:M.make_memo
+    ~f:(fun memo c -> e4_row ?params ~memo c)
+    Catalog.concurrent_programs
+
+let render_e4 ?(stats = false) (rows : e4_row list) : string =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%-12s %-18s %-8s %-7s %s%s\n" "litmus" "paper ref" "states" "races"
+    "behaviors"
+    (if stats then "  [ms]" else "");
+  List.iter
+    (fun r ->
+      pr "%-12s %-18s %-8d %-7b %s%s%s\n" r.c.Catalog.cname r.c.Catalog.cref
+        r.states r.races r.behaviors
+        (if r.truncated then " (TRUNCATED)" else "")
+        (if stats then Printf.sprintf "  [%.1f]" r.wall_ms else ""))
+    rows;
+  pr "-- %d litmus programs\n" (List.length rows);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* E5: adequacy                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let render_e5 ?(stats = false) (rows : Adequacy.row list) : string =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%-32s %-9s %-11s %-20s%s\n" "transformation" "SEQ-adv" "PS-refines"
+    "ok"
+    (if stats then " pairs    states    hits" else "");
+  let violations = ref 0 in
+  List.iter
+    (fun (r : Adequacy.row) ->
+      let all_refine =
+        List.for_all (fun (_, ok, _) -> ok) r.Adequacy.contexts
+      in
+      let ok = Adequacy.row_ok r in
+      if not ok then incr violations;
+      pr "%-32s %-9b %-11b %-20s%s\n" r.Adequacy.tr.Catalog.name
+        r.Adequacy.seq_advanced all_refine
+        (if ok then "ok" else "ADEQUACY VIOLATION")
+        (if stats then
+           Printf.sprintf " %-8d %-9d %d" r.Adequacy.seq_pairs
+             r.Adequacy.states r.Adequacy.memo_hits
+         else ""))
+    rows;
+  let n_contexts =
+    match rows with r :: _ -> List.length r.Adequacy.contexts | [] -> 0
+  in
+  pr "-- %d rows x %d contexts, %d adequacy violations\n" (List.length rows)
+    n_contexts !violations;
+  Buffer.contents buf

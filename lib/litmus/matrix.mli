@@ -1,0 +1,60 @@
+(** Engine-swept litmus/soundness matrices shared by the bench harness,
+    the CLI drivers, and the golden-table regression tests.
+
+    Rendering discipline: with [stats:false] every rendered byte is a
+    deterministic function of the corpus (verdicts, state/pair counts) —
+    that is what the golden tests pin down.  [stats:true] appends one
+    final wall-clock [ms] column, the only column allowed to differ
+    between runs or [--jobs] settings. *)
+
+open Lang
+
+(** One row of the E1/E2 transformation soundness matrix. *)
+type e12_row = {
+  tr : Catalog.transformation;
+  simple_got : Catalog.verdict;
+  advanced_got : Catalog.verdict;
+  pairs : int;  (** simulation pairs explored (simple + advanced) *)
+  wall_ms : float;
+}
+
+(** Expected and computed verdicts agree. *)
+val e12_ok : e12_row -> bool
+
+val e12_row : ?values:Value.t list -> Catalog.transformation -> e12_row
+
+(** The full corpus, one engine task per transformation. *)
+val e12_rows :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list -> unit ->
+  e12_row list
+
+val render_e12 : ?stats:bool -> e12_row list -> string
+
+(** One row of the E4 PS_na litmus table. *)
+type e4_row = {
+  c : Catalog.concurrent;
+  states : int;
+  races : bool;
+  truncated : bool;
+  behaviors : string;  (** pretty-printed behavior set *)
+  wall_ms : float;
+}
+
+val e4_row :
+  ?params:Promising.Thread.params -> ?memo:Promising.Machine.memo ->
+  Catalog.concurrent -> e4_row
+
+(** The full litmus catalog, one engine task per program.  Worker domains
+    keep a persistent per-domain certification memo across their tasks
+    (never shared between domains); this warms timing only — states,
+    races and behaviors are memo-independent. *)
+val e4_rows :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?params:Promising.Thread.params ->
+  unit -> e4_row list
+
+val render_e4 : ?stats:bool -> e4_row list -> string
+
+(** Render E5 adequacy rows (see {!Adequacy}); same [stats] discipline
+    ([ms] is omitted because rows carry no timing — the bench harness
+    times whole tables). *)
+val render_e5 : ?stats:bool -> Adequacy.row list -> string

@@ -139,16 +139,29 @@ let canon_key ?interner (s : state) : string =
 (* Certification                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Certification verdicts depend on the exploration parameters as well
+   as the canonical state; a memo table shared across explorations with
+   differing params must keep their entries apart. *)
+let params_fingerprint (p : Thread.params) : string =
+  Printf.sprintf "%s;%d;%b;%d;%d;%b|"
+    (String.concat "," (List.map Value.to_string p.Thread.values))
+    p.Thread.batch_bound p.Thread.batch_concrete p.Thread.promise_budget
+    p.Thread.cert_fuel p.Thread.track_fence_views
+
 (* Thread-alone search for a promise-free point (new promises excluded;
    failure steps empty the promise set and therefore certify).  [memo]
    caches verdicts across the exploration, keyed by the canonical
-   single-thread state (sound: certification only depends on it). *)
-let certify ?memo ?interner (p : Thread.params) (mem : Memory.t)
-    (th : Thread.t) : bool =
+   single-thread state (sound: certification only depends on it and the
+   params, which [key_prefix] encodes for shared tables).  [hit_counter]
+   counts top-level memo hits. *)
+let certify ?memo ?interner ?(key_prefix = "") ?hit_counter
+    (p : Thread.params) (mem : Memory.t) (th : Thread.t) : bool =
   let key mem th = canon_key ?interner { threads = [ th ]; memory = mem } in
-  let top_key = key mem th in
+  let top_key = key_prefix ^ key mem th in
   match Option.bind memo (fun m -> Hashtbl.find_opt m top_key) with
-  | Some b -> b
+  | Some b ->
+    Option.iter incr hit_counter;
+    b
   | None ->
     let visited = Hashtbl.create 64 in
     let rec go fuel mem th =
@@ -172,6 +185,31 @@ let certify ?memo ?interner (p : Thread.params) (mem : Memory.t)
     result
 
 (* ------------------------------------------------------------------ *)
+(* Shareable memoization context                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A certification-memo context that can be threaded through several
+    {!explore} calls (e.g. every context of one adequacy row, or all
+    tasks a sweep worker domain executes).  Never share one across
+    domains: the tables are plain [Hashtbl]s.  Sharing is sound across
+    differing params (keys carry a params fingerprint) and only ever
+    changes {e timing} and hit counts, never verdicts or state counts. *)
+type memo = {
+  cert_tbl : (string, bool) Hashtbl.t;
+  shared_interner : interner;
+  mutable hits : int;  (** cumulative hits across all uses *)
+}
+
+let make_memo () =
+  {
+    cert_tbl = Hashtbl.create 1024;
+    shared_interner = make_interner ();
+    hits = 0;
+  }
+
+let memo_hits (m : memo) = m.hits
+
+(* ------------------------------------------------------------------ *)
 (* Exploration                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -184,6 +222,9 @@ type result = {
       (** some state had a conflicting unseen message at an access of mode
           rlx or weaker — the premise of the DRF-PF guarantee counts races
           involving any non-acquire/release access *)
+  memo_hits : int;
+      (** certification-memo hits during this exploration — deterministic
+          iff the memo was not pre-warmed by other explorations *)
 }
 
 let terminal_behavior (s : state) : behavior option =
@@ -239,12 +280,18 @@ let rec stmt_has_fence = function
   | Stmt.Fadd _ | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Print _ | Stmt.Abort
   | Stmt.Return _ -> false
 
-let explore ?(params = Thread.default_params) ?(until_bot = false)
+let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
     (progs : Stmt.t list) : result =
   let params =
     if List.exists stmt_has_fence progs then params
     else { params with Thread.track_fence_views = false }
   in
+  let cert_memo, interner, key_prefix =
+    match memo with
+    | Some m -> (m.cert_tbl, m.shared_interner, params_fingerprint params)
+    | None -> (Hashtbl.create 1024, make_interner (), "")
+  in
+  let hit_counter = ref 0 in
   let locs =
     let fps = List.map Stmt.footprint progs in
     let all =
@@ -267,8 +314,6 @@ let explore ?(params = Thread.default_params) ?(until_bot = false)
       (fun s -> Loc.Set.elements (Thread.writable_locs Loc.Set.empty s))
       progs
   in
-  let cert_memo = Hashtbl.create 1024 in
-  let interner = make_interner () in
   let visited = Hashtbl.create 4096 in
   let behaviors = ref Behavior_set.empty in
   let races = ref false in
@@ -307,7 +352,10 @@ let explore ?(params = Thread.default_params) ?(until_bot = false)
               behaviors := Behavior_set.add Bot !behaviors;
               if until_bot then stop := true
             | Thread.Step (th', mem', _) ->
-              if certify ~memo:cert_memo ~interner params mem' th' then
+              if
+                certify ~memo:cert_memo ~interner ~key_prefix ~hit_counter
+                  params mem' th'
+              then
                 push
                   {
                     threads =
@@ -317,12 +365,14 @@ let explore ?(params = Thread.default_params) ?(until_bot = false)
           outcomes)
       s.threads
   done;
+  Option.iter (fun m -> m.hits <- m.hits + !hit_counter) memo;
   {
     behaviors = !behaviors;
     truncated = !truncated;
     states = Hashtbl.length visited;
     races = !races;
     weak_races = !weak_races;
+    memo_hits = !hit_counter;
   }
 
 (* ------------------------------------------------------------------ *)

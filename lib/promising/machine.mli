@@ -30,12 +30,32 @@ val make_interner : unit -> interner
     their rank, preserving order, adjacency, views and payloads. *)
 val canon_key : ?interner:interner -> state -> string
 
+(** Fingerprint of the parameters certification verdicts depend on; used
+    to key shared memo tables across explorations with differing params. *)
+val params_fingerprint : Thread.params -> string
+
 (** [certify p mem th]: can the thread, running alone without new promise
     steps, reach an empty promise set (⊥ counts: failure steps empty the
-    promise set)?  [memo] caches verdicts across an exploration. *)
+    promise set)?  [memo] caches verdicts across an exploration, with
+    [key_prefix] (see {!params_fingerprint}) separating entries of
+    explorations run under different params; [hit_counter] is bumped on
+    every memo hit. *)
 val certify :
   ?memo:(string, bool) Hashtbl.t -> ?interner:interner ->
+  ?key_prefix:string -> ?hit_counter:int ref ->
   Thread.params -> Memory.t -> Thread.t -> bool
+
+(** A certification-memo context reusable across {!explore} calls — e.g.
+    every context exploration of one adequacy row, or all tasks one sweep
+    worker domain executes.  Not domain-safe: never share one across
+    domains (that is the point — each worker owns its own).  Reuse never
+    changes verdicts or state counts, only timing and hit counts. *)
+type memo
+
+val make_memo : unit -> memo
+
+(** Cumulative certification-memo hits across all uses of this context. *)
+val memo_hits : memo -> int
 
 type result = {
   behaviors : Behavior_set.t;
@@ -45,13 +65,19 @@ type result = {
   weak_races : bool;
       (** some state had a conflicting unseen message at an access of mode
           rlx or weaker — the DRF-PF premise *)
+  memo_hits : int;
+      (** certification-memo hits during this exploration — deterministic
+          iff the memo context was not pre-warmed by other explorations *)
 }
 
 (** Exhaustive bounded exploration of all PS_na behaviors of a concurrent
     program (one statement per thread).  [until_bot] stops as soon as ⊥ is
     recorded — sound when only the behaviors of a refinement {e source} are
-    needed (⊥ subsumes everything). *)
-val explore : ?params:Thread.params -> ?until_bot:bool -> Stmt.t list -> result
+    needed (⊥ subsumes everything).  [memo] shares certification verdicts
+    with other explorations using the same context. *)
+val explore :
+  ?params:Thread.params -> ?until_bot:bool -> ?memo:memo -> Stmt.t list ->
+  result
 
 (** [⊑] on behaviors: pointwise value/output [⊑]; everything ⊑ ⊥. *)
 val behavior_le : behavior -> behavior -> bool

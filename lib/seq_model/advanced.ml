@@ -380,7 +380,7 @@ let analyze (d : Domain.t) fm (p : pair) : node =
          | Config.L_term _ | Config.L_diverge ->
            { local_ok = false; deps = [] })
 
-let check_pairs (d : Domain.t) (roots : pair list) : bool =
+let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
   let fm = ref Cfg_map.empty in
   let nodes : node Pair_map.t ref = ref Pair_map.empty in
   let rec explore p =
@@ -412,13 +412,17 @@ let check_pairs (d : Domain.t) (roots : pair list) : bool =
         end)
       !nodes
   done;
-  List.for_all (fun p -> Pair_map.find p !alive) roots
+  ( List.for_all (fun p -> Pair_map.find p !alive) roots,
+    Pair_map.cardinal !nodes )
+
+let check_pairs (d : Domain.t) (roots : pair list) : bool =
+  fst (check_pairs_count d roots)
 
 (** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
     domain: advanced behavioral refinement for every oracle and every
     initial permission set and memory. *)
-let check ?(quantify_written = false) (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : bool =
+let check_count ?(quantify_written = false) (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : bool * int =
   Config.check_no_mixing [ src; tgt ];
   let perms = Domain.subsets d.Domain.na_locs in
   let writtens =
@@ -442,4 +446,8 @@ let check ?(quantify_written = false) (d : Domain.t) ~(src : Stmt.t)
           writtens)
       perms
   in
-  check_pairs d roots
+  check_pairs_count d roots
+
+let check ?quantify_written (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) :
+    bool =
+  fst (check_count ?quantify_written d ~src ~tgt)

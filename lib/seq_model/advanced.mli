@@ -19,8 +19,17 @@ type pair = { commit : Loc.Set.t; tgt : Config.t; src : Config.t }
 
 val check_pairs : Domain.t -> pair list -> bool
 
+(** Like {!check_pairs}, also reporting the number of simulation nodes
+    explored. *)
+val check_pairs_count : Domain.t -> pair list -> bool * int
+
 (** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
     domain.  Implies nothing about termination; by Prop 3.4 it is implied
     by {!Refine.check}.  @raise Config.Mixed_access on mixed-mode use of a
     location. *)
 val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+
+(** Like {!check}, also reporting the number of simulation nodes explored
+    (for sweep statistics). *)
+val check_count :
+  ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int

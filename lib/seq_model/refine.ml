@@ -263,10 +263,11 @@ let analyze (d : Domain.t) (p : pair) : node =
        | Config.L_bot | Config.L_term _ | Config.L_diverge ->
          { local_ok = false; deps = [] })
 
-(** Decide simple behavioral refinement from a set of initial configuration
-    pairs (target, source) that share P, F, M.  Greatest fixpoint over the
-    reachable pair graph. *)
-let check_pairs (d : Domain.t) (roots : pair list) : bool =
+(* Explore the reachable pair graph, then prune to the greatest fixpoint.
+   Shared by the boolean checks (which only need [alive]) and
+   counterexample extraction (which also walks [nodes]). *)
+let solve (d : Domain.t) (roots : pair list) :
+    node Pair_map.t * bool Pair_map.t =
   (* Phase 1: explore the reachable pair graph. *)
   let nodes : node Pair_map.t ref = ref Pair_map.empty in
   let rec explore p =
@@ -304,7 +305,18 @@ let check_pairs (d : Domain.t) (roots : pair list) : bool =
         end)
       !nodes
   done;
-  List.for_all (fun p -> Pair_map.find p !alive) roots
+  (!nodes, !alive)
+
+(** Decide simple behavioral refinement from a set of initial configuration
+    pairs (target, source) that share P, F, M, also reporting the number of
+    simulation pairs explored. *)
+let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
+  let nodes, alive = solve d roots in
+  ( List.for_all (fun p -> Pair_map.find p alive) roots,
+    Pair_map.cardinal nodes )
+
+let check_pairs (d : Domain.t) (roots : pair list) : bool =
+  fst (check_pairs_count d roots)
 
 (** Initial configuration pairs for Def 2.4's "for every P, F, M".
     [quantify_written] additionally ranges the initial F over all subsets
@@ -344,6 +356,16 @@ let check ?quantify_written (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) :
   in
   check_pairs d roots
 
+(** Like {!check}, also reporting the number of simulation pairs explored
+    (the SEQ analogue of a state count, for sweep statistics). *)
+let check_count ?quantify_written (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : bool * int =
+  Config.check_no_mixing [ src; tgt ];
+  let roots =
+    initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+  in
+  check_pairs_count d roots
+
 (* ------------------------------------------------------------------ *)
 (* Counterexample extraction                                            *)
 (* ------------------------------------------------------------------ *)
@@ -382,42 +404,13 @@ let describe_local (d : Domain.t) (p : pair) : string =
     mismatch.  Returns [None] when refinement holds. *)
 let find_counterexample (d : Domain.t) (roots : pair list) :
     counterexample option =
-  let nodes : node Pair_map.t ref = ref Pair_map.empty in
-  let rec explore p =
-    if not (Pair_map.mem p !nodes) then begin
-      nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
-      let node = analyze d p in
-      nodes := Pair_map.add p node !nodes;
-      List.iter (function Dep q -> explore q | Const _ -> ()) node.deps
-    end
-  in
-  List.iter explore roots;
-  let alive = ref (Pair_map.map (fun _ -> true) !nodes) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Pair_map.iter
-      (fun p node ->
-        if Pair_map.find p !alive then begin
-          let ok =
-            node.local_ok
-            && List.for_all
-                 (function Const b -> b | Dep q -> Pair_map.find q !alive)
-                 node.deps
-          in
-          if not ok then begin
-            alive := Pair_map.add p false !alive;
-            changed := true
-          end
-        end)
-      !nodes
-  done;
-  match List.find_opt (fun p -> not (Pair_map.find p !alive)) roots with
+  let nodes, alive = solve d roots in
+  match List.find_opt (fun p -> not (Pair_map.find p alive)) roots with
   | None -> None
   | Some root ->
     (* walk dead pairs, collecting the target labels of failing moves *)
     let rec walk p trace fuel =
-      let node = Pair_map.find p !nodes in
+      let node = Pair_map.find p nodes in
       if fuel = 0 then
         Some { initial = root; trace = List.rev trace; failing = p;
                reason = "deep mismatch (walk fuel exhausted)" }
@@ -440,7 +433,7 @@ let find_counterexample (d : Domain.t) (roots : pair list) :
                 reason =
                   Fmt.str "the source cannot answer the target action %a"
                     Event.pp_trace evs }
-          | Dep q :: _, (evs, _) :: _ when not (Pair_map.find q !alive) ->
+          | Dep q :: _, (evs, _) :: _ when not (Pair_map.find q alive) ->
             walk q (List.rev_append evs trace) (fuel - 1)
           | _ :: deps', _ :: moves' -> first_bad deps' moves'
           | _, _ ->

@@ -29,10 +29,19 @@ val initial_pairs :
 (** Decide refinement from a set of initial pairs. *)
 val check_pairs : Domain.t -> pair list -> bool
 
+(** Like {!check_pairs}, also reporting the number of simulation pairs
+    explored. *)
+val check_pairs_count : Domain.t -> pair list -> bool * int
+
 (** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
     domain.  @raise Config.Mixed_access on mixed atomic/non-atomic use of a
     location. *)
 val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+
+(** Like {!check}, also reporting the number of simulation pairs explored
+    (the SEQ analogue of a state count, for sweep statistics). *)
+val check_count :
+  ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int
 
 (** A witness for a refuted refinement. *)
 type counterexample = {

@@ -1,0 +1,104 @@
+(* Golden-table regression test for the E1/E2 transformation soundness
+   matrix.  The table below is Matrix.render_e12 ~stats:false over the
+   full corpus — every byte (verdicts, pair counts, row order) is a
+   deterministic function of the corpus, so any drift is a real change
+   in checker behavior and must be reviewed, not absorbed.
+
+   To regenerate after an intentional change:
+     dune exec bin/seqcheck.exe -- --corpus 2>/dev/null \
+       | sed -E 's/ [0-9]+\.[0-9]+$//; s/ ms$//' | head -n -1
+
+   Comparison right-trims each line: the renderer pads fixed-width
+   columns, so rows carry trailing spaces the editor would strip. *)
+
+let golden =
+  {golden|name                             paper ref                  simple(exp/got)    advanced(exp/got)  ok         pairs
+slf-basic                        Ex 1.1                     sound/sound        sound/sound        ok         8
+licm-pattern                     Ex 1.3                     sound/sound        sound/sound        ok         40
+reorder-na-rw-diff               Ex 2.5                     sound/sound        sound/sound        ok         64
+reorder-na-rw-same               Ex 2.5                     unsound/unsound    unsound/unsound    ok         16
+reorder-na-ww-diff               Ex 2.5 (variant)           sound/sound        sound/sound        ok         64
+overwritten-store-elim           Ex 2.6(i)                  sound/sound        sound/sound        ok         8
+store-to-load-fwd                Ex 2.6(ii)                 sound/sound        sound/sound        ok         8
+load-to-load-fwd                 Ex 2.6(iii)                sound/sound        sound/sound        ok         8
+read-before-write-elim           Ex 2.6(iv)                 sound/sound        sound/sound        ok         8
+write-after-read-intro           Ex 2.6 (converse of iv)    unsound/unsound    unsound/unsound    ok         16
+redundant-store-intro            Ex 2.6(i')                 sound/sound        sound/sound        ok         8
+copy-to-load-intro               Ex 2.6(iii')               sound/sound        sound/sound        ok         8
+write-before-loop                Ex 2.7                     unsound/unsound    unsound/unsound    ok         16
+write-before-loop-after-write    Ex 2.7 (variant)           unsound/unsound    unsound/unsound    ok         16
+read-before-loop                 Ex 2.7                     sound/sound        sound/sound        ok         8
+unused-load-elim                 Ex 2.8                     sound/sound        sound/sound        ok         8
+irrelevant-load-intro            Ex 2.8                     sound/sound        sound/sound        ok         8
+acq-then-na-write                Ex 2.9(i)                  unsound/unsound    unsound/unsound    ok         16
+na-write-then-rel                Ex 2.9(ii)                 unsound/unsound    unsound/unsound    ok         26
+acq-then-na-read                 Ex 2.9(iii)                unsound/unsound    unsound/unsound    ok         104
+na-read-then-rel                 Ex 2.9(iv)                 unsound/unsound    unsound/unsound    ok         38
+na-write-into-acq                Ex 2.9(i')                 sound/sound        sound/sound        ok         24
+na-read-into-acq                 Ex 2.9(iii')               sound/sound        sound/sound        ok         52
+na-read-into-rel                 Ex 2.9(iv')                sound/sound        sound/sound        ok         19
+na-write-into-rel                Ex 2.9(ii')                unsound/unsound    sound/sound        ok         24
+store-intro-after-rel            Ex 2.10                    unsound/unsound    unsound/unsound    ok         20
+store-intro-after-rlx            Ex 2.10                    sound/sound        sound/sound        ok         9
+slf-across-rlx-read              Ex 2.11                    sound/sound        sound/sound        ok         12
+slf-across-rlx-write             Ex 2.11                    sound/sound        sound/sound        ok         9
+slf-across-acq-read              Ex 2.11                    sound/sound        sound/sound        ok         12
+slf-across-rel-write             Ex 2.11                    sound/sound        sound/sound        ok         10
+slf-across-rel-acq               Ex 2.12                    unsound/unsound    unsound/unsound    ok         60
+rlx-read-then-na-write           §3 (late UB)              unsound/unsound    sound/sound        ok         32
+acq-then-div0                    Ex 3.1                     unsound/unsound    unsound/unsound    ok         2
+ex3.1-end-to-end                 Ex 3.1 (whole chain)       unsound/unsound    unsound/unsound    ok         2
+conditional-ub-hoist             §3 (oracle counterexample) unsound/unsound    unsound/unsound    ok         2
+unconditional-ub-hoist           §3                        unsound/unsound    sound/sound        ok         2
+dse-across-rlx-read              Ex 3.5                     sound/sound        sound/sound        ok         24
+dse-across-acq-read              Ex 3.5                     sound/sound        sound/sound        ok         24
+dse-across-rel-write             Ex 3.5                     unsound/unsound    sound/sound        ok         26
+dse-across-rel-acq               Ex 3.5 (boundary)          unsound/unsound    unsound/unsound    ok         66
+choose-then-rel                  Remark 3 / App C           unsound/unsound    unsound/unsound    ok         2
+choose-then-na-write             Remark 3 (allowed by ⊑w) unsound/unsound    sound/sound        ok         28
+freeze-then-rel                  App C (freeze form)        unsound/unsound    unsound/unsound    ok         2
+na-write-into-acq-fence          extension (fence roach motel) sound/sound        sound/sound        ok         12
+acq-fence-then-na-write          extension (fence roach motel) unsound/unsound    unsound/unsound    ok         16
+slf-across-cas                   extension (SLF across a single RMW) sound/sound        sound/sound        ok         11
+no-slf-across-rel-then-cas       extension (rel;RMW is a rel-acq pair) unsound/unsound    unsound/unsound    ok         46
+rmw-identity                     extension (RMW matches itself) sound/sound        sound/sound        ok         5
+no-slf-across-sc-fence           extension (SC fence is a rel-acq pair) unsound/unsound    unsound/unsound    ok         26
+slf-across-rel-fence             extension (Ex 2.11 analogue for fences) sound/sound        sound/sound        ok         10
+no-sc-fence-weakening            extension (sc fence ≠ acq-rel fence) unsound/unsound    unsound/unsound    ok         2
+sc-fence-identity                extension                  sound/sound        sound/sound        ok         2
+no-acq-load-to-load-fwd          §2 (atomics are not optimized) unsound/unsound    unsound/unsound    ok         10
+no-rlx-store-elim                §2 (atomics are not optimized) unsound/unsound    unsound/unsound    ok         2
+no-rlx-slf                       §2 (atomics are not optimized) unsound/unsound    unsound/unsound    ok         4
+no-na-to-rlx-strengthening       §5 (a mapping theorem, not a SEQ one) unsound/unsound    unsound/unsound    ok         16
+-- 57 transformations, 0 mismatches
+|golden}
+
+let rtrim s =
+  let n = ref (String.length s) in
+  while !n > 0 && (s.[!n - 1] = ' ' || s.[!n - 1] = '\t') do decr n done;
+  String.sub s 0 !n
+
+let lines s = String.split_on_char '\n' s |> List.map rtrim
+
+let test_e12_golden () =
+  (* swept through the engine so the golden table also re-certifies the
+     parallel=sequential rendering contract *)
+  let actual = Litmus.Matrix.render_e12 ~stats:false (Litmus.Matrix.e12_rows ~jobs:2 ()) in
+  let exp = List.filter (fun l -> l <> "") (lines golden) in
+  let got = List.filter (fun l -> l <> "") (lines actual) in
+  if exp <> got then begin
+    Fmt.epr "--- actual E1/E2 table ---@.%s--- end ---@." actual;
+    let rec first_diff i = function
+      | [], [] -> ()
+      | e :: _, [] -> Alcotest.failf "line %d: missing %S" i e
+      | [], g :: _ -> Alcotest.failf "line %d: extra %S" i g
+      | e :: es, g :: gs ->
+        if e <> g then
+          Alcotest.failf "line %d differs:@.  expected %S@.  got      %S" i e g
+        else first_diff (i + 1) (es, gs)
+    in
+    first_diff 1 (exp, got)
+  end
+
+let suite =
+  [ Alcotest.test_case "E1/E2 table matches golden" `Quick test_e12_golden ]

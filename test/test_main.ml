@@ -10,6 +10,8 @@ let () =
       ("promising", Test_promising.suite);
       ("optimizer", Test_optimizer.suite);
       ("baselines", Test_baselines.suite);
+      ("engine", Test_engine.suite);
       ("adequacy", Test_adequacy.suite);
+      ("golden", Test_golden.suite);
       ("properties", Test_properties.suite);
     ]
