@@ -14,7 +14,16 @@
     Usage: dune exec bench/main.exe [-- --full] [-- --no-bechamel]
     [-- --jobs N]
     [--full] also sweeps the complete adequacy matrix (E5) instead of the
-    default slice. *)
+    default slice.
+
+    Robustness flags (docs/ROBUSTNESS.md): [--timeout-ms MS] and
+    [--max-states N] bound every swept task with a cooperative budget,
+    [--retries N] retries transient failures, [--inject-faults N] (with
+    [--inject-seed S]) drills the supervisor by making N tasks per table
+    raise.  Under any of these the swept tables go through the supervised
+    sweep: failed rows print as UNKNOWN(reason), nothing ever escapes.
+    Exit 0: clean (or [--keep-going]); 3: mismatch/violation; 4: some rows
+    UNKNOWN. *)
 
 open Lang
 module C = Litmus.Catalog
@@ -30,14 +39,59 @@ let swept_in jobs ms = Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs
 
 let values = Domain.default_values
 
+(* Robustness configuration shared by the swept tables; [supervised]
+   switches the E1/E2, E4, E5 sweeps to Sweep.run_verdict. *)
+type robust = {
+  spec : Engine.Budget.spec;
+  retries : int;
+  inject_faults : int;
+  inject_seed : int;
+}
+
+let supervised (r : robust) =
+  (not (Engine.Budget.spec_is_unlimited r.spec))
+  || r.retries > 0 || r.inject_faults > 0
+
+let faults_for (r : robust) ~tasks =
+  if r.inject_faults = 0 then Engine.Faults.none
+  else
+    Engine.Faults.seeded ~seed:r.inject_seed ~tasks ~faulty:r.inject_faults ()
+
+let mismatches = ref 0
+let unknowns = ref 0
+
+let count_outcomes ~ok rows =
+  List.iter
+    (fun (_, (o : _ Engine.Sweep.outcome)) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> if not (ok r) then incr mismatches
+      | Error _ -> incr unknowns)
+    rows
+
 (* ------------------------------------------------------------------ *)
 (* E1/E2: the transformation soundness matrix                           *)
 (* ------------------------------------------------------------------ *)
 
-let transformation_matrix ~pool () =
+let transformation_matrix ~pool ~robust () =
   header "E1/E2 — Transformation soundness matrix (SEQ, Def 2.4 and Def 3.3)";
-  let rows, ms = Engine.Stats.timed (fun () -> Matrix.e12_rows ~pool ()) in
-  Fmt.pr "%s" (Matrix.render_e12 ~stats:true rows);
+  let ms =
+    if supervised robust then begin
+      let faults = faults_for robust ~tasks:(List.length C.transformations) in
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Matrix.e12_rows_v ~pool ~budget:robust.spec
+              ~retries:robust.retries ~faults ())
+      in
+      Fmt.pr "%s" (Matrix.render_e12_v ~stats:true rows);
+      count_outcomes ~ok:Matrix.e12_ok rows;
+      ms
+    end
+    else begin
+      let rows, ms = Engine.Stats.timed (fun () -> Matrix.e12_rows ~pool ()) in
+      Fmt.pr "%s" (Matrix.render_e12 ~stats:true rows);
+      ms
+    end
+  in
   swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
@@ -101,17 +155,35 @@ let optimizer_table () =
 (* E4: PS_na litmus outcomes                                            *)
 (* ------------------------------------------------------------------ *)
 
-let litmus_table ~pool () =
+let litmus_table ~pool ~robust () =
   header "E4 — PS_na behaviors of the paper's concurrent programs (Fig 5)";
-  let rows, ms = Engine.Stats.timed (fun () -> Matrix.e4_rows ~pool ()) in
-  Fmt.pr "%s" (Matrix.render_e4 ~stats:true rows);
+  let ms =
+    if supervised robust then begin
+      let faults =
+        faults_for robust ~tasks:(List.length C.concurrent_programs)
+      in
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Matrix.e4_rows_v ~pool ~budget:robust.spec ~retries:robust.retries
+              ~faults ())
+      in
+      Fmt.pr "%s" (Matrix.render_e4_v ~stats:true rows);
+      count_outcomes ~ok:(fun (_ : Matrix.e4_row) -> true) rows;
+      ms
+    end
+    else begin
+      let rows, ms = Engine.Stats.timed (fun () -> Matrix.e4_rows ~pool ()) in
+      Fmt.pr "%s" (Matrix.render_e4 ~stats:true rows);
+      ms
+    end
+  in
   swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
 (* E5: adequacy                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let adequacy_table ~pool ~full () =
+let adequacy_table ~pool ~full ~robust () =
   header
     (if full then "E5 — Adequacy (Thm 6.2): full corpus × context matrix"
      else "E5 — Adequacy (Thm 6.2): corpus slice (use --full for the matrix)");
@@ -122,11 +194,27 @@ let adequacy_table ~pool ~full () =
   let contexts =
     if full then C.contexts else List.filteri (fun i _ -> i < 4) C.contexts
   in
-  let rows, ms =
-    Engine.Stats.timed (fun () ->
-        Litmus.Adequacy.run ~pool ~contexts ~corpus ())
+  let ms =
+    if supervised robust then begin
+      let faults = faults_for robust ~tasks:(List.length corpus) in
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Litmus.Adequacy.run_v ~pool ~contexts ~budget:robust.spec
+              ~retries:robust.retries ~faults ~corpus ())
+      in
+      Fmt.pr "%s" (Matrix.render_e5_v ~stats:true rows);
+      count_outcomes ~ok:Litmus.Adequacy.row_ok rows;
+      ms
+    end
+    else begin
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Litmus.Adequacy.run ~pool ~contexts ~corpus ())
+      in
+      Fmt.pr "%s" (Matrix.render_e5 ~stats:true rows);
+      ms
+    end
   in
-  Fmt.pr "%s" (Matrix.render_e5 ~stats:true rows);
   swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
@@ -308,24 +396,44 @@ let bechamel_benches () =
 
 (* ------------------------------------------------------------------ *)
 
-let rec parse_jobs = function
+let rec parse_opt name = function
   | [] -> None
-  | "--jobs" :: v :: _ -> int_of_string_opt v
-  | _ :: rest -> parse_jobs rest
+  | flag :: v :: _ when flag = name -> Some v
+  | _ :: rest -> parse_opt name rest
+
+let parse_int name args = Option.bind (parse_opt name args) int_of_string_opt
+let parse_float name args =
+  Option.bind (parse_opt name args) float_of_string_opt
 
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
-  let jobs = Option.value (parse_jobs args) ~default:1 in
+  let keep_going = List.mem "--keep-going" args in
+  let jobs = Option.value (parse_int "--jobs" args) ~default:1 in
+  let robust =
+    {
+      spec =
+        Engine.Budget.spec
+          ?timeout_ms:(parse_float "--timeout-ms" args)
+          ?max_states:(parse_int "--max-states" args)
+          ();
+      retries = Option.value (parse_int "--retries" args) ~default:0;
+      inject_faults =
+        Option.value (parse_int "--inject-faults" args) ~default:0;
+      inject_seed = Option.value (parse_int "--inject-seed" args) ~default:0;
+    }
+  in
   let pool = Engine.Pool.create ~jobs () in
-  transformation_matrix ~pool ();
+  transformation_matrix ~pool ~robust ();
   optimizer_table ();
-  litmus_table ~pool ();
-  adequacy_table ~pool ~full ();
+  litmus_table ~pool ~robust ();
+  adequacy_table ~pool ~full ~robust ();
   catchfire_table ();
   drf_table ();
   determinism_table ();
   Engine.Pool.shutdown pool;
   if not no_bechamel then bechamel_benches ();
-  Fmt.pr "@.done.@."
+  Fmt.pr "@.done.@.";
+  if !mismatches > 0 then exit 3
+  else if !unknowns > 0 && not keep_going then exit 4

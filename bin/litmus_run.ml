@@ -4,7 +4,15 @@
     prints the exhaustively explored behavior set (bounded promises), and
     optionally the SC / catch-fire baselines and the DRF report.
     [--all] instead sweeps the whole built-in catalog in parallel
-    ([--jobs N], engine-backed; see docs/ENGINE.md). *)
+    ([--jobs N], engine-backed; see docs/ENGINE.md).
+
+    [--timeout-ms] bounds each exploration with a cooperative wall-clock
+    budget (the existing [--max-states] remains the explorer's truncation
+    bound); an exhausted budget yields an UNKNOWN(reason) row instead of
+    an answer.  [--inject-faults N] (with [--inject-seed S]) makes N
+    deterministically chosen sweep tasks raise, exercising the supervised
+    sweep's quarantine path (docs/ROBUSTNESS.md).  Exit 0: clean; 3:
+    truncated; 4: some rows UNKNOWN (suppressed by [--keep-going]). *)
 
 open Cmdliner
 open Lang
@@ -13,16 +21,44 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all In_channel.stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
-let run_all params jobs =
-  let rows, ms =
-    Engine.Stats.timed (fun () -> Litmus.Matrix.e4_rows ~jobs ~params ())
-  in
-  Fmt.pr "%s" (Litmus.Matrix.render_e4 ~stats:true rows);
-  Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
-  if List.exists (fun (r : Litmus.Matrix.e4_row) -> r.truncated) rows then 3
-  else 0
+let run_all params jobs spec retries faults keep_going =
+  if
+    Engine.Budget.spec_is_unlimited spec && retries = 0
+    && faults == Engine.Faults.none
+  then begin
+    (* the exact historical path: byte-identical tables, raising sweep *)
+    let rows, ms =
+      Engine.Stats.timed (fun () -> Litmus.Matrix.e4_rows ~jobs ~params ())
+    in
+    Fmt.pr "%s" (Litmus.Matrix.render_e4 ~stats:true rows);
+    Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+    if List.exists (fun (r : Litmus.Matrix.e4_row) -> r.truncated) rows then 3
+    else 0
+  end
+  else begin
+    let rows, ms =
+      Engine.Stats.timed (fun () ->
+          Litmus.Matrix.e4_rows_v ~jobs ~params ~budget:spec ~retries ~faults
+            ())
+    in
+    Fmt.pr "%s" (Litmus.Matrix.render_e4_v ~stats:true rows);
+    Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+    let truncated =
+      List.exists
+        (fun (_, (o : _ Engine.Sweep.outcome)) ->
+          match o.result with
+          | Ok (r : Litmus.Matrix.e4_row) -> r.truncated
+          | Error _ -> false)
+        rows
+    in
+    let unknown =
+      List.exists (fun (_, o) -> not (Engine.Sweep.outcome_ok o)) rows
+    in
+    if truncated then 3 else if unknown && not keep_going then 4 else 0
+  end
 
-let run input promises batch max_states compare_baselines named all jobs =
+let run input promises batch max_states compare_baselines named all jobs
+    timeout_ms keep_going retries inject_faults inject_seed =
   try
     let params =
       {
@@ -32,7 +68,15 @@ let run input promises batch max_states compare_baselines named all jobs =
         max_states;
       }
     in
-    if all then run_all params jobs
+    let spec = Engine.Budget.spec ?timeout_ms () in
+    let faults =
+      if inject_faults = 0 then Engine.Faults.none
+      else
+        Engine.Faults.seeded ~seed:inject_seed
+          ~tasks:(List.length Litmus.Catalog.concurrent_programs)
+          ~faulty:inject_faults ()
+    in
+    if all then run_all params jobs spec retries faults keep_going
     else
     let text =
       match named with
@@ -53,11 +97,16 @@ let run input promises batch max_states compare_baselines named all jobs =
       | None -> read_input input
     in
     let progs = Parser.threads_of_string text in
-    let r = Promising.Machine.explore ~params progs in
+    let budget = Engine.Budget.start spec in
+    (match Promising.Machine.explore ~params ~budget progs with
+     | exception Engine.Budget.Exhausted reason ->
+       Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string reason);
+       raise Exit
+     | r ->
     Fmt.pr "PS_na behaviors (%d states%s%s):@.  %a@." r.Promising.Machine.states
       (if r.Promising.Machine.truncated then ", TRUNCATED" else "")
       (if r.Promising.Machine.races then ", races observed" else "")
-      Promising.Machine.pp_behaviors r.Promising.Machine.behaviors;
+      Promising.Machine.pp_behaviors r.Promising.Machine.behaviors);
     if compare_baselines then begin
       let sc = Baselines.Sc.explore progs in
       Fmt.pr "SC behaviors (%d states%s):@.  %a@." sc.Baselines.Sc.states
@@ -70,6 +119,7 @@ let run input promises batch max_states compare_baselines named all jobs =
     end;
     0
   with
+  | Exit -> if keep_going then 0 else 4
   | Parser.Error msg | Failure msg ->
     Fmt.epr "error: %s@." msg;
     1
@@ -102,10 +152,33 @@ let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ]
          ~doc:"Worker domains for the --all sweep.")
 
+let timeout_ms =
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget per exploration; exhaustion yields UNKNOWN.")
+
+let keep_going =
+  Arg.(value & flag & info [ "keep-going" ]
+         ~doc:"Exit 0 even when some rows are UNKNOWN.")
+
+let retries =
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+         ~doc:"Retries per --all task on transient failures (deadline).")
+
+let inject_faults =
+  Arg.(value & opt int 0 & info [ "inject-faults" ] ~docv:"N"
+         ~doc:"Deterministically make N --all tasks raise (robustness \
+               drills; see docs/ROBUSTNESS.md).")
+
+let inject_seed =
+  Arg.(value & opt int 0 & info [ "inject-seed" ] ~docv:"S"
+         ~doc:"Seed selecting which tasks --inject-faults hits.")
+
 let cmd =
   Cmd.v
     (Cmd.info "litmus_run" ~version:"1.0"
        ~doc:"PS_na litmus-test explorer (PLDI 2022)")
-    Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines $ named $ all $ jobs)
+    Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines
+          $ named $ all $ jobs $ timeout_ms $ keep_going $ retries
+          $ inject_faults $ inject_seed)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,28 +2,61 @@
 
     Usage: seqcheck SRC.wm TGT.wm — checks whether TGT (weakly)
     behaviorally refines SRC over the finite domain (Def 2.4 / Def 3.3).
-    Exit code 0: refines; 3: does not.
+    Exit code 0: refines; 3: does not; 4: undecided (budget ran out).
 
     [--corpus] instead re-checks the whole built-in transformation corpus
     against its expected verdicts, swept in parallel ([--jobs N],
-    engine-backed; see docs/ENGINE.md).  Exit 0: all verdicts match. *)
+    engine-backed; see docs/ENGINE.md).  Exit 0: all verdicts match.
+
+    [--timeout-ms]/[--max-states] bound each check; an exhausted budget
+    yields UNKNOWN(reason) instead of an answer (docs/ROBUSTNESS.md).
+    Corpus sweeps under a budget never abort: failed rows are reported as
+    UNKNOWN and exit 4 unless [--keep-going]. *)
 
 open Cmdliner
 open Lang
 
 let read path = In_channel.with_open_text path In_channel.input_all
 
-let run_corpus jobs =
-  let rows, ms =
-    Engine.Stats.timed (fun () -> Litmus.Matrix.e12_rows ~jobs ())
-  in
-  Fmt.pr "%s" (Litmus.Matrix.render_e12 ~stats:true rows);
-  Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
-  if List.for_all Litmus.Matrix.e12_ok rows then 0 else 3
+let budget_spec timeout_ms max_states =
+  Engine.Budget.spec ?timeout_ms ?max_states ()
 
-let run src_path tgt_path values advanced_only corpus jobs =
+let run_corpus jobs spec retries keep_going =
+  if Engine.Budget.spec_is_unlimited spec && retries = 0 then begin
+    (* the exact historical path: byte-identical tables, raising sweep *)
+    let rows, ms =
+      Engine.Stats.timed (fun () -> Litmus.Matrix.e12_rows ~jobs ())
+    in
+    Fmt.pr "%s" (Litmus.Matrix.render_e12 ~stats:true rows);
+    Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+    if List.for_all Litmus.Matrix.e12_ok rows then 0 else 3
+  end
+  else begin
+    let rows, ms =
+      Engine.Stats.timed (fun () ->
+          Litmus.Matrix.e12_rows_v ~jobs ~budget:spec ~retries ())
+    in
+    Fmt.pr "%s" (Litmus.Matrix.render_e12_v ~stats:true rows);
+    Fmt.pr "-- swept in %.1f ms (jobs=%d)@." ms jobs;
+    let mismatch =
+      List.exists
+        (fun (_, (o : _ Engine.Sweep.outcome)) ->
+          match o.result with
+          | Ok r -> not (Litmus.Matrix.e12_ok r)
+          | Error _ -> false)
+        rows
+    in
+    let unknown =
+      List.exists (fun (_, o) -> not (Engine.Sweep.outcome_ok o)) rows
+    in
+    if mismatch then 3 else if unknown && not keep_going then 4 else 0
+  end
+
+let run src_path tgt_path values advanced_only corpus jobs timeout_ms
+    max_states keep_going retries =
   try
-    if corpus then run_corpus jobs
+    let spec = budget_spec timeout_ms max_states in
+    if corpus then run_corpus jobs spec retries keep_going
     else
     match src_path, tgt_path with
     | None, _ | _, None ->
@@ -35,27 +68,37 @@ let run src_path tgt_path values advanced_only corpus jobs =
     let values = List.map (fun n -> Value.Int n) values in
     let d = Domain.of_stmts ~values [ src; tgt ] in
     Fmt.epr "domain: %a@." Domain.pp d;
-    let simple =
-      if advanced_only then false else Seq_model.Refine.check d ~src ~tgt
-    in
-    let advanced =
-      if simple then true else Seq_model.Advanced.check d ~src ~tgt
-    in
-    if simple then Fmt.pr "REFINES (simple notion, Def 2.4)@."
-    else if advanced then Fmt.pr "REFINES (advanced notion, Def 3.3)@."
-    else begin
-      Fmt.pr "DOES NOT REFINE@.";
-      let roots =
-        Seq_model.Refine.initial_pairs d ~src:(Prog.init src)
-          ~tgt:(Prog.init tgt)
-      in
-      match Seq_model.Refine.find_counterexample d roots with
-      | Some cex -> Fmt.pr "%a@." Seq_model.Refine.pp_counterexample cex
-      | None ->
-        Fmt.pr
-          "(no simple-notion counterexample: the failure is specific to the            advanced notion)@."
-    end;
-    if advanced then 0 else 3
+    let budget = Engine.Budget.start spec in
+    (match
+       let simple =
+         if advanced_only then false
+         else Seq_model.Refine.check ~budget d ~src ~tgt
+       in
+       if simple then `Simple
+       else if Seq_model.Advanced.check ~budget d ~src ~tgt then `Advanced
+       else `Refuted
+     with
+     | `Simple ->
+       Fmt.pr "REFINES (simple notion, Def 2.4)@.";
+       0
+     | `Advanced ->
+       Fmt.pr "REFINES (advanced notion, Def 3.3)@.";
+       0
+     | `Refuted ->
+       Fmt.pr "DOES NOT REFINE@.";
+       let roots =
+         Seq_model.Refine.initial_pairs d ~src:(Prog.init src)
+           ~tgt:(Prog.init tgt)
+       in
+       (match Seq_model.Refine.find_counterexample d roots with
+        | Some cex -> Fmt.pr "%a@." Seq_model.Refine.pp_counterexample cex
+        | None ->
+          Fmt.pr
+            "(no simple-notion counterexample: the failure is specific to the            advanced notion)@.");
+       3
+     | exception Engine.Budget.Exhausted r ->
+       Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string r);
+       if keep_going then 0 else 4)
   with
   | Parser.Error msg ->
     Fmt.epr "parse error: %s@." msg;
@@ -84,10 +127,27 @@ let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ]
          ~doc:"Worker domains for the --corpus sweep.")
 
+let timeout_ms =
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget per check; exhaustion yields UNKNOWN.")
+
+let max_states =
+  Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N"
+         ~doc:"Simulation-pair budget per check; exhaustion yields UNKNOWN.")
+
+let keep_going =
+  Arg.(value & flag & info [ "keep-going" ]
+         ~doc:"Exit 0 even when some results are UNKNOWN (budget ran out).")
+
+let retries =
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+         ~doc:"Retries per corpus task on transient failures (deadline).")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqcheck" ~version:"1.0"
        ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
-    Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs)
+    Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs
+          $ timeout_ms $ max_states $ keep_going $ retries)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,54 @@
+(** Deterministic fault injection (see faults.mli). *)
+
+type action =
+  | Raise of { transient : bool }
+  | Stall_ms of float
+  | Burn_states of int
+
+type rule = { index : int; action : action; attempts : int }
+
+type plan = rule list
+
+exception Injected of { index : int; attempt : int; transient : bool }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { index; attempt; transient } ->
+      Some
+        (Printf.sprintf "injected fault (task %d, attempt %d%s)" index attempt
+           (if transient then ", transient" else ""))
+    | _ -> None)
+
+let none : plan = []
+
+let raise_at ?(transient = false) ?(attempts = max_int) indices =
+  List.map (fun index -> { index; action = Raise { transient }; attempts }) indices
+
+let seeded ~seed ~tasks ~faulty ?(action = Raise { transient = false })
+    ?(attempts = max_int) () : plan =
+  if tasks <= 0 || faulty <= 0 then []
+  else begin
+    (* explicit-seed PRNG: the plan is a pure function of [seed] *)
+    let st = Random.State.make [| 0x5eed; seed; tasks |] in
+    let picked = Hashtbl.create 16 in
+    let n = min faulty tasks in
+    while Hashtbl.length picked < n do
+      Hashtbl.replace picked (Random.State.int st tasks) ()
+    done;
+    Hashtbl.fold (fun index () acc -> { index; action; attempts } :: acc) picked []
+    |> List.sort (fun a b -> compare a.index b.index)
+  end
+
+let apply (plan : plan) ~(budget : Budget.t) ~index ~attempt =
+  match List.find_opt (fun r -> r.index = index) plan with
+  | None -> ()
+  | Some r ->
+    if attempt <= r.attempts then (
+      match r.action with
+      | Raise { transient } -> raise (Injected { index; attempt; transient })
+      | Stall_ms ms ->
+        if ms > 0. then Unix.sleepf (ms /. 1000.);
+        (* force a clock poll so a stall past the deadline is noticed
+           deterministically, before any real work starts *)
+        Budget.check budget
+      | Burn_states n -> Budget.spend_state ~n budget)

@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the sweep supervisor.
+
+    The test suite (and the CI robustness smoke) prove graceful
+    degradation by making selected task indices misbehave: raise, stall
+    past their deadline, or burn extra states from their budget.  A
+    {!plan} is explicit configuration — rules name concrete task indices,
+    and {!seeded} derives the indices from an explicit seed — so injected
+    runs are deterministic for every [jobs] setting; there is no ambient
+    randomness and no injection unless a plan is passed in. *)
+
+(** What an injected fault does at the start of a task attempt. *)
+type action =
+  | Raise of { transient : bool }
+      (** raise {!Injected}; transient faults qualify for the supervisor's
+          retry path, persistent ones are quarantined *)
+  | Stall_ms of float  (** sleep, then poll the budget's deadline *)
+  | Burn_states of int  (** pre-charge states against the attempt's budget *)
+
+(** One rule: fault task [index] on its first [attempts] attempts (so a
+    transient rule with [attempts = 1] fails once and then succeeds on
+    retry). *)
+type rule = { index : int; action : action; attempts : int }
+
+type plan = rule list
+
+exception Injected of { index : int; attempt : int; transient : bool }
+
+(** The empty plan: inject nothing. *)
+val none : plan
+
+(** [raise_at indices]: raise on every attempt of each listed index
+    ([transient] defaults to [false], [attempts] to [max_int]). *)
+val raise_at : ?transient:bool -> ?attempts:int -> int list -> plan
+
+(** [seeded ~seed ~tasks ~faulty ()]: a plan faulting [faulty] distinct
+    indices of [0..tasks-1], chosen deterministically from [seed];
+    [action] defaults to [Raise { transient = false }]. *)
+val seeded :
+  seed:int -> tasks:int -> faulty:int -> ?action:action -> ?attempts:int ->
+  unit -> plan
+
+(** Run the plan's rule for [index]/[attempt], if any, against the
+    attempt's budget.  Called by {!Sweep.run_verdict} at the start of
+    every task attempt; a no-op for indices without a rule. *)
+val apply : plan -> budget:Budget.t -> index:int -> attempt:int -> unit

@@ -84,6 +84,68 @@ let run ?pool ?jobs ?chunk ~f tasks =
 let run_timed ?pool ?jobs ?chunk ~f tasks =
   run ?pool ?jobs ?chunk ~f:(fun x -> Stats.timed (fun () -> f x)) tasks
 
+(* ------------------------------------------------------------------ *)
+(* Supervised sweeps: budgeted, fault-tolerant, never raising           *)
+(* ------------------------------------------------------------------ *)
+
+type 'b outcome = {
+  result : ('b, Verdict.reason) Stdlib.result;
+  attempts : int;
+  quarantined : bool;
+  wall_ms : float;
+}
+
+let outcome_ok o = Result.is_ok o.result
+
+(* One supervised task: fresh budget per attempt (retries restart the
+   deadline), fault injection at attempt start, every exception trapped.
+   Transient failures retry with doubling capped backoff; a trapped
+   non-transient exception quarantines the task — recorded in the
+   outcome, never retried.  The outcome is a pure function of
+   (task, index, plan, spec), so the parallel=sequential contract of the
+   surrounding sweep is preserved. *)
+let supervise ~budget ~retries ~backoff_ms ~max_backoff_ms ~faults ~f env i x =
+  let rec go attempt backoff =
+    let b = Budget.start budget in
+    match
+      Faults.apply faults ~budget:b ~index:i ~attempt;
+      f env ~budget:b x
+    with
+    | r -> { result = Ok r; attempts = attempt; quarantined = false; wall_ms = 0. }
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      let reason = Verdict.reason_of_exn e bt in
+      if Verdict.transient reason && attempt <= retries then begin
+        if backoff > 0. then Unix.sleepf (backoff /. 1000.);
+        go (attempt + 1) (Float.min max_backoff_ms (backoff *. 2.))
+      end
+      else
+        {
+          result = Error reason;
+          attempts = attempt;
+          quarantined = (match reason with Verdict.Trapped _ -> true | Verdict.Exhausted _ -> false);
+          wall_ms = 0.;
+        }
+  in
+  let o, ms = Stats.timed (fun () -> go 1 backoff_ms) in
+  { o with wall_ms = ms }
+
+let run_verdict_with ?pool ?jobs ?chunk ?(budget = Budget.spec_unlimited)
+    ?(retries = 0) ?(backoff_ms = 1.) ?(max_backoff_ms = 100.)
+    ?(faults = Faults.none) ~init ~f tasks =
+  run_with ?pool ?jobs ?chunk ~init
+    ~f:(fun env (i, x) ->
+      supervise ~budget ~retries ~backoff_ms ~max_backoff_ms ~faults ~f env i x)
+    (List.mapi (fun i x -> (i, x)) tasks)
+
+let run_verdict ?pool ?jobs ?chunk ?budget ?retries ?backoff_ms ?max_backoff_ms
+    ?faults ~f tasks =
+  run_verdict_with ?pool ?jobs ?chunk ?budget ?retries ?backoff_ms
+    ?max_backoff_ms ?faults
+    ~init:(fun () -> ())
+    ~f:(fun () ~budget x -> f ~budget x)
+    tasks
+
 let find_first ?pool ?jobs ?chunk ~f tasks =
   let cells =
     run_cells ?pool ?jobs ?chunk

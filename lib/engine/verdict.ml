@@ -1,0 +1,57 @@
+(** Three-valued verdicts (see verdict.mli). *)
+
+type trap = { exn : string; backtrace : string; transient : bool }
+
+type reason =
+  | Exhausted of Budget.reason
+  | Trapped of trap
+
+type 'a t = Proved | Refuted of 'a | Unknown of reason
+
+let of_bool b = if b then Proved else Refuted ()
+
+let transient = function
+  | Exhausted Budget.Deadline -> true
+  | Exhausted (Budget.States | Budget.Fuel) -> false
+  | Trapped t -> t.transient
+
+let reason_of_exn (e : exn) (bt : Printexc.raw_backtrace) : reason =
+  match e with
+  | Budget.Exhausted r -> Exhausted r
+  | Faults.Injected { transient; _ } ->
+    Trapped
+      {
+        exn = Printexc.to_string e;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+        transient;
+      }
+  | e ->
+    Trapped
+      {
+        exn = Printexc.to_string e;
+        backtrace = Printexc.raw_backtrace_to_string bt;
+        transient = false;
+      }
+
+let capture (f : unit -> 'a) : ('a, reason) Stdlib.result =
+  match f () with
+  | v -> Ok v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Error (reason_of_exn e bt)
+
+let run (f : unit -> 'a t) : 'a t =
+  match capture f with Ok v -> v | Error r -> Unknown r
+
+let reason_to_string = function
+  | Exhausted r -> Budget.reason_to_string r
+  | Trapped t -> "trap: " ^ t.exn
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)
+
+let to_string = function
+  | Proved -> "PROVED"
+  | Refuted _ -> "REFUTED"
+  | Unknown r -> Printf.sprintf "UNKNOWN(%s)" (reason_to_string r)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

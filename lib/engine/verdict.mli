@@ -1,0 +1,60 @@
+(** Three-valued verdicts for budgeted, fault-tolerant checking.
+
+    Exhaustive checkers historically answered [bool] — and diverged or
+    crashed when they could not.  A verdict makes the third outcome a
+    value: [Unknown reason] covers budget exhaustion ({!Budget.Exhausted})
+    and trapped exceptions ([Stack_overflow], [Out_of_memory], injected
+    faults, [Config.Mixed_access], arbitrary [exn]s with their backtrace).
+
+    The verdict lattice: [Proved] and [Refuted _] are definite and may be
+    trusted; [Unknown _] is strictly weaker than both — a budgeted run
+    never converts a would-be [Proved]/[Refuted] into the other, it only
+    weakens it to [Unknown] (tested).
+
+    {!capture} and {!run} are the single catch-points: everything below
+    them raises freely ({!Budget.check} included), everything above them
+    sees total functions. *)
+
+(** A trapped exception, normalized for deterministic rendering: [exn] is
+    the printed exception (no addresses), the backtrace is kept separately
+    and never included in [reason_to_string]. *)
+type trap = { exn : string; backtrace : string; transient : bool }
+
+type reason =
+  | Exhausted of Budget.reason  (** the attempt's budget ran out *)
+  | Trapped of trap  (** the task raised *)
+
+(** A three-valued verdict; [Refuted] carries checker-specific refutation
+    info (a counterexample, a mismatch description, [unit]). *)
+type 'a t = Proved | Refuted of 'a | Unknown of reason
+
+val of_bool : bool -> unit t
+
+(** Retrying may plausibly change the outcome: deadline exhaustion (the
+    machine may have been contended) and faults injected as transient.
+    State/fuel exhaustion and real traps are deterministic — not
+    transient.  Drives {!Sweep.run_verdict}'s retry-vs-quarantine split. *)
+val transient : reason -> bool
+
+(** Normalize a raised exception (as caught) into a reason; the raw
+    backtrace should be captured immediately at the catch site. *)
+val reason_of_exn : exn -> Printexc.raw_backtrace -> reason
+
+(** [capture f]: run [f], trapping budget exhaustion and every exception
+    (including [Stack_overflow] and [Out_of_memory]) into [Error]. *)
+val capture : (unit -> 'a) -> ('a, reason) Stdlib.result
+
+(** [run f]: like {!capture} for verdict-returning [f]; failures become
+    [Unknown]. *)
+val run : (unit -> 'a t) -> 'a t
+
+(** Deterministic short form: ["deadline"], ["states"], ["fuel"],
+    ["trap: <exn>"] — no backtraces, stable across schedulings. *)
+val reason_to_string : reason -> string
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** ["PROVED"], ["REFUTED"], or ["UNKNOWN(<reason>)"]. *)
+val to_string : 'a t -> string
+
+val pp : Format.formatter -> 'a t -> unit

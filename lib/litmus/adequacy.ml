@@ -28,7 +28,7 @@ let row_ok (r : row) =
   (not r.seq_advanced) || List.for_all (fun (_, refines, _) -> refines) r.contexts
 
 let check_transformation ?(params = Promising.Thread.default_params)
-    ?contexts ?memo (tr : Catalog.transformation) : row =
+    ?contexts ?memo ?budget (tr : Catalog.transformation) : row =
   let contexts = Option.value contexts ~default:Catalog.contexts in
   (* one memo per row: the src thread's certification verdicts recur
      across contexts, and a row-local table keeps the hit count
@@ -37,10 +37,12 @@ let check_transformation ?(params = Promising.Thread.default_params)
   let src = Parser.stmt_of_string tr.Catalog.src in
   let tgt = Parser.stmt_of_string tr.Catalog.tgt in
   let d = Domain.of_stmts ~values:params.Promising.Thread.values [ src; tgt ] in
-  let seq_simple, simple_pairs = Seq_model.Refine.check_count d ~src ~tgt in
+  let seq_simple, simple_pairs =
+    Seq_model.Refine.check_count ?budget d ~src ~tgt
+  in
   let seq_advanced, advanced_pairs =
     if seq_simple then (true, 0) (* Prop 3.4 *)
-    else Seq_model.Advanced.check_count d ~src ~tgt
+    else Seq_model.Advanced.check_count ?budget d ~src ~tgt
   in
   let states = ref 0 in
   let memo_hits = ref 0 in
@@ -50,12 +52,14 @@ let check_transformation ?(params = Promising.Thread.default_params)
         let ctx_threads = Parser.threads_of_string ctx_src in
         (* a ⊥ behavior of the source matches everything, so the source
            exploration may stop at the first ⊥ and skip the target *)
-        let rs = M.explore ~params ~until_bot:true ~memo (src :: ctx_threads) in
+        let rs =
+          M.explore ~params ~until_bot:true ~memo ?budget (src :: ctx_threads)
+        in
         states := !states + rs.M.states;
         memo_hits := !memo_hits + rs.M.memo_hits;
         if M.Behavior_set.mem M.Bot rs.M.behaviors then (name, true, true)
         else begin
-          let rt = M.explore ~params ~memo (tgt :: ctx_threads) in
+          let rt = M.explore ~params ~memo ?budget (tgt :: ctx_threads) in
           states := !states + rt.M.states;
           memo_hits := !memo_hits + rt.M.memo_hits;
           ( name,
@@ -81,3 +85,15 @@ let run ?pool ?jobs ?params ?contexts ?(corpus = Catalog.transformations) () :
   Engine.Sweep.run ?pool ?jobs
     ~f:(fun tr -> check_transformation ?params ?contexts tr)
     corpus
+
+(** The fault-tolerant variant: one supervised outcome per corpus row, in
+    corpus order; never raises (see {!Engine.Sweep.run_verdict}). *)
+let run_v ?pool ?jobs ?params ?contexts ?budget ?retries ?faults
+    ?(corpus = Catalog.transformations) () :
+    (Catalog.transformation * row Engine.Sweep.outcome) list =
+  let outcomes =
+    Engine.Sweep.run_verdict ?pool ?jobs ?budget ?retries ?faults
+      ~f:(fun ~budget tr -> check_transformation ?params ?contexts ~budget tr)
+      corpus
+  in
+  List.combine corpus outcomes

@@ -26,6 +26,7 @@ val check_transformation :
   ?params:Promising.Thread.params ->
   ?contexts:(string * string) list ->
   ?memo:Promising.Machine.memo ->
+  ?budget:Engine.Budget.t ->
   Catalog.transformation ->
   row
 
@@ -40,3 +41,19 @@ val run :
   ?corpus:Catalog.transformation list ->
   unit ->
   row list
+
+(** The fault-tolerant E5 sweep: one supervised outcome per corpus row, in
+    corpus order; never raises.  Each row attempt gets a fresh budget from
+    [budget]; budget exhaustion and trapped exceptions become [Error]
+    outcomes (see {!Engine.Sweep.run_verdict}). *)
+val run_v :
+  ?pool:Engine.Pool.t ->
+  ?jobs:int ->
+  ?params:Promising.Thread.params ->
+  ?contexts:(string * string) list ->
+  ?budget:Engine.Budget.spec ->
+  ?retries:int ->
+  ?faults:Engine.Faults.plan ->
+  ?corpus:Catalog.transformation list ->
+  unit ->
+  (Catalog.transformation * row Engine.Sweep.outcome) list

@@ -25,17 +25,19 @@ let e12_ok (r : e12_row) =
 
 let verdict b = if b then Catalog.Sound else Catalog.Unsound
 
-let e12_row ?(values = Domain.default_values) (tr : Catalog.transformation) :
-    e12_row =
+let e12_row ?(values = Domain.default_values) ?budget
+    (tr : Catalog.transformation) : e12_row =
   let row, ms =
     Engine.Stats.timed (fun () ->
         let src = Parser.stmt_of_string tr.Catalog.src in
         let tgt = Parser.stmt_of_string tr.Catalog.tgt in
         let d = Domain.of_stmts ~values [ src; tgt ] in
-        let simple, simple_pairs = Seq_model.Refine.check_count d ~src ~tgt in
+        let simple, simple_pairs =
+          Seq_model.Refine.check_count ?budget d ~src ~tgt
+        in
         let advanced, advanced_pairs =
           if simple then (true, 0)
-          else Seq_model.Advanced.check_count d ~src ~tgt
+          else Seq_model.Advanced.check_count ?budget d ~src ~tgt
         in
         {
           tr;
@@ -48,32 +50,90 @@ let e12_row ?(values = Domain.default_values) (tr : Catalog.transformation) :
   { row with wall_ms = ms }
 
 let e12_rows ?pool ?jobs ?values () : e12_row list =
-  Engine.Sweep.run ?pool ?jobs ~f:(e12_row ?values) Catalog.transformations
+  Engine.Sweep.run ?pool ?jobs
+    ~f:(fun tr -> e12_row ?values tr)
+    Catalog.transformations
+
+(** The fault-tolerant sweep: one supervised outcome per corpus entry, in
+    corpus order; never raises (see {!Engine.Sweep.run_verdict}). *)
+let e12_rows_v ?pool ?jobs ?values ?budget ?retries ?faults
+    ?(corpus = Catalog.transformations) () :
+    (Catalog.transformation * e12_row Engine.Sweep.outcome) list =
+  let outcomes =
+    Engine.Sweep.run_verdict ?pool ?jobs ?budget ?retries ?faults
+      ~f:(fun ~budget tr -> e12_row ?values ~budget tr)
+      corpus
+  in
+  List.combine corpus outcomes
+
+(* Shared row printers: the [_v] renderers reuse them so that on all-Ok
+   outcomes their output is byte-identical to the plain renderers (the
+   golden tests pin the latter). *)
+let bpr buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let pr_e12_header buf stats =
+  let pr fmt = bpr buf fmt in
+  pr "%-32s %-26s %-18s %-18s %-10s %-8s%s\n" "name" "paper ref"
+    "simple(exp/got)" "advanced(exp/got)" "ok" "pairs"
+    (if stats then " ms" else "")
+
+let pr_e12_row buf stats (r : e12_row) =
+  let pr fmt = bpr buf fmt in
+  let ok = e12_ok r in
+  pr "%-32s %-26s %-18s %-18s %-10s %-8d%s\n" r.tr.Catalog.name
+    r.tr.Catalog.paper_ref
+    (Printf.sprintf "%s/%s"
+       (Catalog.verdict_to_string r.tr.Catalog.simple)
+       (Catalog.verdict_to_string r.simple_got))
+    (Printf.sprintf "%s/%s"
+       (Catalog.verdict_to_string r.tr.Catalog.advanced)
+       (Catalog.verdict_to_string r.advanced_got))
+    (if ok then "ok" else "MISMATCH")
+    r.pairs
+    (if stats then Printf.sprintf " %.1f" r.wall_ms else "");
+  ok
+
+let pr_e12_unknown buf stats (tr : Catalog.transformation)
+    (o : e12_row Engine.Sweep.outcome) reason =
+  let pr fmt = bpr buf fmt in
+  pr "%-32s %-26s %-18s %-18s %-10s %-8s%s\n" tr.Catalog.name
+    tr.Catalog.paper_ref
+    (Printf.sprintf "%s/?" (Catalog.verdict_to_string tr.Catalog.simple))
+    (Printf.sprintf "%s/?" (Catalog.verdict_to_string tr.Catalog.advanced))
+    (Printf.sprintf "UNKNOWN(%s)" (Engine.Verdict.reason_to_string reason))
+    "-"
+    (if stats then Printf.sprintf " %.1f" o.Engine.Sweep.wall_ms else "")
 
 let render_e12 ?(stats = false) (rows : e12_row list) : string =
   let buf = Buffer.create 4096 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "%-32s %-26s %-18s %-18s %-10s %-8s%s\n" "name" "paper ref"
-    "simple(exp/got)" "advanced(exp/got)" "ok" "pairs"
-    (if stats then " ms" else "");
+  pr_e12_header buf stats;
   let mismatches = ref 0 in
-  List.iter
-    (fun r ->
-      let ok = e12_ok r in
-      if not ok then incr mismatches;
-      pr "%-32s %-26s %-18s %-18s %-10s %-8d%s\n" r.tr.Catalog.name
-        r.tr.Catalog.paper_ref
-        (Printf.sprintf "%s/%s"
-           (Catalog.verdict_to_string r.tr.Catalog.simple)
-           (Catalog.verdict_to_string r.simple_got))
-        (Printf.sprintf "%s/%s"
-           (Catalog.verdict_to_string r.tr.Catalog.advanced)
-           (Catalog.verdict_to_string r.advanced_got))
-        (if ok then "ok" else "MISMATCH")
-        r.pairs
-        (if stats then Printf.sprintf " %.1f" r.wall_ms else ""))
-    rows;
+  List.iter (fun r -> if not (pr_e12_row buf stats r) then incr mismatches) rows;
   pr "-- %d transformations, %d mismatches\n" (List.length rows) !mismatches;
+  Buffer.contents buf
+
+(** Render supervised outcomes; byte-identical to {!render_e12} when every
+    outcome is [Ok].  Unknown rows keep the table shape, and the footer
+    counts them only when there are any. *)
+let render_e12_v ?(stats = false)
+    (rows : (Catalog.transformation * e12_row Engine.Sweep.outcome) list) :
+    string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e12_header buf stats;
+  let mismatches = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun (tr, o) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> if not (pr_e12_row buf stats r) then incr mismatches
+      | Error reason ->
+        incr unknown;
+        pr_e12_unknown buf stats tr o reason)
+    rows;
+  pr "-- %d transformations, %d mismatches%s\n" (List.length rows)
+    !mismatches
+    (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -89,10 +149,13 @@ type e4_row = {
   wall_ms : float;
 }
 
-let e4_row ?params ?memo (c : Catalog.concurrent) : e4_row =
+let e4_row ?params ?memo ?budget (c : Catalog.concurrent) : e4_row =
   let row, ms =
     Engine.Stats.timed (fun () ->
-        let r = M.explore ?params ?memo (Parser.threads_of_string c.Catalog.threads) in
+        let r =
+          M.explore ?params ?memo ?budget
+            (Parser.threads_of_string c.Catalog.threads)
+        in
         {
           c;
           states = r.M.states;
@@ -109,51 +172,135 @@ let e4_rows ?pool ?jobs ?params () : e4_row list =
     ~f:(fun memo c -> e4_row ?params ~memo c)
     Catalog.concurrent_programs
 
+(** Fault-tolerant E4 sweep; worker domains keep the same per-domain
+    certification memo as {!e4_rows}. *)
+let e4_rows_v ?pool ?jobs ?params ?budget ?retries ?faults
+    ?(corpus = Catalog.concurrent_programs) () :
+    (Catalog.concurrent * e4_row Engine.Sweep.outcome) list =
+  let outcomes =
+    Engine.Sweep.run_verdict_with ?pool ?jobs ?budget ?retries ?faults
+      ~init:M.make_memo
+      ~f:(fun memo ~budget c -> e4_row ?params ~memo ~budget c)
+      corpus
+  in
+  List.combine corpus outcomes
+
+let pr_e4_header buf stats =
+  let pr fmt = bpr buf fmt in
+  pr "%-12s %-18s %-8s %-7s %s%s\n" "litmus" "paper ref" "states" "races"
+    "behaviors"
+    (if stats then "  [ms]" else "")
+
+let pr_e4_row buf stats (r : e4_row) =
+  let pr fmt = bpr buf fmt in
+  pr "%-12s %-18s %-8d %-7b %s%s%s\n" r.c.Catalog.cname r.c.Catalog.cref
+    r.states r.races r.behaviors
+    (if r.truncated then " (TRUNCATED)" else "")
+    (if stats then Printf.sprintf "  [%.1f]" r.wall_ms else "")
+
 let render_e4 ?(stats = false) (rows : e4_row list) : string =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "%-12s %-18s %-8s %-7s %s%s\n" "litmus" "paper ref" "states" "races"
-    "behaviors"
-    (if stats then "  [ms]" else "");
-  List.iter
-    (fun r ->
-      pr "%-12s %-18s %-8d %-7b %s%s%s\n" r.c.Catalog.cname r.c.Catalog.cref
-        r.states r.races r.behaviors
-        (if r.truncated then " (TRUNCATED)" else "")
-        (if stats then Printf.sprintf "  [%.1f]" r.wall_ms else ""))
-    rows;
+  pr_e4_header buf stats;
+  List.iter (fun r -> pr_e4_row buf stats r) rows;
   pr "-- %d litmus programs\n" (List.length rows);
+  Buffer.contents buf
+
+(** Render supervised E4 outcomes; byte-identical to {!render_e4} when
+    every outcome is [Ok]. *)
+let render_e4_v ?(stats = false)
+    (rows : (Catalog.concurrent * e4_row Engine.Sweep.outcome) list) : string =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e4_header buf stats;
+  let unknown = ref 0 in
+  List.iter
+    (fun (c, o) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> pr_e4_row buf stats r
+      | Error reason ->
+        incr unknown;
+        pr "%-12s %-18s %-8s %-7s UNKNOWN(%s)%s\n" c.Catalog.cname
+          c.Catalog.cref "-" "-"
+          (Engine.Verdict.reason_to_string reason)
+          (if stats then Printf.sprintf "  [%.1f]" o.Engine.Sweep.wall_ms
+           else ""))
+    rows;
+  pr "-- %d litmus programs%s\n" (List.length rows)
+    (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* E5: adequacy                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let pr_e5_header buf stats =
+  let pr fmt = bpr buf fmt in
+  pr "%-32s %-9s %-11s %-20s%s\n" "transformation" "SEQ-adv" "PS-refines"
+    "ok"
+    (if stats then " pairs    states    hits" else "")
+
+let pr_e5_row buf stats (r : Adequacy.row) =
+  let pr fmt = bpr buf fmt in
+  let all_refine = List.for_all (fun (_, ok, _) -> ok) r.Adequacy.contexts in
+  let ok = Adequacy.row_ok r in
+  pr "%-32s %-9b %-11b %-20s%s\n" r.Adequacy.tr.Catalog.name
+    r.Adequacy.seq_advanced all_refine
+    (if ok then "ok" else "ADEQUACY VIOLATION")
+    (if stats then
+       Printf.sprintf " %-8d %-9d %d" r.Adequacy.seq_pairs r.Adequacy.states
+         r.Adequacy.memo_hits
+     else "");
+  ok
+
 let render_e5 ?(stats = false) (rows : Adequacy.row list) : string =
   let buf = Buffer.create 2048 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "%-32s %-9s %-11s %-20s%s\n" "transformation" "SEQ-adv" "PS-refines"
-    "ok"
-    (if stats then " pairs    states    hits" else "");
+  pr_e5_header buf stats;
   let violations = ref 0 in
   List.iter
     (fun (r : Adequacy.row) ->
-      let all_refine =
-        List.for_all (fun (_, ok, _) -> ok) r.Adequacy.contexts
-      in
-      let ok = Adequacy.row_ok r in
-      if not ok then incr violations;
-      pr "%-32s %-9b %-11b %-20s%s\n" r.Adequacy.tr.Catalog.name
-        r.Adequacy.seq_advanced all_refine
-        (if ok then "ok" else "ADEQUACY VIOLATION")
-        (if stats then
-           Printf.sprintf " %-8d %-9d %d" r.Adequacy.seq_pairs
-             r.Adequacy.states r.Adequacy.memo_hits
-         else ""))
+      if not (pr_e5_row buf stats r) then incr violations)
     rows;
   let n_contexts =
     match rows with r :: _ -> List.length r.Adequacy.contexts | [] -> 0
   in
   pr "-- %d rows x %d contexts, %d adequacy violations\n" (List.length rows)
     n_contexts !violations;
+  Buffer.contents buf
+
+(** Render supervised E5 outcomes; byte-identical to {!render_e5} when
+    every outcome is [Ok]. *)
+let render_e5_v ?(stats = false)
+    (rows : (Catalog.transformation * Adequacy.row Engine.Sweep.outcome) list)
+    : string =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e5_header buf stats;
+  let violations = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun ((tr : Catalog.transformation), o) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> if not (pr_e5_row buf stats r) then incr violations
+      | Error reason ->
+        incr unknown;
+        pr "%-32s %-9s %-11s %-20s%s\n" tr.Catalog.name "-" "-"
+          (Printf.sprintf "UNKNOWN(%s)"
+             (Engine.Verdict.reason_to_string reason))
+          (if stats then
+             Printf.sprintf " -        -         -"
+           else ""))
+    rows;
+  let n_contexts =
+    List.find_map
+      (fun (_, o) ->
+        match o.Engine.Sweep.result with
+        | Ok (r : Adequacy.row) -> Some (List.length r.Adequacy.contexts)
+        | Error _ -> None)
+      rows
+    |> Option.value ~default:0
+  in
+  pr "-- %d rows x %d contexts, %d adequacy violations%s\n"
+    (List.length rows) n_contexts !violations
+    (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
   Buffer.contents buf

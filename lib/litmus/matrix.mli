@@ -21,14 +21,35 @@ type e12_row = {
 (** Expected and computed verdicts agree. *)
 val e12_ok : e12_row -> bool
 
-val e12_row : ?values:Value.t list -> Catalog.transformation -> e12_row
+val e12_row :
+  ?values:Value.t list -> ?budget:Engine.Budget.t ->
+  Catalog.transformation -> e12_row
 
 (** The full corpus, one engine task per transformation. *)
 val e12_rows :
   ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list -> unit ->
   e12_row list
 
+(** The fault-tolerant E1/E2 sweep: one supervised outcome per corpus
+    entry, in corpus order; never raises.  Each task attempt gets a fresh
+    budget from [budget]; budget exhaustion and trapped exceptions (e.g.
+    [Config.Mixed_access]) become [Error] outcomes instead of aborting the
+    sweep (see {!Engine.Sweep.run_verdict}).  [corpus] defaults to the full
+    {!Catalog.transformations}. *)
+val e12_rows_v :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list ->
+  ?budget:Engine.Budget.spec -> ?retries:int -> ?faults:Engine.Faults.plan ->
+  ?corpus:Catalog.transformation list -> unit ->
+  (Catalog.transformation * e12_row Engine.Sweep.outcome) list
+
 val render_e12 : ?stats:bool -> e12_row list -> string
+
+(** Render supervised outcomes: byte-identical to {!render_e12} when every
+    outcome is [Ok]; failed tasks get an [UNKNOWN(reason)] row and the
+    footer counts them (only when nonzero). *)
+val render_e12_v :
+  ?stats:bool ->
+  (Catalog.transformation * e12_row Engine.Sweep.outcome) list -> string
 
 (** One row of the E4 PS_na litmus table. *)
 type e4_row = {
@@ -42,7 +63,7 @@ type e4_row = {
 
 val e4_row :
   ?params:Promising.Thread.params -> ?memo:Promising.Machine.memo ->
-  Catalog.concurrent -> e4_row
+  ?budget:Engine.Budget.t -> Catalog.concurrent -> e4_row
 
 (** The full litmus catalog, one engine task per program.  Worker domains
     keep a persistent per-domain certification memo across their tasks
@@ -52,9 +73,29 @@ val e4_rows :
   ?pool:Engine.Pool.t -> ?jobs:int -> ?params:Promising.Thread.params ->
   unit -> e4_row list
 
+(** The fault-tolerant E4 sweep; per-domain memo as {!e4_rows}, supervised
+    outcomes as {!e12_rows_v}. *)
+val e4_rows_v :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?params:Promising.Thread.params ->
+  ?budget:Engine.Budget.spec -> ?retries:int -> ?faults:Engine.Faults.plan ->
+  ?corpus:Catalog.concurrent list -> unit ->
+  (Catalog.concurrent * e4_row Engine.Sweep.outcome) list
+
 val render_e4 : ?stats:bool -> e4_row list -> string
+
+(** Render supervised E4 outcomes; byte-identical to {!render_e4} when
+    every outcome is [Ok]. *)
+val render_e4_v :
+  ?stats:bool ->
+  (Catalog.concurrent * e4_row Engine.Sweep.outcome) list -> string
 
 (** Render E5 adequacy rows (see {!Adequacy}); same [stats] discipline
     ([ms] is omitted because rows carry no timing — the bench harness
     times whole tables). *)
 val render_e5 : ?stats:bool -> Adequacy.row list -> string
+
+(** Render supervised E5 outcomes (from {!Adequacy.run_v}); byte-identical
+    to {!render_e5} when every outcome is [Ok]. *)
+val render_e5_v :
+  ?stats:bool ->
+  (Catalog.transformation * Adequacy.row Engine.Sweep.outcome) list -> string

@@ -155,7 +155,8 @@ let params_fingerprint (p : Thread.params) : string =
    params, which [key_prefix] encodes for shared tables).  [hit_counter]
    counts top-level memo hits. *)
 let certify ?memo ?interner ?(key_prefix = "") ?hit_counter
-    (p : Thread.params) (mem : Memory.t) (th : Thread.t) : bool =
+    ?(budget = Engine.Budget.unlimited) (p : Thread.params) (mem : Memory.t)
+    (th : Thread.t) : bool =
   let key mem th = canon_key ?interner { threads = [ th ]; memory = mem } in
   let top_key = key_prefix ^ key mem th in
   match Option.bind memo (fun m -> Hashtbl.find_opt m top_key) with
@@ -165,6 +166,7 @@ let certify ?memo ?interner ?(key_prefix = "") ?hit_counter
   | None ->
     let visited = Hashtbl.create 64 in
     let rec go fuel mem th =
+      Engine.Budget.check budget;
       if th.Thread.promises = [] then true
       else if fuel = 0 then false
       else
@@ -281,7 +283,7 @@ let rec stmt_has_fence = function
   | Stmt.Return _ -> false
 
 let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
-    (progs : Stmt.t list) : result =
+    ?(budget = Engine.Budget.unlimited) (progs : Stmt.t list) : result =
   let params =
     if List.exists stmt_has_fence progs then params
     else { params with Thread.track_fence_views = false }
@@ -326,6 +328,7 @@ let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
       if Hashtbl.length visited >= params.Thread.max_states then
         truncated := true
       else begin
+        Engine.Budget.spend_state budget;
         Hashtbl.add visited k ();
         Queue.push s queue
       end
@@ -333,6 +336,7 @@ let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
   push init_state;
   let stop = ref false in
   while (not !stop) && not (Queue.is_empty queue) do
+    Engine.Budget.check budget;
     let s = Queue.pop queue in
     if state_has_race s then races := true;
     if state_has_weak_race s then weak_races := true;
@@ -354,7 +358,7 @@ let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
             | Thread.Step (th', mem', _) ->
               if
                 certify ~memo:cert_memo ~interner ~key_prefix ~hit_counter
-                  params mem' th'
+                  ~budget params mem' th'
               then
                 push
                   {
@@ -374,6 +378,13 @@ let explore ?(params = Thread.default_params) ?(until_bot = false) ?memo
     weak_races = !weak_races;
     memo_hits = !hit_counter;
   }
+
+(** Budgeted exploration that never raises: [Error reason] on budget
+    exhaustion or any trapped exception (e.g. [Stack_overflow]). *)
+let explore_v ?params ?until_bot ?memo ?budget (progs : Stmt.t list) :
+    (result, Engine.Verdict.reason) Stdlib.result =
+  Engine.Verdict.capture (fun () ->
+      explore ?params ?until_bot ?memo ?budget progs)
 
 (* ------------------------------------------------------------------ *)
 (* Behavioral refinement (Def 5.2 / 5.3)                                *)

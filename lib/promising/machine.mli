@@ -43,6 +43,7 @@ val params_fingerprint : Thread.params -> string
 val certify :
   ?memo:(string, bool) Hashtbl.t -> ?interner:interner ->
   ?key_prefix:string -> ?hit_counter:int ref ->
+  ?budget:Engine.Budget.t ->
   Thread.params -> Memory.t -> Thread.t -> bool
 
 (** A certification-memo context reusable across {!explore} calls — e.g.
@@ -74,10 +75,22 @@ type result = {
     program (one statement per thread).  [until_bot] stops as soon as ⊥ is
     recorded — sound when only the behaviors of a refinement {e source} are
     needed (⊥ subsumes everything).  [memo] shares certification verdicts
-    with other explorations using the same context. *)
+    with other explorations using the same context.  [budget] (default
+    unlimited, a no-op) is charged one state per distinct canonical state
+    and polled along the search, including inside certification; on
+    exhaustion {!Engine.Budget.Exhausted} escapes — use {!explore_v} to
+    get an [Error] instead.  (The per-exploration [max_states] param
+    truncates instead of raising and is unaffected.) *)
 val explore :
-  ?params:Thread.params -> ?until_bot:bool -> ?memo:memo -> Stmt.t list ->
-  result
+  ?params:Thread.params -> ?until_bot:bool -> ?memo:memo ->
+  ?budget:Engine.Budget.t -> Stmt.t list -> result
+
+(** Budgeted {!explore} that never raises: budget exhaustion and trapped
+    exceptions (e.g. [Stack_overflow]) become [Error reason]. *)
+val explore_v :
+  ?params:Thread.params -> ?until_bot:bool -> ?memo:memo ->
+  ?budget:Engine.Budget.t -> Stmt.t list ->
+  (result, Engine.Verdict.reason) Stdlib.result
 
 (** [⊑] on behaviors: pointwise value/output [⊑]; everything ⊑ ⊥. *)
 val behavior_le : behavior -> behavior -> bool

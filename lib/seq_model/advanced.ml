@@ -83,9 +83,10 @@ end)
    deterministic), so a cycle means the environment can loop forever:
    returning false on back-edges computes the exact game value, and results
    are context-independent and cacheable. *)
-let can_fail_universally_memo (d : Domain.t) (memo : bool Cfg_map.t ref)
-    (cfg : Config.t) : bool =
+let can_fail_universally_memo ?(budget = Engine.Budget.unlimited)
+    (d : Domain.t) (memo : bool Cfg_map.t ref) (cfg : Config.t) : bool =
   let rec go visiting cfg =
+    Engine.Budget.check budget;
     match Cfg_map.find_opt cfg !memo with
     | Some b -> b
     | None ->
@@ -110,16 +111,16 @@ let can_fail_universally_memo (d : Domain.t) (memo : bool Cfg_map.t ref)
 (** Can the source reach ⊥ without any acquire event, under {e every}
     oracle? (the "∀Ω. ∃ trace with Racq ∉ tr ending in ⊥" disjunct of
     Fig 6.) *)
-let can_fail_universally (d : Domain.t) (cfg : Config.t) : bool =
-  can_fail_universally_memo d (ref Cfg_map.empty) cfg
+let can_fail_universally ?budget (d : Domain.t) (cfg : Config.t) : bool =
+  can_fail_universally_memo ?budget d (ref Cfg_map.empty) cfg
 
 (** Can the source, without any acquire event and under every oracle,
     extend its execution so that its writes cover [need]?  (rule
     beh-partial: F_tgt ∪ R ⊆ F_src ∪ ⋃ released F's; writes are "banked"
     continuously, which is equivalent.)  Reaching ⊥ also wins
     (beh-failure). *)
-let can_fulfill_universally (d : Domain.t) ~(need : Loc.Set.t) (cfg : Config.t)
-    : bool =
+let can_fulfill_universally ?(budget = Engine.Budget.unlimited) (d : Domain.t)
+    ~(need : Loc.Set.t) (cfg : Config.t) : bool =
   let module Key = struct
     type t = Loc.Set.t * Config.t
     let compare (n1, c1) (n2, c2) =
@@ -128,6 +129,7 @@ let can_fulfill_universally (d : Domain.t) ~(need : Loc.Set.t) (cfg : Config.t)
   end in
   let module KSet = Set.Make (Key) in
   let rec go visiting need cfg =
+    Engine.Budget.check budget;
     let need = Loc.Set.diff need cfg.Config.written in
     if Loc.Set.is_empty need then true
     else if KSet.mem (need, cfg) visiting then false
@@ -304,7 +306,7 @@ let respond_pending ~commit (point : src_point) (ev : Event.t) :
           Plain (Config.apply_acquire scfg ~post:a.apost ~vnew:a.agained) )
   | (Plain _ | Pend_rel _ | Pend_acq _), _ -> `No
 
-let rec consume (d : Domain.t) fm ~commit (point : src_point) (evs : Event.t list)
+let rec consume (d : Domain.t) ~budget fm ~commit (point : src_point) (evs : Event.t list)
     (next_t : Config.next) : answer =
   match evs with
   | [] ->
@@ -312,13 +314,13 @@ let rec consume (d : Domain.t) fm ~commit (point : src_point) (evs : Event.t lis
      | Pend_rel _ | Pend_acq _ -> Const false
      | Plain scfg ->
        (match next_t with
-        | Config.Bot -> Const (can_fail_universally_memo d fm scfg)
+        | Config.Bot -> Const (can_fail_universally_memo ~budget d fm scfg)
         | Config.Cont tcfg' -> Dep { commit; tgt = tcfg'; src = scfg }))
   | ev :: rest ->
     (match point with
      | Pend_rel _ | Pend_acq _ ->
        (match respond_pending ~commit point ev with
-        | `Ok (commit', point') -> consume d fm ~commit:commit' point' rest next_t
+        | `Ok (commit', point') -> consume d ~budget fm ~commit:commit' point' rest next_t
         | `Bot -> Const true
         | `No -> Const false)
      | Plain scfg ->
@@ -327,23 +329,23 @@ let rec consume (d : Domain.t) fm ~commit (point : src_point) (evs : Event.t lis
         | Config.L_bot -> Const true
         | Config.L_label scfg' ->
           (match respond1 ~commit scfg' ev with
-           | `Ok (commit', point') -> consume d fm ~commit:commit' point' rest next_t
+           | `Ok (commit', point') -> consume d ~budget fm ~commit:commit' point' rest next_t
            | `Bot -> Const true
            | `No ->
              (* the source may still escape via late UB for every oracle *)
-             Const (can_fail_universally_memo d fm scfg))
+             Const (can_fail_universally_memo ~budget d fm scfg))
         | Config.L_term _ | Config.L_diverge ->
-          Const (can_fail_universally_memo d fm scfg)))
+          Const (can_fail_universally_memo ~budget d fm scfg)))
 
 type node = { local_ok : bool; deps : answer list }
 
-let analyze (d : Domain.t) fm (p : pair) : node =
+let analyze (d : Domain.t) ~budget fm (p : pair) : node =
   (* Fig 6: [∀Ω ∃ ⊥-suffix] disjunct first — it matches everything. *)
-  if can_fail_universally_memo d fm p.src then { local_ok = true; deps = [] }
+  if can_fail_universally_memo ~budget d fm p.src then { local_ok = true; deps = [] }
   else
     let ln_t = Config.line p.tgt in
     let need = Loc.Set.union ln_t.Config.written_max p.commit in
-    if not (can_fulfill_universally d ~need p.src) then
+    if not (can_fulfill_universally ~budget d ~need p.src) then
       { local_ok = false; deps = [] }
     else
       match ln_t.Config.line_end with
@@ -372,7 +374,7 @@ let analyze (d : Domain.t) fm (p : pair) : node =
            let answers =
              List.map
                (fun (evs, next_t) ->
-                 consume d fm ~commit:p.commit (Plain scfg') evs next_t)
+                 consume d ~budget fm ~commit:p.commit (Plain scfg') evs next_t)
                (Config.moves d tcfg')
            in
            { local_ok = true; deps = answers }
@@ -380,13 +382,15 @@ let analyze (d : Domain.t) fm (p : pair) : node =
          | Config.L_term _ | Config.L_diverge ->
            { local_ok = false; deps = [] })
 
-let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
+let check_pairs_count ?(budget = Engine.Budget.unlimited) (d : Domain.t)
+    (roots : pair list) : bool * int =
   let fm = ref Cfg_map.empty in
   let nodes : node Pair_map.t ref = ref Pair_map.empty in
   let rec explore p =
     if not (Pair_map.mem p !nodes) then begin
+      Engine.Budget.spend_state budget;
       nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
-      let node = analyze d fm p in
+      let node = analyze d ~budget fm p in
       nodes := Pair_map.add p node !nodes;
       List.iter (function Dep q -> explore q | Const _ -> ()) node.deps
     end
@@ -398,6 +402,7 @@ let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
     changed := false;
     Pair_map.iter
       (fun p node ->
+        Engine.Budget.check budget;
         if Pair_map.find p !alive then begin
           let ok =
             node.local_ok
@@ -415,14 +420,20 @@ let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
   ( List.for_all (fun p -> Pair_map.find p !alive) roots,
     Pair_map.cardinal !nodes )
 
-let check_pairs (d : Domain.t) (roots : pair list) : bool =
-  fst (check_pairs_count d roots)
+let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
+  fst (check_pairs_count ?budget d roots)
+
+(** Budgeted three-valued form of {!check_pairs}. *)
+let check_pairs_verdict ?budget (d : Domain.t) (roots : pair list) :
+    unit Engine.Verdict.t =
+  Engine.Verdict.run (fun () ->
+      Engine.Verdict.of_bool (check_pairs ?budget d roots))
 
 (** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
     domain: advanced behavioral refinement for every oracle and every
     initial permission set and memory. *)
-let check_count ?(quantify_written = false) (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : bool * int =
+let check_count ?(quantify_written = false) ?budget (d : Domain.t)
+    ~(src : Stmt.t) ~(tgt : Stmt.t) : bool * int =
   Config.check_no_mixing [ src; tgt ];
   let perms = Domain.subsets d.Domain.na_locs in
   let writtens =
@@ -446,8 +457,15 @@ let check_count ?(quantify_written = false) (d : Domain.t) ~(src : Stmt.t)
           writtens)
       perms
   in
-  check_pairs_count d roots
+  check_pairs_count ?budget d roots
 
-let check ?quantify_written (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) :
-    bool =
-  fst (check_count ?quantify_written d ~src ~tgt)
+let check ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : bool =
+  fst (check_count ?quantify_written ?budget d ~src ~tgt)
+
+(** Budgeted three-valued form of {!check}: [Unknown] on budget
+    exhaustion, [Mixed_access], or any other trapped exception. *)
+let check_verdict ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : unit Engine.Verdict.t =
+  Engine.Verdict.run (fun () ->
+      Engine.Verdict.of_bool (check ?quantify_written ?budget d ~src ~tgt))

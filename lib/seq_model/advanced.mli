@@ -7,29 +7,50 @@ open Lang
 (** Can the configuration reach ⊥ without any acquire event, under every
     oracle (environment choices universally quantified)?  The late-UB
     escape of Fig 6: such a source matches every target behavior. *)
-val can_fail_universally : Domain.t -> Config.t -> bool
+val can_fail_universally : ?budget:Engine.Budget.t -> Domain.t -> Config.t -> bool
 
 (** Can the configuration, without acquires and under every oracle, extend
     its execution until its writes cover [need]?  (rule beh-partial;
     reaching ⊥ also wins, via beh-failure.) *)
-val can_fulfill_universally : Domain.t -> need:Loc.Set.t -> Config.t -> bool
+val can_fulfill_universally :
+  ?budget:Engine.Budget.t -> Domain.t -> need:Loc.Set.t -> Config.t -> bool
 
 (** A simulation node: commitment set R plus the two configurations. *)
 type pair = { commit : Loc.Set.t; tgt : Config.t; src : Config.t }
 
-val check_pairs : Domain.t -> pair list -> bool
+(** Decide refinement from a set of initial pairs.  [budget] (default
+    unlimited, a no-op) is charged one state per explored simulation node
+    and polled along the fixpoint and inside the ∀-oracle suffix games; on
+    exhaustion {!Engine.Budget.Exhausted} escapes — use the [_verdict]
+    forms to get [Unknown] instead. *)
+val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
 
 (** Like {!check_pairs}, also reporting the number of simulation nodes
     explored. *)
-val check_pairs_count : Domain.t -> pair list -> bool * int
+val check_pairs_count :
+  ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool * int
+
+(** Budgeted three-valued {!check_pairs}: never raises; budget exhaustion
+    and trapped exceptions are reported as [Unknown]. *)
+val check_pairs_verdict :
+  ?budget:Engine.Budget.t -> Domain.t -> pair list -> unit Engine.Verdict.t
 
 (** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
     domain.  Implies nothing about termination; by Prop 3.4 it is implied
     by {!Refine.check}.  @raise Config.Mixed_access on mixed-mode use of a
-    location. *)
-val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+    location.
+    @raise Engine.Budget.Exhausted when [budget] runs out. *)
+val check :
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> bool
 
 (** Like {!check}, also reporting the number of simulation nodes explored
     (for sweep statistics). *)
 val check_count :
-  ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> bool * int
+
+(** Budgeted three-valued {!check}: never raises. *)
+val check_verdict :
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t

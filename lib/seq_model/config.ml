@@ -59,6 +59,13 @@ let status cfg =
 
 exception Mixed_access of Loc.t
 
+let () =
+  Printexc.register_printer (function
+    | Mixed_access x ->
+      Some
+        (Printf.sprintf "mixed atomic/non-atomic access to %s" (Loc.name x))
+    | _ -> None)
+
 (** Check the SEQ well-formedness precondition: no location is accessed
     both atomically and non-atomically (§2, footnote 3). *)
 let check_no_mixing (stmts : Stmt.t list) =

@@ -38,5 +38,7 @@ val chooses_satisfy : (Value.t -> bool) -> t
 val both : t -> t -> t
 
 (** The behaviors whose traces the oracle allows (Def 3.3's restriction of
-    behavior sets). *)
-val allowed_behaviors : Domain.t -> t -> fuel:int -> Config.t -> Behavior.Set.t
+    behavior sets).  [budget] is charged as in {!Behavior.enumerate}. *)
+val allowed_behaviors :
+  ?budget:Engine.Budget.t -> Domain.t -> t -> fuel:int -> Config.t ->
+  Behavior.Set.t

@@ -265,13 +265,17 @@ let analyze (d : Domain.t) (p : pair) : node =
 
 (* Explore the reachable pair graph, then prune to the greatest fixpoint.
    Shared by the boolean checks (which only need [alive]) and
-   counterexample extraction (which also walks [nodes]). *)
-let solve (d : Domain.t) (roots : pair list) :
-    node Pair_map.t * bool Pair_map.t =
+   counterexample extraction (which also walks [nodes]).  [budget] is
+   charged one state per explored pair and polled along both phases; with
+   the default unlimited budget every call is a no-op and the result is
+   identical to the unbudgeted checker. *)
+let solve ?(budget = Engine.Budget.unlimited) (d : Domain.t)
+    (roots : pair list) : node Pair_map.t * bool Pair_map.t =
   (* Phase 1: explore the reachable pair graph. *)
   let nodes : node Pair_map.t ref = ref Pair_map.empty in
   let rec explore p =
     if not (Pair_map.mem p !nodes) then begin
+      Engine.Budget.spend_state budget;
       (* insert a stub first to cut cycles *)
       nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
       let node = analyze d p in
@@ -289,6 +293,7 @@ let solve (d : Domain.t) (roots : pair list) :
     changed := false;
     Pair_map.iter
       (fun p node ->
+        Engine.Budget.check budget;
         if Pair_map.find p !alive then begin
           let ok =
             node.local_ok
@@ -310,13 +315,20 @@ let solve (d : Domain.t) (roots : pair list) :
 (** Decide simple behavioral refinement from a set of initial configuration
     pairs (target, source) that share P, F, M, also reporting the number of
     simulation pairs explored. *)
-let check_pairs_count (d : Domain.t) (roots : pair list) : bool * int =
-  let nodes, alive = solve d roots in
+let check_pairs_count ?budget (d : Domain.t) (roots : pair list) : bool * int =
+  let nodes, alive = solve ?budget d roots in
   ( List.for_all (fun p -> Pair_map.find p alive) roots,
     Pair_map.cardinal nodes )
 
-let check_pairs (d : Domain.t) (roots : pair list) : bool =
-  fst (check_pairs_count d roots)
+let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
+  fst (check_pairs_count ?budget d roots)
+
+(** Budgeted three-valued form of {!check_pairs}: budget exhaustion and
+    trapped exceptions become [Unknown] instead of escaping. *)
+let check_pairs_verdict ?budget (d : Domain.t) (roots : pair list) :
+    unit Engine.Verdict.t =
+  Engine.Verdict.run (fun () ->
+      Engine.Verdict.of_bool (check_pairs ?budget d roots))
 
 (** Initial configuration pairs for Def 2.4's "for every P, F, M".
     [quantify_written] additionally ranges the initial F over all subsets
@@ -348,23 +360,30 @@ let initial_pairs ?(quantify_written = false) (d : Domain.t)
 (** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
     domain: SEQ simple behavioral refinement for every initial permission
     set, written set, and memory. *)
-let check ?quantify_written (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) :
-    bool =
+let check ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : bool =
   Config.check_no_mixing [ src; tgt ];
   let roots =
     initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
   in
-  check_pairs d roots
+  check_pairs ?budget d roots
 
 (** Like {!check}, also reporting the number of simulation pairs explored
     (the SEQ analogue of a state count, for sweep statistics). *)
-let check_count ?quantify_written (d : Domain.t) ~(src : Stmt.t)
+let check_count ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
     ~(tgt : Stmt.t) : bool * int =
   Config.check_no_mixing [ src; tgt ];
   let roots =
     initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
   in
-  check_pairs_count d roots
+  check_pairs_count ?budget d roots
+
+(** Budgeted three-valued form of {!check}: [Unknown] on budget
+    exhaustion, [Mixed_access], or any other trapped exception. *)
+let check_verdict ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) : unit Engine.Verdict.t =
+  Engine.Verdict.run (fun () ->
+      Engine.Verdict.of_bool (check ?quantify_written ?budget d ~src ~tgt))
 
 (* ------------------------------------------------------------------ *)
 (* Counterexample extraction                                            *)
@@ -402,9 +421,9 @@ let describe_local (d : Domain.t) (p : pair) : string =
 (** Extract a counterexample when [check_pairs] fails: the target-side
     trace of an unmatched behavior plus a description of the final
     mismatch.  Returns [None] when refinement holds. *)
-let find_counterexample (d : Domain.t) (roots : pair list) :
+let find_counterexample ?budget (d : Domain.t) (roots : pair list) :
     counterexample option =
-  let nodes, alive = solve d roots in
+  let nodes, alive = solve ?budget d roots in
   match List.find_opt (fun p -> not (Pair_map.find p alive)) roots with
   | None -> None
   | Some root ->

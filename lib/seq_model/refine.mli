@@ -26,22 +26,40 @@ val initial_pairs :
   tgt:Prog.state ->
   pair list
 
-(** Decide refinement from a set of initial pairs. *)
-val check_pairs : Domain.t -> pair list -> bool
+(** Decide refinement from a set of initial pairs.  [budget] (default
+    unlimited, a no-op) is charged one state per explored simulation pair
+    and polled along the fixpoint; on exhaustion {!Engine.Budget.Exhausted}
+    escapes — use the [_verdict] forms to get [Unknown] instead. *)
+val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
 
 (** Like {!check_pairs}, also reporting the number of simulation pairs
     explored. *)
-val check_pairs_count : Domain.t -> pair list -> bool * int
+val check_pairs_count :
+  ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool * int
+
+(** Budgeted three-valued {!check_pairs}: never raises; budget exhaustion
+    and trapped exceptions are reported as [Unknown]. *)
+val check_pairs_verdict :
+  ?budget:Engine.Budget.t -> Domain.t -> pair list -> unit Engine.Verdict.t
 
 (** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
     domain.  @raise Config.Mixed_access on mixed atomic/non-atomic use of a
-    location. *)
-val check : ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+    location.
+    @raise Engine.Budget.Exhausted when [budget] runs out. *)
+val check :
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> bool
 
 (** Like {!check}, also reporting the number of simulation pairs explored
     (the SEQ analogue of a state count, for sweep statistics). *)
 val check_count :
-  ?quantify_written:bool -> Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> bool * int
+
+(** Budgeted three-valued {!check}: never raises. *)
+val check_verdict :
+  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
+  src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t
 
 (** A witness for a refuted refinement. *)
 type counterexample = {
@@ -52,6 +70,7 @@ type counterexample = {
 }
 
 (** Extract a counterexample when refinement fails ([None] if it holds). *)
-val find_counterexample : Domain.t -> pair list -> counterexample option
+val find_counterexample :
+  ?budget:Engine.Budget.t -> Domain.t -> pair list -> counterexample option
 
 val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -11,6 +11,7 @@ let () =
       ("optimizer", Test_optimizer.suite);
       ("baselines", Test_baselines.suite);
       ("engine", Test_engine.suite);
+      ("robustness", Test_robustness.suite);
       ("adequacy", Test_adequacy.suite);
       ("golden", Test_golden.suite);
       ("properties", Test_properties.suite);
