@@ -119,6 +119,7 @@ let optimizer_table () =
   in
   Fmt.pr "%-12s %-6s %-6s %-6s %-6s %-10s %-10s %s@." "program" "slf" "llf"
     "dse" "licm" "iters<=3" "size" "validated";
+  let fp = ref Engine.Stats.fastpath_zero in
   List.iter
     (fun (name, src) ->
       let prog = Parser.stmt_of_string src in
@@ -146,10 +147,26 @@ let optimizer_table () =
         (Printf.sprintf "%d %s" max_iters (if max_iters <= 3 then "ok" else "BAD"))
         (Printf.sprintf "%d->%d" report.Optimizer.Driver.size_before
            report.Optimizer.Driver.size_after)
-        (if v.Optimizer.Validate.valid then
-           if v.Optimizer.Validate.simple then "ok (simple)" else "ok (advanced)"
+        (let route =
+           match v.Optimizer.Validate.proof with
+           | Optimizer.Validate.Static _ ->
+             fp :=
+               Engine.Stats.add_fastpath !fp
+                 { Engine.Stats.static_hits = 1; enumerated = 0 };
+             "static"
+           | Optimizer.Validate.Enumerated ->
+             fp :=
+               Engine.Stats.add_fastpath !fp
+                 { Engine.Stats.static_hits = 0; enumerated = 1 };
+             "enum"
+         in
+         if v.Optimizer.Validate.valid then
+           if v.Optimizer.Validate.simple then
+             Printf.sprintf "ok (simple, %s)" route
+           else Printf.sprintf "ok (advanced, %s)" route
          else "INVALID"))
-    programs
+    programs;
+  Fmt.pr "-- fast path: %a@." Engine.Stats.pp_fastpath !fp
 
 (* ------------------------------------------------------------------ *)
 (* E4: PS_na litmus outcomes                                            *)
@@ -322,6 +339,56 @@ let determinism_table () =
   Fmt.pr " refuted — PS forbids it, App C — while the second stays allowed.)@."
 
 (* ------------------------------------------------------------------ *)
+(* E9: static fast-path validation over the transformation corpus       *)
+(* ------------------------------------------------------------------ *)
+
+let fastpath_table () =
+  header
+    "E9 — Static fast-path validation: pipeline-replay certificates vs \
+     enumeration";
+  (* The fast path may only ever certify pairs whose advanced refinement
+     holds; the catalog's expected verdicts are the (already enumerated)
+     ground truth, so no re-enumeration is needed to audit agreement. *)
+  let fp = ref Engine.Stats.fastpath_zero in
+  Fmt.pr "%-22s %-10s %-10s %s@." "transformation" "expected" "route" "agree";
+  List.iter
+    (fun (t : C.transformation) ->
+      let src = Parser.stmt_of_string t.C.src in
+      let tgt = Parser.stmt_of_string t.C.tgt in
+      let cert = Optimizer.Certify.attempt ~src ~tgt () in
+      let route, agree =
+        match cert with
+        | Some c ->
+          fp :=
+            Engine.Stats.add_fastpath !fp
+              { Engine.Stats.static_hits = 1; enumerated = 0 };
+          let sound = t.C.advanced = C.Sound in
+          let honest = Optimizer.Certify.replay c ~src ~tgt in
+          ( Printf.sprintf "static/%d" (List.length c.Optimizer.Certify.stages),
+            if sound && honest then "ok"
+            else begin
+              incr mismatches;
+              "MISMATCH"
+            end )
+        | None ->
+          fp :=
+            Engine.Stats.add_fastpath !fp
+              { Engine.Stats.static_hits = 0; enumerated = 1 };
+          ("enum", "-")
+      in
+      Fmt.pr "%-22s %-10s %-10s %s@." t.C.name
+        (C.verdict_to_string t.C.advanced)
+        route agree)
+    C.transformations;
+  Fmt.pr "-- fast path: %a@." Engine.Stats.pp_fastpath !fp;
+  if (!fp).Engine.Stats.static_hits = 0 then begin
+    incr mismatches;
+    Fmt.pr "-- ERROR: expected a nonzero static hit rate@."
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* ------------------------------------------------------------------ *)
 (* P1–P5: bechamel micro-benchmarks                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -432,6 +499,7 @@ let () =
   catchfire_table ();
   drf_table ();
   determinism_table ();
+  fastpath_table ();
   Engine.Pool.shutdown pool;
   if not no_bechamel then bechamel_benches ();
   Fmt.pr "@.done.@.";

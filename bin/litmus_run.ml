@@ -97,6 +97,15 @@ let run input promises batch max_states compare_baselines named all jobs
       | None -> read_input input
     in
     let progs = Parser.threads_of_string text in
+    (* static mixed-access check: PS_na tolerates mixing, so only warn —
+       but warn up front, citing both instructions, instead of relying on
+       any run-time backstop *)
+    List.iter
+      (fun c ->
+        Fmt.epr
+          "warning: mixed access (PS_na tolerates it; SEQ would reject): %a@."
+          (Analysis.Modes.pp_conflict ~src:progs) c)
+      (Analysis.Modes.combined_conflicts progs);
     let budget = Engine.Budget.start spec in
     (match Promising.Machine.explore ~params ~budget progs with
      | exception Engine.Budget.Exhausted reason ->

@@ -11,7 +11,16 @@
     [--timeout-ms]/[--max-states] bound each check; an exhausted budget
     yields UNKNOWN(reason) instead of an answer (docs/ROBUSTNESS.md).
     Corpus sweeps under a budget never abort: failed rows are reported as
-    UNKNOWN and exit 4 unless [--keep-going]. *)
+    UNKNOWN and exit 4 unless [--keep-going].
+
+    Mixed atomic/non-atomic access {e within} a program is detected
+    statically up front (SEQ's well-formedness precondition) and reported
+    as a diagnostic citing both conflicting instructions; the run-time
+    [Mixed_access] exception remains only as a backstop.  A location
+    whose mode class differs only between SRC and TGT is accepted with a
+    note — the refinement check itself refutes such pairs (the target
+    emits labels the source cannot).  [--lint] additionally prints
+    the full static race/UB diagnostics for both programs (see seqlint). *)
 
 open Cmdliner
 open Lang
@@ -52,8 +61,10 @@ let run_corpus jobs spec retries keep_going =
     if mismatch then 3 else if unknown && not keep_going then 4 else 0
   end
 
+exception Static_mixed
+
 let run src_path tgt_path values advanced_only corpus jobs timeout_ms
-    max_states keep_going retries =
+    max_states keep_going retries lint =
   try
     let spec = budget_spec timeout_ms max_states in
     if corpus then run_corpus jobs spec retries keep_going
@@ -65,6 +76,45 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
     | Some src_path, Some tgt_path ->
     let src = Parser.stmt_of_string (read src_path) in
     let tgt = Parser.stmt_of_string (read tgt_path) in
+    (* static well-formedness pre-check: mixing within a single program
+       is what [Config.check_no_mixing] would reject at run time — catch
+       it up front with sites.  A location whose mode class differs only
+       {e between} SRC and TGT (e.g. an na→rlx strengthening) is legal
+       input: the domain classifies it non-atomic and the refinement
+       check refutes the pair, so it is only worth a note. *)
+    (match Analysis.Modes.per_thread_conflicts [ src; tgt ] with
+     | [] -> ()
+     | conflicts ->
+       List.iter
+         (fun c ->
+           Fmt.epr "error: %a@."
+             (Analysis.Modes.pp_conflict ~src:[ src; tgt ])
+             c)
+         conflicts;
+       Fmt.epr "(thread 0 = SRC, thread 1 = TGT; SEQ rejects mixed access)@.";
+       raise Static_mixed);
+    (match Analysis.Modes.combined_conflicts [ src; tgt ] with
+     | [] -> ()
+     | conflicts ->
+       List.iter
+         (fun (c : Analysis.Modes.conflict) ->
+           Fmt.epr
+             "note: %s changes access mode between SRC and TGT (treated \
+              as non-atomic)@."
+             (Loc.name c.Analysis.Modes.cloc))
+         conflicts);
+    if lint then
+      List.iter
+        (fun (label, s) ->
+          match Optimizer.Lint.lint [ s ] with
+          | [] -> Fmt.epr "lint (%s): clean@." label
+          | diags ->
+            Fmt.epr "lint (%s):@." label;
+            List.iter
+              (fun d ->
+                Fmt.epr "  %a@." (Optimizer.Lint.pp_diag ~threads:1) d)
+              diags)
+        [ ("src", src); ("tgt", tgt) ];
     let values = List.map (fun n -> Value.Int n) values in
     let d = Domain.of_stmts ~values [ src; tgt ] in
     Fmt.epr "domain: %a@." Domain.pp d;
@@ -103,7 +153,9 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
   | Parser.Error msg ->
     Fmt.epr "parse error: %s@." msg;
     1
+  | Static_mixed -> 1
   | Seq_model.Config.Mixed_access x ->
+    (* backstop: the static pre-check above should have caught this *)
     Fmt.epr "error: location %s is accessed both atomically and non-atomically@."
       (Loc.name x);
     1
@@ -143,11 +195,15 @@ let retries =
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
          ~doc:"Retries per corpus task on transient failures (deadline).")
 
+let lint =
+  Arg.(value & flag & info [ "lint" ]
+         ~doc:"Print static race/UB diagnostics for both programs before                checking (see seqlint).")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqcheck" ~version:"1.0"
        ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
     Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs
-          $ timeout_ms $ max_states $ keep_going $ retries)
+          $ timeout_ms $ max_states $ keep_going $ retries $ lint)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,82 @@
+(** seqlint — static race/UB linter for WHILE-language programs.
+
+    Usage: seqlint FILE.wm ... — lints each program (threads separated by
+    [|||]) with the permission/mode analyses and prints diagnostics:
+    errors for possible racy non-atomic writes (UB) and mixed
+    atomic/non-atomic access, warnings for possible racy non-atomic reads
+    (undef), hints for store-introduction-unsafe points and for
+    instructions an optimizer pass would rewrite or remove.
+
+    [--corpus] lints every concurrent program of the built-in litmus
+    catalog instead.  Exit code 0: no errors (warnings and hints are
+    informational); 2: at least one error; 1: parse failure. *)
+
+open Cmdliner
+open Lang
+
+let read path = In_channel.with_open_text path In_channel.input_all
+
+let lint_text ~label ~hints text =
+  let threads = Parser.threads_of_string text in
+  let diags = Optimizer.Lint.lint ~hints threads in
+  let n = List.length threads in
+  if diags = [] then Fmt.pr "%s: clean@." label
+  else begin
+    Fmt.pr "%s:@." label;
+    List.iter
+      (fun d -> Fmt.pr "  %a@." (Optimizer.Lint.pp_diag ~threads:n) d)
+      diags
+  end;
+  Optimizer.Lint.has_errors diags
+
+let run files corpus hints =
+  try
+    let targets =
+      if corpus then
+        List.map
+          (fun (c : Litmus.Catalog.concurrent) ->
+            (c.Litmus.Catalog.cname, c.Litmus.Catalog.threads))
+          Litmus.Catalog.concurrent_programs
+      else List.map (fun f -> (f, read f)) files
+    in
+    if targets = [] then begin
+      Fmt.epr "error: no input files (or use --corpus)@.";
+      1
+    end
+    else begin
+      let errors =
+        List.fold_left
+          (fun acc (label, text) ->
+            if lint_text ~label ~hints text then acc + 1 else acc)
+          0 targets
+      in
+      if errors > 0 then 2 else 0
+    end
+  with
+  | Parser.Error msg ->
+    Fmt.epr "parse error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Programs to lint (threads separated by |||).")
+
+let corpus =
+  Arg.(value & flag & info [ "corpus" ]
+         ~doc:"Lint every concurrent program of the built-in catalog.")
+
+let hints =
+  Arg.(value & opt bool true & info [ "hints" ] ~docv:"BOOL"
+         ~doc:"Also emit optimizer-pass hints (dead stores, redundant \
+               loads, dead assignments).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "seqlint" ~version:"1.0"
+       ~doc:"Static race/UB linter for SEQ (PLDI 2022)")
+    Term.(const run $ files $ corpus $ hints)
+
+let () = exit (Cmd.eval' cmd)

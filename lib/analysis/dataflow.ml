@@ -1,0 +1,132 @@
+(** Generic monotone dataflow over statement trees (see dataflow.mli). *)
+
+open Lang
+
+module type LATTICE = sig
+  type t
+  val top : t
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  type facts = {
+    mutable before_tbl : L.t Path.Map.t;
+    mutable after_tbl : L.t Path.Map.t;
+    mutable iters : int;
+  }
+
+  let before f p = Path.Map.find_opt p f.before_tbl
+  let after f p = Path.Map.find_opt p f.after_tbl
+  let max_loop_iters f = f.iters
+
+  let fold g f acc =
+    Path.Map.fold
+      (fun p b acc ->
+        match Path.Map.find_opt p f.after_tbl with
+        | Some a -> g p ~before:b ~after:a acc
+        | None -> acc)
+      f.before_tbl acc
+
+  let stable prev next = L.leq next prev && L.leq prev next
+
+  (* Iterate [h ← widen h (join h (step h))] to stability, falling back
+     to [top] past the bound.  Joining with the previous iterate only
+     moves toward [top] (loses information), so over-iteration is always
+     sound.  [record_iters] is false for the throwaway probes of nested
+     fixpoints. *)
+  let fixpoint ~max_iters ~(facts : facts) ~record_iters (step : L.t -> L.t)
+      (init : L.t) : L.t =
+    let rec fix h n =
+      if n > max_iters then L.top
+      else
+        let h' = L.widen h (L.join h (step h)) in
+        if stable h h' then begin
+          if record_iters then facts.iters <- max facts.iters n;
+          h
+        end
+        else fix h' (n + 1)
+    in
+    fix init 1
+
+  let no_cond : Path.t -> Expr.t -> L.t -> L.t = fun _ _ d -> d
+
+  (* [flow] analyzes [s] at path [p] with incoming fact [d] (in the
+     analysis direction) and returns the outgoing fact.  [record] is
+     false during loop fixpoint probes so the tables only ever hold the
+     final (post-fixpoint) facts. *)
+  let forward ?(max_iters = 64) ?(cond = no_cond) ~transfer ~init
+      (stmt : Stmt.t) : facts =
+    let facts =
+      { before_tbl = Path.Map.empty; after_tbl = Path.Map.empty; iters = 1 }
+    in
+    let rec flow ~record d s p =
+      let out =
+        match s with
+        | Stmt.Seq (a, b) ->
+          let d1 = flow ~record d a (Path.child p Path.Fst) in
+          flow ~record d1 b (Path.child p Path.Snd)
+        | Stmt.If (e, a, b) ->
+          let dc = cond p e d in
+          let da = flow ~record dc a (Path.child p Path.Then) in
+          let db = flow ~record dc b (Path.child p Path.Else) in
+          L.join da db
+        | Stmt.While (e, body) ->
+          (* [h] is the fact at the loop head, before the condition *)
+          let step h =
+            flow ~record:false (cond p e h) body (Path.child p Path.Body)
+          in
+          let head = fixpoint ~max_iters ~facts ~record_iters:record step d in
+          let dc = cond p e head in
+          ignore (flow ~record dc body (Path.child p Path.Body) : L.t);
+          (* the loop exit also sees the post-condition head fact *)
+          dc
+        | leaf -> transfer p leaf d
+      in
+      if record then begin
+        facts.before_tbl <- Path.Map.add p d facts.before_tbl;
+        facts.after_tbl <- Path.Map.add p out facts.after_tbl
+      end;
+      out
+    in
+    ignore (flow ~record:true init stmt Path.root : L.t);
+    facts
+
+  let backward ?(max_iters = 64) ?(cond = no_cond) ~transfer ~exit_
+      (stmt : Stmt.t) : facts =
+    let facts =
+      { before_tbl = Path.Map.empty; after_tbl = Path.Map.empty; iters = 1 }
+    in
+    (* [d] is the fact after [s]; the result is the fact before it. *)
+    let rec flow ~record d s p =
+      let inb =
+        match s with
+        | Stmt.Seq (a, b) ->
+          let d1 = flow ~record d b (Path.child p Path.Snd) in
+          flow ~record d1 a (Path.child p Path.Fst)
+        | Stmt.If (e, a, b) ->
+          let da = flow ~record d a (Path.child p Path.Then) in
+          let db = flow ~record d b (Path.child p Path.Else) in
+          cond p e (L.join da db)
+        | Stmt.While (e, body) ->
+          (* at the head (before the condition) the future is: exit with
+             [d], or one more body iteration followed by the head *)
+          let step h =
+            cond p e
+              (L.join d (flow ~record:false h body (Path.child p Path.Body)))
+          in
+          let head = fixpoint ~max_iters ~facts ~record_iters:record step d in
+          ignore (flow ~record head body (Path.child p Path.Body) : L.t);
+          head
+        | leaf -> transfer p leaf d
+      in
+      if record then begin
+        facts.before_tbl <- Path.Map.add p inb facts.before_tbl;
+        facts.after_tbl <- Path.Map.add p d facts.after_tbl
+      end;
+      inb
+    in
+    ignore (flow ~record:true exit_ stmt Path.root : L.t);
+    facts
+end

@@ -1,0 +1,84 @@
+(** A generic monotone dataflow framework over {!Lang.Stmt.t}.
+
+    The optimizer's per-pass analyses (SLF tokens, LLF register sets, DSE
+    tokens, liveness) are all instances of one scheme: a join-semilattice
+    of abstract facts, a transfer function over leaf instructions, joins
+    at control-flow merges, and a loop-head fixpoint.  This module is
+    that scheme, reusable by any future pass: it walks the statement
+    tree (structured control flow only — the WHILE language has no
+    [goto]), runs loop bodies to a fixpoint with widening and a safe
+    [top] fallback, and records a per-point fact table keyed by
+    statement {!Path}s.
+
+    Conventions:
+    - [transfer] is called on {e leaf} statements only; [Seq]/[If]/
+      [While] control flow is handled by the engine.  Branch conditions
+      are pure expressions; analyses that need to see their uses (e.g.
+      liveness) supply the [cond] hook.
+    - For a {e forward} analysis, [transfer path s d] maps the fact
+      before [s] to the fact after it; for a {e backward} analysis it
+      maps the fact after [s] to the fact before it.
+    - Loop fixpoints iterate [prev ← widen prev (join prev step)] until
+      stable, at most [max_iters] times (default 64); if the bound is
+      hit, the head fact falls back to [top], which must therefore be a
+      sound "no information" element.  Finite-height lattices can use
+      [let widen _ next = next]. *)
+
+module type LATTICE = sig
+  type t
+
+  (** No information — sound at any program point; the fallback when a
+      loop fixpoint fails to stabilize within the iteration bound. *)
+  val top : t
+
+  val leq : t -> t -> bool
+  val join : t -> t -> t
+
+  (** [widen prev next] with [next = join prev step]: must be an upper
+      bound of both and guarantee stabilization.  Finite-height lattices
+      simply return [next]. *)
+  val widen : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  (** Per-point fact tables: the fact flowing {e into} and {e out of}
+      every node of the statement tree (in program order, regardless of
+      the analysis direction). *)
+  type facts
+
+  (** The fact holding just before the statement at a path. *)
+  val before : facts -> Path.t -> L.t option
+
+  (** The fact holding just after the statement at a path (for a loop:
+      at the loop exit). *)
+  val after : facts -> Path.t -> L.t option
+
+  (** Maximum loop fixpoint iteration count over any loop (1 if the
+      program is loop-free), for E3-style termination reporting. *)
+  val max_loop_iters : facts -> int
+
+  (** Fold over all recorded points in path order. *)
+  val fold :
+    (Path.t -> before:L.t -> after:L.t -> 'a -> 'a) -> facts -> 'a -> 'a
+
+  (** [cond] (default: identity) is applied to every [If]/[While]
+      condition expression at its evaluation point: after the incoming
+      fact for a forward analysis, before the outgoing fact for a
+      backward one — the hook liveness-style instances need to see
+      condition uses. *)
+  val forward :
+    ?max_iters:int ->
+    ?cond:(Path.t -> Lang.Expr.t -> L.t -> L.t) ->
+    transfer:(Path.t -> Lang.Stmt.t -> L.t -> L.t) ->
+    init:L.t ->
+    Lang.Stmt.t ->
+    facts
+
+  val backward :
+    ?max_iters:int ->
+    ?cond:(Path.t -> Lang.Expr.t -> L.t -> L.t) ->
+    transfer:(Path.t -> Lang.Stmt.t -> L.t -> L.t) ->
+    exit_:L.t ->
+    Lang.Stmt.t ->
+    facts
+end

@@ -1,0 +1,74 @@
+(** Backward register liveness on the generic engine (see live.mli). *)
+
+open Lang
+
+type liveset = All | Regs of Reg.Set.t
+
+let live_mem r = function All -> true | Regs s -> Reg.Set.mem r s
+
+module L = struct
+  type t = liveset
+
+  let top = All
+
+  let leq a b =
+    match a, b with
+    | _, All -> true
+    | All, Regs _ -> false
+    | Regs a, Regs b -> Reg.Set.subset a b
+
+  let join a b =
+    match a, b with
+    | All, _ | _, All -> All
+    | Regs a, Regs b -> Regs (Reg.Set.union a b)
+
+  let widen _prev next = next  (* finite height: ≤ |Reg| + 1 *)
+end
+
+module Table = Dataflow.Make (L)
+
+let use e = function All -> All | Regs s -> Regs (Reg.Set.union (Expr.regs e) s)
+let kill r = function All -> All | Regs s -> Regs (Reg.Set.remove r s)
+
+(* Backward transfer: fact after the instruction → fact before it. *)
+let transfer (_ : Path.t) (s : Stmt.t) (d : liveset) : liveset =
+  match s with
+  | Stmt.Assign (r, e) | Stmt.Freeze (r, e) -> use e (kill r d)
+  | Stmt.Load (r, _, _) -> kill r d
+  | Stmt.Store (_, _, e) | Stmt.Print e | Stmt.Return e -> use e d
+  | Stmt.Cas (r, _, e1, e2) -> use e1 (use e2 (kill r d))
+  | Stmt.Fadd (r, _, e) -> use e (kill r d)
+  | Stmt.Choose r -> kill r d
+  | Stmt.Skip | Stmt.Abort | Stmt.Fence _ -> d
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
+
+let cond (_ : Path.t) (e : Expr.t) (d : liveset) : liveset = use e d
+
+let analyze (stmt : Stmt.t) : Table.facts =
+  Table.backward ~cond ~transfer ~exit_:(Regs Reg.Set.empty) stmt
+
+(* Expressions whose evaluation cannot fault (no division/modulo): only
+   these make a dead assignment removable — run-time faults must stay. *)
+let rec total (e : Expr.t) : bool =
+  match e with
+  | Expr.Const _ | Expr.Reg _ -> true
+  | Expr.Binop ((Expr.Div | Expr.Mod), _, _) -> false
+  | Expr.Binop (_, a, b) -> total a && total b
+  | Expr.Unop (_, a) -> total a
+
+let dead_assignments ?facts (stmt : Stmt.t) : (Path.t * Reg.t) list =
+  let facts = match facts with Some f -> f | None -> analyze stmt in
+  let acc = ref [] in
+  Path.iter_leaves stmt ~f:(fun path s ->
+      let dead r =
+        match Table.after facts path with
+        | Some d -> not (live_mem r d)
+        | None -> false
+      in
+      match s with
+      | Stmt.Assign (r, e) when total e ->
+        if dead r then acc := (path, r) :: !acc
+      | Stmt.Load (r, Mode.Rna, _) ->
+        if dead r then acc := (path, r) :: !acc
+      | _ -> ());
+  List.rev !acc

@@ -1,0 +1,31 @@
+(** Backward register liveness — the classic may-analysis, instantiated
+    on the generic {!Dataflow} engine (its backward direction and the
+    condition hook are exercised here; {!Perm} covers the forward one).
+
+    A register is live at a point when some path from the point reads it
+    before overwriting it.  [Print]/[Return]/[Store]/RMW operands and
+    branch conditions are uses; dead non-atomic loads are exactly the
+    rewrites of the DAE pass (Ex 2.8), so {!dead_assignments} gives the
+    engine-computed cross-check for its sites. *)
+
+open Lang
+
+(** The live set, with an explicit "everything may be live" top so the
+    engine's widening fallback is sound without knowing the program's
+    register universe. *)
+type liveset = All | Regs of Reg.Set.t
+
+val live_mem : Reg.t -> liveset -> bool
+
+module L : Dataflow.LATTICE with type t = liveset
+
+module Table : module type of Dataflow.Make (L)
+
+(** Live-register tables of a statement (exit fact: the empty set — a
+    [return]'s expression is a use, so nothing is implicitly live). *)
+val analyze : Stmt.t -> Table.facts
+
+(** Sites whose assigned register is dead at the site: plain register
+    assignments with total expressions and non-atomic loads — the
+    instructions dead-assignment elimination removes. *)
+val dead_assignments : ?facts:Table.facts -> Stmt.t -> (Path.t * Reg.t) list

@@ -1,0 +1,79 @@
+(** Mode-consistency analysis (see modes.mli). *)
+
+open Lang
+
+type site = {
+  thread : int;
+  path : Path.t;
+  loc : Loc.t;
+  atomic : bool;
+}
+
+type conflict = { cloc : Loc.t; na_site : site; at_site : site }
+
+let stmt_sites ~thread (s : Stmt.t) : site list =
+  let acc = ref [] in
+  let add path loc atomic = acc := { thread; path; loc; atomic } :: !acc in
+  Path.iter_leaves s ~f:(fun path leaf ->
+      match leaf with
+      | Stmt.Load (_, m, x) -> add path x (Mode.read_is_atomic m)
+      | Stmt.Store (m, x, _) -> add path x (Mode.write_is_atomic m)
+      | Stmt.Cas (_, x, _, _) | Stmt.Fadd (_, x, _) -> add path x true
+      | _ -> ());
+  List.rev !acc
+
+let sites (threads : Stmt.t list) : site list =
+  List.concat (List.mapi (fun thread s -> stmt_sites ~thread s) threads)
+
+(* First na/at witness per location, in the given site order; a location
+   with both witnesses is a conflict. *)
+let conflicts_of_sites (sites : site list) : conflict list =
+  let tbl : (Loc.t, site option * site option) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let na, at =
+        match Hashtbl.find_opt tbl s.loc with
+        | Some w -> w
+        | None ->
+          order := s.loc :: !order;
+          (None, None)
+      in
+      let w =
+        if s.atomic then (na, if at = None then Some s else at)
+        else ((if na = None then Some s else na), at)
+      in
+      Hashtbl.replace tbl s.loc w)
+    sites;
+  List.rev !order
+  |> List.filter_map (fun loc ->
+         match Hashtbl.find tbl loc with
+         | Some na_site, Some at_site -> Some { cloc = loc; na_site; at_site }
+         | _ -> None)
+
+let per_thread_conflicts (threads : Stmt.t list) : conflict list =
+  List.concat
+    (List.mapi
+       (fun thread s -> conflicts_of_sites (stmt_sites ~thread s))
+       threads)
+
+let combined_conflicts (threads : Stmt.t list) : conflict list =
+  conflicts_of_sites (sites threads)
+
+let consistent threads = combined_conflicts threads = []
+
+let pp_conflict ~(src : Stmt.t list) ppf (c : conflict) =
+  let describe (s : site) =
+    match List.nth_opt src s.thread with
+    | Some stmt -> Path.describe stmt s.path
+    | None -> "<gone>"
+  in
+  let pos (s : site) =
+    if List.length src > 1 then
+      Fmt.str "thread %d, %s" s.thread (Path.to_string s.path)
+    else Path.to_string s.path
+  in
+  Fmt.pf ppf
+    "location %s is accessed both non-atomically (%s: %s) and atomically (%s: %s)"
+    (Loc.name c.cloc) (pos c.na_site) (describe c.na_site) (pos c.at_site)
+    (describe c.at_site)

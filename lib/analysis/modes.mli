@@ -1,0 +1,50 @@
+(** Mode-consistency analysis: statically detect mixed atomic /
+    non-atomic access to a single location.
+
+    SEQ's well-formedness precondition (§2, footnote 3) forbids a
+    location from being accessed both atomically and non-atomically;
+    {!Seq_model.Config.check_no_mixing} enforces it at run time by
+    raising [Mixed_access].  This analysis decides the same property
+    syntactically, {e with sites}: for every location it collects each
+    accessing instruction's path, thread index, and mode class, so a
+    violation can be reported as a compile-time diagnostic citing both
+    conflicting instructions — the runtime exception remains only as a
+    backstop.
+
+    PS_na tolerates mixing, so clients choose severity: [seqcheck]
+    treats a mixed program as an error (SEQ would reject it), while
+    [litmus_run] merely warns. *)
+
+open Lang
+
+(** One shared-memory access: which thread, where, to what, and whether
+    the access mode is atomic ([rlx]/[acq]/[rel]/RMW) or non-atomic. *)
+type site = {
+  thread : int;  (** index into the analyzed statement list *)
+  path : Path.t;
+  loc : Loc.t;
+  atomic : bool;
+}
+
+(** A location accessed in both classes, witnessed by one non-atomic and
+    one atomic site (the first of each in program order). *)
+type conflict = { cloc : Loc.t; na_site : site; at_site : site }
+
+(** All access sites of a thread list, in thread-then-program order. *)
+val sites : Stmt.t list -> site list
+
+(** Mixed-access conflicts {e within} each single thread — the exact
+    property [Config.check_no_mixing] tests, one statement at a time. *)
+val per_thread_conflicts : Stmt.t list -> conflict list
+
+(** Mixed-access conflicts over the whole thread list (a location used
+    non-atomically by one thread and atomically by another is mixed even
+    though each thread alone is consistent).  This is the property that
+    decides whether a SEQ domain built from all statements is
+    well-formed. *)
+val combined_conflicts : Stmt.t list -> conflict list
+
+(** [true] iff {!combined_conflicts} is empty. *)
+val consistent : Stmt.t list -> bool
+
+val pp_conflict : src:Stmt.t list -> Format.formatter -> conflict -> unit

@@ -1,0 +1,75 @@
+(** Statement paths (see path.mli). *)
+
+open Lang
+
+type step = Fst | Snd | Then | Else | Body
+
+type t = step list
+
+let root : t = []
+
+let child p s = p @ [ s ]
+
+let step_rank = function Fst -> 0 | Snd -> 1 | Then -> 2 | Else -> 3 | Body -> 4
+
+let compare_step a b = Int.compare (step_rank a) (step_rank b)
+
+let rec compare a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a, y :: b ->
+    let c = compare_step x y in
+    if c <> 0 then c else compare a b
+
+let equal a b = compare a b = 0
+
+let step_to_string = function
+  | Fst -> "0"
+  | Snd -> "1"
+  | Then -> "then"
+  | Else -> "else"
+  | Body -> "body"
+
+let to_string = function
+  | [] -> "/"
+  | p -> String.concat "" (List.map (fun s -> "/" ^ step_to_string s) p)
+
+let pp ppf p = Fmt.string ppf (to_string p)
+
+let rec find (s : Stmt.t) (p : t) : Stmt.t option =
+  match p, s with
+  | [], s -> Some s
+  | Fst :: p, Stmt.Seq (a, _) -> find a p
+  | Snd :: p, Stmt.Seq (_, b) -> find b p
+  | Then :: p, Stmt.If (_, a, _) -> find a p
+  | Else :: p, Stmt.If (_, _, b) -> find b p
+  | Body :: p, Stmt.While (_, a) -> find a p
+  | _ :: _, _ -> None
+
+let describe (s : Stmt.t) (p : t) : string =
+  match find s p with
+  | None -> "<gone>"
+  | Some (Stmt.Seq _) -> "..."
+  | Some (Stmt.If (e, _, _)) -> Fmt.str "if %a {...}" Expr.pp e
+  | Some (Stmt.While (e, _)) -> Fmt.str "while %a {...}" Expr.pp e
+  | Some leaf -> Stmt.to_string leaf
+
+let iter_leaves (s : Stmt.t) ~f =
+  let rec go p = function
+    | Stmt.Seq (a, b) ->
+      go (child p Fst) a;
+      go (child p Snd) b
+    | Stmt.If (_, a, b) ->
+      go (child p Then) a;
+      go (child p Else) b
+    | Stmt.While (_, a) -> go (child p Body) a
+    | leaf -> f p leaf
+  in
+  go root s
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

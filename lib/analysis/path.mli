@@ -1,0 +1,47 @@
+(** Statement paths: stable addresses of program points inside a
+    {!Lang.Stmt.t} tree.
+
+    A path names a node of the statement tree by the branch choices taken
+    from the root: left/right of a [Seq], then/else of an [If], the body
+    of a [While].  Paths are the keys of per-point fact tables
+    ({!Dataflow}), the rewrite sites recorded by the optimizer passes
+    ({!Optimizer.Driver.pass_report}), and the locations cited by
+    [seqlint] diagnostics — so an analysis fact, a pass rewrite, and a
+    lint message about the same instruction all print the same address. *)
+
+type step =
+  | Fst  (** left of a [Seq] *)
+  | Snd  (** right of a [Seq] *)
+  | Then  (** then-branch of an [If] *)
+  | Else  (** else-branch of an [If] *)
+  | Body  (** body of a [While] *)
+
+(** A path from the root to a node, in root-to-node order. *)
+type t = step list
+
+val root : t
+
+(** Extend a path downward by one step (paths are built root-first). *)
+val child : t -> step -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** Deterministic rendering, e.g. ["/0/1/then/0"]; the root is ["/"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** The sub-statement at a path ([None] if the path leaves the tree). *)
+val find : Lang.Stmt.t -> t -> Lang.Stmt.t option
+
+(** [find] restricted to the node's own constructor: for compound nodes
+    ([Seq]/[If]/[While]) the returned rendering is truncated to one line
+    ("if ... {...}"), so diagnostics stay single-line. *)
+val describe : Lang.Stmt.t -> t -> string
+
+(** Visit every {e leaf} statement (everything but [Seq]/[If]/[While])
+    with its path, in program order. *)
+val iter_leaves : Lang.Stmt.t -> f:(t -> Lang.Stmt.t -> unit) -> unit
+
+module Map : Map.S with type key = t

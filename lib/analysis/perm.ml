@@ -1,0 +1,83 @@
+(** Static permission analysis (see perm.mli). *)
+
+open Lang
+
+type fact = { p : Loc.Set.t; f : Loc.Set.t }
+
+module L = struct
+  type t = fact
+
+  (* No information: nothing is known to be held or written.  [a ⊑ b]
+     when [a] carries at least [b]'s information (bigger sets = lower in
+     the order), so joins intersect and [top] is the empty pair. *)
+  let top = { p = Loc.Set.empty; f = Loc.Set.empty }
+  let leq a b = Loc.Set.subset b.p a.p && Loc.Set.subset b.f a.f
+  let join a b = { p = Loc.Set.inter a.p b.p; f = Loc.Set.inter a.f b.f }
+  let widen _prev next = next  (* finite height: ≤ |Loc_na| per component *)
+end
+
+module Table = Dataflow.Make (L)
+
+(* Effects of the Fig 1 steps on the must-sets.  Releases drop to an
+   arbitrary subset and reset F, so both must-sets empty; acquires only
+   grow P and keep F, so both survive; a surviving non-atomic write
+   forces x ∈ P (racy-na-write is UB) and x ∈ F. *)
+let transfer ~bottom (_ : Path.t) (s : Stmt.t) (d : fact) : fact =
+  match s with
+  | Stmt.Store (Mode.Wna, x, _) ->
+    { p = Loc.Set.add x d.p; f = Loc.Set.add x d.f }
+  | Stmt.Store (Mode.Wrel, _, _) | Stmt.Fence (Mode.Frel | Mode.Facqrel | Mode.Fsc)
+  | Stmt.Cas _ | Stmt.Fadd _ -> L.top
+  | Stmt.Load (_, _, _) | Stmt.Store ((Mode.Wrlx), _, _)
+  | Stmt.Fence Mode.Facq | Stmt.Skip | Stmt.Assign _ | Stmt.Choose _
+  | Stmt.Freeze _ | Stmt.Print _ -> d
+  | Stmt.Abort | Stmt.Return _ ->
+    (* execution never continues past this point: any fact is sound *)
+    bottom
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
+
+let analyze (stmt : Stmt.t) : Table.facts =
+  let fp = Stmt.footprint stmt in
+  let bottom = { p = fp.Stmt.na; f = fp.Stmt.na } in
+  Table.forward ~transfer:(transfer ~bottom) ~init:L.top stmt
+
+type access = {
+  path : Path.t;
+  loc : Loc.t;
+  kind : [ `Read | `Write ];
+}
+
+let facts_for ?facts stmt =
+  match facts with Some f -> f | None -> analyze stmt
+
+let racy_accesses ?facts (stmt : Stmt.t) : access list =
+  let facts = facts_for ?facts stmt in
+  let acc = ref [] in
+  Path.iter_leaves stmt ~f:(fun path s ->
+      let covered x =
+        match Table.before facts path with
+        | Some d -> Loc.Set.mem x d.p
+        | None -> false
+      in
+      match s with
+      | Stmt.Load (_, Mode.Rna, x) when not (covered x) ->
+        acc := { path; loc = x; kind = `Read } :: !acc
+      | Stmt.Store (Mode.Wna, x, _) when not (covered x) ->
+        acc := { path; loc = x; kind = `Write } :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let store_intro_unsafe ?facts (stmt : Stmt.t) : (Path.t * Loc.t) list =
+  let facts = facts_for ?facts stmt in
+  let acc = ref [] in
+  Path.iter_leaves stmt ~f:(fun path s ->
+      match s with
+      | Stmt.Store (Mode.Wna, x, _) ->
+        let written =
+          match Table.before facts path with
+          | Some d -> Loc.Set.mem x d.f
+          | None -> false
+        in
+        if not written then acc := (path, x) :: !acc
+      | _ -> ());
+  List.rev !acc

@@ -1,0 +1,58 @@
+(** Static permission analysis: a per-point under-approximation of the
+    SEQ machine's permission set [P] and written-since-release set [F].
+
+    SEQ (§2, Fig 1) runs a thread against an adversarial environment:
+    the initial permission set is arbitrary, acquire steps grow [P] by
+    an arbitrary gain (havocking the gained locations' values), and
+    release steps shrink [P] to an arbitrary subset and reset [F].  The
+    only facts that hold on {e every} SEQ execution are therefore the
+    ones forced by the thread's own non-atomic writes:
+
+    - after a non-atomic write to [x] that did not fault, [x ∈ P] (a
+      racy non-atomic write is UB, so on all continuing executions the
+      thread holds the permission) and [x ∈ F];
+    - acquires preserve both facts ([P] only grows, [F] is untouched);
+    - releases destroy both ([P] may shrink to any subset, [F] := ∅);
+    - control-flow joins intersect.
+
+    The resulting must-sets [p ⊆ P] and [f ⊆ F] are exactly the facts
+    the paper's §4 pass analyses consume: a non-atomic read of [x] with
+    [x ∈ p] cannot return [undef]; a non-atomic write to [x] with
+    [x ∈ p] cannot be UB; a redundant store to [x] may be introduced
+    where [x ∈ f] (Ex 2.10).  [seqlint] derives its racy-access and
+    store-introduction diagnostics from these tables, and the soundness
+    of the claims is cross-checked against SEQ enumeration by QCheck
+    (test/test_analysis.ml). *)
+
+open Lang
+
+(** Must-facts at a program point: [p] ⊆ every reachable configuration's
+    permission set, [f] ⊆ its written set. *)
+type fact = { p : Loc.Set.t; f : Loc.Set.t }
+
+(** The information order: more locations = more information, so [top]
+    (no information) is the pair of empty sets and joins intersect. *)
+module L : Dataflow.LATTICE with type t = fact
+
+module Table : module type of Dataflow.Make (L)
+
+(** Run the forward analysis from the adversarial initial fact
+    [{p = ∅; f = ∅}] (sound for every initial [P], [F], [M]). *)
+val analyze : Stmt.t -> Table.facts
+
+(** A non-atomic access whose location is not statically covered by [p]
+    (a {e possibly racy} access — the analysis under-approximates, so
+    covered accesses are definitely race-free in SEQ). *)
+type access = {
+  path : Path.t;
+  loc : Loc.t;
+  kind : [ `Read | `Write ];  (** racy read → [undef]; racy write → UB *)
+}
+
+(** All possibly-racy non-atomic accesses of the statement. *)
+val racy_accesses : ?facts:Table.facts -> Stmt.t -> access list
+
+(** Non-atomic store sites whose location is not in the must-written set
+    [f] just before them: introducing a redundant store in that region
+    is not justified by the [F]-invariant (Ex 2.10). *)
+val store_intro_unsafe : ?facts:Table.facts -> Stmt.t -> (Path.t * Loc.t) list

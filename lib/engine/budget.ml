@@ -86,7 +86,10 @@ let check t =
   if t.limited && t.deadline < infinity then begin
     if t.poll <= 0 then begin
       t.poll <- poll_interval;
-      if Unix.gettimeofday () > t.deadline then raise (Exhausted Deadline)
+      (* [>=], not [>]: a 0 ms timeout sets the deadline to the current
+         clock reading, and the first check may land on the same tick —
+         an already-expired deadline must fire deterministically *)
+      if Unix.gettimeofday () >= t.deadline then raise (Exhausted Deadline)
     end
     else t.poll <- t.poll - 1
   end

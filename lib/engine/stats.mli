@@ -20,3 +20,18 @@ val sum : task list -> task
 val timed : (unit -> 'a) -> 'a * float
 
 val pp : Format.formatter -> task -> unit
+
+(** Static fast-path counters for validation sweeps: how many checks were
+    discharged by a static certificate vs. by enumeration.  Unlike
+    [wall_ms], both fields are deterministic. *)
+type fastpath = { static_hits : int; enumerated : int }
+
+val fastpath_zero : fastpath
+val add_fastpath : fastpath -> fastpath -> fastpath
+val fastpath_total : fastpath -> int
+
+(** Fraction of checks discharged statically (0 when none ran). *)
+val fastpath_rate : fastpath -> float
+
+(** E.g. ["static 12/57 (21%)"]. *)
+val pp_fastpath : Format.formatter -> fastpath -> unit

@@ -8,6 +8,16 @@ type reason =
 
 type 'a t = Proved | Refuted of 'a | Unknown of reason
 
+(* How a Proved was obtained: a static certificate needs no enumeration,
+   so the split is the fast-path hit rate. *)
+type provenance = Static | Enumerated
+
+let provenance_to_string = function
+  | Static -> "static"
+  | Enumerated -> "enumerated"
+
+let pp_provenance ppf p = Format.pp_print_string ppf (provenance_to_string p)
+
 let of_bool b = if b then Proved else Refuted ()
 
 let transient = function

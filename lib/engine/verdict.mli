@@ -28,6 +28,16 @@ type reason =
     info (a counterexample, a mismatch description, [unit]). *)
 type 'a t = Proved | Refuted of 'a | Unknown of reason
 
+(** How a definite verdict was established: [Static] — certified from
+    dataflow facts alone, no state enumeration ran; [Enumerated] — the
+    exhaustive checker ran.  A [Static] proof is sound only if the static
+    certifier is (cross-checked by the qcheck suite); the split is what
+    the benchmarks report as the fast-path hit rate. *)
+type provenance = Static | Enumerated
+
+val provenance_to_string : provenance -> string
+val pp_provenance : Format.formatter -> provenance -> unit
+
 val of_bool : bool -> unit t
 
 (** Retrying may plausibly change the outcome: deadline exhaustion (the

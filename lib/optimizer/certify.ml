@@ -1,0 +1,72 @@
+(** Static fast-path certification (see certify.mli). *)
+
+open Lang
+
+type stage = {
+  pass : Driver.pass;
+  rewrites : int;
+  sites : Analysis.Path.t list;
+}
+
+type cert = { stages : stage list; rounds : int }
+
+let equal_stmt (a : Stmt.t) (b : Stmt.t) = Stdlib.compare a b = 0
+
+(* Every recorded site must name a node of the stage's input — a cheap
+   well-formedness check that keeps certificates citable. *)
+let sites_resolve (input : Stmt.t) (sites : Analysis.Path.t list) =
+  List.for_all (fun p -> Analysis.Path.find input p <> None) sites
+
+let attempt ?(passes = Driver.all_passes) ?(max_rounds = 8) ~(src : Stmt.t)
+    ~(tgt : Stmt.t) () : cert option =
+  if not (Analysis.Modes.consistent [ src ] && Analysis.Modes.consistent [ tgt ])
+  then None
+  else if equal_stmt src tgt then Some { stages = []; rounds = 0 }
+  else
+    (* Replay the pipeline; after each pass application, compare with the
+       target.  Stop when a whole round is the identity (the pipeline has
+       stabilised short of [tgt]) or [max_rounds] is exhausted. *)
+    let rec round cur acc n =
+      if n = 0 then None
+      else
+        let rec pipeline cur acc = function
+          | [] -> Error (cur, acc)  (* round over, not yet at tgt *)
+          | p :: rest ->
+            let cur', rewrites, _iters, sites = Driver.run_pass p cur in
+            let acc =
+              if rewrites > 0 && sites_resolve cur sites then
+                { pass = p; rewrites; sites } :: acc
+              else acc
+            in
+            if equal_stmt cur' tgt then Ok acc
+            else pipeline cur' acc rest
+        in
+        match pipeline cur acc passes with
+        | Ok acc ->
+          Some { stages = List.rev acc; rounds = max_rounds - n + 1 }
+        | Error (cur', acc) ->
+          if equal_stmt cur cur' then None else round cur' acc (n - 1)
+    in
+    round src [] max_rounds
+
+let replay (c : cert) ~(src : Stmt.t) ~(tgt : Stmt.t) : bool =
+  let final =
+    List.fold_left
+      (fun cur (st : stage) ->
+        let cur', _, _, _ = Driver.run_pass st.pass cur in
+        cur')
+      src c.stages
+  in
+  equal_stmt final tgt
+
+let pp ppf (c : cert) =
+  if c.stages = [] then Fmt.pf ppf "trivial (src = tgt)"
+  else
+    Fmt.pf ppf "@[<v>%a@]"
+      (Fmt.list ~sep:Fmt.cut (fun ppf (st : stage) ->
+           Fmt.pf ppf "%s: %d rewrite%s at %a" (Driver.pass_name st.pass)
+             st.rewrites
+             (if st.rewrites = 1 then "" else "s")
+             (Fmt.list ~sep:Fmt.comma Analysis.Path.pp)
+             st.sites))
+      c.stages

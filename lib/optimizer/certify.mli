@@ -1,0 +1,58 @@
+(** Static fast-path certification of optimizer transformations.
+
+    {!Validate.validate} decides src ⊒ tgt by enumerating the Fig 6
+    simulation over a finite domain — exhaustive but expensive.  This
+    module tries to discharge the same claim {e statically}: replay the
+    optimizer pipeline from [src] and check after every pass application
+    whether the intermediate program is syntactically equal to [tgt].
+    Each pass is one of the paper's certified rewrites — its analysis
+    under-approximates the per-point permission/written-set facts (§4,
+    App D) that justify every rewrite it performs — so reaching [tgt] by
+    pass applications alone proves the refinement with no state
+    enumeration at all.
+
+    The certificate records which passes fired and where (rewrite sites
+    as {!Analysis.Path} values, each in the coordinates of that stage's
+    input program), so a validation report can cite the same locations as
+    the linter's hints.
+
+    Soundness caveats, both handled here and cross-checked by qcheck:
+    - the passes assume SEQ well-formedness, so certification is refused
+      for mode-inconsistent programs ({!Analysis.Modes.consistent});
+    - a static certificate proves the {e advanced} notion (Def 3.3; DSE
+      may fire across a release, Ex 3.5), so it says nothing about the
+      stronger §2 notion — clients must still enumerate for that. *)
+
+open Lang
+
+(** One pipeline stage that fired on the way from [src] to [tgt]. *)
+type stage = {
+  pass : Driver.pass;
+  rewrites : int;
+  sites : Analysis.Path.t list;
+      (** in the coordinates of this stage's input program *)
+}
+
+(** A static certificate: applying [stages] (in order) to the source
+    yields the target syntactically.  [stages = []] means [src = tgt]. *)
+type cert = { stages : stage list; rounds : int }
+
+(** [attempt ~src ~tgt ()] tries to certify src ⊒ tgt by pipeline replay
+    (default pipeline {!Driver.all_passes}, same [max_rounds] default as
+    {!Driver.optimize}).  [None] means only that the fast path does not
+    apply — never that the refinement fails. *)
+val attempt :
+  ?passes:Driver.pass list ->
+  ?max_rounds:int ->
+  src:Stmt.t ->
+  tgt:Stmt.t ->
+  unit ->
+  cert option
+
+(** Re-run a certificate's stages from [src] and confirm they reproduce
+    [tgt]; used by the test suite to keep certificates honest. *)
+val replay : cert -> src:Stmt.t -> tgt:Stmt.t -> bool
+
+(** Human-readable one-line-per-stage rendering, citing pass names and
+    rewrite sites. *)
+val pp : Format.formatter -> cert -> unit

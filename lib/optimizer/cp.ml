@@ -51,14 +51,23 @@ let rec peval (st : astate) (e : Expr.t) : Expr.t =
 
 let kill r (st : astate) = Reg.Map.remove r st
 
-type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed; input coordinates *)
+}
 
-let count_if stats changed = if changed then stats.rewrites <- stats.rewrites + 1
+let count_if stats path changed =
+  if changed then begin
+    stats.rewrites <- stats.rewrites + 1;
+    stats.sites <- path :: stats.sites
+  end
 
-let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+let rec go (stats : stats) (path : Analysis.Path.t) (st : astate) (s : Stmt.t)
+    : Stmt.t * astate =
   let rw e =
     let e' = peval st e in
-    count_if stats (not (Expr.equal e e'));
+    count_if stats path (not (Expr.equal e e'));
     e'
   in
   match s with
@@ -80,24 +89,27 @@ let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
     (* freeze of a known defined value is the identity *)
     (match e' with
      | Expr.Const (Value.Int _ as v) ->
-       stats.rewrites <- stats.rewrites + 1;
+       count_if stats path true;
        (Stmt.Assign (r, Expr.Const v), Reg.Map.add r v st)
      | _ -> (Stmt.Freeze (r, e'), kill r st))
   | Stmt.Print e -> (Stmt.Print (rw e), st)
   | Stmt.Return e -> (Stmt.Return (rw e), st)
   | Stmt.Skip | Stmt.Abort | Stmt.Fence _ -> (s, st)
   | Stmt.Seq (a, b) ->
-    let a', st = go stats st a in
-    let b', st = go stats st b in
+    let a', st = go stats (Analysis.Path.child path Analysis.Path.Fst) st a in
+    let b', st = go stats (Analysis.Path.child path Analysis.Path.Snd) st b in
     (Stmt.seq a' b', st)
   | Stmt.If (e, a, b) ->
     let e' = rw e in
-    let a', sa = go stats st a in
-    let b', sb = go stats st b in
+    let a', sa = go stats (Analysis.Path.child path Analysis.Path.Then) st a in
+    let b', sb = go stats (Analysis.Path.child path Analysis.Path.Else) st b in
     (Stmt.If (e', a', b'), join sa sb)
   | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
     let rec fix h iters =
-      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let _, h' =
+        go { rewrites = 0; max_loop_iters = 0; sites = [] } bpath h body
+      in
       let h'' = join h h' in
       if equal h h'' then (h, iters) else fix h'' (iters + 1)
     in
@@ -105,14 +117,14 @@ let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
     stats.max_loop_iters <- max stats.max_loop_iters iters;
     let e' =
       let e' = peval head e in
-      count_if stats (not (Expr.equal e e'));
+      count_if stats path (not (Expr.equal e e'));
       e'
     in
-    let body', _ = go stats head body in
+    let body', _ = go stats bpath head body in
     (Stmt.While (e', body'), head)
 
 (** Run the constant-propagation pass. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let stats = { rewrites = 0; max_loop_iters = 1 } in
-  let s', _ = go stats Reg.Map.empty s in
-  (s', stats.rewrites, stats.max_loop_iters)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go stats Analysis.Path.root Reg.Map.empty s in
+  (s', stats.rewrites, stats.max_loop_iters, List.rev stats.sites)

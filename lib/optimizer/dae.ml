@@ -17,22 +17,28 @@ let rec total (e : Expr.t) : bool =
   | Expr.Binop (_, a, b) -> total a && total b
   | Expr.Unop (_, a) -> total a
 
-type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed traversal order *)
+}
 
 (* Backward pass: [live] is the live-register set after [s]; returns the
    rewritten statement and the live set before it. *)
-let rec go (stats : stats) (s : Stmt.t) (live : Reg.Set.t) :
-    Stmt.t * Reg.Set.t =
+let rec go (stats : stats) (path : Analysis.Path.t) (s : Stmt.t)
+    (live : Reg.Set.t) : Stmt.t * Reg.Set.t =
   let use e = Reg.Set.union (Expr.regs e) in
   match s with
   | Stmt.Assign (r, e) ->
     if (not (Reg.Set.mem r live)) && total e then begin
       stats.rewrites <- stats.rewrites + 1;
+      stats.sites <- path :: stats.sites;
       (Stmt.Skip, live)
     end
     else (s, use e (Reg.Set.remove r live))
   | Stmt.Load (r, Mode.Rna, _) when not (Reg.Set.mem r live) ->
     stats.rewrites <- stats.rewrites + 1;
+    stats.sites <- path :: stats.sites;
     (Stmt.Skip, live)
   | Stmt.Load (r, _, _) -> (s, Reg.Set.remove r live)
   | Stmt.Store (_, _, e) -> (s, use e live)
@@ -43,26 +49,30 @@ let rec go (stats : stats) (s : Stmt.t) (live : Reg.Set.t) :
   | Stmt.Print e | Stmt.Return e -> (s, use e live)
   | Stmt.Skip | Stmt.Abort | Stmt.Fence _ -> (s, live)
   | Stmt.Seq (a, b) ->
-    let b', live = go stats b live in
-    let a', live = go stats a live in
+    let b', live = go stats (Analysis.Path.child path Analysis.Path.Snd) b live in
+    let a', live = go stats (Analysis.Path.child path Analysis.Path.Fst) a live in
     (Stmt.seq a' b', live)
   | Stmt.If (e, a, b) ->
-    let a', la = go stats a live in
-    let b', lb = go stats b live in
+    let a', la = go stats (Analysis.Path.child path Analysis.Path.Then) a live in
+    let b', lb = go stats (Analysis.Path.child path Analysis.Path.Else) b live in
     (Stmt.If (e, a', b'), use e (Reg.Set.union la lb))
   | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
     let rec fix h iters =
-      let _, before = go { rewrites = 0; max_loop_iters = 0 } body h in
+      let _, before =
+        go { rewrites = 0; max_loop_iters = 0; sites = [] } bpath body h
+      in
       let h' = Reg.Set.union h (Reg.Set.union live before) in
       if Reg.Set.equal h h' then (h, iters) else fix h' (iters + 1)
     in
     let head, iters = fix (use e live) 1 in
     stats.max_loop_iters <- max stats.max_loop_iters iters;
-    let body', _ = go stats body head in
+    let body', _ = go stats bpath body head in
     (Stmt.While (e, body'), use e head)
 
 (** Run the dead-assignment elimination pass. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let stats = { rewrites = 0; max_loop_iters = 1 } in
-  let s', _ = go stats s Reg.Set.empty in
-  (s', stats.rewrites, stats.max_loop_iters)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go stats Analysis.Path.root s Reg.Set.empty in
+  (s', stats.rewrites, stats.max_loop_iters,
+   List.sort_uniq Analysis.Path.compare stats.sites)

@@ -29,7 +29,8 @@ let pass_of_string = function
   | "dae" -> Some DAE
   | _ -> None
 
-let run_pass (p : pass) (s : Stmt.t) : Stmt.t * int * int =
+let run_pass (p : pass) (s : Stmt.t) :
+    Stmt.t * int * int * Analysis.Path.t list =
   match p with
   | CP -> Cp.run s
   | SLF -> Slf.run s
@@ -42,6 +43,10 @@ type pass_report = {
   pass : pass;
   rewrites : int;  (** instructions rewritten/removed *)
   loop_iters : int;  (** max analysis fixpoint iterations over any loop *)
+  sites : Analysis.Path.t list;
+      (** rewrite sites, in the coordinates of the program this pass
+          invocation received (exact source coordinates only for the first
+          pass of the first round) *)
 }
 
 type report = {
@@ -55,8 +60,8 @@ type report = {
 let run_pipeline passes s =
   List.fold_left
     (fun (s, acc) p ->
-      let s', rewrites, loop_iters = run_pass p s in
-      (s', { pass = p; rewrites; loop_iters } :: acc))
+      let s', rewrites, loop_iters, sites = run_pass p s in
+      (s', { pass = p; rewrites; loop_iters; sites } :: acc))
     (s, []) passes
 
 (* Merge per-round reports: sum rewrites, max loop iterations, per pass in
@@ -74,10 +79,11 @@ let merge_reports (rounds : pass_report list list) (passes : pass list) :
                   acc with
                   rewrites = acc.rewrites + r.rewrites;
                   loop_iters = max acc.loop_iters r.loop_iters;
+                  sites = acc.sites @ r.sites;
                 }
               else acc)
             acc round)
-        { pass = p; rewrites = 0; loop_iters = 1 }
+        { pass = p; rewrites = 0; loop_iters = 1; sites = [] }
         rounds)
     passes
 

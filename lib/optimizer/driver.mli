@@ -14,14 +14,19 @@ val paper_passes : pass list
 val pass_name : pass -> string
 val pass_of_string : string -> pass option
 
-(** Run one pass: transformed program, number of rewrites, and max loop
-    fixpoint iterations. *)
-val run_pass : pass -> Stmt.t -> Stmt.t * int * int
+(** Run one pass: transformed program, number of rewrites, max loop
+    fixpoint iterations, and the rewrite sites (paths into the pass's
+    input program). *)
+val run_pass : pass -> Stmt.t -> Stmt.t * int * int * Analysis.Path.t list
 
 type pass_report = {
   pass : pass;
   rewrites : int;  (** instructions rewritten/removed *)
   loop_iters : int;  (** max analysis fixpoint iterations over any loop *)
+  sites : Analysis.Path.t list;
+      (** rewrite sites, in the coordinates of the program this pass
+          invocation received (exact source coordinates only for the first
+          pass of the first round) *)
 }
 
 type report = {

@@ -83,40 +83,50 @@ let transfer_back (st : astate) (s : Stmt.t) : astate =
     all_live
   | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
 
-type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed traversal order *)
+}
 
 (* Backward analyze-and-rewrite: [st] is the abstract state *after* [s]. *)
-let rec go (stats : stats) (s : Stmt.t) (st : astate) : Stmt.t * astate =
+let rec go (stats : stats) (path : Analysis.Path.t) (s : Stmt.t) (st : astate)
+    : Stmt.t * astate =
   match s with
   | Stmt.Store (Mode.Wna, x, _) ->
     (match get st x with
      | Dead_near | Dead_far ->
        stats.rewrites <- stats.rewrites + 1;
+       stats.sites <- path :: stats.sites;
        (Stmt.Skip, st)
      | Live -> (s, transfer_back st s))
   | Stmt.Seq (a, b) ->
-    let b', st = go stats b st in
-    let a', st = go stats a st in
+    let b', st = go stats (Analysis.Path.child path Analysis.Path.Snd) b st in
+    let a', st = go stats (Analysis.Path.child path Analysis.Path.Fst) a st in
     (Stmt.seq a' b', st)
   | Stmt.If (e, a, b) ->
-    let a', sa = go stats a st in
-    let b', sb = go stats b st in
+    let a', sa = go stats (Analysis.Path.child path Analysis.Path.Then) a st in
+    let b', sb = go stats (Analysis.Path.child path Analysis.Path.Else) b st in
     (Stmt.If (e, a', b'), join sa sb)
   | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
     let rec fix h iters =
-      let _, h_before = go { rewrites = 0; max_loop_iters = 0 } body h in
+      let _, h_before =
+        go { rewrites = 0; max_loop_iters = 0; sites = [] } bpath body h
+      in
       let h' = join h h_before in
       if equal h h' then (h, iters) else fix h' (iters + 1)
     in
     (* at the loop head the future is: exit (st) or body-then-head *)
     let head, iters = fix st 1 in
     stats.max_loop_iters <- max stats.max_loop_iters iters;
-    let body', _ = go stats body head in
+    let body', _ = go stats bpath body head in
     (Stmt.While (e, body'), head)
   | s -> (s, transfer_back st s)
 
 (** Run the DSE pass. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let stats = { rewrites = 0; max_loop_iters = 1 } in
-  let s', _ = go stats s all_live in
-  (s', stats.rewrites, stats.max_loop_iters)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go stats Analysis.Path.root s all_live in
+  (s', stats.rewrites, stats.max_loop_iters,
+   List.sort_uniq Analysis.Path.compare stats.sites)

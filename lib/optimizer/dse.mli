@@ -23,5 +23,5 @@ val join : astate -> astate -> astate
 val transfer_back : astate -> Stmt.t -> astate
 
 (** Run the pass: transformed program, stores removed, max loop fixpoint
-    iterations. *)
-val run : Stmt.t -> Stmt.t * int * int
+    iterations, and the removed stores' paths in the input program. *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

@@ -44,8 +44,11 @@ let candidates (body : Stmt.t) : Loc.t list =
     Loc.Set.elements
       (Loc.Set.diff (na_loaded Loc.Set.empty body) (na_stored Loc.Set.empty body))
 
-(** Stage 1: insert [c := x^na] before every loop with invariant loads. *)
-let insert_hoisting_loads (prog : Stmt.t) : Stmt.t * int =
+(** Stage 1: insert [c := x^na] before every loop with invariant loads.
+    The returned sites are the paths (in the {e input} program) of the
+    loops that received a hoisting load. *)
+let insert_hoisting_loads (prog : Stmt.t) : Stmt.t * int * Analysis.Path.t list
+    =
   let counter = ref 0 in
   let fresh () =
     let r = Stmt.fresh_reg prog (Printf.sprintf "licm%d" !counter) in
@@ -53,27 +56,40 @@ let insert_hoisting_loads (prog : Stmt.t) : Stmt.t * int =
     r
   in
   let inserted = ref 0 in
-  let rec rewrite s =
+  let sites = ref [] in
+  let rec rewrite path s =
     match s with
-    | Stmt.Seq (a, b) -> Stmt.seq (rewrite a) (rewrite b)
-    | Stmt.If (e, a, b) -> Stmt.If (e, rewrite a, rewrite b)
+    | Stmt.Seq (a, b) ->
+      Stmt.seq
+        (rewrite (Analysis.Path.child path Analysis.Path.Fst) a)
+        (rewrite (Analysis.Path.child path Analysis.Path.Snd) b)
+    | Stmt.If (e, a, b) ->
+      Stmt.If
+        ( e,
+          rewrite (Analysis.Path.child path Analysis.Path.Then) a,
+          rewrite (Analysis.Path.child path Analysis.Path.Else) b )
     | Stmt.While (e, body) ->
-      let body = rewrite body in
+      let body = rewrite (Analysis.Path.child path Analysis.Path.Body) body in
       let pre =
         List.map
           (fun x ->
             incr inserted;
+            sites := path :: !sites;
             Stmt.Load (fresh (), Mode.Rna, x))
           (candidates body)
       in
       Stmt.seq_list (pre @ [ Stmt.While (e, body) ])
     | s -> s
   in
-  (rewrite prog, !inserted)
+  let prog' = rewrite Analysis.Path.root prog in
+  (prog', !inserted, List.rev !sites)
 
 (** Run the LICM pass (stage 1 + LLF).  Returns the transformed program,
-    the number of loads rewritten by the forwarding stage, and the maximal
-    loop fixpoint iteration count. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let s, _inserted = insert_hoisting_loads s in
-  Llf.run s
+    the number of loads rewritten by the forwarding stage, the maximal
+    loop fixpoint iteration count, and the hoisted loops' paths in the
+    input program (the forwarding stage's own sites live in stage-1
+    output coordinates, so they are not merged in). *)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let s, _inserted, hoists = insert_hoisting_loads s in
+  let s', rewrites, iters, _llf_sites = Llf.run s in
+  (s', rewrites, iters, hoists)

@@ -8,9 +8,12 @@ open Lang
 (** Loop-invariant non-atomic locations of a loop body. *)
 val candidates : Stmt.t -> Loc.t list
 
-(** Stage 1 only; returns the program and the number of loads inserted. *)
-val insert_hoisting_loads : Stmt.t -> Stmt.t * int
+(** Stage 1 only; returns the program, the number of loads inserted, and
+    the hoisted loops' paths in the input program. *)
+val insert_hoisting_loads : Stmt.t -> Stmt.t * int * Analysis.Path.t list
 
 (** Both stages: transformed program, loads rewritten by forwarding, max
-    loop fixpoint iterations. *)
-val run : Stmt.t -> Stmt.t * int * int
+    loop fixpoint iterations, and the hoisted loops' paths in the input
+    program (forwarding-stage sites live in stage-1 output coordinates
+    and are not merged in). *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

@@ -1,0 +1,140 @@
+(** seqlint diagnostics (see lint.mli). *)
+
+open Lang
+
+type severity = Error | Warning | Hint
+
+type rule =
+  | Racy_read
+  | Racy_write
+  | Mixed_access
+  | Store_intro
+  | Dead_store
+  | Redundant_load
+  | Dead_assign
+
+let rule_name = function
+  | Racy_read -> "racy-read"
+  | Racy_write -> "racy-write"
+  | Mixed_access -> "mixed-access"
+  | Store_intro -> "store-intro"
+  | Dead_store -> "dead-store"
+  | Redundant_load -> "redundant-load"
+  | Dead_assign -> "dead-assign"
+
+let severity_of_rule = function
+  | Racy_write | Mixed_access -> Error
+  | Racy_read -> Warning
+  | Store_intro | Dead_store | Redundant_load | Dead_assign -> Hint
+
+type diag = {
+  rule : rule;
+  sev : severity;
+  thread : int;
+  path : Analysis.Path.t;
+  message : string;
+}
+
+let mk rule thread path message =
+  { rule; sev = severity_of_rule rule; thread; path; message }
+
+(* racy-read / racy-write / store-intro, per thread, from the permission
+   must-analysis. *)
+let perm_diags thread (s : Stmt.t) : diag list =
+  let facts = Analysis.Perm.analyze s in
+  let racy =
+    List.map
+      (fun (a : Analysis.Perm.access) ->
+        match a.kind with
+        | `Read ->
+          mk Racy_read thread a.path
+            (Fmt.str
+               "non-atomic read of %s may be racy: not provably permitted \
+                here, an adversarial environment makes it return undef"
+               (Loc.name a.loc))
+        | `Write ->
+          mk Racy_write thread a.path
+            (Fmt.str
+               "non-atomic write to %s may be racy: not provably permitted \
+                here, a race makes it undefined behavior"
+               (Loc.name a.loc)))
+      (Analysis.Perm.racy_accesses ~facts s)
+  in
+  let intro =
+    List.map
+      (fun (path, x) ->
+        mk Store_intro thread path
+          (Fmt.str
+             "%s is not provably in the written-set here: introducing a \
+              store of %s ahead of this point would be unsound"
+             (Loc.name x) (Loc.name x)))
+      (Analysis.Perm.store_intro_unsafe ~facts s)
+  in
+  racy @ intro
+
+let mixed_diags (threads : Stmt.t list) : diag list =
+  List.map
+    (fun (c : Analysis.Modes.conflict) ->
+      mk Mixed_access c.na_site.Analysis.Modes.thread c.na_site.Analysis.Modes.path
+        (Fmt.str "%a" (Analysis.Modes.pp_conflict ~src:threads) c))
+    (Analysis.Modes.combined_conflicts threads)
+
+(* Optimizer-pass hints: run each relevant pass on the thread alone (so
+   every site is in source coordinates) and cite the pass by name. *)
+let hint_diags thread (s : Stmt.t) : diag list =
+  let sites_of pass =
+    let _, _, _, sites = Driver.run_pass pass s in
+    sites
+  in
+  let hint rule pass fmt =
+    List.map (fun path ->
+        mk rule thread path (Fmt.str fmt (Driver.pass_name pass)))
+  in
+  hint Dead_store Driver.DSE "%s would remove this dead store"
+    (sites_of Driver.DSE)
+  @ hint Redundant_load Driver.SLF "%s would rewrite this redundant load"
+      (sites_of Driver.SLF)
+  @ hint Redundant_load Driver.LLF "%s would rewrite this redundant load"
+      (sites_of Driver.LLF)
+  @ hint Dead_assign Driver.DAE "%s would remove this dead instruction"
+      (sites_of Driver.DAE)
+
+let lint ?(hints = true) (threads : Stmt.t list) : diag list =
+  let per_thread =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           perm_diags i s @ if hints then hint_diags i s else [])
+         threads)
+  in
+  let diags = mixed_diags threads @ per_thread in
+  (* deterministic order: thread, then path, then rule *)
+  List.stable_sort
+    (fun a b ->
+      match compare a.thread b.thread with
+      | 0 ->
+        (match Analysis.Path.compare a.path b.path with
+         | 0 -> compare a.rule b.rule
+         | c -> c)
+      | c -> c)
+    diags
+
+let has_errors diags = List.exists (fun d -> d.sev = Error) diags
+
+let sev_name = function Error -> "error" | Warning -> "warning" | Hint -> "hint"
+
+let pp_diag ~threads ppf (d : diag) =
+  if threads > 1 then
+    Fmt.pf ppf "%s: thread %d %s [%s] %s" (sev_name d.sev) d.thread
+      (Analysis.Path.to_string d.path)
+      (rule_name d.rule) d.message
+  else
+    Fmt.pf ppf "%s: %s [%s] %s" (sev_name d.sev)
+      (Analysis.Path.to_string d.path)
+      (rule_name d.rule) d.message
+
+let render ~threads (diags : diag list) : string =
+  Fmt.str "%a"
+    (Fmt.list ~sep:(Fmt.any "@.") (pp_diag ~threads))
+    diags
+  ^ if diags = [] then "" else "\n"

@@ -1,0 +1,70 @@
+(** seqlint — static race/UB diagnostics from the permission analyses.
+
+    Every rule is an under-approximating static reading of a SEQ run-time
+    phenomenon (§2, Fig 1):
+
+    - [racy-read] (warning): a non-atomic read at a point where the
+      permission analysis cannot prove x ∈ P — under an adversarial
+      environment the read may return [undef];
+    - [racy-write] (error): a non-atomic write at such a point — a racy
+      write is undefined behavior (the SEQ configuration drops to ⊥);
+    - [mixed-access] (error): a location accessed both atomically and
+      non-atomically, in one thread or across threads — SEQ's
+      well-formedness precondition is violated; within a single thread
+      {!Seq_model.Config} would also raise [Mixed_access] at run time;
+    - [store-intro] (hint): a non-atomic store at a point where x is not
+      provably in the written-set F — an optimizer must not {e introduce}
+      a store of x ahead of this point (F-validity, §3);
+    - [dead-store] (hint): dead store elimination would remove this
+      store;
+    - [redundant-load] (hint): store-to-load or load-to-load forwarding
+      would rewrite this load;
+    - [dead-assign] (hint): dead assignment elimination would remove this
+      instruction.
+
+    The hint rules name the optimizer pass that would fire and cite its
+    rewrite sites, so `seqlint` hints and {!Validate} certificates point
+    at the same {!Analysis.Path} locations.
+
+    Soundness contract (qcheck-tested): a program with no [racy-read] /
+    [racy-write] / [mixed-access] diagnostic has no executable racy
+    access in SEQ, whatever the initial permission set. *)
+
+open Lang
+
+type severity = Error | Warning | Hint
+
+(** Stable machine-readable rule identifiers, e.g. ["racy-read"]. *)
+type rule =
+  | Racy_read
+  | Racy_write
+  | Mixed_access
+  | Store_intro
+  | Dead_store
+  | Redundant_load
+  | Dead_assign
+
+val rule_name : rule -> string
+val severity_of_rule : rule -> severity
+
+type diag = {
+  rule : rule;
+  sev : severity;
+  thread : int;  (** index into the linted thread list *)
+  path : Analysis.Path.t;
+  message : string;
+}
+
+(** Lint a thread list (a single program is [ [s] ]).  [hints] (default
+    [true]) controls the optimizer-pass hint rules; the race/UB/mixing
+    rules always run. *)
+val lint : ?hints:bool -> Stmt.t list -> diag list
+
+(** [has_errors diags]: some diagnostic has severity [Error]. *)
+val has_errors : diag list -> bool
+
+(** One diagnostic per line: [SEV thread T PATH [rule] message] (thread
+    prefix only for multi-thread programs). *)
+val render : threads:int -> diag list -> string
+
+val pp_diag : threads:int -> Format.formatter -> diag -> unit

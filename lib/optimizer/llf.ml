@@ -60,41 +60,50 @@ let transfer (st : astate) (s : Stmt.t) : astate =
   | Stmt.Return _ -> st
   | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false
 
-type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed; input coordinates *)
+}
 
-let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+let rec go (stats : stats) (path : Analysis.Path.t) (st : astate) (s : Stmt.t)
+    : Stmt.t * astate =
   match s with
   | Stmt.Load (a, Mode.Rna, x) ->
     let holders = get st x in
     (match Reg.Set.min_elt_opt (Reg.Set.remove a holders) with
      | Some b ->
        stats.rewrites <- stats.rewrites + 1;
+       stats.sites <- path :: stats.sites;
        (* a := b; afterwards a also holds x's value *)
        let st = set (kill_reg st a) x (Reg.Set.add a (get (kill_reg st a) x)) in
        (Stmt.Assign (a, Expr.Reg b), st)
      | None -> (s, transfer st s))
   | Stmt.Seq (a, b) ->
-    let a', st = go stats st a in
-    let b', st = go stats st b in
+    let a', st = go stats (Analysis.Path.child path Analysis.Path.Fst) st a in
+    let b', st = go stats (Analysis.Path.child path Analysis.Path.Snd) st b in
     (Stmt.seq a' b', st)
   | Stmt.If (e, a, b) ->
-    let a', sa = go stats st a in
-    let b', sb = go stats st b in
+    let a', sa = go stats (Analysis.Path.child path Analysis.Path.Then) st a in
+    let b', sb = go stats (Analysis.Path.child path Analysis.Path.Else) st b in
     (Stmt.If (e, a', b'), join sa sb)
   | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
     let rec fix h iters =
-      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let _, h' =
+        go { rewrites = 0; max_loop_iters = 0; sites = [] } bpath h body
+      in
       let h'' = join h h' in
       if leq h'' h && leq h h'' then (h, iters) else fix h'' (iters + 1)
     in
     let head, iters = fix st 1 in
     stats.max_loop_iters <- max stats.max_loop_iters iters;
-    let body', _ = go stats head body in
+    let body', _ = go stats bpath head body in
     (Stmt.While (e, body'), head)
   | s -> (s, transfer st s)
 
 (** Run the LLF pass. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let stats = { rewrites = 0; max_loop_iters = 1 } in
-  let s', _ = go stats bottom_like s in
-  (s', stats.rewrites, stats.max_loop_iters)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go stats Analysis.Path.root bottom_like s in
+  (s', stats.rewrites, stats.max_loop_iters, List.rev stats.sites)

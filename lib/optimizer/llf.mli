@@ -16,5 +16,5 @@ val leq : astate -> astate -> bool
 val transfer : astate -> Stmt.t -> astate
 
 (** Run the pass: transformed program, loads rewritten, max loop fixpoint
-    iterations. *)
-val run : Stmt.t -> Stmt.t * int * int
+    iterations, and the rewritten loads' paths in the input program. *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

@@ -83,43 +83,55 @@ let transfer (st : astate) (s : Stmt.t) : astate =
   | Stmt.Abort | Stmt.Return _ -> st
   | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> assert false  (* handled below *)
 
-type stats = { mutable rewrites : int; mutable max_loop_iters : int }
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed; input coordinates *)
+}
+
+let record stats path =
+  stats.rewrites <- stats.rewrites + 1;
+  stats.sites <- path :: stats.sites
 
 (* Analyze-and-rewrite in one forward traversal; loops run the analysis to
    a fixpoint first (the token lattice has height 3, so ≤ 3 joins — the
    paper's termination claim, which E3 measures). *)
-let rec go (stats : stats) (st : astate) (s : Stmt.t) : Stmt.t * astate =
+let rec go (stats : stats) (path : Analysis.Path.t) (st : astate) (s : Stmt.t)
+    : Stmt.t * astate =
   match s with
   | Stmt.Load (r, Mode.Rna, x) ->
     (match get st x with
      | Fresh v | Rel v ->
-       stats.rewrites <- stats.rewrites + 1;
+       record stats path;
        (Stmt.Assign (r, Expr.Const v), st)
      | Top -> (s, st))
   | Stmt.Seq (a, b) ->
-    let a', st = go stats st a in
-    let b', st = go stats st b in
+    let a', st = go stats (Analysis.Path.child path Analysis.Path.Fst) st a in
+    let b', st = go stats (Analysis.Path.child path Analysis.Path.Snd) st b in
     (Stmt.seq a' b', st)
   | Stmt.If (e, a, b) ->
-    let a', sa = go stats st a in
-    let b', sb = go stats st b in
+    let a', sa = go stats (Analysis.Path.child path Analysis.Path.Then) st a in
+    let b', sb = go stats (Analysis.Path.child path Analysis.Path.Else) st b in
     (Stmt.If (e, a', b'), join sa sb)
   | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
     let rec fix h iters =
-      let _, h' = go { rewrites = 0; max_loop_iters = 0 } h body in
+      let _, h' =
+        go { rewrites = 0; max_loop_iters = 0; sites = [] } bpath h body
+      in
       let h'' = join h h' in
       if leq h h'' && leq h'' h then (h, iters)
       else fix h'' (iters + 1)
     in
     let head, iters = fix st 1 in
     stats.max_loop_iters <- max stats.max_loop_iters iters;
-    let body', _ = go stats head body in
+    let body', _ = go stats bpath head body in
     (Stmt.While (e, body'), head)
   | s -> (s, transfer st s)
 
 (** Run the SLF pass.  Returns the transformed program, the number of loads
     rewritten, and the maximum number of loop fixpoint iterations. *)
-let run (s : Stmt.t) : Stmt.t * int * int =
-  let stats = { rewrites = 0; max_loop_iters = 1 } in
-  let s', _ = go stats top s in
-  (s', stats.rewrites, stats.max_loop_iters)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go stats Analysis.Path.root top s in
+  (s', stats.rewrites, stats.max_loop_iters, List.rev stats.sites)

@@ -25,5 +25,5 @@ val top : astate
 val transfer : astate -> Stmt.t -> astate
 
 (** Run the pass: transformed program, loads rewritten, max loop fixpoint
-    iterations. *)
-val run : Stmt.t -> Stmt.t * int * int
+    iterations, and the rewritten loads' paths in the input program. *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

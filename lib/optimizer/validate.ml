@@ -5,31 +5,59 @@
     must (advanced-)behaviorally refine the input in SEQ over the finite
     domain (Def 3.3, decided by the Fig 6 simulation).  By the adequacy
     theorem (Thm 6.2) this entails contextual refinement in PS_na — and E5
-    cross-checks that implication empirically. *)
+    cross-checks that implication empirically.
+
+    A static fast path ({!Certify.attempt}) can discharge the advanced
+    check without enumerating: if replaying the certified pass pipeline
+    from [src] reproduces [tgt] syntactically, the refinement holds by
+    the passes' own soundness.  The resulting verdict is identical to the
+    enumerated one (qcheck cross-checks this); only [proof] records which
+    route was taken. *)
 
 open Lang
+
+type proof = Static of Certify.cert | Enumerated
+
+let provenance = function
+  | Static _ -> Engine.Verdict.Static
+  | Enumerated -> Engine.Verdict.Enumerated
 
 type verdict = {
   valid : bool;
   simple : bool;  (** the stronger §2 notion also holds *)
   domain : Domain.t;
+  proof : proof;  (** how [valid] was established *)
 }
 
 exception Mixed_access = Seq_model.Config.Mixed_access
 
 (** Validate a transformation in SEQ: [tgt] must weakly behaviorally
-    refine [src]. *)
-let validate ?(values = Domain.default_values) ~(src : Stmt.t) ~(tgt : Stmt.t)
-    () : verdict =
+    refine [src].  With [fast_path] (the default), a static certificate
+    replaces the advanced enumeration when one exists; the [simple] field
+    always comes from enumeration (a static certificate only proves the
+    advanced notion — DSE may fire across a release, Ex 3.5). *)
+let validate ?(values = Domain.default_values) ?(fast_path = true) ?passes
+    ~(src : Stmt.t) ~(tgt : Stmt.t) () : verdict =
   let d = Domain.of_stmts ~values [ src; tgt ] in
-  let valid = Seq_model.Advanced.check d ~src ~tgt in
+  let cert =
+    if fast_path then Certify.attempt ?passes ~src ~tgt () else None
+  in
+  let valid, proof =
+    match cert with
+    | Some c -> (true, Static c)
+    | None -> (Seq_model.Advanced.check d ~src ~tgt, Enumerated)
+  in
   let simple = valid && Seq_model.Refine.check d ~src ~tgt in
-  { valid; simple; domain = d }
+  { valid; simple; domain = d; proof }
 
 (** Optimize and validate; raises [Invalid_argument] if the optimizer
     produced an output that SEQ refuses — which would be an optimizer
     bug. *)
-let certified_optimize ?passes ?values (s : Stmt.t) : Driver.report * verdict =
+let certified_optimize ?passes ?values ?fast_path (s : Stmt.t) :
+    Driver.report * verdict =
   let report = Driver.optimize ?passes s in
-  let v = validate ?values ~src:report.Driver.input ~tgt:report.Driver.output () in
+  let v =
+    validate ?values ?fast_path ?passes ~src:report.Driver.input
+      ~tgt:report.Driver.output ()
+  in
   (report, v)

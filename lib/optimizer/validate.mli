@@ -4,25 +4,52 @@
     simulation in SEQ), this reproduction certifies each run: the output
     must weakly behaviorally refine the input in SEQ over the finite
     domain (Def 3.3); by adequacy (Thm 6.2) this entails contextual
-    refinement in PS_na. *)
+    refinement in PS_na.
+
+    Validation has two routes to the same answer: a static fast path that
+    certifies the refinement by replaying the certified pass pipeline
+    ({!Certify}), and the exhaustive Fig 6 simulation.  The verdict's
+    [proof] field records which route fired; the [valid]/[simple] fields
+    are route-independent (cross-checked by the qcheck suite). *)
 
 open Lang
+
+(** How [valid] was established: [Static cert] — the pass-replay
+    certificate proved it with no enumeration; [Enumerated] — the Fig 6
+    simulation ran.  The certificate cites the pass names and rewrite
+    sites involved, in the same {!Analysis.Path} coordinates the linter
+    uses. *)
+type proof = Static of Certify.cert | Enumerated
+
+(** Collapse a proof to the engine's provenance label. *)
+val provenance : proof -> Engine.Verdict.provenance
 
 type verdict = {
   valid : bool;  (** advanced refinement (Def 3.3) holds *)
   simple : bool;  (** the stronger §2 notion (Def 2.4) also holds *)
   domain : Domain.t;  (** the finite domain the check ranged over *)
+  proof : proof;  (** how [valid] was established *)
 }
 
 exception Mixed_access of Loc.t
 
-(** Validate a transformation in SEQ. *)
+(** Validate a transformation in SEQ.  [fast_path] (default [true])
+    allows the static certificate to discharge the advanced check;
+    [passes] is the pipeline the certifier replays (default
+    {!Driver.all_passes}).  [simple] always comes from enumeration. *)
 val validate :
-  ?values:Value.t list -> src:Stmt.t -> tgt:Stmt.t -> unit -> verdict
+  ?values:Value.t list ->
+  ?fast_path:bool ->
+  ?passes:Driver.pass list ->
+  src:Stmt.t ->
+  tgt:Stmt.t ->
+  unit ->
+  verdict
 
 (** Optimize and validate the result. *)
 val certified_optimize :
   ?passes:Driver.pass list ->
   ?values:Value.t list ->
+  ?fast_path:bool ->
   Stmt.t ->
   Driver.report * verdict

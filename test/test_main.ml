@@ -15,4 +15,5 @@ let () =
       ("adequacy", Test_adequacy.suite);
       ("golden", Test_golden.suite);
       ("properties", Test_properties.suite);
+      ("analysis", Test_analysis.suite);
     ]

@@ -113,7 +113,7 @@ let suite =
         in
         List.iter
           (fun src ->
-            let _, _, iters = Optimizer.Slf.run (parse src) in
+            let _, _, iters, _ = Optimizer.Slf.run (parse src) in
             if iters > 3 then
               Alcotest.failf "fixpoint took %d iterations on %s" iters src)
           progs);
