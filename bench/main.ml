@@ -22,16 +22,51 @@
     [--inject-seed S]) drills the supervisor by making N tasks per table
     raise.  Under any of these the swept tables go through the supervised
     sweep: failed rows print as UNKNOWN(reason), nothing ever escapes.
-    Exit 0: clean (or [--keep-going]); 3: mismatch/violation; 4: some rows
-    UNKNOWN. *)
+
+    [--service] appends E10: an in-process seqd (lib/service) is started
+    on a temp socket with a fresh on-disk cache, the transformation corpus
+    is streamed through it three times — cold, warm (same server), and
+    again after a server restart — and the table reports throughput and
+    the serving-tier split per pass.  The warm pass must answer entirely
+    from cache (zero computed checks) or the run counts a mismatch.
+
+    [--json PATH] additionally writes every table (rows and wall-clock
+    timings) as one JSON document; the schema is documented in
+    docs/ENGINE.md.  Out-of-range flags exit 2 with a one-line message
+    (README exit-code table).  Exit 0: clean (or [--keep-going]);
+    3: mismatch/violation; 4: some rows UNKNOWN. *)
 
 open Lang
 module C = Litmus.Catalog
 module M = Promising.Machine
 module Matrix = Litmus.Matrix
 
+module J = Service.Json
+
 let header title =
   Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* Machine-readable record of the run (--json PATH): every table appends
+   one object here; the schema is documented in docs/ENGINE.md. *)
+let json_tables : J.t list ref = ref []
+
+let add_table ?ms id title rows =
+  let obj =
+    [ ("id", J.String id); ("title", J.String title) ]
+    @ (match ms with Some ms -> [ ("ms", J.Float ms) ] | None -> [])
+    @ [ ("rows", J.List rows) ]
+  in
+  json_tables := J.Obj obj :: !json_tables
+
+(* A supervised sweep row as JSON: the [Ok] payload via [row], an
+   [Error] as its normalized reason. *)
+let jrow_outcome ~name ~row (o : _ Engine.Sweep.outcome) =
+  match o.Engine.Sweep.result with
+  | Ok r -> J.Obj (("name", J.String name) :: row r)
+  | Error reason ->
+    J.Obj
+      [ ("name", J.String name);
+        ("unknown", J.String (Engine.Verdict.reason_to_string reason)) ]
 
 (* Wall-clock line for a swept table: timing only, everything above it is
    deterministic. *)
@@ -73,7 +108,18 @@ let count_outcomes ~ok rows =
 (* ------------------------------------------------------------------ *)
 
 let transformation_matrix ~pool ~robust () =
-  header "E1/E2 — Transformation soundness matrix (SEQ, Def 2.4 and Def 3.3)";
+  let title =
+    "E1/E2 — Transformation soundness matrix (SEQ, Def 2.4 and Def 3.3)"
+  in
+  header title;
+  let jrow (r : Matrix.e12_row) =
+    [ ("expected_simple", J.String (C.verdict_to_string r.tr.C.simple));
+      ("expected_advanced", J.String (C.verdict_to_string r.tr.C.advanced));
+      ("got_simple", J.String (C.verdict_to_string r.simple_got));
+      ("got_advanced", J.String (C.verdict_to_string r.advanced_got));
+      ("pairs", J.Int r.pairs);
+      ("ok", J.Bool (Matrix.e12_ok r)) ]
+  in
   let ms =
     if supervised robust then begin
       let faults = faults_for robust ~tasks:(List.length C.transformations) in
@@ -84,11 +130,21 @@ let transformation_matrix ~pool ~robust () =
       in
       Fmt.pr "%s" (Matrix.render_e12_v ~stats:true rows);
       count_outcomes ~ok:Matrix.e12_ok rows;
+      add_table ~ms "E1/E2" title
+        (List.map
+           (fun ((t : C.transformation), o) ->
+             jrow_outcome ~name:t.C.name ~row:jrow o)
+           rows);
       ms
     end
     else begin
       let rows, ms = Engine.Stats.timed (fun () -> Matrix.e12_rows ~pool ()) in
       Fmt.pr "%s" (Matrix.render_e12 ~stats:true rows);
+      add_table ~ms "E1/E2" title
+        (List.map
+           (fun (r : Matrix.e12_row) ->
+             J.Obj (("name", J.String r.tr.C.name) :: jrow r))
+           rows);
       ms
     end
   in
@@ -99,7 +155,11 @@ let transformation_matrix ~pool ~robust () =
 (* ------------------------------------------------------------------ *)
 
 let optimizer_table () =
-  header "E3 — Certified optimizer (§4): passes, fixpoint iterations, validation";
+  let title =
+    "E3 — Certified optimizer (§4): passes, fixpoint iterations, validation"
+  in
+  header title;
+  let jrows = ref [] in
   let programs =
     [
       ("Fig4",
@@ -120,6 +180,8 @@ let optimizer_table () =
   Fmt.pr "%-12s %-6s %-6s %-6s %-6s %-10s %-10s %s@." "program" "slf" "llf"
     "dse" "licm" "iters<=3" "size" "validated";
   let fp = ref Engine.Stats.fastpath_zero in
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
   List.iter
     (fun (name, src) ->
       let prog = Parser.stmt_of_string src in
@@ -139,6 +201,40 @@ let optimizer_table () =
             max acc r.Optimizer.Driver.loop_iters)
           1 report.Optimizer.Driver.passes
       in
+      let route =
+        match v.Optimizer.Validate.proof with
+        | Optimizer.Validate.Static _ ->
+          fp :=
+            Engine.Stats.add_fastpath !fp
+              { Engine.Stats.static_hits = 1; enumerated = 0 };
+          "static"
+        | Optimizer.Validate.Enumerated ->
+          fp :=
+            Engine.Stats.add_fastpath !fp
+              { Engine.Stats.static_hits = 0; enumerated = 1 };
+          "enum"
+      in
+      let validated =
+        if v.Optimizer.Validate.valid then
+          if v.Optimizer.Validate.simple then
+            Printf.sprintf "ok (simple, %s)" route
+          else Printf.sprintf "ok (advanced, %s)" route
+        else "INVALID"
+      in
+      jrows :=
+        J.Obj
+          [ ("name", J.String name);
+            ("slf", J.Int (rewrites Optimizer.Driver.SLF));
+            ("llf", J.Int (rewrites Optimizer.Driver.LLF));
+            ("dse", J.Int (rewrites Optimizer.Driver.DSE));
+            ("licm", J.Int (rewrites Optimizer.Driver.LICM));
+            ("iters", J.Int max_iters);
+            ("size_before", J.Int report.Optimizer.Driver.size_before);
+            ("size_after", J.Int report.Optimizer.Driver.size_after);
+            ("valid", J.Bool v.Optimizer.Validate.valid);
+            ("simple", J.Bool v.Optimizer.Validate.simple);
+            ("route", J.String route) ]
+        :: !jrows;
       Fmt.pr "%-12s %-6d %-6d %-6d %-6d %-10s %-10s %s@." name
         (rewrites Optimizer.Driver.SLF)
         (rewrites Optimizer.Driver.LLF)
@@ -147,25 +243,10 @@ let optimizer_table () =
         (Printf.sprintf "%d %s" max_iters (if max_iters <= 3 then "ok" else "BAD"))
         (Printf.sprintf "%d->%d" report.Optimizer.Driver.size_before
            report.Optimizer.Driver.size_after)
-        (let route =
-           match v.Optimizer.Validate.proof with
-           | Optimizer.Validate.Static _ ->
-             fp :=
-               Engine.Stats.add_fastpath !fp
-                 { Engine.Stats.static_hits = 1; enumerated = 0 };
-             "static"
-           | Optimizer.Validate.Enumerated ->
-             fp :=
-               Engine.Stats.add_fastpath !fp
-                 { Engine.Stats.static_hits = 0; enumerated = 1 };
-             "enum"
-         in
-         if v.Optimizer.Validate.valid then
-           if v.Optimizer.Validate.simple then
-             Printf.sprintf "ok (simple, %s)" route
-           else Printf.sprintf "ok (advanced, %s)" route
-         else "INVALID"))
-    programs;
+        validated)
+    programs
+  in
+  add_table ~ms:table_ms "E3" title (List.rev !jrows);
   Fmt.pr "-- fast path: %a@." Engine.Stats.pp_fastpath !fp
 
 (* ------------------------------------------------------------------ *)
@@ -173,7 +254,14 @@ let optimizer_table () =
 (* ------------------------------------------------------------------ *)
 
 let litmus_table ~pool ~robust () =
-  header "E4 — PS_na behaviors of the paper's concurrent programs (Fig 5)";
+  let title = "E4 — PS_na behaviors of the paper's concurrent programs (Fig 5)" in
+  header title;
+  let jrow (r : Matrix.e4_row) =
+    [ ("states", J.Int r.states);
+      ("races", J.Bool r.races);
+      ("truncated", J.Bool r.truncated);
+      ("behaviors", J.String r.behaviors) ]
+  in
   let ms =
     if supervised robust then begin
       let faults =
@@ -186,11 +274,21 @@ let litmus_table ~pool ~robust () =
       in
       Fmt.pr "%s" (Matrix.render_e4_v ~stats:true rows);
       count_outcomes ~ok:(fun (_ : Matrix.e4_row) -> true) rows;
+      add_table ~ms "E4" title
+        (List.map
+           (fun ((c : C.concurrent), o) ->
+             jrow_outcome ~name:c.C.cname ~row:jrow o)
+           rows);
       ms
     end
     else begin
       let rows, ms = Engine.Stats.timed (fun () -> Matrix.e4_rows ~pool ()) in
       Fmt.pr "%s" (Matrix.render_e4 ~stats:true rows);
+      add_table ~ms "E4" title
+        (List.map
+           (fun (r : Matrix.e4_row) ->
+             J.Obj (("name", J.String r.c.C.cname) :: jrow r))
+           rows);
       ms
     end
   in
@@ -201,9 +299,27 @@ let litmus_table ~pool ~robust () =
 (* ------------------------------------------------------------------ *)
 
 let adequacy_table ~pool ~full ~robust () =
-  header
-    (if full then "E5 — Adequacy (Thm 6.2): full corpus × context matrix"
-     else "E5 — Adequacy (Thm 6.2): corpus slice (use --full for the matrix)");
+  let title =
+    if full then "E5 — Adequacy (Thm 6.2): full corpus × context matrix"
+    else "E5 — Adequacy (Thm 6.2): corpus slice (use --full for the matrix)"
+  in
+  header title;
+  let jrow (r : Litmus.Adequacy.row) =
+    [ ("seq_simple", J.Bool r.seq_simple);
+      ("seq_advanced", J.Bool r.seq_advanced);
+      ("pairs", J.Int r.seq_pairs);
+      ("states", J.Int r.states);
+      ("ok", J.Bool (Litmus.Adequacy.row_ok r));
+      ( "contexts",
+        J.List
+          (List.map
+             (fun (cname, refines, complete) ->
+               J.Obj
+                 [ ("name", J.String cname);
+                   ("refines", J.Bool refines);
+                   ("complete", J.Bool complete) ])
+             r.contexts) ) ]
+  in
   let corpus =
     if full then C.transformations
     else List.filteri (fun i _ -> i mod 4 = 0) C.transformations
@@ -221,6 +337,11 @@ let adequacy_table ~pool ~full ~robust () =
       in
       Fmt.pr "%s" (Matrix.render_e5_v ~stats:true rows);
       count_outcomes ~ok:Litmus.Adequacy.row_ok rows;
+      add_table ~ms "E5" title
+        (List.map
+           (fun ((t : C.transformation), o) ->
+             jrow_outcome ~name:t.C.name ~row:jrow o)
+           rows);
       ms
     end
     else begin
@@ -229,6 +350,11 @@ let adequacy_table ~pool ~full ~robust () =
             Litmus.Adequacy.run ~pool ~contexts ~corpus ())
       in
       Fmt.pr "%s" (Matrix.render_e5 ~stats:true rows);
+      add_table ~ms "E5" title
+        (List.map
+           (fun (r : Litmus.Adequacy.row) ->
+             J.Obj (("name", J.String r.tr.C.name) :: jrow r))
+           rows);
       ms
     end
   in
@@ -239,7 +365,9 @@ let adequacy_table ~pool ~full ~robust () =
 (* ------------------------------------------------------------------ *)
 
 let catchfire_table () =
-  header "E6 — Load introduction: PS_na vs the catch-fire baseline (§1)";
+  let title = "E6 — Load introduction: PS_na vs the catch-fire baseline (§1)" in
+  header title;
+  let jrows = ref [] in
   let cases =
     [
       ("load-intro", "return 0", "a = X.load(na); return 0",
@@ -253,29 +381,41 @@ let catchfire_table () =
     ]
   in
   Fmt.pr "%-16s %-12s %-12s@." "transformation" "PS_na" "catch-fire";
-  List.iter
-    (fun (name, src, tgt, ctx) ->
-      let th s = Parser.threads_of_string (s ^ " ||| " ^ ctx) in
-      let ps_ok =
-        let rs = M.explore (th src) and rt = M.explore (th tgt) in
-        M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors
-      in
-      let cf_ok =
-        let rs = Baselines.Catchfire.explore (th src) in
-        let rt = Baselines.Catchfire.explore (th tgt) in
-        Baselines.Catchfire.refines ~src:rs ~tgt:rt
-      in
-      Fmt.pr "%-16s %-12s %-12s@." name
-        (if ps_ok then "sound" else "unsound")
-        (if cf_ok then "sound" else "unsound"))
-    cases
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
+    List.iter
+      (fun (name, src, tgt, ctx) ->
+        let th s = Parser.threads_of_string (s ^ " ||| " ^ ctx) in
+        let ps_ok =
+          let rs = M.explore (th src) and rt = M.explore (th tgt) in
+          M.refines ~src:rs.M.behaviors ~tgt:rt.M.behaviors
+        in
+        let cf_ok =
+          let rs = Baselines.Catchfire.explore (th src) in
+          let rt = Baselines.Catchfire.explore (th tgt) in
+          Baselines.Catchfire.refines ~src:rs ~tgt:rt
+        in
+        jrows :=
+          J.Obj
+            [ ("name", J.String name);
+              ("ps_na_sound", J.Bool ps_ok);
+              ("catchfire_sound", J.Bool cf_ok) ]
+          :: !jrows;
+        Fmt.pr "%-16s %-12s %-12s@." name
+          (if ps_ok then "sound" else "unsound")
+          (if cf_ok then "sound" else "unsound"))
+      cases
+  in
+  add_table ~ms:table_ms "E6" title (List.rev !jrows)
 
 (* ------------------------------------------------------------------ *)
 (* E7: DRF guarantees                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let drf_table () =
-  header "E7 — DRF guarantees (§5 Results, ported from [8])";
+  let title = "E7 — DRF guarantees (§5 Results, ported from [8])" in
+  header title;
+  let jrows = ref [] in
   let cases =
     [
       ("MP-rel-acq",
@@ -296,45 +436,70 @@ let drf_table () =
   in
   Fmt.pr "%-12s %-11s %-11s %-13s %-11s@." "program" "PF-racefree" "DRF-PF"
     "LOCK-racefree" "DRF-LOCK";
-  List.iter
-    (fun (name, text, budget) ->
-      let params =
-        { Promising.Thread.default_params with promise_budget = budget }
-      in
-      let lock_locs =
-        if name = "lock" then Loc.Set.singleton (Loc.make "L")
-        else Loc.Set.empty
-      in
-      let r =
-        Baselines.Drf.check ~params ~lock_locs (Parser.threads_of_string text)
-      in
-      let show premise conclusion =
-        if premise then if conclusion then "holds" else "FAILS" else "vacuous"
-      in
-      Fmt.pr "%-12s %-11b %-11s %-13b %-11s@." name r.Baselines.Drf.pf_race_free
-        (show r.Baselines.Drf.pf_race_free r.Baselines.Drf.drf_pf_holds)
-        r.Baselines.Drf.lock_race_free
-        (show r.Baselines.Drf.lock_race_free r.Baselines.Drf.drf_lock_holds))
-    cases
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
+    List.iter
+      (fun (name, text, budget) ->
+        let params =
+          { Promising.Thread.default_params with promise_budget = budget }
+        in
+        let lock_locs =
+          if name = "lock" then Loc.Set.singleton (Loc.make "L")
+          else Loc.Set.empty
+        in
+        let r =
+          Baselines.Drf.check ~params ~lock_locs (Parser.threads_of_string text)
+        in
+        let show premise conclusion =
+          if premise then if conclusion then "holds" else "FAILS" else "vacuous"
+        in
+        jrows :=
+          J.Obj
+            [ ("name", J.String name);
+              ("pf_race_free", J.Bool r.Baselines.Drf.pf_race_free);
+              ("drf_pf", J.String
+                 (show r.Baselines.Drf.pf_race_free
+                    r.Baselines.Drf.drf_pf_holds));
+              ("lock_race_free", J.Bool r.Baselines.Drf.lock_race_free);
+              ("drf_lock", J.String
+                 (show r.Baselines.Drf.lock_race_free
+                    r.Baselines.Drf.drf_lock_holds)) ]
+          :: !jrows;
+        Fmt.pr "%-12s %-11b %-11s %-13b %-11s@." name
+          r.Baselines.Drf.pf_race_free
+          (show r.Baselines.Drf.pf_race_free r.Baselines.Drf.drf_pf_holds)
+          r.Baselines.Drf.lock_race_free
+          (show r.Baselines.Drf.lock_race_free r.Baselines.Drf.drf_lock_holds))
+      cases
+  in
+  add_table ~ms:table_ms "E7" title (List.rev !jrows)
 
 (* ------------------------------------------------------------------ *)
 (* E8: determinism premise / Remark 3 / App C                           *)
 (* ------------------------------------------------------------------ *)
 
 let determinism_table () =
-  header "E8 — Remark 3 / App C: internal choice vs release writes";
+  let title = "E8 — Remark 3 / App C: internal choice vs release writes" in
+  header title;
+  let jrows = ref [] in
   let check name src tgt =
     let src = Parser.stmt_of_string src and tgt = Parser.stmt_of_string tgt in
     let d = Domain.of_stmts ~values [ src; tgt ] in
     let adv = Seq_model.Advanced.check d ~src ~tgt in
+    jrows :=
+      J.Obj [ ("name", J.String name); ("accepted", J.Bool adv) ] :: !jrows;
     Fmt.pr "%-44s %s@." name (if adv then "accepted" else "refuted")
   in
-  check "choose ; rel-write  ~>  rel-write ; choose"
-    "a = choose(); Y.store(rel, 1); return a"
-    "Y.store(rel, 1); a = choose(); return a";
-  check "choose ; na-write  ~>  na-write ; choose"
-    "a = choose(); X.store(na, 1); return a"
-    "X.store(na, 1); a = choose(); return a";
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
+    check "choose ; rel-write  ~>  rel-write ; choose"
+      "a = choose(); Y.store(rel, 1); return a"
+      "Y.store(rel, 1); a = choose(); return a";
+    check "choose ; na-write  ~>  na-write ; choose"
+      "a = choose(); X.store(na, 1); return a"
+      "X.store(na, 1); a = choose(); return a"
+  in
+  add_table ~ms:table_ms "E8" title (List.rev !jrows);
   Fmt.pr "(SEQ records choose(_) labels precisely so the first reordering is@.";
   Fmt.pr " refuted — PS forbids it, App C — while the second stays allowed.)@."
 
@@ -343,47 +508,152 @@ let determinism_table () =
 (* ------------------------------------------------------------------ *)
 
 let fastpath_table () =
-  header
+  let title =
     "E9 — Static fast-path validation: pipeline-replay certificates vs \
-     enumeration";
+     enumeration"
+  in
+  header title;
   (* The fast path may only ever certify pairs whose advanced refinement
      holds; the catalog's expected verdicts are the (already enumerated)
      ground truth, so no re-enumeration is needed to audit agreement. *)
   let fp = ref Engine.Stats.fastpath_zero in
+  let jrows = ref [] in
   Fmt.pr "%-22s %-10s %-10s %s@." "transformation" "expected" "route" "agree";
-  List.iter
-    (fun (t : C.transformation) ->
-      let src = Parser.stmt_of_string t.C.src in
-      let tgt = Parser.stmt_of_string t.C.tgt in
-      let cert = Optimizer.Certify.attempt ~src ~tgt () in
-      let route, agree =
-        match cert with
-        | Some c ->
-          fp :=
-            Engine.Stats.add_fastpath !fp
-              { Engine.Stats.static_hits = 1; enumerated = 0 };
-          let sound = t.C.advanced = C.Sound in
-          let honest = Optimizer.Certify.replay c ~src ~tgt in
-          ( Printf.sprintf "static/%d" (List.length c.Optimizer.Certify.stages),
-            if sound && honest then "ok"
-            else begin
-              incr mismatches;
-              "MISMATCH"
-            end )
-        | None ->
-          fp :=
-            Engine.Stats.add_fastpath !fp
-              { Engine.Stats.static_hits = 0; enumerated = 1 };
-          ("enum", "-")
-      in
-      Fmt.pr "%-22s %-10s %-10s %s@." t.C.name
-        (C.verdict_to_string t.C.advanced)
-        route agree)
-    C.transformations;
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
+    List.iter
+      (fun (t : C.transformation) ->
+        let src = Parser.stmt_of_string t.C.src in
+        let tgt = Parser.stmt_of_string t.C.tgt in
+        let cert = Optimizer.Certify.attempt ~src ~tgt () in
+        let route, agree =
+          match cert with
+          | Some c ->
+            fp :=
+              Engine.Stats.add_fastpath !fp
+                { Engine.Stats.static_hits = 1; enumerated = 0 };
+            let sound = t.C.advanced = C.Sound in
+            let honest = Optimizer.Certify.replay c ~src ~tgt in
+            ( Printf.sprintf "static/%d" (List.length c.Optimizer.Certify.stages),
+              if sound && honest then "ok"
+              else begin
+                incr mismatches;
+                "MISMATCH"
+              end )
+          | None ->
+            fp :=
+              Engine.Stats.add_fastpath !fp
+                { Engine.Stats.static_hits = 0; enumerated = 1 };
+            ("enum", "-")
+        in
+        jrows :=
+          J.Obj
+            [ ("name", J.String t.C.name);
+              ("expected", J.String (C.verdict_to_string t.C.advanced));
+              ("route", J.String route);
+              ("agree", J.String agree) ]
+          :: !jrows;
+        Fmt.pr "%-22s %-10s %-10s %s@." t.C.name
+          (C.verdict_to_string t.C.advanced)
+          route agree)
+      C.transformations
+  in
+  add_table ~ms:table_ms "E9" title (List.rev !jrows);
   Fmt.pr "-- fast path: %a@." Engine.Stats.pp_fastpath !fp;
   if (!fp).Engine.Stats.static_hits = 0 then begin
     incr mismatches;
     Fmt.pr "-- ERROR: expected a nonzero static hit rate@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E10: the seqd service — cold vs warm corpus throughput, hit rate     *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let service_table ~jobs ~robust () =
+  let title =
+    "E10 — seqd service: corpus throughput per cache tier (cold/warm/restart)"
+  in
+  header title;
+  let dir = temp_dir "seq-bench-e10" in
+  let config =
+    {
+      Service.Server.socket_path = Filename.concat dir "seqd.sock";
+      cache_dir = Some (Filename.concat dir "cache");
+      mem_capacity = 4096;
+      jobs;
+      default_budget = robust.spec;
+    }
+  in
+  let checks =
+    List.map
+      (fun (t : C.transformation) ->
+        { Service.Proto.src = t.C.src; tgt = t.C.tgt; values = [];
+          fast_path = true })
+      C.transformations
+  in
+  let n = List.length checks in
+  let pass label =
+    let results, ms =
+      Engine.Stats.timed (fun () ->
+          Service.Client.with_connection config.Service.Server.socket_path
+            (fun c -> Service.Client.batch c checks))
+    in
+    let tier t =
+      List.length
+        (List.filter
+           (fun (r : Service.Proto.check_result) -> r.Service.Proto.tier = t)
+           results)
+    in
+    let computed = tier Service.Proto.Computed in
+    let mem = tier Service.Proto.Mem in
+    let disk = tier Service.Proto.Disk in
+    let hit_rate = float_of_int (mem + disk) /. float_of_int n in
+    let req_s = if ms > 0. then float_of_int n /. (ms /. 1000.) else 0. in
+    Fmt.pr "%-14s %8.1f ms %10.0f req/s   computed=%-3d mem=%-3d disk=%-3d \
+            hit-rate=%.2f@."
+      label ms req_s computed mem disk hit_rate;
+    (label, ms, req_s, computed, mem, disk, hit_rate)
+  in
+  Fmt.pr "%-14s %11s %16s   %s@." "pass" "wall" "throughput"
+    "serving tiers";
+  let handle = Service.Server.spawn config in
+  let cold = pass "cold" in
+  let warm = pass "warm" in
+  Service.Server.stop handle;
+  (* a fresh server on the same store: everything should come from disk *)
+  let handle = Service.Server.spawn config in
+  let disk_pass = pass "restart" in
+  Service.Server.stop handle;
+  let jrow (label, ms, req_s, computed, mem, disk, hit_rate) =
+    J.Obj
+      [ ("pass", J.String label);
+        ("ms", J.Float ms);
+        ("req_per_s", J.Float req_s);
+        ("computed", J.Int computed);
+        ("mem", J.Int mem);
+        ("disk", J.Int disk);
+        ("hit_rate", J.Float hit_rate) ]
+  in
+  add_table "E10" title (List.map jrow [ cold; warm; disk_pass ]);
+  let check_full_hits label (_, _, _, computed, _, _, _) =
+    if computed > 0 then begin
+      incr mismatches;
+      Fmt.pr "-- ERROR: %s pass recomputed %d checks (expected pure cache \
+              hits)@."
+        label computed
+    end
+  in
+  (* under a finite budget some verdicts may be Unknown, which are never
+     cached — only audit full-hit passes when every answer is cacheable *)
+  if Engine.Budget.spec_is_unlimited robust.spec then begin
+    check_full_hits "warm" warm;
+    check_full_hits "restart" disk_pass
   end
 
 (* ------------------------------------------------------------------ *)
@@ -393,7 +663,8 @@ let fastpath_table () =
 (* ------------------------------------------------------------------ *)
 
 let bechamel_benches () =
-  header "P1–P5 — Throughput (bechamel, monotonic clock)";
+  let title = "P1–P5 — Throughput (bechamel, monotonic clock)" in
+  header title;
   let open Bechamel in
   let open Toolkit in
   let parse = Parser.stmt_of_string in
@@ -454,12 +725,20 @@ let bechamel_benches () =
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let jrows = ref [] in
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Fmt.pr "%-50s %14.0f ns/run@." name est
-      | Some _ | None -> Fmt.pr "%-50s (no estimate)@." name)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+      | Some [ est ] ->
+        jrows :=
+          J.Obj [ ("name", J.String name); ("ns_per_run", J.Float est) ]
+          :: !jrows;
+        Fmt.pr "%-50s %14.0f ns/run@." name est
+      | Some _ | None ->
+        jrows := J.Obj [ ("name", J.String name) ] :: !jrows;
+        Fmt.pr "%-50s (no estimate)@." name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  add_table "P1-P5" title (List.rev !jrows)
 
 (* ------------------------------------------------------------------ *)
 
@@ -468,40 +747,90 @@ let rec parse_opt name = function
   | flag :: v :: _ when flag = name -> Some v
   | _ :: rest -> parse_opt name rest
 
-let parse_int name args = Option.bind (parse_opt name args) int_of_string_opt
+(* A flag that is present but does not parse as its type is a usage
+   error, like an out-of-range value (README exit-code table). *)
+let usage_error msg =
+  Fmt.epr "bench: %s@." msg;
+  exit Engine.Cliopts.usage_exit
+
+let parse_int name args =
+  match parse_opt name args with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some v -> Some v
+     | None ->
+       usage_error (Printf.sprintf "flag %s: not an integer (got %S)" name s))
+
 let parse_float name args =
-  Option.bind (parse_opt name args) float_of_string_opt
+  match parse_opt name args with
+  | None -> None
+  | Some s ->
+    (match float_of_string_opt s with
+     | Some v -> Some v
+     | None ->
+       usage_error (Printf.sprintf "flag %s: not a number (got %S)" name s))
 
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let keep_going = List.mem "--keep-going" args in
+  let service = List.mem "--service" args in
+  let json_path = parse_opt "--json" args in
   let jobs = Option.value (parse_int "--jobs" args) ~default:1 in
+  let timeout_ms = parse_float "--timeout-ms" args in
+  let max_states = parse_int "--max-states" args in
+  let retries = Option.value (parse_int "--retries" args) ~default:0 in
+  let inject_faults =
+    Option.value (parse_int "--inject-faults" args) ~default:0
+  in
+  (match
+     Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
+       ~max_states ()
+   with
+   | Error msg -> usage_error msg
+   | Ok () -> ());
   let robust =
     {
-      spec =
-        Engine.Budget.spec
-          ?timeout_ms:(parse_float "--timeout-ms" args)
-          ?max_states:(parse_int "--max-states" args)
-          ();
-      retries = Option.value (parse_int "--retries" args) ~default:0;
-      inject_faults =
-        Option.value (parse_int "--inject-faults" args) ~default:0;
+      spec = Engine.Budget.spec ?timeout_ms ?max_states ();
+      retries;
+      inject_faults;
       inject_seed = Option.value (parse_int "--inject-seed" args) ~default:0;
     }
   in
-  let pool = Engine.Pool.create ~jobs () in
-  transformation_matrix ~pool ~robust ();
-  optimizer_table ();
-  litmus_table ~pool ~robust ();
-  adequacy_table ~pool ~full ~robust ();
-  catchfire_table ();
-  drf_table ();
-  determinism_table ();
-  fastpath_table ();
-  Engine.Pool.shutdown pool;
-  if not no_bechamel then bechamel_benches ();
+  let (), total_ms =
+    Engine.Stats.timed @@ fun () ->
+    let pool = Engine.Pool.create ~jobs () in
+    transformation_matrix ~pool ~robust ();
+    optimizer_table ();
+    litmus_table ~pool ~robust ();
+    adequacy_table ~pool ~full ~robust ();
+    catchfire_table ();
+    drf_table ();
+    determinism_table ();
+    fastpath_table ();
+    Engine.Pool.shutdown pool;
+    if service then service_table ~jobs ~robust ();
+    if not no_bechamel then bechamel_benches ()
+  in
+  (match json_path with
+   | None -> ()
+   | Some path ->
+     let doc =
+       J.Obj
+         [ ("schema", J.String "seq-bench/1");
+           ("jobs", J.Int jobs);
+           ("full", J.Bool full);
+           ("total_ms", J.Float total_ms);
+           ("tables", J.List (List.rev !json_tables));
+           ( "summary",
+             J.Obj
+               [ ("mismatches", J.Int !mismatches);
+                 ("unknowns", J.Int !unknowns) ] ) ]
+     in
+     Out_channel.with_open_text path (fun oc -> J.to_channel oc doc);
+     Fmt.pr "-- json record written to %s@." path);
   Fmt.pr "@.done.@.";
   if !mismatches > 0 then exit 3
   else if !unknowns > 0 && not keep_going then exit 4

@@ -59,6 +59,14 @@ let run_all params jobs spec retries faults keep_going =
 
 let run input promises batch max_states compare_baselines named all jobs
     timeout_ms keep_going retries inject_faults inject_seed =
+  match
+    Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
+      ~max_states:(Some max_states) ()
+  with
+  | Error msg ->
+    Fmt.epr "litmus_run: %s@." msg;
+    Engine.Cliopts.usage_exit
+  | Ok () ->
   try
     let params =
       {

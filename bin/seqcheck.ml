@@ -20,7 +20,13 @@
     whose mode class differs only between SRC and TGT is accepted with a
     note — the refinement check itself refutes such pairs (the target
     emits labels the source cannot).  [--lint] additionally prints
-    the full static race/UB diagnostics for both programs (see seqlint). *)
+    the full static race/UB diagnostics for both programs (see seqlint).
+
+    [--server ADDR] turns seqcheck into a thin client of a running seqd:
+    single checks are sent as one request, [--corpus] as one parallel
+    batch over one connection, and each answer reports its serving tier
+    ([computed]/[mem]/[disk]) next to the proof provenance.  Exit codes
+    are unchanged; out-of-range flags exit 2 (see README). *)
 
 open Cmdliner
 open Lang
@@ -29,6 +35,99 @@ let read path = In_channel.with_open_text path In_channel.input_all
 
 let budget_spec timeout_ms max_states =
   Engine.Budget.spec ?timeout_ms ?max_states ()
+
+(* ---------------- client mode (--server ADDR) ---------------- *)
+
+let exit_of_verdict ~keep_going : Service.Proto.verdict -> int = function
+  | Refines_simple | Refines_advanced -> 0
+  | Refuted -> 3
+  | Unknown _ -> if keep_going then 0 else 4
+
+(* Expected protocol verdict of a corpus row: [Refines_simple] when both
+   notions hold, [Refines_advanced] when only Def 3.3 does, [Refuted]
+   otherwise ((Sound, Unsound) cannot occur — simple implies advanced). *)
+let expected_verdict (t : Litmus.Catalog.transformation) :
+    Service.Proto.verdict =
+  match t.simple, t.advanced with
+  | Sound, _ -> Refines_simple
+  | Unsound, Sound -> Refines_advanced
+  | Unsound, Unsound -> Refuted
+
+let corpus_summary (results : Service.Proto.check_result list) =
+  let count p = List.length (List.filter p results) in
+  let computed =
+    count (fun r -> r.Service.Proto.tier = Service.Proto.Computed)
+  in
+  let of_origin o (r : Service.Proto.check_result) =
+    r.tier = Service.Proto.Computed && r.origin = Some o
+  in
+  Fmt.pr
+    "-- cache: computed=%d (static=%d, enumerated=%d) mem=%d disk=%d \
+     unknown=%d@."
+    computed
+    (count (of_origin Service.Proto.Static))
+    (count (of_origin Service.Proto.Enumerated))
+    (count (fun r -> r.Service.Proto.tier = Service.Proto.Mem))
+    (count (fun r -> r.Service.Proto.tier = Service.Proto.Disk))
+    (count (fun r ->
+         match r.Service.Proto.verdict with
+         | Service.Proto.Unknown _ -> true
+         | _ -> false))
+
+let run_client addr src_path tgt_path values corpus timeout_ms max_states
+    keep_going =
+  let budget = { Service.Proto.timeout_ms; max_states } in
+  Service.Client.with_connection addr (fun c ->
+      if corpus then begin
+        let entries = Litmus.Catalog.transformations in
+        let checks =
+          List.map
+            (fun (t : Litmus.Catalog.transformation) ->
+              { Service.Proto.src = t.src; tgt = t.tgt; values;
+                fast_path = true })
+            entries
+        in
+        (* one connection, one batch: the server sweeps it in parallel *)
+        let results, ms =
+          Engine.Stats.timed (fun () -> Service.Client.batch ~budget c checks)
+        in
+        let rows = List.combine entries results in
+        let mismatches = ref 0 and unknowns = ref 0 in
+        List.iter
+          (fun ((t : Litmus.Catalog.transformation),
+                (r : Service.Proto.check_result)) ->
+            let status =
+              match r.verdict with
+              | Service.Proto.Unknown _ ->
+                incr unknowns;
+                "unknown"
+              | v when v = expected_verdict t -> "ok"
+              | _ ->
+                incr mismatches;
+                "MISMATCH"
+            in
+            Fmt.pr "%-28s %-44s %s@." t.name
+              (Service.Proto.check_result_to_string r)
+              status)
+          rows;
+        Fmt.pr "-- %d checks in %.1f ms via %s@." (List.length rows) ms addr;
+        corpus_summary results;
+        if !mismatches > 0 then 3
+        else if !unknowns > 0 && not keep_going then 4
+        else 0
+      end
+      else
+        match src_path, tgt_path with
+        | None, _ | _, None ->
+          Fmt.epr "error: SRC and TGT are required (or use --corpus)@.";
+          1
+        | Some src_path, Some tgt_path ->
+          let r =
+            Service.Client.check ~values ~budget c ~src:(read src_path)
+              ~tgt:(read tgt_path) ()
+          in
+          Fmt.pr "%s@." (Service.Proto.check_result_to_string r);
+          exit_of_verdict ~keep_going r.Service.Proto.verdict)
 
 let run_corpus jobs spec retries keep_going =
   if Engine.Budget.spec_is_unlimited spec && retries = 0 then begin
@@ -64,8 +163,20 @@ let run_corpus jobs spec retries keep_going =
 exception Static_mixed
 
 let run src_path tgt_path values advanced_only corpus jobs timeout_ms
-    max_states keep_going retries lint =
+    max_states keep_going retries lint server =
+  match
+    Engine.Cliopts.validate ~retries ~jobs ~timeout_ms ~max_states ()
+  with
+  | Error msg ->
+    Fmt.epr "seqcheck: %s@." msg;
+    Engine.Cliopts.usage_exit
+  | Ok () ->
   try
+    match server with
+    | Some addr ->
+      run_client addr src_path tgt_path values corpus timeout_ms max_states
+        keep_going
+    | None ->
     let spec = budget_spec timeout_ms max_states in
     if corpus then run_corpus jobs spec retries keep_going
     else
@@ -159,6 +270,15 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
     Fmt.epr "error: location %s is accessed both atomically and non-atomically@."
       (Loc.name x);
     1
+  | Unix.Unix_error (e, _, arg) ->
+    Fmt.epr "error: server %s: %s@." arg (Unix.error_message e);
+    1
+  | Service.Proto.Error msg ->
+    Fmt.epr "protocol error: %s@." msg;
+    1
+  | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    1
 
 let src = Arg.(value & pos 0 (some file) None & info [] ~docv:"SRC")
 let tgt = Arg.(value & pos 1 (some file) None & info [] ~docv:"TGT")
@@ -199,11 +319,17 @@ let lint =
   Arg.(value & flag & info [ "lint" ]
          ~doc:"Print static race/UB diagnostics for both programs before                checking (see seqlint).")
 
+let server =
+  Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
+         ~doc:"Send the check(s) to a running seqd at this Unix socket \
+               instead of checking locally; --corpus goes over one \
+               connection as one parallel batch.")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqcheck" ~version:"1.0"
        ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
     Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs
-          $ timeout_ms $ max_states $ keep_going $ retries $ lint)
+          $ timeout_ms $ max_states $ keep_going $ retries $ lint $ server)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,79 @@
+(** seqd — the persistent refinement-check service.
+
+    Runs a long-lived daemon on a Unix-domain socket, accepting
+    refinement / lint / optimize / litmus requests over the versioned
+    length-prefixed protocol (docs/SERVICE.md) and answering from a
+    two-tier content-addressed result cache: an in-memory LRU in front
+    of an on-disk store ([--cache-dir]).  Batch requests are swept in
+    parallel over [--jobs] worker domains; every other request is served
+    one at a time, which is what makes the SIGINT/SIGTERM drain trivial:
+    the in-flight request completes, its response is flushed, and the
+    socket is unlinked before exit.
+
+    Clients: [seqcheck --server PATH] (single checks and the corpus as
+    one batch), or any program speaking the protocol via
+    [Service.Client].  Exit 0 after a clean drain; 2 on bad flags. *)
+
+open Cmdliner
+
+let run socket cache_dir mem_capacity jobs timeout_ms max_states =
+  match
+    let ( let* ) = Result.bind in
+    let* () = Engine.Cliopts.validate ~jobs ~timeout_ms ~max_states () in
+    Engine.Cliopts.validate_pos ~flag:"--mem-capacity" mem_capacity
+  with
+  | Error msg ->
+    Fmt.epr "seqd: %s@." msg;
+    Engine.Cliopts.usage_exit
+  | Ok () ->
+    let config =
+      {
+        Service.Server.socket_path = socket;
+        cache_dir;
+        mem_capacity;
+        jobs;
+        default_budget = Engine.Budget.spec ?timeout_ms ?max_states ();
+      }
+    in
+    Fmt.epr "seqd: listening on %s (jobs=%d, cache=%s)@." socket jobs
+      (match cache_dir with Some d -> d | None -> "memory-only");
+    Service.Server.run config;
+    Fmt.epr "seqd: drained, bye@.";
+    0
+
+let socket =
+  Arg.(value & opt string "/tmp/seqd.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket to listen on.")
+
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"On-disk result store (created if absent); omit for a \
+               memory-only cache.")
+
+let mem_capacity =
+  Arg.(value & opt int 4096 & info [ "mem-capacity" ] ~docv:"N"
+         ~doc:"In-memory LRU capacity (entries).")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ]
+         ~doc:"Worker domains for batch sweeps.")
+
+let timeout_ms =
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Default wall-clock budget per request (client budgets \
+               override field-wise).")
+
+let max_states =
+  Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N"
+         ~doc:"Default state budget per request (client budgets override \
+               field-wise).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "seqd" ~version:"1.0"
+       ~doc:"Persistent SEQ refinement-check service with a \
+             content-addressed result cache")
+    Term.(const run $ socket $ cache_dir $ mem_capacity $ jobs $ timeout_ms
+          $ max_states)
+
+let () = exit (Cmd.eval' cmd)

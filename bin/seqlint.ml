@@ -9,7 +9,8 @@
 
     [--corpus] lints every concurrent program of the built-in litmus
     catalog instead.  Exit code 0: no errors (warnings and hints are
-    informational); 2: at least one error; 1: parse failure. *)
+    informational); 3: at least one error; 1: parse failure; 2 is
+    reserved for usage errors, like every driver (see README). *)
 
 open Cmdliner
 open Lang
@@ -50,7 +51,7 @@ let run files corpus hints =
             if lint_text ~label ~hints text then acc + 1 else acc)
           0 targets
       in
-      if errors > 0 then 2 else 0
+      if errors > 0 then 3 else 0
     end
   with
   | Parser.Error msg ->

@@ -21,7 +21,10 @@
       the empirical adequacy experiment (Thm 6.2);
     - {!Engine}: the multicore sweep engine the experiment matrices run
       on, with a parallel = sequential determinism contract
-      (docs/ENGINE.md).
+      (docs/ENGINE.md);
+    - {!Service}: the seqd refinement-check service — wire protocol,
+      two-tier content-addressed result cache, request handler, server
+      accept loop and client (docs/SERVICE.md).
 
     Quickstart:
     {[
@@ -39,3 +42,4 @@ module Baselines = Baselines
 module Opt = Optimizer
 module Litmus = Litmus
 module Engine = Engine
+module Service = Service

@@ -1,0 +1,37 @@
+(** Shared validation of driver CLI flags (see .mli). *)
+
+let usage_exit = 2
+
+let err flag msg = Error (Printf.sprintf "flag %s: %s" flag msg)
+
+let validate_pos ~flag n =
+  if n >= 1 then Ok () else err flag (Printf.sprintf "must be >= 1 (got %d)" n)
+
+let validate_nonneg ~flag n =
+  if n >= 0 then Ok () else err flag (Printf.sprintf "must be >= 0 (got %d)" n)
+
+let validate_jobs n = validate_pos ~flag:"--jobs" n
+
+let validate_timeout_ms = function
+  | None -> Ok ()
+  | Some ms ->
+    if ms >= 0.0 && Float.is_finite ms then Ok ()
+    else err "--timeout-ms" (Printf.sprintf "must be >= 0 (got %g)" ms)
+
+let validate_retries n = validate_nonneg ~flag:"--retries" n
+
+let validate_max_states = function
+  | None -> Ok ()
+  | Some n -> validate_nonneg ~flag:"--max-states" n
+
+let validate_inject_faults n = validate_nonneg ~flag:"--inject-faults" n
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let validate ?(retries = 0) ?(inject_faults = 0) ~jobs ~timeout_ms ~max_states
+    () =
+  let* () = validate_jobs jobs in
+  let* () = validate_timeout_ms timeout_ms in
+  let* () = validate_retries retries in
+  let* () = validate_max_states max_states in
+  validate_inject_faults inject_faults

@@ -1,0 +1,51 @@
+(** Shared validation of the CLI flags every driver understands.
+
+    Historically each binary clamped or silently misused out-of-range
+    flags ([Pool.create] clamps [--jobs 0] to 1, a negative
+    [--timeout-ms] behaved as already-expired, a negative [--retries]
+    as 0).  The drivers now agree on one contract, documented in the
+    README exit-code table: an out-of-range flag is a {e usage error} —
+    one line on stderr and exit {!usage_exit}, before any work starts.
+
+    The [validate_*] functions return the first problem found as
+    [Error "flag NAME: message"]; drivers print it prefixed with their
+    own name and exit {!usage_exit}. *)
+
+(** Exit code for rejected flag values (matches cmdliner's own usage
+    errors). *)
+val usage_exit : int
+
+(** [jobs] must be >= 1 (worker domains include the caller). *)
+val validate_jobs : int -> (unit, string) result
+
+(** If present, [--timeout-ms] must be >= 0 (0 is a valid, immediately
+    exhausted budget). *)
+val validate_timeout_ms : float option -> (unit, string) result
+
+(** [--retries] must be >= 0. *)
+val validate_retries : int -> (unit, string) result
+
+(** If present, [--max-states] must be >= 0. *)
+val validate_max_states : int option -> (unit, string) result
+
+(** [--inject-faults] must be >= 0. *)
+val validate_inject_faults : int -> (unit, string) result
+
+(** First error among the flags common to the sweep drivers; [retries]
+    and [inject_faults] default to 0 (always valid) when a driver does
+    not expose them. *)
+val validate :
+  ?retries:int ->
+  ?inject_faults:int ->
+  jobs:int ->
+  timeout_ms:float option ->
+  max_states:int option ->
+  unit ->
+  (unit, string) result
+
+(** [validate_pos ~flag n]: a generic "must be >= 1" check for
+    driver-specific flags (e.g. seqd's [--mem-capacity]). *)
+val validate_pos : flag:string -> int -> (unit, string) result
+
+(** [validate_nonneg ~flag n]: a generic "must be >= 0" check. *)
+val validate_nonneg : flag:string -> int -> (unit, string) result

@@ -1,0 +1,107 @@
+(** Named counters and latency percentile reservoirs (see .mli). *)
+
+let reservoir_size = 8192
+
+type series = {
+  samples : float array;  (** ring buffer, [reservoir_size] slots *)
+  mutable seen : int;  (** total observations; ring index = seen mod size *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr ?(n = 1) t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.add t.counters name (ref n))
+
+let get t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> !r
+      | None -> 0)
+
+let observe t name ms =
+  with_lock t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.series name with
+        | Some s -> s
+        | None ->
+          let s = { samples = Array.make reservoir_size 0.0; seen = 0 } in
+          Hashtbl.add t.series name s;
+          s
+      in
+      s.samples.(s.seen mod reservoir_size) <- ms;
+      s.seen <- s.seen + 1)
+
+let counters t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+type latency = { count : int; p50 : float; p90 : float; p99 : float }
+
+(* Nearest-rank percentile over a sorted sample: the smallest value whose
+   rank is >= ceil(p * n). *)
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let latency_of_series s =
+  let n = min s.seen reservoir_size in
+  if n = 0 then None
+  else begin
+    let sorted = Array.sub s.samples 0 n in
+    Array.sort Float.compare sorted;
+    Some
+      {
+        count = s.seen;
+        p50 = nearest_rank sorted 0.50;
+        p90 = nearest_rank sorted 0.90;
+        p99 = nearest_rank sorted 0.99;
+      }
+  end
+
+let latency t name =
+  with_lock t (fun () ->
+      Option.bind (Hashtbl.find_opt t.series name) latency_of_series)
+
+let latencies t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun name s acc ->
+          match latency_of_series s with
+          | Some l -> (name, l) :: acc
+          | None -> acc)
+        t.series []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let render t =
+  let cs = counters t and ls = latencies t in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" name v))
+    cs;
+  List.iter
+    (fun (name, l) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s count=%d p50=%.3fms p90=%.3fms p99=%.3fms\n" name
+           l.count l.p50 l.p90 l.p99))
+    ls;
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Service metrics: named counters and latency percentiles.
+
+    A {!t} is a small thread-safe registry of monotonically increasing
+    counters and per-name latency reservoirs, built for long-running
+    services (the `seqd` daemon exposes one snapshot per [stats] RPC).
+    All operations are mutex-protected and safe to call from any domain;
+    the snapshot functions return plain values computed under the lock.
+
+    Percentiles are computed over a bounded reservoir (a ring buffer of
+    the most recent {!reservoir_size} observations per name) by the
+    nearest-rank method on the sorted sample — exact until the ring
+    wraps, recent-biased after. *)
+
+type t
+
+(** Observations kept per latency series. *)
+val reservoir_size : int
+
+val create : unit -> t
+
+(** [incr t name] adds [n] (default 1) to counter [name], creating it at
+    0 first if absent. *)
+val incr : ?n:int -> t -> string -> unit
+
+(** Current value of a counter (0 if never incremented). *)
+val get : t -> string -> int
+
+(** [observe t name ms] records one latency observation. *)
+val observe : t -> string -> float -> unit
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** Percentile summary of a latency series: observation count and the
+    p50/p90/p99 nearest-rank values in milliseconds. *)
+type latency = { count : int; p50 : float; p90 : float; p99 : float }
+
+(** [None] if nothing was observed under [name]. *)
+val latency : t -> string -> latency option
+
+(** All latency series, sorted by name. *)
+val latencies : t -> (string * latency) list
+
+(** Multi-line human-readable snapshot: one [name value] line per
+    counter, then one [name count/p50/p90/p99] line per latency
+    series.  Deterministic order (sorted by name). *)
+val render : t -> string

@@ -1,0 +1,141 @@
+(** Content fingerprints of programs and check parameters (see .mli).
+
+    The rendering is a prefix encoding: every constructor emits a short
+    tag, every symbol/string field is emitted length-prefixed, so the
+    encoding is injective and independent of [Format] state.  Nothing
+    here depends on hash-table iteration order or physical identity. *)
+
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let add_value buf = function
+  | Value.Int n ->
+    Buffer.add_char buf 'i';
+    Buffer.add_string buf (string_of_int n)
+  | Value.Undef -> Buffer.add_char buf 'u'
+
+let add_binop buf (op : Expr.binop) =
+  Buffer.add_string buf
+    (match op with
+     | Expr.Add -> "+" | Expr.Sub -> "-" | Expr.Mul -> "*" | Expr.Div -> "/"
+     | Expr.Mod -> "%" | Expr.Eq -> "==" | Expr.Ne -> "!=" | Expr.Lt -> "<"
+     | Expr.Le -> "<=" | Expr.Gt -> ">" | Expr.Ge -> ">=" | Expr.And -> "&&"
+     | Expr.Or -> "||")
+
+let rec add_expr buf = function
+  | Expr.Const v ->
+    Buffer.add_char buf 'C';
+    add_value buf v
+  | Expr.Reg r ->
+    Buffer.add_char buf 'R';
+    add_str buf (Reg.name r)
+  | Expr.Binop (op, a, b) ->
+    Buffer.add_char buf 'B';
+    add_binop buf op;
+    add_expr buf a;
+    add_expr buf b
+  | Expr.Unop (op, a) ->
+    Buffer.add_char buf 'U';
+    Buffer.add_char buf (match op with Expr.Neg -> '-' | Expr.Not -> '!');
+    add_expr buf a
+
+let add_rmode buf (m : Mode.read) =
+  Buffer.add_char buf
+    (match m with Mode.Rna -> 'n' | Mode.Rrlx -> 'r' | Mode.Racq -> 'a')
+
+let add_wmode buf (m : Mode.write) =
+  Buffer.add_char buf
+    (match m with Mode.Wna -> 'n' | Mode.Wrlx -> 'r' | Mode.Wrel -> 'l')
+
+let add_fmode buf (m : Mode.fence) =
+  Buffer.add_char buf
+    (match m with
+     | Mode.Facq -> 'a' | Mode.Frel -> 'r' | Mode.Facqrel -> 'b'
+     | Mode.Fsc -> 's')
+
+let rec add_stmt buf = function
+  | Stmt.Skip -> Buffer.add_char buf 'k'
+  | Stmt.Assign (r, e) ->
+    Buffer.add_char buf '=';
+    add_str buf (Reg.name r);
+    add_expr buf e
+  | Stmt.Load (r, m, x) ->
+    Buffer.add_char buf 'L';
+    add_rmode buf m;
+    add_str buf (Reg.name r);
+    add_str buf (Loc.name x)
+  | Stmt.Store (m, x, e) ->
+    Buffer.add_char buf 'S';
+    add_wmode buf m;
+    add_str buf (Loc.name x);
+    add_expr buf e
+  | Stmt.Cas (r, x, e1, e2) ->
+    Buffer.add_char buf 'X';
+    add_str buf (Reg.name r);
+    add_str buf (Loc.name x);
+    add_expr buf e1;
+    add_expr buf e2
+  | Stmt.Fadd (r, x, e) ->
+    Buffer.add_char buf 'A';
+    add_str buf (Reg.name r);
+    add_str buf (Loc.name x);
+    add_expr buf e
+  | Stmt.Fence m ->
+    Buffer.add_char buf 'F';
+    add_fmode buf m
+  | Stmt.Seq (a, b) ->
+    Buffer.add_char buf ';';
+    add_stmt buf a;
+    add_stmt buf b
+  | Stmt.If (e, a, b) ->
+    Buffer.add_char buf '?';
+    add_expr buf e;
+    add_stmt buf a;
+    add_stmt buf b
+  | Stmt.While (e, a) ->
+    Buffer.add_char buf 'W';
+    add_expr buf e;
+    add_stmt buf a
+  | Stmt.Choose r ->
+    Buffer.add_char buf 'c';
+    add_str buf (Reg.name r)
+  | Stmt.Freeze (r, e) ->
+    Buffer.add_char buf 'z';
+    add_str buf (Reg.name r);
+    add_expr buf e
+  | Stmt.Print e ->
+    Buffer.add_char buf 'p';
+    add_expr buf e
+  | Stmt.Abort -> Buffer.add_char buf '!'
+  | Stmt.Return e ->
+    Buffer.add_char buf 'r';
+    add_expr buf e
+
+let canonical_stmt s =
+  let buf = Buffer.create 256 in
+  add_stmt buf s;
+  Buffer.contents buf
+
+let canonical_threads ts =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (string_of_int (List.length ts));
+  List.iter (fun t -> add_str buf (canonical_stmt t)) ts;
+  Buffer.contents buf
+
+let canonical_values vs =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (string_of_int (List.length vs));
+  List.iter (fun v -> Buffer.add_char buf ','; add_value buf v) vs;
+  Buffer.contents buf
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let stmt s = digest_hex (canonical_stmt s)
+let threads ts = digest_hex (canonical_threads ts)
+
+let key parts =
+  let buf = Buffer.create 128 in
+  List.iter (fun p -> add_str buf p) parts;
+  digest_hex (Buffer.contents buf)

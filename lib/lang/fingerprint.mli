@@ -1,0 +1,38 @@
+(** Content fingerprints of programs and check parameters.
+
+    The SEQ verdicts are pure functions of (program pair, check
+    parameters), which makes them ideal cache keys — provided the key is
+    computed over a {e canonical} rendering that two structurally equal
+    ASTs always share.  The pretty-printer is not that rendering: its
+    output depends on [Format] margins and boxing.  This module renders
+    statements into an unambiguous prefix form built with [Buffer]
+    (margin-free, whitespace-free) and digests it with the stdlib MD5.
+
+    Fingerprints are stable within one store format version; the cache
+    layer ({!Service.Cache}) carries its own format version on top, so a
+    rendering change here only costs cold entries, never wrong hits. *)
+
+(** Canonical, margin-independent rendering of a statement.  Structurally
+    equal statements render identically; distinct statements render
+    distinctly (injective: every constructor is tagged and every variable
+    -length field is length-prefixed). *)
+val canonical_stmt : Stmt.t -> string
+
+(** Canonical rendering of a thread list (order-sensitive). *)
+val canonical_threads : Stmt.t list -> string
+
+(** MD5 of an arbitrary string, in lowercase hex (32 chars). *)
+val digest_hex : string -> string
+
+(** [stmt s] = [digest_hex (canonical_stmt s)]. *)
+val stmt : Stmt.t -> string
+
+(** [threads ts] = [digest_hex (canonical_threads ts)]. *)
+val threads : Stmt.t list -> string
+
+(** Digest a key assembled from parts: parts are length-prefixed before
+    hashing, so [key ["ab";"c"]] and [key ["a";"bc"]] differ. *)
+val key : string list -> string
+
+(** Canonical rendering of a value list (for domain fingerprints). *)
+val canonical_values : Value.t list -> string

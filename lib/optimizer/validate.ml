@@ -37,7 +37,8 @@ exception Mixed_access = Seq_model.Config.Mixed_access
     always comes from enumeration (a static certificate only proves the
     advanced notion — DSE may fire across a release, Ex 3.5). *)
 let validate ?(values = Domain.default_values) ?(fast_path = true) ?passes
-    ~(src : Stmt.t) ~(tgt : Stmt.t) () : verdict =
+    ?(budget = Engine.Budget.unlimited) ~(src : Stmt.t) ~(tgt : Stmt.t) () :
+    verdict =
   let d = Domain.of_stmts ~values [ src; tgt ] in
   let cert =
     if fast_path then Certify.attempt ?passes ~src ~tgt () else None
@@ -45,19 +46,19 @@ let validate ?(values = Domain.default_values) ?(fast_path = true) ?passes
   let valid, proof =
     match cert with
     | Some c -> (true, Static c)
-    | None -> (Seq_model.Advanced.check d ~src ~tgt, Enumerated)
+    | None -> (Seq_model.Advanced.check ~budget d ~src ~tgt, Enumerated)
   in
-  let simple = valid && Seq_model.Refine.check d ~src ~tgt in
+  let simple = valid && Seq_model.Refine.check ~budget d ~src ~tgt in
   { valid; simple; domain = d; proof }
 
 (** Optimize and validate; raises [Invalid_argument] if the optimizer
     produced an output that SEQ refuses — which would be an optimizer
     bug. *)
-let certified_optimize ?passes ?values ?fast_path (s : Stmt.t) :
+let certified_optimize ?passes ?values ?fast_path ?budget (s : Stmt.t) :
     Driver.report * verdict =
   let report = Driver.optimize ?passes s in
   let v =
-    validate ?values ?fast_path ?passes ~src:report.Driver.input
+    validate ?values ?fast_path ?passes ?budget ~src:report.Driver.input
       ~tgt:report.Driver.output ()
   in
   (report, v)

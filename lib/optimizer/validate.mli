@@ -36,11 +36,16 @@ exception Mixed_access of Loc.t
 (** Validate a transformation in SEQ.  [fast_path] (default [true])
     allows the static certificate to discharge the advanced check;
     [passes] is the pipeline the certifier replays (default
-    {!Driver.all_passes}).  [simple] always comes from enumeration. *)
+    {!Driver.all_passes}).  [simple] always comes from enumeration.
+    [budget] (default unlimited, a no-op) bounds the enumerated checks;
+    on exhaustion {!Engine.Budget.Exhausted} escapes — callers serving
+    remote requests trap it at a verdict boundary
+    ({!Engine.Verdict.capture}). *)
 val validate :
   ?values:Value.t list ->
   ?fast_path:bool ->
   ?passes:Driver.pass list ->
+  ?budget:Engine.Budget.t ->
   src:Stmt.t ->
   tgt:Stmt.t ->
   unit ->
@@ -51,5 +56,6 @@ val certified_optimize :
   ?passes:Driver.pass list ->
   ?values:Value.t list ->
   ?fast_path:bool ->
+  ?budget:Engine.Budget.t ->
   Stmt.t ->
   Driver.report * verdict

@@ -1,0 +1,268 @@
+(** Two-tier content-addressed result cache (see .mli). *)
+
+let format_version = 1
+
+let entry_magic = "SEQC"
+
+(* ------------------------------------------------------------------ *)
+(* intrusive doubly-linked LRU                                         *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  nkey : string;
+  nvalue : string;
+  mutable prev : node option;  (** towards the front (most recent) *)
+  mutable next : node option;  (** towards the back (eviction end) *)
+}
+
+type lru = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable front : node option;
+  mutable back : node option;
+}
+
+let lru_create capacity =
+  { capacity; table = Hashtbl.create 64; front = None; back = None }
+
+let unlink lru n =
+  (match n.prev with
+   | Some p -> p.next <- n.next
+   | None -> lru.front <- n.next);
+  (match n.next with
+   | Some s -> s.prev <- n.prev
+   | None -> lru.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front lru n =
+  n.next <- lru.front;
+  n.prev <- None;
+  (match lru.front with
+   | Some f -> f.prev <- Some n
+   | None -> lru.back <- Some n);
+  lru.front <- Some n
+
+let lru_find lru key =
+  match Hashtbl.find_opt lru.table key with
+  | None -> None
+  | Some n ->
+    unlink lru n;
+    push_front lru n;
+    Some n.nvalue
+
+let lru_add lru key value =
+  (match Hashtbl.find_opt lru.table key with
+   | Some old ->
+     unlink lru old;
+     Hashtbl.remove lru.table key
+   | None -> ());
+  let n = { nkey = key; nvalue = value; prev = None; next = None } in
+  push_front lru n;
+  Hashtbl.replace lru.table key n;
+  if Hashtbl.length lru.table > lru.capacity then
+    match lru.back with
+    | Some victim ->
+      unlink lru victim;
+      Hashtbl.remove lru.table victim.nkey
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* disk tier                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p path =
+  let rec go path =
+    if path = "" || path = "/" || Sys.file_exists path then ()
+    else begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+(* Atomic best-effort file write: unique temp in the target directory,
+   then rename. *)
+let write_atomic ~dir ~path content =
+  try
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir ".seqc" ".tmp" in
+    let ok =
+      try
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc content);
+        true
+      with Sys_error _ -> false
+    in
+    if ok then Sys.rename tmp path
+    else (try Sys.remove tmp with Sys_error _ -> ())
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let entry_of_payload payload =
+  let buf = Buffer.create (String.length payload + 25) in
+  Buffer.add_string buf entry_magic;
+  Buffer.add_char buf (Char.chr format_version);
+  let len = String.length payload in
+  Buffer.add_char buf (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (len land 0xff));
+  Buffer.add_string buf (Digest.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* Validate magic, version, length, digest; any failure is [None]. *)
+let payload_of_entry entry =
+  let hdr = 4 + 1 + 4 + 16 in
+  if String.length entry < hdr then None
+  else if String.sub entry 0 4 <> entry_magic then None
+  else if Char.code entry.[4] <> format_version then None
+  else begin
+    let len =
+      (Char.code entry.[5] lsl 24)
+      lor (Char.code entry.[6] lsl 16)
+      lor (Char.code entry.[7] lsl 8)
+      lor Char.code entry.[8]
+    in
+    if String.length entry <> hdr + len then None
+    else
+      let md5 = String.sub entry 9 16 in
+      let payload = String.sub entry hdr len in
+      if Digest.string payload <> md5 then None else Some payload
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { hits_mem : int; hits_disk : int; misses : int; writes : int }
+
+type t = {
+  mutex : Mutex.t;
+  lru : lru;
+  dir : string option;
+  mutable hits_mem : int;
+  mutable hits_disk : int;
+  mutable misses : int;
+  mutable writes : int;
+}
+
+let version_path dir = Filename.concat dir "VERSION"
+
+let read_version dir =
+  try
+    In_channel.with_open_text (version_path dir) (fun ic ->
+        Option.bind (In_channel.input_line ic) int_of_string_opt)
+  with Sys_error _ -> None
+
+let write_version dir =
+  write_atomic ~dir ~path:(version_path dir)
+    (string_of_int format_version ^ "\n")
+
+(* Drop every entry (shard dirs and stray temp files) but keep the root;
+   IO errors are swallowed like everywhere else on the disk tier. *)
+let clear_store dir =
+  Array.iter
+    (fun name ->
+      if name <> "VERSION" then begin
+        let p = Filename.concat dir name in
+        try
+          if Sys.is_directory p then begin
+            Array.iter
+              (fun e -> try Sys.remove (Filename.concat p e) with Sys_error _ -> ())
+              (Sys.readdir p);
+            Unix.rmdir p
+          end
+          else Sys.remove p
+        with Sys_error _ | Unix.Unix_error _ -> ()
+      end)
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let create ?dir ~mem_capacity () =
+  if mem_capacity < 1 then invalid_arg "Cache.create: mem_capacity must be >= 1";
+  (match dir with
+   | None -> ()
+   | Some dir ->
+     mkdir_p dir;
+     (* A disagreeing VERSION marks a store from another format — even if
+        the per-entry headers would still parse, the fingerprint rendering
+        behind the keys may have changed, so the store must read as empty.
+        Clear it and stamp the current version. *)
+     (match read_version dir with
+      | Some v when v = format_version -> ()
+      | _ ->
+        clear_store dir;
+        write_version dir));
+  {
+    mutex = Mutex.create ();
+    lru = lru_create mem_capacity;
+    dir;
+    hits_mem = 0;
+    hits_disk = 0;
+    misses = 0;
+    writes = 0;
+  }
+
+type hit = Hit_mem | Hit_disk
+
+let shard_of_key key =
+  if String.length key > 2 then (String.sub key 0 2, String.sub key 2 (String.length key - 2))
+  else ("_", key)
+
+let entry_path dir key =
+  let shard, rest = shard_of_key key in
+  let sdir = Filename.concat dir shard in
+  (sdir, Filename.concat sdir rest)
+
+let disk_find t key =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+    let _, path = entry_path dir key in
+    (try
+       let entry =
+         In_channel.with_open_bin path In_channel.input_all
+       in
+       payload_of_entry entry
+     with Sys_error _ -> None)
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  with_lock t (fun () ->
+      match lru_find t.lru key with
+      | Some v ->
+        t.hits_mem <- t.hits_mem + 1;
+        Some (v, Hit_mem)
+      | None ->
+        (match disk_find t key with
+         | Some payload ->
+           t.hits_disk <- t.hits_disk + 1;
+           lru_add t.lru key payload;
+           Some (payload, Hit_disk)
+         | None ->
+           t.misses <- t.misses + 1;
+           None))
+
+let add t key payload =
+  with_lock t (fun () ->
+      lru_add t.lru key payload;
+      match t.dir with
+      | None -> ()
+      | Some dir ->
+        let sdir, path = entry_path dir key in
+        write_atomic ~dir:sdir ~path (entry_of_payload payload);
+        t.writes <- t.writes + 1)
+
+let mem_size t = with_lock t (fun () -> Hashtbl.length t.lru.table)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits_mem = t.hits_mem;
+        hits_disk = t.hits_disk;
+        misses = t.misses;
+        writes = t.writes;
+      })

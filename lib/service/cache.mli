@@ -1,0 +1,64 @@
+(** Two-tier content-addressed result cache: an in-memory LRU in front
+    of an on-disk store.
+
+    Keys are content fingerprints ({!Lang.Fingerprint.key} digests over a
+    canonical program rendering plus the check parameters), so a cached
+    verdict is valid forever: the SEQ verdicts are pure functions of the
+    key's preimage.  Only {e definite} results should be stored —
+    [Unknown] verdicts depend on the budget, which is deliberately not
+    part of the key (callers enforce this; the cache stores opaque
+    payloads).
+
+    Disk layout, under the store root:
+    - [VERSION] — one line, the store format version;
+    - [ab/cdef...] — one file per entry, sharded by the key's first two
+      hex chars.
+
+    Entry file format: 4-byte magic ["SEQC"], 1-byte format version,
+    big-endian 4-byte payload length, 16-byte MD5 of the payload, then
+    the payload.  {!find} validates all four; {e any} mismatch — a
+    truncated write, a garbled byte, an entry from another format
+    version — is a miss, never an error (the acceptance bar for
+    kill-and-restart robustness).
+
+    Writes are atomic: payloads go to a unique temp file in the shard
+    directory and are renamed into place, so a reader never observes a
+    half-written entry and a crash leaves at worst an orphan temp file.
+
+    Thread-safety: all operations take an internal mutex; a cache may be
+    shared across domains (the server shares one between its accept loop
+    and in-process test harnesses). *)
+
+type t
+
+(** Store format version (bumped when the entry encoding or the
+    fingerprint rendering changes). *)
+val format_version : int
+
+(** [create ?dir ~mem_capacity ()] opens a cache.  [dir = None] is
+    memory-only.  A missing directory is created (with its [VERSION]
+    file); an existing directory whose [VERSION] disagrees with
+    {!format_version} is cleared — its entries belong to another format,
+    so every lookup must miss — and re-versioned so new writes land in
+    the current format.  [mem_capacity] (>= 1) bounds the LRU entry
+    count. *)
+val create : ?dir:string -> mem_capacity:int -> unit -> t
+
+(** Which tier a {!find} was served from. *)
+type hit = Hit_mem | Hit_disk
+
+(** Look up a payload.  A disk hit is promoted into the LRU. *)
+val find : t -> string -> (string * hit) option
+
+(** Insert into both tiers (disk write is atomic; IO errors are
+    swallowed — the disk tier is best-effort). *)
+val add : t -> string -> string -> unit
+
+(** Entries currently resident in the LRU. *)
+val mem_size : t -> int
+
+(** Cumulative counters since [create]: memory hits, disk hits, misses,
+    disk entries written. *)
+type stats = { hits_mem : int; hits_disk : int; misses : int; writes : int }
+
+val stats : t -> stats

@@ -1,0 +1,55 @@
+(** seqd protocol client (see .mli). *)
+
+type t = { fd : Unix.file_descr; mutable open_ : bool }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX path) with
+   | () -> ()
+   | exception e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let request t req =
+  Proto.write_frame t.fd (Proto.encode_request req);
+  match Proto.read_frame t.fd with
+  | Some payload -> Proto.decode_response payload
+  | None -> raise (Proto.Error "connection closed before response")
+
+let ping t = match request t Proto.Ping with Proto.Pong -> true | _ -> false
+
+let unexpected what = function
+  | Proto.Err msg -> failwith (Printf.sprintf "server error: %s" msg)
+  | _ -> failwith (Printf.sprintf "unexpected response to %s" what)
+
+let check ?(values = []) ?(fast_path = true) ?(budget = Proto.no_budget) t
+    ~src ~tgt () =
+  match request t (Proto.Check ({ src; tgt; values; fast_path }, budget)) with
+  | Proto.Checked cr -> cr
+  | resp -> unexpected "check" resp
+
+let batch ?(budget = Proto.no_budget) t checks =
+  match request t (Proto.Batch (checks, budget)) with
+  | Proto.Batched crs -> crs
+  | resp -> unexpected "batch" resp
+
+let stats t =
+  match request t Proto.Stats with
+  | Proto.Stats_result s -> s
+  | resp -> unexpected "stats" resp
+
+let shutdown t =
+  match request t Proto.Shutdown with
+  | Proto.Bye -> ()
+  | resp -> unexpected "shutdown" resp

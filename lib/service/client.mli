@@ -1,0 +1,50 @@
+(** Client side of the seqd protocol: one connection, many requests.
+
+    All requests on a connection are served in order by the daemon, so a
+    corpus run streams through a single connection — either as many
+    [Check] round-trips or, better, as one [Batch] frame the server
+    sweeps in parallel over its engine pool.
+
+    {!request} is the raw exchange; the named helpers unwrap the
+    expected response constructor and raise [Failure] on a server [Err]
+    or a constructor mismatch.  {!Proto.Error} escapes on framing
+    violations (version mismatch, truncated frame). *)
+
+type t
+
+(** Connect to a daemon's Unix socket.  @raise Unix.Unix_error if
+    nothing listens there. *)
+val connect : string -> t
+
+val close : t -> unit
+
+(** [with_connection path f]: connect, run [f], always close. *)
+val with_connection : string -> (t -> 'a) -> 'a
+
+(** One frame out, one frame in. *)
+val request : t -> Proto.request -> Proto.response
+
+val ping : t -> bool
+
+(** Check one refinement pair ([values = []] means the server default
+    domain; [fast_path] defaults to [true]). *)
+val check :
+  ?values:int list ->
+  ?fast_path:bool ->
+  ?budget:Proto.budget ->
+  t ->
+  src:string ->
+  tgt:string ->
+  unit ->
+  Proto.check_result
+
+(** Stream a list of checks as one frame; the server sweeps them in
+    parallel and answers in input order. *)
+val batch :
+  ?budget:Proto.budget -> t -> Proto.check list -> Proto.check_result list
+
+(** The daemon's metrics + cache-counter snapshot. *)
+val stats : t -> string
+
+(** Ask the daemon to drain and exit. *)
+val shutdown : t -> unit

@@ -1,0 +1,22 @@
+(** A minimal JSON tree and serializer (no external dependency).
+
+    Used by `bench/main.exe --json` for the machine-readable experiment
+    record (schema in docs/ENGINE.md) and available to service clients
+    that want to export a {!Metrics} snapshot.  Serialization is
+    deterministic: object fields are emitted in the order given. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no insignificant whitespace), RFC 8259 string
+    escaping. *)
+val to_string : t -> string
+
+(** [to_channel oc j]: {!to_string} plus a trailing newline. *)
+val to_channel : out_channel -> t -> unit

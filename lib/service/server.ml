@@ -1,0 +1,151 @@
+(** seqd accept loop: select-multiplexed, single-threaded evaluation,
+    graceful drain (see .mli). *)
+
+type config = {
+  socket_path : string;
+  cache_dir : string option;
+  mem_capacity : int;
+  jobs : int;
+  default_budget : Engine.Budget.spec;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    cache_dir = None;
+    mem_capacity = 4096;
+    jobs = 1;
+    default_budget = Engine.Budget.spec_unlimited;
+  }
+
+(* The stop flag is set from a signal handler (same domain, but
+   asynchronous) and read by the loop: Atomic keeps it simple and also
+   correct for in-process servers stopped from another domain. *)
+let serve_loop (config : config) (stop : bool Atomic.t) =
+  let handler =
+    Handler.create ?cache_dir:config.cache_dir
+      ~mem_capacity:config.mem_capacity
+      ~default_budget:config.default_budget ()
+  in
+  Engine.Pool.with_pool ~jobs:config.jobs (fun pool ->
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+      Unix.listen listen_fd 16;
+      let conns = ref [] in
+      let close_conn fd =
+        conns := List.filter (fun c -> c <> fd) !conns;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      in
+      (* Serve the next frame of [fd]; false = the connection is done. *)
+      let serve_one fd =
+        match Proto.read_frame fd with
+        | None -> false (* clean EOF *)
+        | Some payload ->
+          let resp =
+            match Proto.decode_request payload with
+            | req ->
+              let resp = Handler.handle ~pool handler req in
+              if resp = Proto.Bye then Atomic.set stop true;
+              resp
+            | exception Proto.Error msg -> Proto.Err ("protocol: " ^ msg)
+          in
+          (try
+             Proto.write_frame fd (Proto.encode_response resp);
+             true
+           with Unix.Unix_error _ | Proto.Error _ -> false)
+      in
+      (* One request at a time: a request observed before the stop flag
+         completes and its response is flushed (graceful drain); frames
+         not yet read when the flag is up are dropped with the
+         connection. *)
+      while not (Atomic.get stop) do
+        match Unix.select (listen_fd :: !conns) [] [] 0.2 with
+        | [], _, _ -> ()
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if Atomic.get stop then ()
+              else if fd = listen_fd then begin
+                match Unix.accept listen_fd with
+                | conn, _ -> conns := conn :: !conns
+                | exception Unix.Unix_error _ -> ()
+              end
+              else
+                match serve_one fd with
+                | true -> ()
+                | false -> close_conn fd
+                | exception (Proto.Error _ | Unix.Unix_error _) ->
+                  close_conn fd)
+            ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink config.socket_path with Unix.Unix_error _ -> ())
+
+let run ?(signals = true) config =
+  let stop = Atomic.make false in
+  let previous = ref [] in
+  if signals then
+    List.iter
+      (fun signum ->
+        let old =
+          Sys.signal signum
+            (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+        in
+        previous := (signum, old) :: !previous)
+      [ Sys.sigint; Sys.sigterm ];
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (signum, old) -> Sys.set_signal signum old) !previous)
+    (fun () -> serve_loop config stop)
+
+(* ------------------------------------------------------------------ *)
+(* in-process servers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type handle = {
+  domain : unit Domain.t;
+  hconfig : config;
+  mutable stopped : bool;
+}
+
+let socket_ready path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> false
+  | fd ->
+    let ok =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    ok
+
+let spawn ?(timeout_s = 10.0) config =
+  let domain = Domain.spawn (fun () -> run ~signals:false config) in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec wait () =
+    if socket_ready config.socket_path then ()
+    else if Unix.gettimeofday () > deadline then
+      failwith
+        (Printf.sprintf "seqd: socket %s not up after %.1fs"
+           config.socket_path timeout_s)
+    else begin
+      Unix.sleepf 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  { domain; hconfig = config; stopped = false }
+
+let stop handle =
+  if not handle.stopped then begin
+    handle.stopped <- true;
+    (try
+       Client.with_connection handle.hconfig.socket_path Client.shutdown
+     with Unix.Unix_error _ | Proto.Error _ | Failure _ -> ());
+    Domain.join handle.domain
+  end

@@ -1,0 +1,53 @@
+(** seqd — the persistent refinement-check daemon.
+
+    A server owns one {!Handler} (cache + metrics) and one
+    {!Engine.Pool} and serves {!Proto} frames over a Unix-domain
+    socket.  Request handling is single-threaded by design: the accept
+    loop multiplexes connections with [select] and evaluates one request
+    at a time, so requests never interleave mid-evaluation and the
+    cache-consistency argument is trivial — parallelism comes from the
+    engine pool {e inside} a [Batch] request, which sweeps its items
+    across [jobs] domains (the recommended way to stream a corpus:
+    one connection, one batch).
+
+    Graceful drain: on SIGINT/SIGTERM (when [signals] is on) or on a
+    [Shutdown] request, the server finishes the request it is
+    evaluating, sends its response, stops accepting, closes every
+    connection, unlinks the socket and returns.  Because cache writes
+    are atomic (tmp+rename, {!Cache}), a SIGKILL instead of a drain can
+    orphan temp files but never corrupts an entry — a truncated or
+    garbled entry reads as a miss. *)
+
+type config = {
+  socket_path : string;
+  cache_dir : string option;  (** [None]: memory-only cache *)
+  mem_capacity : int;  (** LRU entries *)
+  jobs : int;  (** engine pool size for [Batch] sweeps *)
+  default_budget : Engine.Budget.spec;
+      (** applied to requests that carry no budget *)
+}
+
+(** Memory-only cache, 4096 LRU entries, 1 job, unlimited budget. *)
+val default_config : socket_path:string -> config
+
+(** Run the accept loop until drained.  [signals] (default [true])
+    installs SIGINT/SIGTERM handlers — pass [false] when embedding the
+    server in a process that owns its own signal disposition (tests,
+    bench).  Blocks; returns after a graceful drain. *)
+val run : ?signals:bool -> config -> unit
+
+(** {2 In-process servers}
+
+    For tests, examples and the bench harness: the same server, running
+    in a spawned domain of the current process, stopped by a [Shutdown]
+    RPC. *)
+
+type handle
+
+(** Spawn [run ~signals:false] in a new domain and wait (up to
+    [timeout_s], default 10s) for the socket to accept connections.
+    @raise Failure if the socket never comes up. *)
+val spawn : ?timeout_s:float -> config -> handle
+
+(** Send [Shutdown], then join the server domain.  Idempotent. *)
+val stop : handle -> unit

@@ -16,4 +16,5 @@ let () =
       ("golden", Test_golden.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
+      ("service", Test_service.suite);
     ]

@@ -1,0 +1,549 @@
+(** The seqd service stack: wire protocol, two-tier cache, handler
+    semantics, in-process server end-to-end, metrics, CLI validation.
+
+    The load-bearing properties, matching docs/SERVICE.md:
+    - protocol encode/decode is an identity on every constructor, and
+      framing rejects bad magic / version / truncation deterministically;
+    - any corrupted cache entry — truncated, garbled, or written by
+      another format version — is a miss, never an error;
+    - a server-returned verdict is byte-identical to a local
+      [Optimizer.Validate] run (qcheck over the corpus), and cache hits
+      preserve the original proof provenance while re-tagging the tier;
+    - a warm corpus pass answers entirely from cache (zero computed). *)
+
+module Proto = Service.Proto
+module Cache = Service.Cache
+module Handler = Service.Handler
+module Server = Service.Server
+module Client = Service.Client
+module C = Litmus.Catalog
+
+(* naive substring search, enough for asserting on rendered snapshots *)
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Unix.mkdir f 0o700;
+  f
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+(* every regular file under [dir], deepest-last order not guaranteed *)
+let rec files_under dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun e ->
+         let p = Filename.concat dir e in
+         if Sys.is_directory p then files_under p else [ p ])
+
+(* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let some_budget = { Proto.timeout_ms = Some 1.5; max_states = Some 42 }
+
+let sample_check =
+  { Proto.src = "return 0"; tgt = "return 0"; values = [ 0; 1 ];
+    fast_path = true }
+
+let sample_requests =
+  [
+    Proto.Ping;
+    Proto.Check (sample_check, some_budget);
+    Proto.Batch ([ sample_check; { sample_check with fast_path = false } ],
+                 Proto.no_budget);
+    Proto.Lint { prog = "a = X.load(na); return a"; hints = false };
+    Proto.Optimize
+      ({ Proto.oprog = "X.store(na, 1)"; ovalues = []; ofast_path = true },
+       some_budget);
+    Proto.Litmus
+      ({ Proto.lprog = "return 0 ||| return 1";
+         lparams = { Proto.promises = 1; batch = 2; lit_max_states = 10 } },
+       Proto.no_budget);
+    Proto.Stats;
+    Proto.Shutdown;
+  ]
+
+let sample_result =
+  { Proto.verdict = Proto.Refines_advanced; origin = Some Proto.Static;
+    tier = Proto.Disk; states = 7 }
+
+let sample_responses =
+  [
+    Proto.Pong;
+    Proto.Checked sample_result;
+    Proto.Checked
+      { Proto.verdict = Proto.Unknown "timeout"; origin = None;
+        tier = Proto.Computed; states = 0 };
+    Proto.Batched [ sample_result; sample_result ];
+    Proto.Linted
+      { errors = 1; warnings = 2; hints = 3; rendered = "r\n";
+        tier = Proto.Mem };
+    Proto.Optimized
+      { output = "return 0"; result = sample_result;
+        passes = [ ("slf", 2); ("dse", 0) ] };
+    Proto.Litmus_result
+      { behaviors = "{0}"; states = 12; races = true; truncated = false;
+        tier = Proto.Computed };
+    Proto.Stats_result "req.total 3\n";
+    Proto.Err "nope";
+    Proto.Bye;
+  ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun req ->
+      Alcotest.(check bool)
+        "request roundtrips" true
+        (Proto.decode_request (Proto.encode_request req) = req))
+    sample_requests;
+  List.iter
+    (fun resp ->
+      Alcotest.(check bool)
+        "response roundtrips" true
+        (Proto.decode_response (Proto.encode_response resp) = resp))
+    sample_responses
+
+let test_proto_rejects () =
+  let garbled = "notaprotocolpayload" in
+  (match Proto.decode_request garbled with
+   | exception Proto.Error _ -> ()
+   | _ -> Alcotest.fail "garbage request accepted");
+  (* trailing bytes after a well-formed payload are a codec violation *)
+  let padded = Proto.encode_request Proto.Ping ^ "x" in
+  (match Proto.decode_request padded with
+   | exception Proto.Error _ -> ()
+   | _ -> Alcotest.fail "trailing bytes accepted")
+
+let write_all fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let test_framing () =
+  (* roundtrip via an OS pipe *)
+  with_pipe (fun r w ->
+      Proto.write_frame w "hello";
+      Proto.write_frame w "";
+      Unix.close w;
+      Alcotest.(check (option string)) "frame 1" (Some "hello")
+        (Proto.read_frame r);
+      Alcotest.(check (option string)) "frame 2" (Some "")
+        (Proto.read_frame r);
+      Alcotest.(check (option string)) "clean EOF" None (Proto.read_frame r));
+  (* bad magic *)
+  with_pipe (fun r w ->
+      write_all w "SEQX\x01\x00\x00\x00\x00";
+      Unix.close w;
+      match Proto.read_frame r with
+      | exception Proto.Error _ -> ()
+      | _ -> Alcotest.fail "bad magic accepted");
+  (* version mismatch *)
+  with_pipe (fun r w ->
+      write_all w "SEQD\xff\x00\x00\x00\x00";
+      Unix.close w;
+      match Proto.read_frame r with
+      | exception Proto.Error _ -> ()
+      | _ -> Alcotest.fail "bad version accepted");
+  (* EOF mid-frame (header promised 5 bytes, delivered 2) *)
+  with_pipe (fun r w ->
+      write_all w "SEQD\x01\x00\x00\x00\x05ab";
+      Unix.close w;
+      match Proto.read_frame r with
+      | exception Proto.Error _ -> ()
+      | _ -> Alcotest.fail "truncated frame accepted")
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_tiers () =
+  let dir = temp_dir "seq-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.create ~dir ~mem_capacity:8 () in
+  Alcotest.(check bool) "miss before add" true (Cache.find c "k1" = None);
+  Cache.add c "k1" "payload-1";
+  Alcotest.(check bool) "mem hit" true
+    (Cache.find c "k1" = Some ("payload-1", Cache.Hit_mem));
+  (* a fresh cache over the same store: first find comes from disk and is
+     promoted, the second from memory *)
+  let c2 = Cache.create ~dir ~mem_capacity:8 () in
+  Alcotest.(check bool) "disk hit" true
+    (Cache.find c2 "k1" = Some ("payload-1", Cache.Hit_disk));
+  Alcotest.(check bool) "promoted to mem" true
+    (Cache.find c2 "k1" = Some ("payload-1", Cache.Hit_mem));
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "one disk hit" 1 s.Cache.hits_disk;
+  Alcotest.(check int) "one mem hit" 1 s.Cache.hits_mem
+
+let test_cache_lru_eviction () =
+  let dir = temp_dir "seq-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.create ~dir ~mem_capacity:2 () in
+  Cache.add c "a" "A";
+  Cache.add c "b" "B";
+  Cache.add c "c" "C";
+  Alcotest.(check int) "capacity respected" 2 (Cache.mem_size c);
+  (* the oldest entry fell out of the LRU but survives on disk *)
+  Alcotest.(check bool) "evicted entry served from disk" true
+    (Cache.find c "a" = Some ("A", Cache.Hit_disk));
+  (* memory-only cache: eviction loses the entry for good *)
+  let m = Cache.create ~mem_capacity:2 () in
+  Cache.add m "a" "A";
+  Cache.add m "b" "B";
+  Cache.add m "c" "C";
+  Alcotest.(check bool) "memory-only eviction is a miss" true
+    (Cache.find m "a" = None)
+
+(* corrupt every entry file under [dir] with [f] and expect a miss *)
+let corruption_case ~what f =
+  let dir = temp_dir "seq-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.create ~dir ~mem_capacity:4 () in
+  Cache.add c "key" "precious payload";
+  let entries =
+    List.filter
+      (fun p -> Filename.basename p <> "VERSION")
+      (files_under dir)
+  in
+  Alcotest.(check bool) "one entry on disk" true (List.length entries = 1);
+  List.iter f entries;
+  (* a fresh cache (cold LRU) must treat the damage as a miss *)
+  let c2 = Cache.create ~dir ~mem_capacity:4 () in
+  Alcotest.(check bool) what true (Cache.find c2 "key" = None)
+
+let test_cache_truncated_entry () =
+  corruption_case ~what:"truncated entry is a miss" (fun path ->
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.sub full 0 (String.length full / 2))))
+
+let test_cache_empty_entry () =
+  corruption_case ~what:"zero-byte entry is a miss" (fun path ->
+      Out_channel.with_open_bin path (fun _ -> ()))
+
+let test_cache_garbled_entry () =
+  corruption_case ~what:"garbled payload is a miss" (fun path ->
+      let full =
+        Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+      in
+      (* flip one payload byte; magic/version/length stay plausible *)
+      let i = Bytes.length full - 1 in
+      Bytes.set full i (Char.chr (Char.code (Bytes.get full i) lxor 0xff));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc full))
+
+let test_cache_version_mismatch_entry () =
+  corruption_case ~what:"other-format entry is a miss" (fun path ->
+      let full =
+        Bytes.of_string (In_channel.with_open_bin path In_channel.input_all)
+      in
+      (* byte 4 is the per-entry format version *)
+      Bytes.set full 4 (Char.chr (Cache.format_version + 1));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc full))
+
+let test_cache_store_version_mismatch () =
+  let dir = temp_dir "seq-cache" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.create ~dir ~mem_capacity:4 () in
+  Cache.add c "key" "payload";
+  (* simulate a store stamped by a future format *)
+  Out_channel.with_open_text (Filename.concat dir "VERSION") (fun oc ->
+      Out_channel.output_string oc "999\n");
+  let c2 = Cache.create ~dir ~mem_capacity:4 () in
+  Alcotest.(check bool) "mismatched store reads as empty" true
+    (Cache.find c2 "key" = None);
+  (* ... and was re-stamped so new writes land in the current format *)
+  Cache.add c2 "key2" "fresh";
+  let c3 = Cache.create ~dir ~mem_capacity:4 () in
+  Alcotest.(check bool) "re-stamped store serves new writes" true
+    (Cache.find c3 "key2" = Some ("fresh", Cache.Hit_disk))
+
+(* ------------------------------------------------------------------ *)
+(* fingerprinting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_keys () =
+  let fp src = Lang.Fingerprint.stmt (Lang.Parser.stmt_of_string src) in
+  Alcotest.(check bool) "identical programs agree" true
+    (fp "a = X.load(na); return a" = fp "a  =  X.load( na ) ;  return a");
+  Alcotest.(check bool) "different mode differs" true
+    (fp "a = X.load(na); return a" <> fp "a = X.load(rlx); return a");
+  Alcotest.(check bool) "different value differs" true
+    (fp "X.store(na, 1)" <> fp "X.store(na, 2)");
+  (* the part list is length-prefixed: concatenation cannot collide *)
+  Alcotest.(check bool) "key parts are delimited" true
+    (Lang.Fingerprint.key [ "ab"; "c" ] <> Lang.Fingerprint.key [ "a"; "bc" ])
+
+(* ------------------------------------------------------------------ *)
+(* handler semantics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_of (t : C.transformation) =
+  { Proto.src = t.C.src; tgt = t.C.tgt; values = []; fast_path = true }
+
+let handler_check h ?(budget = Proto.no_budget) t =
+  match Handler.handle h (Proto.Check (check_of t, budget)) with
+  | Proto.Checked r -> r
+  | _ -> Alcotest.fail "expected Checked"
+
+let test_handler_tiers_and_provenance () =
+  let dir = temp_dir "seq-handler" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let h = Handler.create ~cache_dir:dir () in
+  let tr = List.hd C.transformations in
+  let cold = handler_check h tr in
+  Alcotest.(check bool) "cold pass computes" true
+    (cold.Proto.tier = Proto.Computed);
+  let warm = handler_check h tr in
+  Alcotest.(check bool) "warm pass hits memory" true
+    (warm.Proto.tier = Proto.Mem);
+  (* the definite verdict and its provenance survive the cache verbatim *)
+  Alcotest.(check bool) "verdict preserved" true
+    (warm.Proto.verdict = cold.Proto.verdict);
+  Alcotest.(check bool) "origin preserved" true
+    (warm.Proto.origin = cold.Proto.origin);
+  (* a fresh handler over the same store: disk tier *)
+  let h2 = Handler.create ~cache_dir:dir () in
+  let disk = handler_check h2 tr in
+  Alcotest.(check bool) "restart hits disk" true
+    (disk.Proto.tier = Proto.Disk);
+  Alcotest.(check bool) "verdict preserved across restart" true
+    (disk.Proto.verdict = cold.Proto.verdict)
+
+let test_handler_unknown_uncached () =
+  let h = Handler.create () in
+  let tr =
+    (* an enumerated (not statically certified) corpus entry, so the
+       zero-state budget bites *)
+    List.find (fun (t : C.transformation) -> t.C.name = "no-rlx-store-elim")
+      C.transformations
+  in
+  let starved = { Proto.timeout_ms = None; max_states = Some 0 } in
+  let r = handler_check h ~budget:starved tr in
+  (match r.Proto.verdict with
+   | Proto.Unknown _ -> ()
+   | _ -> Alcotest.fail "expected Unknown under a zero budget");
+  Alcotest.(check bool) "unknown has no origin" true (r.Proto.origin = None);
+  (* the budget-dependent answer was not cached: an unlimited retry
+     computes (a cache hit would re-serve Unknown forever) *)
+  let r2 = handler_check h tr in
+  Alcotest.(check bool) "retry computes a definite verdict" true
+    (r2.Proto.tier = Proto.Computed
+     && match r2.Proto.verdict with Proto.Unknown _ -> false | _ -> true)
+
+let test_handler_parse_error () =
+  let h = Handler.create () in
+  (match Handler.handle h (Proto.Check ({ Proto.src = "while ("; tgt = "return 0"; values = []; fast_path = true }, Proto.no_budget)) with
+   | Proto.Checked { verdict = Proto.Unknown _; origin = None; _ } -> ()
+   | _ -> Alcotest.fail "parse failure must answer Unknown");
+  (* and handle never raises on garbage programs in other requests *)
+  match Handler.handle h (Proto.Lint { prog = "|||"; hints = true }) with
+  | Proto.Err _ | Proto.Linted _ -> ()
+  | _ -> Alcotest.fail "unexpected lint response"
+
+let test_handler_batch_order () =
+  let h = Handler.create () in
+  let trs = List.filteri (fun i _ -> i < 6) C.transformations in
+  let checks = List.map check_of trs in
+  let batched =
+    match Handler.handle h (Proto.Batch (checks, Proto.no_budget)) with
+    | Proto.Batched rs -> rs
+    | _ -> Alcotest.fail "expected Batched"
+  in
+  let singles = List.map (fun t -> handler_check h t) trs in
+  (* the batch computed cold; the singles then hit memory — so compare
+     verdict/origin only, which must agree pairwise in corpus order *)
+  List.iter2
+    (fun (b : Proto.check_result) (s : Proto.check_result) ->
+      Alcotest.(check bool) "batch and single agree" true
+        (b.Proto.verdict = s.Proto.verdict && b.Proto.origin = s.Proto.origin))
+    batched singles
+
+(* qcheck: the service's verdict/origin equals a local Validate run on
+   the same pair, for every corpus transformation (random order). *)
+let prop_server_matches_local =
+  QCheck.Test.make ~count:40 ~name:"service verdict == local Validate"
+    QCheck.(int_range 0 (List.length C.transformations - 1))
+    (fun i ->
+      let tr = List.nth C.transformations i in
+      let h = Handler.create () in
+      let remote = handler_check h tr in
+      let local =
+        let src = Lang.Parser.stmt_of_string tr.C.src in
+        let tgt = Lang.Parser.stmt_of_string tr.C.tgt in
+        Handler.of_validate (Optimizer.Validate.validate ~src ~tgt ())
+      in
+      let expected_verdict, expected_origin = local in
+      remote.Proto.verdict = expected_verdict
+      && remote.Proto.origin = Some expected_origin)
+
+(* ------------------------------------------------------------------ *)
+(* in-process server end-to-end                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_end_to_end () =
+  let dir = temp_dir "seq-server" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config =
+    {
+      (Server.default_config
+         ~socket_path:(Filename.concat dir "seqd.sock"))
+      with
+      cache_dir = Some (Filename.concat dir "cache");
+      jobs = 2;
+    }
+  in
+  let trs = List.filteri (fun i _ -> i < 8) C.transformations in
+  let checks = List.map check_of trs in
+  let handle = Server.spawn config in
+  let cold, warm =
+    Client.with_connection config.Server.socket_path (fun c ->
+        Alcotest.(check bool) "ping" true (Client.ping c);
+        let cold = Client.batch c checks in
+        let warm = Client.batch c checks in
+        let stats = Client.stats c in
+        Alcotest.(check bool) "stats mentions requests" true
+          (String.length stats > 0);
+        (cold, warm))
+  in
+  Server.stop handle;
+  Alcotest.(check int) "all answered" (List.length checks)
+    (List.length cold);
+  List.iter
+    (fun (r : Proto.check_result) ->
+      Alcotest.(check bool) "cold computes" true (r.Proto.tier = Proto.Computed))
+    cold;
+  List.iter2
+    (fun (r : Proto.check_result) (c0 : Proto.check_result) ->
+      Alcotest.(check bool) "warm hits memory" true (r.Proto.tier = Proto.Mem);
+      Alcotest.(check bool) "warm verdict identical" true
+        (r.Proto.verdict = c0.Proto.verdict
+         && r.Proto.origin = c0.Proto.origin))
+    warm cold;
+  (* restart over the same store: the disk tier answers *)
+  let handle = Server.spawn config in
+  let after =
+    Client.with_connection config.Server.socket_path (fun c ->
+        Client.batch c checks)
+  in
+  Server.stop handle;
+  List.iter
+    (fun (r : Proto.check_result) ->
+      Alcotest.(check bool) "post-restart hits disk" true
+        (r.Proto.tier = Proto.Disk))
+    after;
+  (* the socket is unlinked by the drain *)
+  Alcotest.(check bool) "socket unlinked" false
+    (Sys.file_exists config.Server.socket_path)
+
+(* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics () =
+  let m = Engine.Metrics.create () in
+  Engine.Metrics.incr m "req.total";
+  Engine.Metrics.incr ~n:4 m "req.total";
+  Alcotest.(check int) "counter" 5 (Engine.Metrics.get m "req.total");
+  Alcotest.(check int) "absent counter" 0 (Engine.Metrics.get m "nope");
+  for i = 1 to 100 do
+    Engine.Metrics.observe m "lat" (float_of_int i)
+  done;
+  (match Engine.Metrics.latency m "lat" with
+   | None -> Alcotest.fail "expected a latency summary"
+   | Some l ->
+     Alcotest.(check int) "count" 100 l.Engine.Metrics.count;
+     (* nearest-rank on 1..100: p50 = 50, p90 = 90, p99 = 99 *)
+     Alcotest.(check (float 0.0)) "p50" 50.0 l.Engine.Metrics.p50;
+     Alcotest.(check (float 0.0)) "p90" 90.0 l.Engine.Metrics.p90;
+     Alcotest.(check (float 0.0)) "p99" 99.0 l.Engine.Metrics.p99);
+  let rendered = Engine.Metrics.render m in
+  Alcotest.(check bool) "render lists the counter" true
+    (contains ~sub:"req.total 5" rendered)
+
+(* ------------------------------------------------------------------ *)
+(* CLI flag validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cliopts () =
+  let ok = function Ok () -> true | Error _ -> false in
+  Alcotest.(check bool) "jobs 1 ok" true (ok (Engine.Cliopts.validate_jobs 1));
+  Alcotest.(check bool) "jobs 0 rejected" false
+    (ok (Engine.Cliopts.validate_jobs 0));
+  Alcotest.(check bool) "jobs -3 rejected" false
+    (ok (Engine.Cliopts.validate_jobs (-3)));
+  Alcotest.(check bool) "absent timeout ok" true
+    (ok (Engine.Cliopts.validate_timeout_ms None));
+  Alcotest.(check bool) "zero timeout ok" true
+    (ok (Engine.Cliopts.validate_timeout_ms (Some 0.0)));
+  Alcotest.(check bool) "negative timeout rejected" false
+    (ok (Engine.Cliopts.validate_timeout_ms (Some (-1.0))));
+  Alcotest.(check bool) "nan timeout rejected" false
+    (ok (Engine.Cliopts.validate_timeout_ms (Some Float.nan)));
+  Alcotest.(check bool) "negative retries rejected" false
+    (ok (Engine.Cliopts.validate_retries (-1)));
+  Alcotest.(check bool) "negative max-states rejected" false
+    (ok (Engine.Cliopts.validate_max_states (Some (-1))));
+  Alcotest.(check bool) "combined validation finds first error" true
+    (match
+       Engine.Cliopts.validate ~jobs:0 ~timeout_ms:(Some (-1.0))
+         ~max_states:None ()
+     with
+     | Error msg -> contains ~sub:"--jobs" msg
+     | Ok () -> false);
+  Alcotest.(check int) "usage exit code" 2 Engine.Cliopts.usage_exit
+
+let suite =
+  [
+    Alcotest.test_case "proto: encode/decode roundtrip" `Quick
+      test_proto_roundtrip;
+    Alcotest.test_case "proto: codec rejects garbage" `Quick test_proto_rejects;
+    Alcotest.test_case "proto: framing boundaries" `Quick test_framing;
+    Alcotest.test_case "cache: mem/disk tiers + promotion" `Quick
+      test_cache_tiers;
+    Alcotest.test_case "cache: LRU eviction with disk fallback" `Quick
+      test_cache_lru_eviction;
+    Alcotest.test_case "cache: truncated entry is a miss" `Quick
+      test_cache_truncated_entry;
+    Alcotest.test_case "cache: zero-byte entry is a miss" `Quick
+      test_cache_empty_entry;
+    Alcotest.test_case "cache: garbled entry is a miss" `Quick
+      test_cache_garbled_entry;
+    Alcotest.test_case "cache: foreign-version entry is a miss" `Quick
+      test_cache_version_mismatch_entry;
+    Alcotest.test_case "cache: store VERSION mismatch reads empty" `Quick
+      test_cache_store_version_mismatch;
+    Alcotest.test_case "fingerprint: canonical keys" `Quick
+      test_fingerprint_keys;
+    Alcotest.test_case "handler: tier progression, provenance" `Quick
+      test_handler_tiers_and_provenance;
+    Alcotest.test_case "handler: Unknown is never cached" `Quick
+      test_handler_unknown_uncached;
+    Alcotest.test_case "handler: parse errors answer Unknown" `Quick
+      test_handler_parse_error;
+    Alcotest.test_case "handler: batch == singles, in order" `Quick
+      test_handler_batch_order;
+    QCheck_alcotest.to_alcotest prop_server_matches_local;
+    Alcotest.test_case "server: end-to-end tiers over a socket" `Quick
+      test_server_end_to_end;
+    Alcotest.test_case "metrics: counters and percentiles" `Quick test_metrics;
+    Alcotest.test_case "cliopts: range validation" `Quick test_cliopts;
+  ]
