@@ -566,6 +566,72 @@ let fastpath_table () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E11: seqfuzz campaign throughput — execs/s, dedup rate, shrinking    *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_table ~pool ~robust () =
+  let title =
+    "E11 — seqfuzz: campaign throughput (dedup, shrink steps, planted \
+     refutations)"
+  in
+  header title;
+  (* an unlimited budget is not viable here (the enumerated oracles are
+     exponential in the acquire count of generated programs), so the
+     default mirrors seqfuzz's own: a 10k state budget per check *)
+  let budget =
+    if Engine.Budget.spec_is_unlimited robust.spec then
+      Engine.Budget.spec ~max_states:10_000 ()
+    else robust.spec
+  in
+  (* the wall-clock column must be the trailing bare float, like every
+     other table, so the jobs=1 vs jobs=N output diff can strip it;
+     execs/s is derived from it and lives only in the JSON record *)
+  Fmt.pr "%6s %7s %6s %11s %9s %8s %8s@." "execs" "unique" "dedup" "findings"
+    "planted" "shrink" "ms";
+  let jrows =
+    List.map
+      (fun max_execs ->
+        let r = Fuzz.Campaign.run ~pool ~budget ~seed:2 ~max_execs () in
+        let dedup_rate =
+          if r.Fuzz.Campaign.requested_execs = 0 then 0.
+          else
+            float_of_int r.Fuzz.Campaign.dedup_dropped
+            /. float_of_int r.Fuzz.Campaign.requested_execs
+        in
+        let nfindings = List.length r.Fuzz.Campaign.findings in
+        let nplanted =
+          List.length
+            (List.filter (fun (_, h) -> h <> None) r.Fuzz.Campaign.planted)
+        in
+        (* a real finding at bench scale is a genuine cross-layer
+           disagreement; planted coverage is only reported here (the CI
+           smoke run asserts it at full campaign scale) *)
+        if nfindings > 0 then begin
+          mismatches := !mismatches + nfindings;
+          List.iter
+            (fun fi -> Fmt.pr "-- ERROR: %s@." (Fuzz.Campaign.render_finding fi))
+            r.Fuzz.Campaign.findings
+        end;
+        Fmt.pr "%6d %7d %5.0f%% %11d %7d/%d %8d %.1f@."
+          r.Fuzz.Campaign.requested_execs r.Fuzz.Campaign.unique_execs
+          (100. *. dedup_rate) nfindings nplanted
+          (List.length r.Fuzz.Campaign.planted)
+          r.Fuzz.Campaign.shrink_steps_total r.Fuzz.Campaign.wall_ms;
+        J.Obj
+          [ ("execs", J.Int r.Fuzz.Campaign.requested_execs);
+            ("unique", J.Int r.Fuzz.Campaign.unique_execs);
+            ("dedup_rate", J.Float dedup_rate);
+            ("findings", J.Int nfindings);
+            ("planted_refuted", J.Int nplanted);
+            ("shrink_steps", J.Int r.Fuzz.Campaign.shrink_steps_total);
+            ("unknowns", J.Int r.Fuzz.Campaign.unknowns);
+            ("wall_ms", J.Float r.Fuzz.Campaign.wall_ms);
+            ("execs_per_s", J.Float (Fuzz.Campaign.execs_per_s r)) ])
+      [ 40; 80 ]
+  in
+  add_table "E11" title jrows
+
+(* ------------------------------------------------------------------ *)
 (* E10: the seqd service — cold vs warm corpus throughput, hit rate     *)
 (* ------------------------------------------------------------------ *)
 
@@ -810,6 +876,7 @@ let () =
     drf_table ();
     determinism_table ();
     fastpath_table ();
+    fuzz_table ~pool ~robust ();
     Engine.Pool.shutdown pool;
     if service then service_table ~jobs ~robust ();
     if not no_bechamel then bechamel_benches ()
@@ -819,7 +886,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/1");
+         [ ("schema", J.String "seq-bench/2");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

@@ -1,0 +1,201 @@
+(** seqfuzz — differential fuzzing of the SEQ toolchain, with planted
+    bugs as end-to-end oracle coverage.
+
+    Generates a deterministically seeded corpus of WHILE programs
+    (generator phases + AST mutation), runs every program through the
+    differential oracles (each optimizer pass must refine its input; the
+    static race analysis must cover SEQ's dynamic races; lint-clean
+    programs must be dynamically race-free; single-thread SC behaviors
+    must fall inside SEQ's envelope) and through three deliberately
+    unsound pass variants (dead-store elimination across a
+    release/acquire pair, load forwarding across an acquire, LICM past
+    an acquire) that the campaign must {e refute} — a planted variant
+    surviving means the fuzzer or the checker lost its teeth.
+    Counterexamples are shrunk to minimal reproducers; [--out DIR]
+    writes them as .wm pairs re-checkable with seqcheck.
+
+    Exit codes (README table): 0 — no real findings and every planted
+    variant refuted; 3 — a real finding, or a planted variant survived;
+    4 — neither, but some checks were UNKNOWN (budget ran out) and not
+    [--keep-going]; 2 — out-of-range flags; 1 — I/O errors.
+
+    The report on stdout contains no timing fields, so it is
+    byte-identical across [--jobs] settings for state/fuel budgets
+    (wall-clock budgets make individual verdicts machine-dependent);
+    timing goes to stderr. *)
+
+open Cmdliner
+
+let oracle_conv =
+  let parse s =
+    match Fuzz.Oracle.of_string s with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown oracle %S (expected one of: %s)" s
+              (String.concat ", " (List.map Fuzz.Oracle.name Fuzz.Oracle.all))))
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Fuzz.Oracle.name k))
+
+let variant_conv =
+  let parse s =
+    match Fuzz.Planted.of_string s with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown planted variant %S (expected one of: %s)"
+              s
+              (String.concat ", "
+                 (List.map Fuzz.Planted.name Fuzz.Planted.all))))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Fuzz.Planted.name v))
+
+let mkdir_p dir =
+  (* one level is enough for --out targets like _fuzz/ci *)
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      Unix.mkdir d 0o755
+    end
+  in
+  go dir
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let reproducer_basename (fi : Fuzz.Campaign.finding) =
+  (* planted:dse-across-release -> planted-dse-across-release *)
+  String.map (function ':' -> '-' | c -> c) fi.Fuzz.Campaign.oracle
+
+let write_out dir (r : Fuzz.Campaign.report) =
+  mkdir_p dir;
+  write_file
+    (Filename.concat dir "report.json")
+    (Service.Json.to_string (Fuzz.Campaign.json r) ^ "\n");
+  (* every shrunk planted refutation becomes a seqcheck-ready pair:
+     SRC = the minimized program, TGT = the planted variant's output on
+     it.  `seqcheck <v>.src.wm <v>.tgt.wm` must exit 3. *)
+  List.iter
+    (fun (nm, hit) ->
+      match hit with
+      | Some ({ Fuzz.Campaign.shrunk = Some s; _ } as fi) ->
+        (match Fuzz.Planted.of_string nm with
+         | None -> ()
+         | Some v ->
+           let base = Filename.concat dir (reproducer_basename fi) in
+           write_file (base ^ ".src.wm") (Lang.Stmt.to_string s ^ "\n");
+           write_file (base ^ ".tgt.wm")
+             (Lang.Stmt.to_string (Fuzz.Planted.apply v s) ^ "\n"))
+      | _ -> ())
+    r.Fuzz.Campaign.planted;
+  (* real findings keep their (shrunk, when available) program *)
+  List.iteri
+    (fun i (fi : Fuzz.Campaign.finding) ->
+      let p = Option.value fi.shrunk ~default:fi.program in
+      write_file
+        (Filename.concat dir
+           (Printf.sprintf "finding-%02d-%s.wm" i (reproducer_basename fi)))
+        (Lang.Stmt.to_string p ^ "\n"))
+    r.Fuzz.Campaign.findings
+
+let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
+    out keep_going =
+  match
+    Engine.Cliopts.validate ~jobs ~timeout_ms:budget_ms ~max_states ()
+  with
+  | Error msg ->
+    Fmt.epr "seqfuzz: %s@." msg;
+    Engine.Cliopts.usage_exit
+  | Ok () ->
+    (match Engine.Cliopts.validate_nonneg ~flag:"--max-execs" max_execs with
+     | Error msg ->
+       Fmt.epr "seqfuzz: %s@." msg;
+       Engine.Cliopts.usage_exit
+     | Ok () ->
+       (* Unlike seqcheck, an unbounded default is not viable here: the
+          enumerated checks are exponential in the acquire count of
+          generated programs.  A state budget keeps every check bounded
+          and the run reproducible; pass --max-states to change it. *)
+       let max_states = Some (Option.value max_states ~default:20_000) in
+       let budget = Engine.Budget.spec ?timeout_ms:budget_ms ?max_states () in
+       let oracles = if oracles = [] then Fuzz.Oracle.all else oracles in
+       let planted = if planted = [] then Fuzz.Planted.all else planted in
+       let r =
+         Fuzz.Campaign.run ~jobs ~budget ~oracles ~planted
+           ~shrink:(not no_shrink) ~seed ~max_execs ()
+       in
+       print_string (Fuzz.Campaign.render r);
+       Fmt.epr "-- %d unique execs in %.1f ms (jobs=%d, %.1f execs/s)@."
+         r.Fuzz.Campaign.unique_execs r.Fuzz.Campaign.wall_ms jobs
+         (Fuzz.Campaign.execs_per_s r);
+       (try Option.iter (fun dir -> write_out dir r) out
+        with Unix.Unix_error (e, _, arg) ->
+          Fmt.epr "seqfuzz: %s: %s@." arg (Unix.error_message e);
+          exit 1);
+       let survived =
+         List.exists (fun (_, hit) -> hit = None) r.Fuzz.Campaign.planted
+       in
+       if r.Fuzz.Campaign.findings <> [] || survived then 3
+       else if r.Fuzz.Campaign.unknowns > 0 && not keep_going then 4
+       else 0)
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N"
+         ~doc:"Campaign seed; every report field except timing is a pure \
+               function of (seed, flags).")
+
+let max_execs =
+  Arg.(value & opt int 200 & info [ "max-execs" ] ~docv:"N"
+         ~doc:"Corpus size before dedup.")
+
+let jobs =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ]
+         ~doc:"Worker domains for the oracle sweep.")
+
+let oracles =
+  Arg.(value & opt_all oracle_conv [] & info [ "oracle" ] ~docv:"NAME"
+         ~doc:"Run only this differential oracle (repeatable; default: \
+               all of pass-correct, analysis-sound, lint-agree, \
+               baseline-env).")
+
+let planted =
+  Arg.(value & opt_all variant_conv [] & info [ "planted" ] ~docv:"NAME"
+         ~doc:"Check only this planted variant (repeatable; default: all).")
+
+let no_shrink =
+  Arg.(value & flag & info [ "no-shrink" ]
+         ~doc:"Report original counterexamples without minimizing them.")
+
+let budget_ms =
+  Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock budget per check (makes verdicts \
+               machine-dependent; prefer --max-states for reproducible \
+               runs).")
+
+let max_states =
+  Arg.(value & opt (some int) None & info [ "max-states" ] ~docv:"N"
+         ~doc:"State budget per check (default 20000; exhausted checks \
+               count as unknowns).")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+         ~doc:"Write report.json and minimized .wm reproducer pairs \
+               (re-checkable with seqcheck) to this directory.")
+
+let keep_going =
+  Arg.(value & flag & info [ "keep-going" ]
+         ~doc:"Exit 0 even when some checks were UNKNOWN (budget ran \
+               out), as long as nothing failed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "seqfuzz" ~version:"1.0"
+       ~doc:"differential fuzzer for the SEQ toolchain (planted-bug \
+             oracles, shrinking)")
+    Term.(const run $ seed $ max_execs $ jobs $ oracles $ planted
+          $ no_shrink $ budget_ms $ max_states $ out $ keep_going)
+
+let () = exit (Cmd.eval' cmd)

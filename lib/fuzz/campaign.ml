@@ -1,0 +1,410 @@
+(** The fuzzing campaign: deterministically seeded generate/mutate corpus,
+    fingerprint dedup, budgeted parallel oracle sweep, planted-variant
+    refutation, and sequential shrinking.
+
+    Determinism contract (tested): every field of the report except
+    [wall_ms]/[execs_per_s] is a pure function of (seed, max_execs,
+    phases, oracles, planted, shrink, budget spec) — never of [jobs] or
+    scheduling.  Program [i] of the corpus is derived from its own RNG
+    stream [Random.State.make [| seed; i |]]; the corpus, dedup and
+    shrink phases are sequential; the oracle sweep runs under
+    {!Engine.Sweep.run_verdict}'s parallel=sequential contract.  (A
+    wall-clock budget — [timeout_ms] — makes individual outcomes
+    machine-dependent; jobs-independence is only claimed for state/fuel
+    budgets, which is what the CLI smoke tests use.) *)
+
+open Lang
+
+type phase = { phase_name : string; cfg : Gen.config; size : int }
+
+(* The rotation of generator configs, each aimed at one family of
+   barrier-sensitive shapes: "store-heavy" concentrates non-atomic
+   stores on a single location with acquire/release traffic between
+   them (the planted-DSE needle, store–release–acquire–store);
+   "load-heavy" does the same for repeated loads (the planted-LLF
+   needle, load–acquire–load); "loops" drops non-atomic stores
+   entirely so loop bodies keep an invariant load next to an acquire
+   (the planted-LICM needle). *)
+let default_phases =
+  let z = Loc.make "Z" in
+  let x = Loc.make "X" in
+  [
+    { phase_name = "default"; cfg = Gen.default_config; size = 7 };
+    {
+      phase_name = "store-heavy";
+      cfg =
+        {
+          Gen.default_config with
+          Gen.na_locs = [ x ];
+          at_locs = Gen.default_config.Gen.at_locs @ [ z ];
+          w_na_store = 2;
+          w_mode_strong = 3;
+          size_jitter = 2;
+        };
+      size = 9;
+    };
+    {
+      phase_name = "load-heavy";
+      cfg =
+        {
+          Gen.default_config with
+          Gen.na_locs = [ x ];
+          at_locs = Gen.default_config.Gen.at_locs @ [ z ];
+          w_na_load = 4;
+          w_mode_strong = 3;
+        };
+      size = 8;
+    };
+    {
+      phase_name = "loops";
+      cfg =
+        {
+          Gen.default_config with
+          Gen.allow_loops = true;
+          at_locs = Gen.default_config.Gen.at_locs @ [ z ];
+          w_na_load = 3;
+          w_na_store = 0;
+          w_mode_strong = 3;
+        };
+      size = 9;
+    };
+  ]
+
+type finding = {
+  index : int;  (** corpus index of the failing program *)
+  oracle : string;  (** oracle name, or ["planted:<variant>"] *)
+  fingerprint : string;  (** of the original failing program *)
+  detail : string;
+  program : Stmt.t;  (** the original failing program (normalized) *)
+  shrunk : Stmt.t option;  (** minimized reproducer, when shrinking ran *)
+  shrink_steps : int;
+}
+
+type report = {
+  seed : int;
+  requested_execs : int;
+  unique_execs : int;  (** after fingerprint dedup *)
+  dedup_dropped : int;
+  findings : finding list;  (** real-oracle findings, in corpus order *)
+  planted : (string * finding option) list;
+      (** per planted variant: the first refutation, or [None] if the
+          variant survived the campaign (a harness failure) *)
+  unknowns : int;  (** individual checks whose budget ran out *)
+  quarantined : int;
+  shrink_steps_total : int;
+  wall_ms : float;  (** the only timing field; everything else is
+                        jobs-independent *)
+}
+
+let execs_per_s (r : report) : float =
+  if r.wall_ms <= 0. then 0.
+  else float_of_int r.unique_execs /. (r.wall_ms /. 1000.)
+
+(* ------------------------------------------------------------------ *)
+
+let build_corpus ~seed ~max_execs ~(phases : phase list) : Stmt.t array =
+  let nph = List.length phases in
+  let progs = Array.make (max 1 max_execs) Stmt.Skip in
+  for i = 0 to max_execs - 1 do
+    let st = Random.State.make [| seed; i |] in
+    (* [(i / 2) mod nph], not [i mod nph]: the fresh/mutant split below
+       is parity-based, so a parity-based rotation would starve every
+       odd-positioned phase of fresh programs. *)
+    let ph = List.nth phases (i / 2 mod nph) in
+    let p =
+      (* even indices: fresh programs; odd indices (after the first wave
+         of every phase): mutants of an earlier corpus entry *)
+      if i < 2 * nph || i mod 2 = 0 then
+        Gen.gen_program ph.cfg st ~size:ph.size
+      else Mutate.mutate ph.cfg st progs.(i / 2)
+    in
+    progs.(i) <- Stmt.normalize p
+  done;
+  progs
+
+type task_result = {
+  t_real : (Oracle.kind * string) list;  (** oracle findings *)
+  t_planted : Planted.variant list;  (** variants this program refutes *)
+  t_unknowns : int;  (** per-program checks whose budget ran out *)
+}
+
+let run ?pool ?(jobs = 1) ?(budget = Engine.Budget.spec_unlimited)
+    ?(oracles = Oracle.all) ?(planted = Planted.all) ?(shrink = true)
+    ?(phases = default_phases) ~seed ~max_execs () : report =
+  if phases = [] then invalid_arg "Campaign.run: empty phase list";
+  let t0 = Unix.gettimeofday () in
+  let progs = build_corpus ~seed ~max_execs ~phases in
+  (* fingerprint dedup, in corpus order *)
+  let seen = Hashtbl.create 64 in
+  let tasks = ref [] in
+  Array.iteri
+    (fun i p ->
+      if i < max_execs then begin
+        let fp = Fingerprint.stmt p in
+        if not (Hashtbl.mem seen fp) then begin
+          Hashtbl.add seen fp ();
+          tasks := (i, fp, p) :: !tasks
+        end
+      end)
+    progs;
+  let tasks = List.rev !tasks in
+  let unique_execs = List.length tasks in
+  (* Each oracle and each planted check runs under its OWN budget
+     started from the spec, with exhaustion trapped per check: one
+     expensive oracle must not starve the planted checks on exactly the
+     acquire-rich programs the planted needles live in.  (The sweep-level
+     budget passed in by [run_verdict] is deliberately unused.) *)
+  let f ~budget:_ (_i, _fp, p) =
+    let unk = ref 0 in
+    let chk ~none th =
+      match Engine.Verdict.capture th with
+      | Ok x -> x
+      | Error _ -> incr unk; none
+    in
+    let t_real =
+      List.filter_map
+        (fun k ->
+          chk ~none:None (fun () ->
+              Option.map
+                (fun d -> (k, d))
+                (Oracle.check k ~budget:(Engine.Budget.start budget) p)))
+        oracles
+    in
+    let t_planted =
+      List.filter
+        (fun v ->
+          chk ~none:false (fun () ->
+              let tgt = Planted.apply v p in
+              tgt <> p
+              && not
+                   (Oracle.refines ~budget:(Engine.Budget.start budget) ~src:p
+                      ~tgt)))
+        planted
+    in
+    { t_real; t_planted; t_unknowns = !unk }
+  in
+  let outcomes = Engine.Sweep.run_verdict ?pool ~jobs ~budget ~f tasks in
+  (* aggregate in corpus order *)
+  let unknowns = ref 0 and quarantined = ref 0 in
+  let real = ref [] in
+  let planted_hits = Hashtbl.create 8 in
+  List.iter2
+    (fun (i, fp, p) (o : _ Engine.Sweep.outcome) ->
+      if o.Engine.Sweep.quarantined then incr quarantined;
+      match o.Engine.Sweep.result with
+      | Error _ -> incr unknowns
+      | Ok tr ->
+        unknowns := !unknowns + tr.t_unknowns;
+        List.iter
+          (fun (k, detail) ->
+            real :=
+              {
+                index = i;
+                oracle = Oracle.name k;
+                fingerprint = fp;
+                detail;
+                program = p;
+                shrunk = None;
+                shrink_steps = 0;
+              }
+              :: !real)
+          tr.t_real;
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem planted_hits (Planted.name v)) then
+              Hashtbl.add planted_hits (Planted.name v) (i, fp, p))
+          tr.t_planted)
+    tasks outcomes;
+  let findings = List.rev !real in
+  (* sequential shrinking; each candidate check runs under a fresh
+     budget from the same spec, with failures treated as "does not
+     reproduce" (conservative: the reproducer stays larger) *)
+  let trap_false f =
+    match Engine.Verdict.capture f with Ok b -> b | Error _ -> false
+  in
+  let shrink_real k p0 =
+    Shrink.shrink
+      ~check:(fun q ->
+        trap_false (fun () ->
+            Oracle.check k ~budget:(Engine.Budget.start budget) q <> None))
+      p0
+  in
+  let shrink_planted v p0 =
+    Shrink.shrink
+      ~check:(fun q ->
+        trap_false (fun () ->
+            let tgt = Planted.apply v q in
+            tgt <> q
+            && not
+                 (Oracle.refines ~budget:(Engine.Budget.start budget) ~src:q
+                    ~tgt)))
+      p0
+  in
+  let shrink_steps_total = ref 0 in
+  let findings =
+    if not shrink then findings
+    else
+      List.map
+        (fun fi ->
+          match Oracle.of_string fi.oracle with
+          | None -> fi
+          | Some k ->
+            let s, steps = shrink_real k fi.program in
+            shrink_steps_total := !shrink_steps_total + steps;
+            { fi with shrunk = Some s; shrink_steps = steps })
+        findings
+  in
+  let planted_report =
+    List.map
+      (fun v ->
+        let nm = Planted.name v in
+        match Hashtbl.find_opt planted_hits nm with
+        | None -> (nm, None)
+        | Some (i, fp, p) ->
+          let shrunk, steps =
+            if shrink then
+              let s, steps = shrink_planted v p in
+              (Some s, steps)
+            else (None, 0)
+          in
+          shrink_steps_total := !shrink_steps_total + steps;
+          ( nm,
+            Some
+              {
+                index = i;
+                oracle = "planted:" ^ nm;
+                fingerprint = fp;
+                detail = Planted.describe v;
+                program = p;
+                shrunk;
+                shrink_steps = steps;
+              } ))
+      planted
+  in
+  {
+    seed;
+    requested_execs = max_execs;
+    unique_execs;
+    dedup_dropped = max_execs - unique_execs;
+    findings;
+    planted = planted_report;
+    unknowns = !unknowns;
+    quarantined = !quarantined;
+    shrink_steps_total = !shrink_steps_total;
+    wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.  [render] is byte-identical across [jobs] settings: it
+   includes no timing field. *)
+
+let render_program_indented s =
+  String.concat "\n"
+    (List.map (fun l -> "    " ^ l) (String.split_on_char '\n' (Stmt.to_string s)))
+
+let render_finding (fi : finding) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "FINDING %s exec=#%d fp=%s\n  %s\n" fi.oracle fi.index
+       fi.fingerprint fi.detail);
+  (match fi.shrunk with
+   | Some s ->
+     Buffer.add_string b
+       (Printf.sprintf "  shrunk to %d statement(s) in %d step(s):\n%s\n"
+          (Stmt.size s) fi.shrink_steps (render_program_indented s))
+   | None ->
+     Buffer.add_string b
+       (Printf.sprintf "  program (%d statement(s)):\n%s\n"
+          (Stmt.size fi.program)
+          (render_program_indented fi.program)));
+  Buffer.contents b
+
+let render (r : report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "seqfuzz seed=%d execs=%d unique=%d dedup=%d\n" r.seed
+       r.requested_execs r.unique_execs r.dedup_dropped);
+  List.iter
+    (fun (nm, hit) ->
+      match hit with
+      | Some fi ->
+        Buffer.add_string b
+          (Printf.sprintf "PLANTED %-20s REFUTED at exec #%d%s\n" nm fi.index
+             (match fi.shrunk with
+              | Some s ->
+                Printf.sprintf " (shrunk to %d statement(s))" (Stmt.size s)
+              | None -> ""))
+      | None ->
+        Buffer.add_string b (Printf.sprintf "PLANTED %-20s SURVIVED\n" nm))
+    r.planted;
+  List.iter (fun fi -> Buffer.add_string b (render_finding fi)) r.findings;
+  List.iter
+    (fun (_, hit) ->
+      match hit with
+      | Some ({ shrunk = Some _; _ } as fi) ->
+        Buffer.add_string b (render_finding fi)
+      | _ -> ())
+    r.planted;
+  Buffer.add_string b
+    (Printf.sprintf
+       "summary: findings=%d planted_refuted=%d/%d unknowns=%d quarantined=%d shrink_steps=%d\n"
+       (List.length r.findings)
+       (List.length (List.filter (fun (_, h) -> h <> None) r.planted))
+       (List.length r.planted) r.unknowns r.quarantined r.shrink_steps_total);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+
+let json_of_finding (fi : finding) : Service.Json.t =
+  Service.Json.Obj
+    ([
+       ("oracle", Service.Json.String fi.oracle);
+       ("exec", Service.Json.Int fi.index);
+       ("fingerprint", Service.Json.String fi.fingerprint);
+       ("detail", Service.Json.String fi.detail);
+       ("program", Service.Json.String (Stmt.to_string fi.program));
+     ]
+     @ (match fi.shrunk with
+        | None -> []
+        | Some s ->
+          [
+            ("shrunk", Service.Json.String (Stmt.to_string s));
+            ("shrunk_size", Service.Json.Int (Stmt.size s));
+            ("shrink_steps", Service.Json.Int fi.shrink_steps);
+          ]))
+
+(** The campaign as a JSON document; the fuzz row of the seq-bench/2
+    schema embeds the same fields (docs/ENGINE.md). *)
+let json (r : report) : Service.Json.t =
+  Service.Json.Obj
+    [
+      ("seed", Service.Json.Int r.seed);
+      ("execs", Service.Json.Int r.requested_execs);
+      ("unique", Service.Json.Int r.unique_execs);
+      ("dedup_dropped", Service.Json.Int r.dedup_dropped);
+      ( "dedup_rate",
+        Service.Json.Float
+          (if r.requested_execs = 0 then 0.
+           else float_of_int r.dedup_dropped /. float_of_int r.requested_execs)
+      );
+      ("findings", Service.Json.List (List.map json_of_finding r.findings));
+      ( "planted",
+        Service.Json.List
+          (List.map
+             (fun (nm, hit) ->
+               Service.Json.Obj
+                 ([
+                    ("variant", Service.Json.String nm);
+                    ("refuted", Service.Json.Bool (hit <> None));
+                  ]
+                  @
+                  match hit with
+                  | None -> []
+                  | Some fi -> [ ("finding", json_of_finding fi) ]))
+             r.planted) );
+      ("unknowns", Service.Json.Int r.unknowns);
+      ("quarantined", Service.Json.Int r.quarantined);
+      ("shrink_steps", Service.Json.Int r.shrink_steps_total);
+      ("wall_ms", Service.Json.Float r.wall_ms);
+      ("execs_per_s", Service.Json.Float (execs_per_s r));
+    ]

@@ -1,0 +1,71 @@
+(** The fuzzing campaign runner.
+
+    Deterministically seeded: corpus entry [i] is generated (or mutated
+    from entry [i/2]) using its own RNG stream
+    [Random.State.make [| seed; i |]], deduplicated by
+    {!Lang.Fingerprint}, swept through the oracles and planted variants
+    under {!Engine.Sweep.run_verdict} (budget-bounded, quarantining,
+    parallel=sequential), then findings are shrunk sequentially.  Every
+    report field except [wall_ms] is independent of [jobs] and
+    scheduling, provided the budget spec has no wall-clock component —
+    {!render} is the byte-comparable form. *)
+
+open Lang
+
+(** One generator configuration in the campaign's rotation. *)
+type phase = { phase_name : string; cfg : Gen.config; size : int }
+
+(** default / store-heavy / load-heavy / loops — tuned so the planted
+    variants' needles (store–release–acquire–store, load–acquire–load,
+    invariant-load-next-to-acquire loops) are reachable within a small
+    budget. *)
+val default_phases : phase list
+
+type finding = {
+  index : int;  (** corpus index of the failing program *)
+  oracle : string;  (** oracle name, or ["planted:<variant>"] *)
+  fingerprint : string;  (** of the original failing program *)
+  detail : string;
+  program : Stmt.t;  (** the original failing program (normalized) *)
+  shrunk : Stmt.t option;  (** minimized reproducer, when shrinking ran *)
+  shrink_steps : int;
+}
+
+type report = {
+  seed : int;
+  requested_execs : int;
+  unique_execs : int;  (** after fingerprint dedup *)
+  dedup_dropped : int;
+  findings : finding list;  (** real-oracle findings, in corpus order *)
+  planted : (string * finding option) list;
+      (** per planted variant: the first refutation, or [None] if the
+          variant survived (a harness failure) *)
+  unknowns : int;
+  quarantined : int;
+  shrink_steps_total : int;
+  wall_ms : float;  (** the only scheduling-dependent field *)
+}
+
+val execs_per_s : report -> float
+
+val run :
+  ?pool:Engine.Pool.t ->
+  ?jobs:int ->
+  ?budget:Engine.Budget.spec ->
+  ?oracles:Oracle.kind list ->
+  ?planted:Planted.variant list ->
+  ?shrink:bool ->
+  ?phases:phase list ->
+  seed:int ->
+  max_execs:int ->
+  unit ->
+  report
+
+(** Deterministic rendering (no timing fields): byte-identical across
+    [jobs] settings. *)
+val render : report -> string
+
+val render_finding : finding -> string
+
+(** The campaign as a JSON document (includes [wall_ms]/[execs_per_s]). *)
+val json : report -> Service.Json.t

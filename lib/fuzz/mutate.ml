@@ -1,0 +1,219 @@
+(** Semantics-aware AST mutation operators.
+
+    Each operator rewrites one randomly chosen eligible site.  All
+    operators preserve {!Gen}'s well-formedness invariant: a location's
+    access-mode class (non-atomic vs atomic) is never changed and no
+    location outside the config's pools is introduced, so the na/atomic
+    pools stay disjoint (qcheck-tested).  Mutants are {e inputs} for the
+    differential oracles, not transformation targets — they need not be
+    semantically equivalent to their parent, only well-formed. *)
+
+open Lang
+
+type op =
+  | Swap  (** swap two adjacent statements of a block *)
+  | Mode  (** strengthen/weaken an atomic access (rlx ↔ acq/rel) *)
+  | Dup_access  (** duplicate a load or store in place *)
+  | Drop_store  (** delete a store *)
+  | Const  (** replace a constant with another domain value *)
+  | Hoist  (** move the first statement of a loop body before the loop *)
+  | Insert  (** insert a fresh instruction before a random statement *)
+
+let all_ops = [ Swap; Mode; Dup_access; Drop_store; Const; Hoist; Insert ]
+
+let op_name = function
+  | Swap -> "swap"
+  | Mode -> "mode"
+  | Dup_access -> "dup-access"
+  | Drop_store -> "drop-store"
+  | Const -> "const"
+  | Hoist -> "hoist"
+  | Insert -> "insert"
+
+(* ------------------------------------------------------------------ *)
+(* Generic preorder site machinery: [site] proposes a replacement for a
+   node; [count_sites] counts proposals, [rewrite_nth] applies the k-th
+   (preorder) and leaves everything else untouched. *)
+
+let count_sites ~(site : Stmt.t -> Stmt.t option) (s : Stmt.t) : int =
+  let n = ref 0 in
+  let rec go s =
+    if Option.is_some (site s) then incr n;
+    match s with
+    | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> go a; go b
+    | Stmt.While (_, a) -> go a
+    | _ -> ()
+  in
+  go s;
+  !n
+
+let rewrite_nth ~(site : Stmt.t -> Stmt.t option) (k : int) (s : Stmt.t) :
+    Stmt.t option =
+  let n = ref 0 in
+  let hit = ref false in
+  let rec go s =
+    if !hit then s
+    else
+      match site s with
+      | Some repl ->
+        let i = !n in
+        incr n;
+        if i = k then (hit := true; repl) else descend s
+      | None -> descend s
+  and descend s =
+    match s with
+    | Stmt.Seq (a, b) -> Stmt.Seq (go a, go b)
+    | Stmt.If (e, a, b) -> Stmt.If (e, go a, go b)
+    | Stmt.While (e, a) -> Stmt.While (e, go a)
+    | s -> s
+  in
+  let r = go s in
+  if !hit then Some r else None
+
+let apply_site_random st ~site s =
+  match count_sites ~site s with
+  | 0 -> None
+  | n -> rewrite_nth ~site (Random.State.int st n) s
+
+(* ------------------------------------------------------------------ *)
+(* The operators' site functions. *)
+
+let swap_site = function
+  | Stmt.Seq (a, Stmt.Seq (b, rest)) -> Some (Stmt.Seq (b, Stmt.Seq (a, rest)))
+  | Stmt.Seq (a, b) -> Some (Stmt.Seq (b, a))
+  | _ -> None
+
+let mode_site = function
+  | Stmt.Load (r, Mode.Rrlx, x) -> Some (Stmt.Load (r, Mode.Racq, x))
+  | Stmt.Load (r, Mode.Racq, x) -> Some (Stmt.Load (r, Mode.Rrlx, x))
+  | Stmt.Store (Mode.Wrlx, x, e) -> Some (Stmt.Store (Mode.Wrel, x, e))
+  | Stmt.Store (Mode.Wrel, x, e) -> Some (Stmt.Store (Mode.Wrlx, x, e))
+  | _ -> None
+
+let dup_site = function
+  | (Stmt.Store _ | Stmt.Load _) as st -> Some (Stmt.Seq (st, st))
+  | _ -> None
+
+let drop_site = function
+  | Stmt.Store _ -> Some Stmt.Skip
+  | _ -> None
+
+let hoist_site = function
+  | Stmt.While (e, Stmt.Seq (h, rest)) -> Some (Stmt.Seq (h, Stmt.While (e, rest)))
+  | Stmt.While (_, (Stmt.Skip | Stmt.While _ | Stmt.If _)) -> None
+  | Stmt.While (e, h) -> Some (Stmt.Seq (h, Stmt.While (e, Stmt.Skip)))
+  | _ -> None
+
+(* Constants live in expressions, so they need their own traversal. *)
+
+let count_consts (s : Stmt.t) : int =
+  let n = ref 0 in
+  let rec ex = function
+    | Expr.Const (Value.Int _) -> incr n
+    | Expr.Const Value.Undef | Expr.Reg _ -> ()
+    | Expr.Binop (_, a, b) -> ex a; ex b
+    | Expr.Unop (_, a) -> ex a
+  in
+  let rec go = function
+    | Stmt.Skip | Stmt.Abort | Stmt.Fence _ | Stmt.Choose _ | Stmt.Load _ -> ()
+    | Stmt.Assign (_, e) | Stmt.Store (_, _, e) | Stmt.Freeze (_, e)
+    | Stmt.Print e | Stmt.Return e -> ex e
+    | Stmt.Cas (_, _, e1, e2) -> ex e1; ex e2
+    | Stmt.Fadd (_, _, e) -> ex e
+    | Stmt.Seq (a, b) -> go a; go b
+    | Stmt.If (e, a, b) -> ex e; go a; go b
+    | Stmt.While (e, a) -> ex e; go a
+  in
+  go s;
+  !n
+
+let rewrite_nth_const (k : int) ~(value : int -> int) (s : Stmt.t) :
+    Stmt.t option =
+  let n = ref 0 in
+  let hit = ref false in
+  let rec ex e =
+    match e with
+    | Expr.Const (Value.Int v) ->
+      let i = !n in
+      incr n;
+      if i = k && not !hit then (hit := true; Expr.Const (Value.Int (value v)))
+      else e
+    | Expr.Const Value.Undef | Expr.Reg _ -> e
+    | Expr.Binop (o, a, b) ->
+      let a' = ex a in
+      Expr.Binop (o, a', ex b)
+    | Expr.Unop (o, a) -> Expr.Unop (o, ex a)
+  in
+  let rec go s =
+    match s with
+    | Stmt.Skip | Stmt.Abort | Stmt.Fence _ | Stmt.Choose _ | Stmt.Load _ -> s
+    | Stmt.Assign (r, e) -> Stmt.Assign (r, ex e)
+    | Stmt.Store (m, x, e) -> Stmt.Store (m, x, ex e)
+    | Stmt.Freeze (r, e) -> Stmt.Freeze (r, ex e)
+    | Stmt.Print e -> Stmt.Print (ex e)
+    | Stmt.Return e -> Stmt.Return (ex e)
+    | Stmt.Cas (r, x, e1, e2) ->
+      let e1' = ex e1 in
+      Stmt.Cas (r, x, e1', ex e2)
+    | Stmt.Fadd (r, x, e) -> Stmt.Fadd (r, x, ex e)
+    | Stmt.Seq (a, b) ->
+      let a' = go a in
+      Stmt.Seq (a', go b)
+    | Stmt.If (e, a, b) ->
+      let e' = ex e in
+      let a' = go a in
+      Stmt.If (e', a', go b)
+    | Stmt.While (e, a) ->
+      let e' = ex e in
+      Stmt.While (e', go a)
+  in
+  let r = go s in
+  if !hit then Some r else None
+
+(* ------------------------------------------------------------------ *)
+
+let apply (cfg : Gen.config) (st : Random.State.t) (op : op) (s : Stmt.t) :
+    Stmt.t option =
+  match op with
+  | Swap -> apply_site_random st ~site:swap_site s
+  | Mode -> apply_site_random st ~site:mode_site s
+  | Dup_access -> apply_site_random st ~site:dup_site s
+  | Drop_store -> apply_site_random st ~site:drop_site s
+  | Hoist -> apply_site_random st ~site:hoist_site s
+  | Insert ->
+    (* Inserting before a random (preorder, non-[Skip]) statement reaches
+       every block, including loop bodies — the mutation that lands
+       acquire reads between existing accesses. *)
+    let instr = Gen.gen_instr cfg st in
+    let site s0 =
+      match s0 with Stmt.Skip -> None | s0 -> Some (Stmt.Seq (instr, s0))
+    in
+    apply_site_random st ~site s
+  | Const ->
+    (match count_consts s with
+     | 0 -> None
+     | n ->
+       let k = Random.State.int st n in
+       let vs = if cfg.Gen.values = [] then [ 0; 1 ] else cfg.Gen.values in
+       let pick = List.nth vs (Random.State.int st (List.length vs)) in
+       let value old =
+         if pick <> old then pick
+         else List.nth vs ((Random.State.int st (List.length vs) + 1)
+                           mod List.length vs)
+       in
+       rewrite_nth_const k ~value s)
+
+(** Apply one random applicable operator (rotating from a random start, so
+    every program admits a mutation); if none applies, prepend a fresh
+    instruction from the config.  The result is normalized. *)
+let mutate (cfg : Gen.config) (st : Random.State.t) (s : Stmt.t) : Stmt.t =
+  let nops = List.length all_ops in
+  let start = Random.State.int st nops in
+  let rec try_ k =
+    if k = nops then Stmt.seq (Gen.gen_instr cfg st) s
+    else
+      match apply cfg st (List.nth all_ops ((start + k) mod nops)) s with
+      | Some s' -> s'
+      | None -> try_ (k + 1)
+  in
+  Stmt.normalize (try_ 0)

@@ -1,0 +1,39 @@
+(** Semantics-aware AST mutation operators over {!Lang.Stmt.t}.
+
+    Mutants serve as {e inputs} to the differential oracles — they need
+    not preserve their parent's semantics, only {!Lang.Gen}'s
+    well-formedness invariant: no operator changes a location's
+    atomic/non-atomic class or introduces locations outside the config's
+    pools, so the na/atomic pools stay disjoint. *)
+
+open Lang
+
+type op =
+  | Swap  (** swap two adjacent statements of a block *)
+  | Mode  (** strengthen/weaken an atomic access (rlx ↔ acq/rel) *)
+  | Dup_access  (** duplicate a load or store in place *)
+  | Drop_store  (** delete a store *)
+  | Const  (** replace a constant with another domain value *)
+  | Hoist  (** move the first statement of a loop body before the loop *)
+  | Insert  (** insert a fresh instruction before a random statement *)
+
+val all_ops : op list
+val op_name : op -> string
+
+(** Generic preorder site machinery, shared with {!Shrink}: [site]
+    proposes a replacement for a node; [count_sites] counts proposals and
+    [rewrite_nth] applies the k-th (in preorder), leaving every other
+    node untouched. *)
+val count_sites : site:(Stmt.t -> Stmt.t option) -> Stmt.t -> int
+
+val rewrite_nth :
+  site:(Stmt.t -> Stmt.t option) -> int -> Stmt.t -> Stmt.t option
+
+(** Apply one operator at a random eligible site; [None] if the operator
+    has no eligible site in the program. *)
+val apply : Gen.config -> Random.State.t -> op -> Stmt.t -> Stmt.t option
+
+(** Apply one random applicable operator (every program admits one: if no
+    operator applies, a fresh instruction is prepended).  The result is
+    normalized ({!Stmt.normalize}). *)
+val mutate : Gen.config -> Random.State.t -> Stmt.t -> Stmt.t

@@ -1,0 +1,40 @@
+(** Pluggable differential oracles over a single generated program.
+
+    A [Some detail] result is a {e finding}: two layers of the system
+    disagree on the program.  Oracles are deterministic given the
+    program; exploration cost is charged to [budget]
+    ({!Engine.Budget.Exhausted} escapes, to be trapped at the campaign's
+    verdict boundary). *)
+
+open Lang
+
+type kind =
+  | Pass_correct
+      (** each optimizer pass's output refines its input (advanced
+          refinement, static certificate or Fig 6 enumeration) *)
+  | Analysis_sound
+      (** {!Analysis.Perm}'s static racy-access set covers the racy
+          accesses SEQ can dynamically perform (exhaustive exploration
+          over all initial permissions/memories) *)
+  | Lint_agree
+      (** a program {!Optimizer.Lint} raises no race/mixing diagnostic
+          for has no dynamic racy access *)
+  | Baseline_env
+      (** single-thread SC behaviors are included in SEQ's enumerated
+          behaviors; on race-free programs catch-fire agrees with SC *)
+
+val all : kind list
+
+(** Stable names: ["pass-correct"], ["analysis-sound"], ["lint-agree"],
+    ["baseline-env"]. *)
+val name : kind -> string
+
+val of_string : string -> kind option
+
+(** Advanced-only refinement check (static certificate fast path, then
+    Fig 6 enumeration) — also used to refute {!Planted} variants. *)
+val refines : budget:Engine.Budget.t -> src:Stmt.t -> tgt:Stmt.t -> bool
+
+(** Run one oracle.  [Some detail] is a finding; the detail string is
+    deterministic. *)
+val check : kind -> budget:Engine.Budget.t -> Stmt.t -> string option

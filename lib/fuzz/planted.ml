@@ -1,0 +1,164 @@
+(** Deliberately unsound optimizer-pass variants — planted bugs.
+
+    Each variant reimplements one of the paper's passes with exactly the
+    barrier-sensitivity removed that makes the real pass sound (§2, Fig 1;
+    the litmus catalog's "…-across-…" entries are the minimal needles):
+
+    - {!Dse_rel}: dead store elimination that treats release writes,
+      acquire reads and fences as transparent.  Eliminating a store
+      across a release {e write} alone is still sound in the advanced
+      notion (Ex 3.5), but eliminating it across a release-acquire pair
+      is not — the environment may observe the overwritten value.
+    - {!Llf_acq}: load-to-load forwarding that forwards a non-atomic
+      load across an acquire read.  The acquire may regain the location
+      with a new environment-provided value (Ex 2.11's dual).
+    - {!Licm_acq}: loop-invariant code motion that hoists a non-atomic
+      load out of a loop whose body performs an acquire — the real LICM
+      refuses such loops (§4/App D), because later iterations read
+      values the environment supplied at the acquire.
+
+    The fuzzer's job is to {e refute} every variant: find a generated
+    program on which the variant's output does not refine its input.
+    Variants are honest pass skeletons, not error generators: on programs
+    without the dangerous shape they perform ordinary sound rewrites (or
+    nothing), so refutations genuinely exercise the oracles. *)
+
+open Lang
+
+type variant = Dse_rel | Llf_acq | Licm_acq
+
+let all = [ Dse_rel; Llf_acq; Licm_acq ]
+
+let name = function
+  | Dse_rel -> "dse-across-release"
+  | Llf_acq -> "llf-across-acquire"
+  | Licm_acq -> "licm-past-acquire"
+
+let describe = function
+  | Dse_rel -> "dead store elimination ignoring release/acquire barriers"
+  | Llf_acq -> "load-to-load forwarding across acquire reads"
+  | Licm_acq -> "LICM hoisting a load past an acquire loop head"
+
+let of_string s = List.find_opt (fun v -> name v = s) all
+
+(* Statement-list spine of a block (right-nested [Seq], [Skip] dropped). *)
+let rec flatten s acc =
+  match s with
+  | Stmt.Seq (a, b) -> flatten a (flatten b acc)
+  | Stmt.Skip -> acc
+  | s -> s :: acc
+
+let spine s = flatten s []
+
+(* ------------------------------------------------------------------ *)
+(* Buggy DSE: a non-atomic store is dead if some later store in the same
+   block overwrites the location before any load of it — scanning THROUGH
+   fences and atomic accesses as if they were transparent (the planted
+   bug; the real pass kills its deadness facts at a release and must see
+   no acquire before the overwrite). *)
+
+let rec dse_killable x = function
+  | [] -> false
+  | Stmt.Store (Mode.Wna, y, _) :: _ when Loc.equal x y -> true
+  | Stmt.Load (_, _, y) :: _ when Loc.equal x y -> false
+  | (Stmt.If _ | Stmt.While _ | Stmt.Return _ | Stmt.Abort) :: _ -> false
+  | _ :: rest -> dse_killable x rest
+  (* Fence / atomic load / atomic store / CAS / FADD fall through: BUG *)
+
+let rec dse_block = function
+  | [] -> []
+  | Stmt.Store (Mode.Wna, x, _) :: rest when dse_killable x rest ->
+    dse_block rest
+  | Stmt.If (e, a, b) :: rest ->
+    Stmt.If (e, dse_stmt a, dse_stmt b) :: dse_block rest
+  | Stmt.While (e, a) :: rest -> Stmt.While (e, dse_stmt a) :: dse_block rest
+  | s :: rest -> s :: dse_block rest
+
+and dse_stmt s = Stmt.seq_list (dse_block (spine s))
+
+(* ------------------------------------------------------------------ *)
+(* Buggy LLF: forward a non-atomic load's value to a later load of the
+   same location, scanning through acquire reads and fences (the planted
+   bug; the real pass clears its forwarding facts at every acquire). *)
+
+let defined_reg = function
+  | Stmt.Assign (r, _) | Stmt.Load (r, _, _) | Stmt.Cas (r, _, _, _)
+  | Stmt.Fadd (r, _, _) | Stmt.Choose r | Stmt.Freeze (r, _) -> Some r
+  | _ -> None
+
+let rec llf_forward r x stmts =
+  match stmts with
+  | [] -> []
+  | Stmt.Load (r', Mode.Rna, y) :: rest when Loc.equal x y ->
+    Stmt.Assign (r', Expr.reg r)
+    :: (if Reg.equal r' r then rest else llf_forward r x rest)
+  | (Stmt.Store (_, y, _) :: _) when Loc.equal x y -> stmts
+  | (Stmt.If _ | Stmt.While _ | Stmt.Return _ | Stmt.Abort) :: _ -> stmts
+  | s :: rest ->
+    (match defined_reg s with
+     | Some r0 when Reg.equal r0 r -> stmts
+     | _ -> s :: llf_forward r x rest)
+  (* acquire loads and fences fall through the last case: BUG *)
+
+let rec llf_block = function
+  | [] -> []
+  | (Stmt.Load (r, Mode.Rna, x) as ld) :: rest ->
+    ld :: llf_block (llf_forward r x rest)
+  | Stmt.If (e, a, b) :: rest ->
+    Stmt.If (e, llf_stmt a, llf_stmt b) :: llf_block rest
+  | Stmt.While (e, a) :: rest -> Stmt.While (e, llf_stmt a) :: llf_block rest
+  | s :: rest -> s :: llf_block rest
+
+and llf_stmt s = Stmt.seq_list (llf_block (spine s))
+
+(* ------------------------------------------------------------------ *)
+(* Buggy LICM: hoist the first loop-invariant non-atomic load out of the
+   first eligible loop — without checking whether the body performs an
+   acquire (the planted bug; the real pass refuses loops with acquires).
+   One hoist per program keeps the fresh-register plumbing trivial. *)
+
+let licm_apply (p : Stmt.t) : Stmt.t =
+  let t = Stmt.fresh_reg p "t" in
+  let hoisted = ref false in
+  let may_store_x x = function
+    | Stmt.Store (_, y, _) -> Loc.equal x y
+    | Stmt.Cas (_, y, _, _) | Stmt.Fadd (_, y, _) -> Loc.equal x y
+    | Stmt.If _ | Stmt.While _ -> true (* conservatively: may store *)
+    | _ -> false
+  in
+  let rec go_block stmts = List.concat_map go_stmt stmts
+  and go_stmt st =
+    if !hoisted then [ st ]
+    else
+      match st with
+      | Stmt.If (e, a, b) -> [ Stmt.If (e, wrap a, wrap b) ]
+      | Stmt.While (e, body) ->
+        let sp = spine body in
+        let invariant x = not (List.exists (may_store_x x) sp) in
+        let rec find pre = function
+          | [] -> None
+          | Stmt.Load (r, Mode.Rna, x) :: rest when invariant x ->
+            Some (List.rev pre, r, x, rest)
+          | s :: rest -> find (s :: pre) rest
+        in
+        (match find [] sp with
+         | Some (pre, r, x, rest) ->
+           hoisted := true;
+           [ Stmt.Load (t, Mode.Rna, x);
+             Stmt.While
+               (e, Stmt.seq_list (pre @ (Stmt.Assign (r, Expr.reg t) :: rest)));
+           ]
+         | None -> [ Stmt.While (e, wrap body) ])
+      | st -> [ st ]
+  and wrap s = Stmt.seq_list (go_block (spine s))
+  in
+  wrap p
+
+let apply (v : variant) (p : Stmt.t) : Stmt.t =
+  let out =
+    match v with
+    | Dse_rel -> dse_stmt p
+    | Llf_acq -> llf_stmt p
+    | Licm_acq -> licm_apply p
+  in
+  Stmt.normalize out

@@ -1,0 +1,28 @@
+(** Deliberately unsound optimizer-pass variants — the planted bugs the
+    fuzzer must refute (ground truth that the harness finds real bugs).
+
+    Each variant is the corresponding certified pass with exactly its
+    barrier-sensitivity removed: {!Dse_rel} eliminates dead stores
+    through release/acquire events, {!Llf_acq} forwards non-atomic loads
+    across acquire reads, {!Licm_acq} hoists a loop-invariant load out of
+    a loop whose body acquires.  On programs without the dangerous shape
+    they perform ordinary sound rewrites (or nothing), so a refutation
+    requires the generator to produce a genuine counterexample and the
+    oracle to recognize it. *)
+
+open Lang
+
+type variant = Dse_rel | Llf_acq | Licm_acq
+
+val all : variant list
+
+(** Stable machine-readable names: ["dse-across-release"],
+    ["llf-across-acquire"], ["licm-past-acquire"]. *)
+val name : variant -> string
+
+val describe : variant -> string
+val of_string : string -> variant option
+
+(** Run the buggy pass.  The output is normalized; it equals the (also
+    normalized) input when the variant found nothing to rewrite. *)
+val apply : variant -> Stmt.t -> Stmt.t

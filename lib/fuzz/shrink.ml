@@ -1,0 +1,153 @@
+(** Greedy delta-debugging minimizer.
+
+    [shrink ~check p] repeatedly tries one-step reductions (statement
+    deletion, branch/loop elision, expression collapse) in a fixed
+    deterministic order and commits the first reduction on which [check]
+    still reports the failure, until no candidate survives.  The measure
+    [(statement count, expression nodes)] strictly decreases
+    lexicographically at every accepted step, so shrinking terminates,
+    the result is never larger than the input, and — [check] being a pure
+    predicate and the candidate order fixed — the result is a
+    deterministic function of the input.  No RNG is involved. *)
+
+open Lang
+
+let expr_nodes (s : Stmt.t) : int =
+  let n = ref 0 in
+  let rec ex = function
+    | Expr.Const _ | Expr.Reg _ -> incr n
+    | Expr.Binop (_, a, b) -> incr n; ex a; ex b
+    | Expr.Unop (_, a) -> incr n; ex a
+  in
+  let rec go = function
+    | Stmt.Skip | Stmt.Abort | Stmt.Fence _ | Stmt.Choose _ | Stmt.Load _ -> ()
+    | Stmt.Assign (_, e) | Stmt.Store (_, _, e) | Stmt.Freeze (_, e)
+    | Stmt.Print e | Stmt.Return e -> ex e
+    | Stmt.Cas (_, _, e1, e2) -> ex e1; ex e2
+    | Stmt.Fadd (_, _, e) -> ex e
+    | Stmt.Seq (a, b) -> go a; go b
+    | Stmt.If (e, a, b) -> ex e; go a; go b
+    | Stmt.While (e, a) -> ex e; go a
+  in
+  go s;
+  !n
+
+let measure s = (Stmt.size s, expr_nodes s)
+let lex_lt (a1, b1) (a2, b2) = a1 < a2 || (a1 = a2 && b1 < b2)
+
+(* Enumerate all single-site applications of [site], in preorder. *)
+let site_candidates ~site (s : Stmt.t) : Stmt.t list =
+  let n = Mutate.count_sites ~site s in
+  List.init n (fun k ->
+      match Mutate.rewrite_nth ~site k s with
+      | Some c -> c
+      | None -> s (* unreachable: k < count *))
+
+let delete_site = function
+  | Stmt.Seq _ | Stmt.Skip -> None
+  | _ -> Some Stmt.Skip
+
+let if_then_site = function Stmt.If (_, a, _) -> Some a | _ -> None
+let if_else_site = function Stmt.If (_, _, b) -> Some b | _ -> None
+let while_body_site = function Stmt.While (_, a) -> Some a | _ -> None
+
+(* Expression collapse: replace the k-th compound expression node by one
+   of its children.  Enumerated per statement via a counter, like
+   Mutate's constant rewriting. *)
+let collapse_exprs (s : Stmt.t) : Stmt.t list =
+  let out = ref [] in
+  (* total number of compound expr sites *)
+  let count = ref 0 in
+  let rec cex = function
+    | Expr.Const _ | Expr.Reg _ -> ()
+    | Expr.Binop (_, a, b) -> incr count; cex a; cex b
+    | Expr.Unop (_, a) -> incr count; cex a
+  in
+  let rec cgo = function
+    | Stmt.Skip | Stmt.Abort | Stmt.Fence _ | Stmt.Choose _ | Stmt.Load _ -> ()
+    | Stmt.Assign (_, e) | Stmt.Store (_, _, e) | Stmt.Freeze (_, e)
+    | Stmt.Print e | Stmt.Return e -> cex e
+    | Stmt.Cas (_, _, e1, e2) -> cex e1; cex e2
+    | Stmt.Fadd (_, _, e) -> cex e
+    | Stmt.Seq (a, b) -> cgo a; cgo b
+    | Stmt.If (e, a, b) -> cex e; cgo a; cgo b
+    | Stmt.While (e, a) -> cex e; cgo a
+  in
+  cgo s;
+  for k = 0 to !count - 1 do
+    List.iter
+      (fun which ->
+        let n = ref 0 in
+        let hit = ref false in
+        let rec ex e =
+          match e with
+          | Expr.Const _ | Expr.Reg _ -> e
+          | Expr.Binop (o, a, b) ->
+            let i = !n in
+            incr n;
+            if i = k && not !hit then begin
+              hit := true;
+              match which with `L -> a | `R -> b
+            end
+            else
+              let a' = ex a in
+              Expr.Binop (o, a', ex b)
+          | Expr.Unop (o, a) ->
+            let i = !n in
+            incr n;
+            if i = k && not !hit then (hit := true; a) else Expr.Unop (o, ex a)
+        in
+        let rec go s =
+          match s with
+          | Stmt.Skip | Stmt.Abort | Stmt.Fence _ | Stmt.Choose _
+          | Stmt.Load _ -> s
+          | Stmt.Assign (r, e) -> Stmt.Assign (r, ex e)
+          | Stmt.Store (m, x, e) -> Stmt.Store (m, x, ex e)
+          | Stmt.Freeze (r, e) -> Stmt.Freeze (r, ex e)
+          | Stmt.Print e -> Stmt.Print (ex e)
+          | Stmt.Return e -> Stmt.Return (ex e)
+          | Stmt.Cas (r, x, e1, e2) ->
+            let e1' = ex e1 in
+            Stmt.Cas (r, x, e1', ex e2)
+          | Stmt.Fadd (r, x, e) -> Stmt.Fadd (r, x, ex e)
+          | Stmt.Seq (a, b) ->
+            let a' = go a in
+            Stmt.Seq (a', go b)
+          | Stmt.If (e, a, b) ->
+            let e' = ex e in
+            let a' = go a in
+            Stmt.If (e', a', go b)
+          | Stmt.While (e, a) ->
+            let e' = ex e in
+            Stmt.While (e', go a)
+        in
+        let c = go s in
+        if !hit then out := c :: !out)
+      [ `L; `R ]
+  done;
+  List.rev !out
+
+(** All one-step reduction candidates, normalized, in a fixed
+    deterministic order: statement deletions first (largest wins), then
+    branch/loop elisions, then expression collapses. *)
+let candidates (s : Stmt.t) : Stmt.t list =
+  List.map Stmt.normalize
+    (site_candidates ~site:delete_site s
+     @ site_candidates ~site:if_then_site s
+     @ site_candidates ~site:if_else_site s
+     @ site_candidates ~site:while_body_site s
+     @ collapse_exprs s)
+
+(** Greedy minimization: [check] must hold on the input (the caller's
+    failing oracle re-run); returns the minimal program and the number of
+    accepted reduction steps. *)
+let shrink ~(check : Stmt.t -> bool) (p : Stmt.t) : Stmt.t * int =
+  let rec loop s steps =
+    let m = measure s in
+    match
+      List.find_opt (fun c -> lex_lt (measure c) m && check c) (candidates s)
+    with
+    | Some c -> loop c (steps + 1)
+    | None -> (s, steps)
+  in
+  loop (Stmt.normalize p) 0

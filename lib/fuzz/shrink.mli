@@ -1,0 +1,25 @@
+(** Greedy delta-debugging minimizer over statements and expressions.
+
+    Invariants (tested): the shrunk program still satisfies [check] (the
+    caller re-runs the failing oracle), its measure [(statement count,
+    expression nodes)] is never larger than the input's and strictly
+    decreases at every accepted step (so shrinking terminates), and the
+    whole process is deterministic — candidates are tried in a fixed
+    order and no RNG is involved. *)
+
+open Lang
+
+(** [(Stmt.size s, expression nodes of s)] — the lexicographic shrink
+    measure. *)
+val measure : Stmt.t -> int * int
+
+(** All one-step reduction candidates in their fixed deterministic order
+    (statement deletions, branch/loop elisions, expression collapses),
+    each normalized. *)
+val candidates : Stmt.t -> Stmt.t list
+
+(** [shrink ~check p]: greedily commit the first candidate on which
+    [check] still holds until none survives.  [check] must hold on [p]
+    itself (it is not re-verified).  Returns the minimal program and the
+    number of accepted reduction steps. *)
+val shrink : check:(Stmt.t -> bool) -> Stmt.t -> Stmt.t * int

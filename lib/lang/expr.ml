@@ -33,6 +33,15 @@ let int n = Const (Value.Int n)
 let undef = Const Value.Undef
 let reg r = Reg r
 
+(* Negation folded on constants.  The lexer has no negative literals
+   ([-1] lexes as [OP "-"; INT 1]), so a printed [Const (Int (-1))] comes
+   back from the parser as a negated positive constant; folding here makes
+   print-then-parse preserve canonical ASTs (Fingerprint round-trips). *)
+let neg = function
+  | Const (Value.Int n) -> Const (Value.Int (-n))
+  | Const Value.Undef -> Const Value.Undef
+  | e -> Unop (Neg, e)
+
 let rec regs_of acc = function
   | Const _ -> acc
   | Reg r -> Reg.Set.add r acc

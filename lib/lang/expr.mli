@@ -31,6 +31,11 @@ val int : int -> t
 val undef : t
 val reg : Reg.t -> t
 
+(** Negation with constant folding: [neg (Const (Int n))] is
+    [Const (Int (-n))] (and [undef] stays [undef]), so printing a negative
+    constant and re-parsing it yields the same AST. *)
+val neg : t -> t
+
 (** Registers occurring in the expression. *)
 val regs : t -> Reg.Set.t
 

@@ -14,6 +14,18 @@ type config = {
   allow_rmw : bool;
   allow_abort : bool;
   max_depth : int;
+  (* Weight knobs (campaign phases).  A weight [w] replicates the
+     corresponding instruction choices [w] times in the pick list; with
+     every weight at 1 the list is exactly the historical one, and
+     [size_jitter = 0] draws nothing extra, so old seeds generate
+     byte-identical programs (pinned by test_fuzz's golden seeds). *)
+  w_plain : int;  (* thread-local instructions (assign/freeze/print) *)
+  w_na_load : int;  (* non-atomic loads *)
+  w_na_store : int;  (* non-atomic stores *)
+  w_mode_rlx : int;  (* relaxed atomic loads/stores *)
+  w_mode_strong : int;  (* acquire loads / release stores *)
+  w_rmw : int;  (* CAS / FADD *)
+  size_jitter : int;  (* +/- jitter on [gen_program]'s size *)
 }
 
 let default_config =
@@ -27,7 +39,18 @@ let default_config =
     allow_rmw = false;
     allow_abort = false;
     max_depth = 3;
+    w_plain = 1;
+    w_na_load = 1;
+    w_na_store = 1;
+    w_mode_rlx = 1;
+    w_mode_strong = 1;
+    w_rmw = 1;
+    size_jitter = 0;
   }
+
+(* Replicate each entry in place ([w = 1] is the identity, [w <= 0]
+   drops the entries), preserving the historical list order. *)
+let rep w l = if w = 1 then l else List.concat_map (fun f -> List.init (max 0 w) (fun _ -> f)) l
 
 let oneof (st : Random.State.t) (l : 'a list) =
   List.nth l (Random.State.int st (List.length l))
@@ -78,31 +101,42 @@ and gen_instr (cfg : config) (st : Random.State.t) : Stmt.t =
   let reg () = oneof st cfg.regs in
   let val_ () = oneof st cfg.values in
   let choices =
-    [
-      (fun () -> Stmt.Assign (reg (), gen_expr cfg st ~depth:2));
-      (fun () -> Stmt.Load (reg (), Mode.Rna, oneof st cfg.na_locs));
-      (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.int (val_ ())));
-      (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.reg (reg ())));
-      (fun () -> Stmt.Freeze (reg (), gen_expr cfg st ~depth:1));
-      (fun () -> Stmt.Print (Expr.reg (reg ())));
-    ]
+    (* the historical six-entry plain group, split so phases can weight
+       non-atomic loads/stores independently (all-1s is the identity) *)
+    rep cfg.w_plain
+      [ (fun () -> Stmt.Assign (reg (), gen_expr cfg st ~depth:2)) ]
+    @ rep cfg.w_na_load
+        [ (fun () -> Stmt.Load (reg (), Mode.Rna, oneof st cfg.na_locs)) ]
+    @ rep cfg.w_na_store
+        [
+          (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.int (val_ ())));
+          (fun () -> Stmt.Store (Mode.Wna, oneof st cfg.na_locs, Expr.reg (reg ())));
+        ]
+    @ rep cfg.w_plain
+        [
+          (fun () -> Stmt.Freeze (reg (), gen_expr cfg st ~depth:1));
+          (fun () -> Stmt.Print (Expr.reg (reg ())));
+        ]
     @ (if cfg.allow_atomics && cfg.at_locs <> [] then
-         [
-           (fun () -> Stmt.Load (reg (), Mode.Rrlx, oneof st cfg.at_locs));
-           (fun () -> Stmt.Load (reg (), Mode.Racq, oneof st cfg.at_locs));
-           (fun () ->
-             Stmt.Store (Mode.Wrlx, oneof st cfg.at_locs, Expr.int (val_ ())));
-           (fun () ->
-             Stmt.Store (Mode.Wrel, oneof st cfg.at_locs, Expr.int (val_ ())));
-         ]
+         rep cfg.w_mode_rlx
+           [ (fun () -> Stmt.Load (reg (), Mode.Rrlx, oneof st cfg.at_locs)) ]
+         @ rep cfg.w_mode_strong
+             [ (fun () -> Stmt.Load (reg (), Mode.Racq, oneof st cfg.at_locs)) ]
+         @ rep cfg.w_mode_rlx
+             [ (fun () ->
+                 Stmt.Store (Mode.Wrlx, oneof st cfg.at_locs, Expr.int (val_ ()))) ]
+         @ rep cfg.w_mode_strong
+             [ (fun () ->
+                 Stmt.Store (Mode.Wrel, oneof st cfg.at_locs, Expr.int (val_ ()))) ]
        else [])
     @ (if cfg.allow_rmw && cfg.at_locs <> [] then
-         [
-           (fun () ->
-             Stmt.Cas (reg (), oneof st cfg.at_locs, Expr.int (val_ ()),
-                       Expr.int (val_ ())));
-           (fun () -> Stmt.Fadd (reg (), oneof st cfg.at_locs, Expr.int 1));
-         ]
+         rep cfg.w_rmw
+           [
+             (fun () ->
+               Stmt.Cas (reg (), oneof st cfg.at_locs, Expr.int (val_ ()),
+                         Expr.int (val_ ())));
+             (fun () -> Stmt.Fadd (reg (), oneof st cfg.at_locs, Expr.int 1));
+           ]
        else [])
     @ if cfg.allow_abort then [ (fun () -> Stmt.Abort) ] else []
   in
@@ -110,6 +144,10 @@ and gen_instr (cfg : config) (st : Random.State.t) : Stmt.t =
 
 (** A random whole program: statement closed by an observer return. *)
 let gen_program (cfg : config) (st : Random.State.t) ~size : Stmt.t =
+  let size =
+    if cfg.size_jitter <= 0 then size
+    else max 1 (size + Random.State.int st (2 * cfg.size_jitter + 1) - cfg.size_jitter)
+  in
   let body = gen_stmt cfg st ~size in
   let obs =
     List.mapi

@@ -12,8 +12,18 @@ type config = {
   allow_rmw : bool;
   allow_abort : bool;
   max_depth : int;
+  w_plain : int;  (** weight of thread-local instructions (assign/freeze/print) *)
+  w_na_load : int;  (** weight of non-atomic loads *)
+  w_na_store : int;  (** weight of non-atomic stores *)
+  w_mode_rlx : int;  (** weight of relaxed atomic loads/stores *)
+  w_mode_strong : int;  (** weight of acquire loads / release stores *)
+  w_rmw : int;  (** weight of CAS/FADD (with [allow_rmw]) *)
+  size_jitter : int;  (** +/- jitter on [gen_program]'s size; 0 = none *)
 }
 
+(** All weights 1, no jitter: seeds drawn against older versions of this
+    module generate byte-identical programs (golden-pinned in the test
+    suite). *)
 val default_config : config
 
 val gen_expr : config -> Random.State.t -> depth:int -> Expr.t

@@ -158,7 +158,7 @@ and parse_unary st =
   match (peek st).Lexer.tok with
   | Lexer.OP "-" ->
     advance st;
-    Expr.Unop (Expr.Neg, parse_unary st)
+    Expr.neg (parse_unary st)
   | Lexer.OP "!" ->
     advance st;
     Expr.Unop (Expr.Not, parse_unary st)

@@ -40,6 +40,42 @@ let rec seq_list = function
   | [ s ] -> s
   | s :: rest -> seq s (seq_list rest)
 
+(** Canonical form: [Seq] right-nested with no interior [Skip] (what
+    [seq_list] builds and the parser produces) and negated constants
+    folded ([Expr.neg]).  Printing a canonical statement and parsing it
+    back is the identity up to [Fingerprint]; generators and mutators can
+    produce left-nested sequences, so reproducer emission normalizes
+    first. *)
+let rec normalize s =
+  let rec norm_expr (e : Expr.t) : Expr.t =
+    match e with
+    | Expr.Const _ | Expr.Reg _ -> e
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, norm_expr a, norm_expr b)
+    | Expr.Unop (Expr.Neg, a) -> Expr.neg (norm_expr a)
+    | Expr.Unop (op, a) -> Expr.Unop (op, norm_expr a)
+  in
+  match s with
+  | Skip | Fence _ | Choose _ | Abort -> s
+  | Assign (r, e) -> Assign (r, norm_expr e)
+  | Load _ -> s
+  | Store (m, x, e) -> Store (m, x, norm_expr e)
+  | Cas (r, x, e1, e2) -> Cas (r, x, norm_expr e1, norm_expr e2)
+  | Fadd (r, x, e) -> Fadd (r, x, norm_expr e)
+  | Seq (a, b) ->
+    (* Re-associate to the right and drop Skips via the smart [seq]. *)
+    let rec flatten s acc =
+      match s with
+      | Seq (a, b) -> flatten a (flatten b acc)
+      | Skip -> acc
+      | s -> normalize s :: acc
+    in
+    seq_list (flatten (Seq (a, b)) [])
+  | If (e, a, b) -> If (norm_expr e, normalize a, normalize b)
+  | While (e, a) -> While (norm_expr e, normalize a)
+  | Freeze (r, e) -> Freeze (r, norm_expr e)
+  | Print e -> Print (norm_expr e)
+  | Return e -> Return (norm_expr e)
+
 (* Structural size, used by benchmarks and the optimizer report. *)
 let rec size = function
   | Skip | Assign _ | Load _ | Store _ | Cas _ | Fadd _ | Fence _ | Choose _

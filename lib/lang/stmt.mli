@@ -33,6 +33,12 @@ val seq : t -> t -> t
 
 val seq_list : t list -> t
 
+(** Canonical form: sequences right-nested with no interior [Skip],
+    negated constants folded.  [normalize] is the identity on parser
+    output, and printing a normalized statement re-parses to an equal AST
+    (same [Fingerprint]) — the contract reproducer files rely on. *)
+val normalize : t -> t
+
 (** Structural instruction count. *)
 val size : t -> int
 

@@ -1,0 +1,357 @@
+(* Tests for the seqfuzz subsystem: printer/parser round-trip through
+   Fingerprint, the Gen weight-knob compatibility contract (golden
+   seeds), mutation well-formedness, shrinker invariants, the planted
+   variants' ground truth, and the campaign's jobs-determinism and
+   planted-refutation contracts. *)
+
+open Lang
+
+(* ------------------------------------------------------------------ *)
+(* QCheck plumbing (same idiom as test_properties). *)
+
+let stmt_gen (cfg : Gen.config) ~size : Stmt.t QCheck.Gen.t =
+ fun rand -> Gen.gen_program cfg rand ~size
+
+let stmt_arbitrary cfg ~size =
+  QCheck.make ~print:(fun s -> Stmt.to_string s) (stmt_gen cfg ~size)
+
+let rich_cfg =
+  {
+    Gen.default_config with
+    Gen.allow_loops = true;
+    allow_rmw = true;
+    at_locs = Gen.default_config.Gen.at_locs @ [ Loc.make "Z" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 1. Printer/parser round-trip: on normalized programs, parse∘print is
+   the identity up to Fingerprint (the parser produces normalized
+   trees, and Stmt.normalize is idempotent). *)
+
+let roundtrip_fingerprint =
+  QCheck.Test.make ~name:"parse (print p) re-fingerprints identically"
+    ~count:200
+    (stmt_arbitrary rich_cfg ~size:8)
+    (fun p ->
+      let q = Stmt.normalize p in
+      let q' = Parser.stmt_of_string (Stmt.to_string q) in
+      Fingerprint.stmt q = Fingerprint.stmt q')
+
+(* The two printer gaps this property caught: negative constants used to
+   print as application-position [- 1] (unparseable), and [Seq] used to
+   rely on associativity the parser does not reproduce. *)
+let test_roundtrip_negative_const () =
+  let p =
+    Stmt.seq
+      (Stmt.Assign (Reg.make "a", Expr.int (-1)))
+      (Stmt.seq
+         (Stmt.Store
+            (Mode.Wna, Loc.make "X",
+             Expr.Binop (Expr.Add, Expr.int (-2), Expr.reg (Reg.make "a"))))
+         (Stmt.Return (Expr.Unop (Expr.Neg, Expr.reg (Reg.make "a")))))
+  in
+  let q = Stmt.normalize p in
+  let q' = Parser.stmt_of_string (Stmt.to_string q) in
+  Alcotest.(check string)
+    "fingerprint round-trips" (Fingerprint.stmt q) (Fingerprint.stmt q')
+
+let test_normalize_idempotent_on_parse () =
+  let src = "a = X.load(na); Y.store(rel, 1); if a { b = -3 }; return a + b" in
+  let p = Parser.stmt_of_string src in
+  Alcotest.(check bool)
+    "parser output is normalized" true (Stmt.normalize p = p)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Weight-knob compatibility: with every knob at its default the
+   generator consumes the RNG stream exactly as it always did.  These
+   fingerprints were pinned before the knobs existed; a change here
+   means old seeds no longer reproduce old corpora. *)
+
+let golden_seeds =
+  (* (generator, seed, size, md5 of Fingerprint.stmt) *)
+  [
+    ("gen_program", 1, 4, "daddd0a2e03daea8755d9ef3e3761dac");
+    ("gen_linear", 1, 4, "95f715ad0f271a272575e32645ce69bf");
+    ("gen_loops", 1, 4, "ba044bd5a50e04a55247e97da40eecb2");
+    ("gen_program", 7, 6, "f39e1bbf40273f0e3cf7ea96c2858b80");
+    ("gen_linear", 7, 6, "f9b6ae71324292a7d9002415c041827d");
+    ("gen_loops", 7, 6, "573d4b4b4251df28012cbd496b96a278");
+    ("gen_program", 42, 8, "37aa443d475fab47dfdf7042840b2d1a");
+    ("gen_linear", 42, 8, "64e1a795d6684138102eb6e137b8b501");
+    ("gen_loops", 42, 8, "156fa8c3b591f3edea6aed72053d5294");
+    ("gen_program", 123, 10, "0ff31370bc0c6fadc5c9865f107173bd");
+    ("gen_linear", 123, 10, "da6119263998988b6ebef651513cdc46");
+    ("gen_loops", 123, 10, "ec2e0a3bd31eb975b475922889678ecf");
+    ("gen_program", 2024, 12, "63a494d4cc31524e475e6c084babb9bc");
+    ("gen_linear", 2024, 12, "8438bbe44bb164e1562c64826860d666");
+    ("gen_loops", 2024, 12, "fe26bce686a25d3ad8f53525a6d59b0d");
+  ]
+
+let loops_cfg =
+  { Gen.default_config with Gen.allow_loops = true; allow_rmw = true }
+
+let test_golden_seeds () =
+  List.iter
+    (fun (gen, seed, size, expected) ->
+      let st = Random.State.make [| seed; size |] in
+      let p =
+        match gen with
+        | "gen_program" -> Gen.gen_program Gen.default_config st ~size
+        | "gen_linear" -> Gen.gen_linear Gen.default_config st ~size
+        | "gen_loops" -> Gen.gen_program loops_cfg st ~size
+        | _ -> assert false
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s seed=%d size=%d" gen seed size)
+        expected (Fingerprint.stmt p))
+    golden_seeds
+
+(* Dropping a weight to 0 removes the instruction family entirely. *)
+let rec count_na_stores = function
+  | Stmt.Store (Mode.Wna, _, _) -> 1
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> count_na_stores a + count_na_stores b
+  | Stmt.While (_, a) -> count_na_stores a
+  | _ -> 0
+
+let no_store_weight =
+  QCheck.Test.make ~name:"w_na_store = 0 generates no non-atomic stores"
+    ~count:100
+    (stmt_arbitrary { Gen.default_config with Gen.w_na_store = 0 } ~size:8)
+    (fun p -> count_na_stores p = 0)
+
+(* ------------------------------------------------------------------ *)
+(* 3. Well-formedness: generation and mutation keep the non-atomic and
+   atomic pools disjoint and never invent locations. *)
+
+let subset l1 l2 = List.for_all (fun x -> List.exists (Loc.equal x) l2) l1
+
+let pools_ok (cfg : Gen.config) p =
+  let d = Domain.of_stmts [ p ] in
+  Analysis.Modes.per_thread_conflicts [ p ] = []
+  && subset d.Domain.na_locs cfg.Gen.na_locs
+  && subset d.Domain.at_locs cfg.Gen.at_locs
+
+let weighted_cfg =
+  {
+    rich_cfg with
+    Gen.w_na_load = 4;
+    w_na_store = 2;
+    w_mode_strong = 3;
+    size_jitter = 2;
+  }
+
+let gen_well_formed =
+  QCheck.Test.make ~name:"weighted generation keeps pools disjoint"
+    ~count:200
+    (stmt_arbitrary weighted_cfg ~size:8)
+    (fun p -> pools_ok weighted_cfg p)
+
+let mutant_gen (cfg : Gen.config) ~size ~rounds : Stmt.t QCheck.Gen.t =
+ fun rand ->
+  let p = ref (Gen.gen_program cfg rand ~size) in
+  for _ = 1 to rounds do
+    p := Fuzz.Mutate.mutate cfg rand !p
+  done;
+  !p
+
+let mutate_well_formed =
+  QCheck.Test.make ~name:"mutation chains keep pools disjoint" ~count:200
+    (QCheck.make
+       ~print:(fun s -> Stmt.to_string s)
+       (mutant_gen weighted_cfg ~size:6 ~rounds:4))
+    (fun p -> pools_ok weighted_cfg p)
+
+let mutate_normalized =
+  QCheck.Test.make ~name:"mutants are normalized" ~count:200
+    (QCheck.make
+       ~print:(fun s -> Stmt.to_string s)
+       (mutant_gen rich_cfg ~size:6 ~rounds:2))
+    (fun p -> Stmt.normalize p = p)
+
+(* ------------------------------------------------------------------ *)
+(* 4. Shrinker invariants: the result still satisfies the predicate, is
+   never larger (strictly smaller when any step was accepted), and the
+   whole process is deterministic. *)
+
+let lex_le (a1, b1) (a2, b2) = a1 < a2 || (a1 = a2 && b1 <= b2)
+
+let shrink_invariants =
+  (* a cheap structural predicate keeps this property fast while still
+     exercising every candidate class *)
+  let rec has_acq = function
+    | Stmt.Load (_, Mode.Racq, _) -> true
+    | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> has_acq a || has_acq b
+    | Stmt.While (_, a) -> has_acq a
+    | _ -> false
+  in
+  QCheck.Test.make ~name:"shrink: still-fails, never-larger, deterministic"
+    ~count:150
+    (stmt_arbitrary { rich_cfg with Gen.w_mode_strong = 2 } ~size:8)
+    (fun p ->
+      let p = Stmt.normalize p in
+      QCheck.assume (has_acq p);
+      let q, steps = Fuzz.Shrink.shrink ~check:has_acq p in
+      let q', steps' = Fuzz.Shrink.shrink ~check:has_acq p in
+      has_acq q
+      && lex_le (Fuzz.Shrink.measure q) (Fuzz.Shrink.measure p)
+      && (steps = 0 || Fuzz.Shrink.measure q < Fuzz.Shrink.measure p)
+      && (q, steps) = (q', steps'))
+
+let test_shrink_reaches_minimum () =
+  (* an acquire load buried under junk shrinks to just that load *)
+  let p =
+    Parser.stmt_of_string
+      "a = 1; X.store(na, 2); b = Y.load(acq); c = a + b; return c"
+  in
+  let rec has_acq = function
+    | Stmt.Load (_, Mode.Racq, _) -> true
+    | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> has_acq a || has_acq b
+    | Stmt.While (_, a) -> has_acq a
+    | _ -> false
+  in
+  let q, _ = Fuzz.Shrink.shrink ~check:has_acq (Stmt.normalize p) in
+  Alcotest.(check int) "shrinks to the single acquire" 1 (Stmt.size q)
+
+(* ------------------------------------------------------------------ *)
+(* 5. Planted ground truth: each variant transforms its needle and the
+   output does not refine the input; the shapes the real passes handle
+   correctly stay sound even under the buggy variants. *)
+
+let refuted v src =
+  let p = Stmt.normalize (Parser.stmt_of_string src) in
+  let tgt = Fuzz.Planted.apply v p in
+  Alcotest.(check bool)
+    (Fuzz.Planted.name v ^ " transforms its needle") true (tgt <> p);
+  Alcotest.(check bool)
+    (Fuzz.Planted.name v ^ " is refuted on its needle") false
+    (Fuzz.Oracle.refines
+       ~budget:(Engine.Budget.make ~max_states:50_000 ())
+       ~src:p ~tgt)
+
+let sound_on v src =
+  let p = Stmt.normalize (Parser.stmt_of_string src) in
+  let tgt = Fuzz.Planted.apply v p in
+  if tgt <> p then
+    Alcotest.(check bool)
+      (Fuzz.Planted.name v ^ " stays sound on the safe shape") true
+      (Fuzz.Oracle.refines
+         ~budget:(Engine.Budget.make ~max_states:50_000 ())
+         ~src:p ~tgt)
+
+let test_planted_dse () =
+  (* store–release–acquire–store: eliminating the first store lets the
+     environment observe the missing write (Ex 3.5 boundary) *)
+  refuted Fuzz.Planted.Dse_rel
+    "X.store(na, 1); Y.store(rel, 0); a = Z.load(acq); X.store(na, 2); \
+     return a";
+  (* across a release write alone the elimination is still sound in the
+     advanced notion (Ex 3.5) — the buggy pass must NOT be refuted here *)
+  sound_on Fuzz.Planted.Dse_rel
+    "X.store(na, 1); Y.store(rel, 0); X.store(na, 2); return 0"
+
+let test_planted_llf () =
+  refuted Fuzz.Planted.Llf_acq
+    "a = X.load(na); b = Y.load(acq); c = X.load(na); return c";
+  (* forwarding with nothing between the loads is ordinary sound SLF *)
+  sound_on Fuzz.Planted.Llf_acq "a = X.load(na); c = X.load(na); return c"
+
+let test_planted_licm () =
+  refuted Fuzz.Planted.Licm_acq
+    "i = 0; while i < 2 { a = X.load(na); b = Y.load(acq); i = i + 1 }; \
+     return a";
+  (* hoisting out of an acquire-free loop is sound LICM *)
+  sound_on Fuzz.Planted.Licm_acq
+    "i = 0; while i < 2 { a = X.load(na); i = i + 1 }; return a"
+
+(* ------------------------------------------------------------------ *)
+(* 6. The real passes are never flagged: pass-correct returns no finding
+   on random programs (each pass's output refines its input). *)
+
+let passes_never_flagged =
+  QCheck.Test.make ~name:"real passes are never flagged" ~count:60
+    (stmt_arbitrary rich_cfg ~size:6)
+    (fun p ->
+      Fuzz.Oracle.check Fuzz.Oracle.Pass_correct
+        ~budget:(Engine.Budget.make ~max_states:50_000 ())
+        (Stmt.normalize p)
+      = None)
+
+(* ------------------------------------------------------------------ *)
+(* 7. Campaign contracts. *)
+
+let small_budget = Engine.Budget.spec ~max_states:5_000 ()
+
+let test_campaign_jobs_deterministic () =
+  let run jobs =
+    Fuzz.Campaign.run ~jobs ~budget:small_budget ~seed:5 ~max_execs:24 ()
+  in
+  let r1 = run 1 and r3 = run 3 in
+  Alcotest.(check string)
+    "render is byte-identical across jobs"
+    (Fuzz.Campaign.render r1) (Fuzz.Campaign.render r3);
+  Alcotest.(check int) "unknown counts agree" r1.Fuzz.Campaign.unknowns
+    r3.Fuzz.Campaign.unknowns
+
+let test_campaign_refutes_planted () =
+  (* the CI smoke configuration, in miniature: all planted variants must
+     be refuted and shrink small; the real oracles must stay quiet *)
+  let r =
+    Fuzz.Campaign.run ~jobs:2
+      ~budget:(Engine.Budget.spec ~max_states:20_000 ())
+      ~oracles:[ Fuzz.Oracle.Pass_correct ] ~seed:2 ~max_execs:150 ()
+  in
+  Alcotest.(check int) "no real findings" 0
+    (List.length r.Fuzz.Campaign.findings);
+  List.iter
+    (fun (nm, hit) ->
+      match hit with
+      | None -> Alcotest.failf "planted variant %s survived" nm
+      | Some fi ->
+        (match fi.Fuzz.Campaign.shrunk with
+         | None -> Alcotest.failf "%s not shrunk" nm
+         | Some s ->
+           if Stmt.size s > 8 then
+             Alcotest.failf "%s reproducer has %d statements (> 8)" nm
+               (Stmt.size s);
+           (* the reproducer is still a counterexample *)
+           let tgt =
+             Fuzz.Planted.apply (Option.get (Fuzz.Planted.of_string nm)) s
+           in
+           Alcotest.(check bool)
+             (nm ^ " reproducer still refutes") false
+             (tgt = s
+              || Fuzz.Oracle.refines
+                   ~budget:(Engine.Budget.make ~max_states:50_000 ())
+                   ~src:s ~tgt)))
+    r.Fuzz.Campaign.planted
+
+let qsuite = List.map (QCheck_alcotest.to_alcotest ~long:false)
+
+let suite =
+  qsuite
+    [
+      roundtrip_fingerprint;
+      no_store_weight;
+      gen_well_formed;
+      mutate_well_formed;
+      mutate_normalized;
+      shrink_invariants;
+      passes_never_flagged;
+    ]
+  @ [
+      Alcotest.test_case "round-trip: negative constants" `Quick
+        test_roundtrip_negative_const;
+      Alcotest.test_case "parser output is normalized" `Quick
+        test_normalize_idempotent_on_parse;
+      Alcotest.test_case "Gen golden seeds (knob compatibility)" `Quick
+        test_golden_seeds;
+      Alcotest.test_case "shrink reaches the minimal program" `Quick
+        test_shrink_reaches_minimum;
+      Alcotest.test_case "planted DSE ground truth" `Quick test_planted_dse;
+      Alcotest.test_case "planted LLF ground truth" `Quick test_planted_llf;
+      Alcotest.test_case "planted LICM ground truth" `Quick test_planted_licm;
+      Alcotest.test_case "campaign is jobs-deterministic" `Quick
+        test_campaign_jobs_deterministic;
+      Alcotest.test_case "campaign refutes every planted variant" `Slow
+        test_campaign_refutes_planted;
+    ]

@@ -17,4 +17,5 @@ let () =
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
       ("service", Test_service.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
