@@ -1,0 +1,95 @@
+(* Bench regression guard: compare the E12 enumeration-core speedup rows
+   of a fresh `bench --json` record against the checked-in baseline
+   (bench/baseline.json).
+
+   Speedups are same-run ratios of two measurements under identical
+   load, so they are machine-independent where absolute times are not —
+   that is what gets compared.  A row regressing below
+   [soft_floor] x its baseline speedup fails the guard (exit 1); a row
+   collapsing by an order of magnitude is reported as a hard failure
+   (exit 2) — that means a fast path stopped engaging, not noise.
+
+   The baseline's speedup fields are conservative floors (below the
+   worst ratio observed across healthy runs), not a verbatim run record:
+   same-run ratios still wobble with GC pressure and machine load, and
+   the guard must only trip on real regressions.  Refresh them
+   deliberately when the fast path materially improves.
+
+   Usage: guard.exe CURRENT.json [BASELINE.json]  (default baseline:
+   bench/baseline.json). *)
+
+module J = Service.Json
+
+let soft_floor = 0.75
+let hard_floor = 0.1
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let fail fmt = Fmt.kstr (fun m -> prerr_endline ("guard: " ^ m); exit 1) fmt
+
+(* The E12 rows as (name, speedup) pairs. *)
+let e12_rows path : (string * float) list =
+  let doc =
+    match J.of_string (read_file path) with
+    | doc -> doc
+    | exception J.Parse_error msg -> fail "%s: JSON parse error at %s" path msg
+  in
+  let tables =
+    match Option.bind (J.member "tables" doc) J.to_list_opt with
+    | Some ts -> ts
+    | None -> fail "%s: no \"tables\" array" path
+  in
+  let e12 =
+    List.find_opt
+      (fun t -> Option.bind (J.member "id" t) J.to_string_opt = Some "E12")
+      tables
+  in
+  match Option.bind e12 (fun t -> Option.bind (J.member "rows" t) J.to_list_opt)
+  with
+  | None -> fail "%s: no E12 table" path
+  | Some rows ->
+    List.filter_map
+      (fun row ->
+        match
+          ( Option.bind (J.member "name" row) J.to_string_opt,
+            Option.bind (J.member "speedup" row) J.to_float_opt )
+        with
+        | Some name, Some speedup -> Some (name, speedup)
+        | _ -> None)
+      rows
+
+let () =
+  let current, baseline =
+    match Array.to_list Sys.argv with
+    | [ _; c ] -> (c, "bench/baseline.json")
+    | [ _; c; b ] -> (c, b)
+    | _ -> fail "usage: guard.exe CURRENT.json [BASELINE.json]"
+  in
+  let cur = e12_rows current in
+  let base = e12_rows baseline in
+  if base = [] then fail "%s: baseline has no E12 speedup rows" baseline;
+  let soft = ref [] and hard = ref [] in
+  List.iter
+    (fun (name, bspeed) ->
+      match List.assoc_opt name cur with
+      | None -> fail "row %S present in baseline but missing from %s" name current
+      | Some cspeed ->
+        let ratio = cspeed /. bspeed in
+        Fmt.pr "%-22s baseline %6.2fx  current %6.2fx  ratio %.2f@." name
+          bspeed cspeed ratio;
+        if ratio < hard_floor then hard := name :: !hard
+        else if ratio < soft_floor then soft := name :: !soft)
+    base;
+  match !hard, !soft with
+  | [], [] -> Fmt.pr "guard: all %d E12 rows within bounds@." (List.length base)
+  | hard, soft ->
+    List.iter
+      (Fmt.epr "guard: HARD regression (order of magnitude): %s@.")
+      hard;
+    List.iter (Fmt.epr "guard: regression below %.0f%% of baseline: %s@." (100. *. soft_floor)) soft;
+    exit (if hard <> [] then 2 else 1)

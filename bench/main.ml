@@ -632,6 +632,183 @@ let fuzz_table ~pool ~robust () =
   add_table "E11" title jrows
 
 (* ------------------------------------------------------------------ *)
+(* E12: enumeration core — packed fast path vs the reference checker   *)
+(* ------------------------------------------------------------------ *)
+
+(* Both sides run the same roots in the same process, so the speedup
+   column is a ratio of two measurements under identical load —
+   machine-independent, which is what the CI regression guard
+   (bench/guard.ml) compares against bench/baseline.json.  Verdicts and
+   explored pair counts must agree exactly (also enforced corpus-wide by
+   test/test_diffcore.ml); a disagreement here is counted as a
+   mismatch. *)
+let enumcore_table () =
+  let title =
+    "E12 — enumeration core: packed/memoized checkers vs the set-based \
+     reference (identical verdicts and pair counts)"
+  in
+  header title;
+  let parse tr =
+    let src = Parser.stmt_of_string tr.C.src in
+    let tgt = Parser.stmt_of_string tr.C.tgt in
+    (Domain.of_stmts ~values [ src; tgt ], src, tgt)
+  in
+  let refine_roots (d, src, tgt) =
+    Seq_model.Refine.initial_pairs d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+  in
+  let advanced_roots item =
+    List.map
+      (fun (p : Seq_model.Refine.pair) ->
+        {
+          Seq_model.Advanced.commit = Loc.Set.empty;
+          tgt = p.Seq_model.Refine.tgt;
+          src = p.Seq_model.Refine.src;
+        })
+      (refine_roots item)
+  in
+  let corpus = List.map parse C.transformations in
+  (* the transformations the simple game refutes — the advanced checker's
+     real workload (E1/E2 only runs it there, Prop 3.4 covers the rest) *)
+  let refuted =
+    List.filter
+      (fun ((d, _, _) as item) ->
+        not (Seq_model.Refine.check_pairs d (refine_roots item)))
+      corpus
+  in
+  let slice = List.filteri (fun i _ -> i mod 4 = 0) corpus in
+  (* the oracle-gate enumeration workload: generated programs at the
+     fuzz baseline-env oracle's sizes and fuel (lib/fuzz/oracle.ml), the
+     enumeration-throughput slice this PR accelerates.  The slow side is
+     the pre-PR reference recursion (no tables), the fast side the
+     hash-consed memoized core; the column labelled "pairs" counts
+     enumerated behaviors here and must agree exactly. *)
+  let enum_items =
+    let rand = Random.State.make [| 42 |] in
+    List.filter_map
+      (fun p ->
+        let d = Domain.of_stmts [ p ] in
+        match Seq_model.Config.make_tables d with
+        | None -> None
+        | Some _ ->
+          let cfg =
+            Seq_model.Config.make ~perm:(Domain.na_set d) (Prog.init p)
+          in
+          Some (d, cfg, (16 * Stmt.size p) + 64))
+      (List.init 30 (fun i ->
+           Gen.gen_program
+             { Gen.default_config with Gen.allow_loops = true }
+             rand ~size:(13 + (i mod 4))))
+  in
+  let enum_count ~tables () =
+    List.fold_left
+      (fun acc (d, cfg, fuel) ->
+        let tables = if tables then Seq_model.Config.make_tables d else None in
+        acc
+        + Seq_model.Behavior.Set.cardinal
+            (Seq_model.Behavior.enumerate ?tables d ~fuel cfg))
+      0 enum_items
+  in
+  (* one full corpus pass per iteration; fixed repetition counts keep the
+     slow side well above timer resolution *)
+  let rows =
+    [ ( "refine-corpus", 10,
+        (fun () ->
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              acc
+              + snd (Seq_model.Refine.Slow.check_pairs_count d
+                       (refine_roots item)))
+            0 corpus),
+        fun () ->
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              acc
+              + snd (Seq_model.Refine.check_pairs_count d (refine_roots item)))
+            0 corpus );
+      ( "advanced-refuted", 10,
+        (fun () ->
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              acc
+              + snd (Seq_model.Advanced.Slow.check_pairs_count d
+                       (advanced_roots item)))
+            0 refuted),
+        fun () ->
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              acc
+              + snd (Seq_model.Advanced.check_pairs_count d
+                       (advanced_roots item)))
+            0 refuted );
+      ( "adequacy-seq-slice", 10,
+        (fun () ->
+          (* the SEQ side of an E5 adequacy row: the simple game, then the
+             advanced game where simple refutes *)
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              let ok, n =
+                Seq_model.Refine.Slow.check_pairs_count d (refine_roots item)
+              in
+              let n' =
+                if ok then 0
+                else
+                  snd (Seq_model.Advanced.Slow.check_pairs_count d
+                         (advanced_roots item))
+              in
+              acc + n + n')
+            0 slice),
+        fun () ->
+          List.fold_left
+            (fun acc ((d, _, _) as item) ->
+              let ok, n =
+                Seq_model.Refine.check_pairs_count d (refine_roots item)
+              in
+              let n' =
+                if ok then 0
+                else
+                  snd (Seq_model.Advanced.check_pairs_count d
+                         (advanced_roots item))
+              in
+              acc + n + n')
+            0 slice );
+      ( "enumeration-oracle", 1, enum_count ~tables:false,
+        enum_count ~tables:true ) ]
+  in
+  Fmt.pr "%-20s %8s %5s %10s %10s %9s@." "work item" "pairs" "reps"
+    "slow ms" "fast ms" "speedup";
+  let jrows =
+    List.map
+      (fun (name, reps, slow, fast) ->
+        (* at reps = 1 the counting pass doubles as the timed pass (the
+           enumeration row's slow side is tens of seconds) *)
+        let timed_count reps f =
+          Engine.Stats.timed (fun () ->
+              let n = ref 0 in
+              for _ = 1 to reps do n := f () done;
+              !n)
+        in
+        let slow_pairs, slow_ms = timed_count reps slow in
+        let fast_pairs, fast_ms = timed_count reps fast in
+        if slow_pairs <> fast_pairs then begin
+          incr mismatches;
+          Fmt.pr "-- ERROR: %s explored %d pairs fast vs %d slow@." name
+            fast_pairs slow_pairs
+        end;
+        let speedup = if fast_ms > 0. then slow_ms /. fast_ms else 0. in
+        Fmt.pr "%-20s %8d %5d %10.1f %10.1f %8.1fx@." name fast_pairs reps
+          slow_ms fast_ms speedup;
+        J.Obj
+          [ ("name", J.String name);
+            ("pairs", J.Int fast_pairs);
+            ("reps", J.Int reps);
+            ("slow_ms", J.Float slow_ms);
+            ("fast_ms", J.Float fast_ms);
+            ("speedup", J.Float speedup) ])
+      rows
+  in
+  add_table "E12" title jrows
+
+(* ------------------------------------------------------------------ *)
 (* E10: the seqd service — cold vs warm corpus throughput, hit rate     *)
 (* ------------------------------------------------------------------ *)
 
@@ -877,6 +1054,7 @@ let () =
     determinism_table ();
     fastpath_table ();
     fuzz_table ~pool ~robust ();
+    enumcore_table ();
     Engine.Pool.shutdown pool;
     if service then service_table ~jobs ~robust ();
     if not no_bechamel then bechamel_benches ()
@@ -886,7 +1064,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/2");
+         [ ("schema", J.String "seq-bench/3");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

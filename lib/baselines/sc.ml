@@ -208,13 +208,37 @@ let terminal_behavior st =
   in
   go [] st.progs st.outs
 
-let canon_key st =
-  Fmt.str "%a|%a|%a|%a|%b%s"
-    Fmt.(list ~sep:(any "‖") Prog.pp_state) st.progs
-    Fmt.(list ~sep:(any "‖") Vclock.pp) st.clocks
-    (Loc.Map.pp Value.pp) st.mem
-    Fmt.(list ~sep:(any "‖") (list ~sep:comma Value.pp)) st.outs
-    st.raced (Fmt.str "%a" Loc.Set.pp st.raced_strict)
+(* Canonical state identity for the visited set.  [meta] is deliberately
+   excluded: it is a function of the access history already summarised by
+   (clocks, raced, raced_strict) for the purposes of this exploration, and
+   keying on it would only split states without changing any behavior or
+   race verdict.  (The exclusion predates this comparator — the previous
+   string-rendered key had the same components — so state counts are
+   stable.) *)
+module State_key = struct
+  type t = state
+
+  let compare s1 s2 =
+    let c = List.compare Prog.compare_state s1.progs s2.progs in
+    if c <> 0 then c
+    else
+      let c = List.compare Vclock.compare s1.clocks s2.clocks in
+      if c <> 0 then c
+      else
+        let c = Loc.Map.compare Value.compare s1.mem s2.mem in
+        if c <> 0 then c
+        else
+          let c =
+            List.compare (List.compare Value.compare) s1.outs s2.outs
+          in
+          if c <> 0 then c
+          else
+            let c = Bool.compare s1.raced s2.raced in
+            if c <> 0 then c
+            else Loc.Set.compare s1.raced_strict s2.raced_strict
+end
+
+module State_set = Set.Make (State_key)
 
 (** Exhaustive SC interleaving exploration. *)
 let explore ?(values = [ Value.Int 0; Value.Int 1; Value.Int 2 ])
@@ -231,18 +255,19 @@ let explore ?(values = [ Value.Int 0; Value.Int 1; Value.Int 2 ])
       raced_strict = Loc.Set.empty;
     }
   in
-  let visited = Hashtbl.create 1024 in
+  let visited = ref State_set.empty in
+  let n_visited = ref 0 in
   let behaviors = ref Behavior_set.empty in
   let races = ref false in
   let strict_race_locs = ref Loc.Set.empty in
   let truncated = ref false in
   let queue = Queue.create () in
   let push st =
-    let k = canon_key st in
-    if not (Hashtbl.mem visited k) then
-      if Hashtbl.length visited >= max_states then truncated := true
+    if not (State_set.mem st !visited) then
+      if !n_visited >= max_states then truncated := true
       else begin
-        Hashtbl.add visited k ();
+        visited := State_set.add st !visited;
+        incr n_visited;
         Queue.push st queue
       end
   in
@@ -268,5 +293,5 @@ let explore ?(values = [ Value.Int 0; Value.Int 1; Value.Int 2 ])
     strict_races = not (Loc.Set.is_empty !strict_race_locs);
     strict_race_locs = !strict_race_locs;
     truncated = !truncated;
-    states = Hashtbl.length visited;
+    states = !n_visited;
   }

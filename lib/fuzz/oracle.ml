@@ -141,12 +141,28 @@ let check_lint_agree ~budget (p : Stmt.t) : string option =
    above [baseline_env_max_size] are skipped, like SC-truncated ones —
    the envelope property is about behavior sets, and on the campaign's
    deep mutants the enumeration would spend the entire state budget
-   without covering either set (docs/FUZZING.md). *)
-let baseline_env_max_size = 12
+   without covering either set (docs/FUZZING.md).
+
+   The gate sits at 16 statements: the packed-table enumeration core
+   (Lang.Packed via Config.make_tables) made the per-acquire branching
+   cheap enough to afford the deeper programs within the same campaign
+   budgets. *)
+let baseline_env_max_size = 16
+
+(* The SC side below is hard-capped (Sc.explore ~max_states); the SEQ
+   enumeration needs the same protection when the campaign budget is
+   unlimited — a loop-heavy mutant near the size gate can otherwise
+   enumerate behavior sets without bound.  Any explicit budget wins. *)
+let baseline_env_default_states = 200_000
 
 let check_baseline_env ~budget (p : Stmt.t) : string option =
   if Stmt.size p > baseline_env_max_size then None
   else
+  let budget =
+    if Engine.Budget.is_unlimited budget then
+      Engine.Budget.make ~max_states:baseline_env_default_states ()
+    else budget
+  in
   let sc = Baselines.Sc.explore ~max_states:20_000 [ p ] in
   if sc.Baselines.Sc.truncated then None
   else begin
@@ -163,7 +179,8 @@ let check_baseline_env ~budget (p : Stmt.t) : string option =
         Seq_model.Config.make ~perm:(Domain.na_set d) (Prog.init p)
       in
       let fuel = (16 * Stmt.size p) + 64 in
-      let behs = Seq_model.Behavior.enumerate ~budget d ~fuel cfg in
+      let tables = Seq_model.Config.make_tables d in
+      let behs = Seq_model.Behavior.enumerate ~budget ?tables d ~fuel cfg in
       let seq_terms =
         Seq_model.Behavior.Set.fold
           (fun (evs, r) acc ->

@@ -75,6 +75,21 @@ let supersets d (p : Loc.Set.t) : Loc.Set.t list =
 let subsets_of d (p : Loc.Set.t) : Loc.Set.t list =
   subsets (List.filter (fun x -> Loc.Set.mem x p) d.na_locs)
 
+(** All acquire instantiations from permission set [p]: the post set
+    paired with the environment-provided values for the gained locations.
+    This is {e the} canonical enumeration (content and order) of the
+    acquire choices of Fig 1 — {!Seq_model.Config.moves} and the packed
+    caches of {!Packed} both delegate here, so cached and uncached
+    enumeration can never drift apart. *)
+let acquire_choices d (p : Loc.Set.t) : (Loc.Set.t * Value.t Loc.Map.t) list =
+  List.concat_map
+    (fun post ->
+      let gained = Loc.Set.diff post p in
+      List.map
+        (fun vnew -> (post, vnew))
+        (assignments (Loc.Set.elements gained) (values_with_undef d)))
+    (supersets d p)
+
 let pp ppf d =
   Fmt.pf ppf "values=%a na=%a at=%a"
     Fmt.(list ~sep:comma Value.pp) d.values

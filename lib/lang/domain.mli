@@ -47,4 +47,11 @@ val supersets : t -> Loc.Set.t -> Loc.Set.t list
 val subsets_of : t -> Loc.Set.t -> Loc.Set.t list
 (** Subsets of a permission set (release drops). *)
 
+val acquire_choices : t -> Loc.Set.t -> (Loc.Set.t * Value.t Loc.Map.t) list
+(** All acquire instantiations from a permission set: the post set paired
+    with the assignment of environment-provided values to the gained
+    locations.  The canonical enumeration (content {e and} order) that both
+    the uncached SEQ transitions and the packed per-mask caches
+    ({!Packed.acquire_choices}) share. *)
+
 val pp : Format.formatter -> t -> unit

@@ -76,6 +76,22 @@ let rec normalize s =
   | Print e -> Print (norm_expr e)
   | Return e -> Return (norm_expr e)
 
+(** Apply a location renaming everywhere (modes, registers, and
+    expressions are untouched).  Used by the symmetry pass: a renaming
+    [pi] with [normalize (rename_locs pi s) = normalize s] is a syntactic
+    automorphism of [s], so environments that differ only by [pi] explore
+    isomorphic state spaces. *)
+let rec rename_locs f = function
+  | (Skip | Assign _ | Fence _ | Choose _ | Freeze _ | Print _ | Abort
+    | Return _) as s -> s
+  | Load (r, m, x) -> Load (r, m, f x)
+  | Store (m, x, e) -> Store (m, f x, e)
+  | Cas (r, x, e1, e2) -> Cas (r, f x, e1, e2)
+  | Fadd (r, x, e) -> Fadd (r, f x, e)
+  | Seq (a, b) -> Seq (rename_locs f a, rename_locs f b)
+  | If (e, a, b) -> If (e, rename_locs f a, rename_locs f b)
+  | While (e, a) -> While (e, rename_locs f a)
+
 (* Structural size, used by benchmarks and the optimizer report. *)
 let rec size = function
   | Skip | Assign _ | Load _ | Store _ | Cas _ | Fadd _ | Fence _ | Choose _

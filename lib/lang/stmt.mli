@@ -42,6 +42,13 @@ val normalize : t -> t
 (** Structural instruction count. *)
 val size : t -> int
 
+(** Apply a location renaming everywhere (modes, registers, expressions
+    untouched).  A renaming [pi] with
+    [normalize (rename_locs pi s) = normalize s] is a syntactic
+    automorphism of [s] — the symmetry pass explores one representative
+    per orbit of such renamings. *)
+val rename_locs : (Loc.t -> Loc.t) -> t -> t
+
 (** Static footprint: locations accessed non-atomically / atomically, and
     the registers occurring. *)
 type footprint = {

@@ -29,8 +29,10 @@ end)
 (* Universal branching over environment responses at a labeled step.
    Returns [None] if the step is an acquire (forbidden in suffixes) and
    the list of successor configurations otherwise ([`Stop] when the
-   program terminates). *)
-let suffix_successors (d : Domain.t) (cfg : Config.t) :
+   program terminates).  [rel] provides the release permission drops and
+   must equal [Domain.subsets_of d cfg.perm] — the parameterization only
+   lets the fast path substitute the per-mask cached copy. *)
+let suffix_successors_gen ~rel (d : Domain.t) (cfg : Config.t) :
     [ `Forbidden | `Branches of [ `Cfg of Config.t | `Bot ] list ] =
   match Prog.step cfg.Config.prog with
   | Prog.Terminated _ -> `Branches []
@@ -63,12 +65,16 @@ let suffix_successors (d : Domain.t) (cfg : Config.t) :
     `Branches
       (List.map
          (fun post -> `Cfg (Config.apply_release { cfg with prog = p } ~post))
-         (Domain.subsets_of d cfg.perm))
+         (rel cfg))
   | Prog.Do_fence (Mode.Frel, p) ->
     `Branches
       (List.map
          (fun post -> `Cfg (Config.apply_release { cfg with prog = p } ~post))
-         (Domain.subsets_of d cfg.perm))
+         (rel cfg))
+
+let suffix_successors (d : Domain.t) (cfg : Config.t) =
+  suffix_successors_gen d cfg
+    ~rel:(fun c -> Domain.subsets_of d c.Config.perm)
 
 (** Can the source reach ⊥ without any acquire event, under {e every}
     oracle? (the "∀Ω. ∃ trace with Racq ∉ tr ending in ⊥" disjunct of
@@ -175,6 +181,28 @@ let mem_le (d : Domain.t) m1 m2 =
         (Loc.Map.find_default ~default:Value.zero x m1)
         (Loc.Map.find_default ~default:Value.zero x m2))
     d.Domain.na_locs
+
+(* The game logic is written once against this vtable and instantiated
+   twice: the reference implementation ({!Slow}) recomputes lines, move
+   lists, and the ∀-oracle suffix games from scratch (modulo the
+   per-check [can_fail] memo it always had); the fast path serves all
+   four from a {!Core} context over interned configuration ids.  Both
+   must return identical values — the games may not drift. *)
+type ops = {
+  line : Config.t -> Config.line;
+  moves : Config.t -> Config.move list;
+  can_fail : Config.t -> bool;
+  can_fulfill : need:Loc.Set.t -> Config.t -> bool;
+}
+
+let slow_ops ~budget (d : Domain.t) (fm : bool Cfg_map.t ref) : ops =
+  {
+    line = Config.line;
+    moves = Config.moves d;
+    can_fail = (fun cfg -> can_fail_universally_memo ~budget d fm cfg);
+    can_fulfill =
+      (fun ~need cfg -> can_fulfill_universally ~budget d ~need cfg);
+  }
 
 (* R' of beh-rel-write: (R ∖ F_src) ∪ (F_tgt ∖ F_src) ∪ {y | V_tgt(y) ⋢ V_src(y)}.
    The released memories range over the shared pre-release permission set. *)
@@ -306,7 +334,7 @@ let respond_pending ~commit (point : src_point) (ev : Event.t) :
           Plain (Config.apply_acquire scfg ~post:a.apost ~vnew:a.agained) )
   | (Plain _ | Pend_rel _ | Pend_acq _), _ -> `No
 
-let rec consume (d : Domain.t) ~budget fm ~commit (point : src_point) (evs : Event.t list)
+let rec consume (ops : ops) ~commit (point : src_point) (evs : Event.t list)
     (next_t : Config.next) : answer =
   match evs with
   | [] ->
@@ -314,39 +342,38 @@ let rec consume (d : Domain.t) ~budget fm ~commit (point : src_point) (evs : Eve
      | Pend_rel _ | Pend_acq _ -> Const false
      | Plain scfg ->
        (match next_t with
-        | Config.Bot -> Const (can_fail_universally_memo ~budget d fm scfg)
+        | Config.Bot -> Const (ops.can_fail scfg)
         | Config.Cont tcfg' -> Dep { commit; tgt = tcfg'; src = scfg }))
   | ev :: rest ->
     (match point with
      | Pend_rel _ | Pend_acq _ ->
        (match respond_pending ~commit point ev with
-        | `Ok (commit', point') -> consume d ~budget fm ~commit:commit' point' rest next_t
+        | `Ok (commit', point') -> consume ops ~commit:commit' point' rest next_t
         | `Bot -> Const true
         | `No -> Const false)
      | Plain scfg ->
-       let ln = Config.line scfg in
+       let ln = ops.line scfg in
        (match ln.Config.line_end with
         | Config.L_bot -> Const true
         | Config.L_label scfg' ->
           (match respond1 ~commit scfg' ev with
-           | `Ok (commit', point') -> consume d ~budget fm ~commit:commit' point' rest next_t
+           | `Ok (commit', point') -> consume ops ~commit:commit' point' rest next_t
            | `Bot -> Const true
            | `No ->
              (* the source may still escape via late UB for every oracle *)
-             Const (can_fail_universally_memo ~budget d fm scfg))
+             Const (ops.can_fail scfg))
         | Config.L_term _ | Config.L_diverge ->
-          Const (can_fail_universally_memo ~budget d fm scfg)))
+          Const (ops.can_fail scfg)))
 
 type node = { local_ok : bool; deps : answer list }
 
-let analyze (d : Domain.t) ~budget fm (p : pair) : node =
+let analyze (ops : ops) (d : Domain.t) (p : pair) : node =
   (* Fig 6: [∀Ω ∃ ⊥-suffix] disjunct first — it matches everything. *)
-  if can_fail_universally_memo ~budget d fm p.src then { local_ok = true; deps = [] }
+  if ops.can_fail p.src then { local_ok = true; deps = [] }
   else
-    let ln_t = Config.line p.tgt in
+    let ln_t = ops.line p.tgt in
     let need = Loc.Set.union ln_t.Config.written_max p.commit in
-    if not (can_fulfill_universally ~budget d ~need p.src) then
-      { local_ok = false; deps = [] }
+    if not (ops.can_fulfill ~need p.src) then { local_ok = false; deps = [] }
     else
       match ln_t.Config.line_end with
       | Config.L_bot ->
@@ -354,7 +381,7 @@ let analyze (d : Domain.t) ~budget fm (p : pair) : node =
         { local_ok = false; deps = [] }
       | Config.L_diverge -> { local_ok = true; deps = [] }
       | Config.L_term (v, tcfg') ->
-        let ln_s = Config.line p.src in
+        let ln_s = ops.line p.src in
         (match ln_s.Config.line_end with
          | Config.L_term (v', scfg') ->
            let ok =
@@ -368,57 +395,375 @@ let analyze (d : Domain.t) ~budget fm (p : pair) : node =
          | Config.L_bot | Config.L_diverge | Config.L_label _ ->
            { local_ok = false; deps = [] })
       | Config.L_label tcfg' ->
-        let ln_s = Config.line p.src in
+        let ln_s = ops.line p.src in
         (match ln_s.Config.line_end with
          | Config.L_label scfg' ->
            let answers =
              List.map
                (fun (evs, next_t) ->
-                 consume d ~budget fm ~commit:p.commit (Plain scfg') evs next_t)
-               (Config.moves d tcfg')
+                 consume ops ~commit:p.commit (Plain scfg') evs next_t)
+               (ops.moves tcfg')
            in
            { local_ok = true; deps = answers }
          | Config.L_bot (* would have been caught by the escape *)
          | Config.L_term _ | Config.L_diverge ->
            { local_ok = false; deps = [] })
 
-let check_pairs_count ?(budget = Engine.Budget.unlimited) (d : Domain.t)
-    (roots : pair list) : bool * int =
-  let fm = ref Cfg_map.empty in
-  let nodes : node Pair_map.t ref = ref Pair_map.empty in
-  let rec explore p =
-    if not (Pair_map.mem p !nodes) then begin
-      Engine.Budget.spend_state budget;
-      nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
-      let node = analyze d ~budget fm p in
-      nodes := Pair_map.add p node !nodes;
-      List.iter (function Dep q -> explore q | Const _ -> ()) node.deps
+(** The set-based reference checker: recomputes every line, move list,
+    and suffix game from scratch (modulo the per-check [can_fail] memo it
+    always had) and runs the greatest fixpoint by repeated full passes.
+    The differential-testing oracle for the fast path below. *)
+module Slow = struct
+  let check_pairs_count ?(budget = Engine.Budget.unlimited) (d : Domain.t)
+      (roots : pair list) : bool * int =
+    let fm = ref Cfg_map.empty in
+    let ops = slow_ops ~budget d fm in
+    let nodes : node Pair_map.t ref = ref Pair_map.empty in
+    let rec explore p =
+      if not (Pair_map.mem p !nodes) then begin
+        Engine.Budget.spend_state budget;
+        nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
+        let node = analyze ops d p in
+        nodes := Pair_map.add p node !nodes;
+        List.iter (function Dep q -> explore q | Const _ -> ()) node.deps
+      end
+    in
+    List.iter explore roots;
+    let alive = ref (Pair_map.map (fun _ -> true) !nodes) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Pair_map.iter
+        (fun p node ->
+          Engine.Budget.check budget;
+          if Pair_map.find p !alive then begin
+            let ok =
+              node.local_ok
+              && List.for_all
+                   (function Const b -> b | Dep q -> Pair_map.find q !alive)
+                   node.deps
+            in
+            if not ok then begin
+              alive := Pair_map.add p false !alive;
+              changed := true
+            end
+          end)
+        !nodes
+    done;
+    ( List.for_all (fun p -> Pair_map.find p !alive) roots,
+      Pair_map.cardinal !nodes )
+
+  let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
+    fst (check_pairs_count ?budget d roots)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fast path: interned configurations, memoized suffix games           *)
+(* ------------------------------------------------------------------ *)
+
+(* Memoized suffix successors over interned ids.  `Bot branches are
+   trivially winning in both suffix games, so only the configuration
+   successors are kept; [S_term] records the terminated case (an empty
+   branch list), which loses, while a branch list emptied by dropping
+   `Bot entries wins. *)
+type suffix = S_forbidden | S_term | S_branches of int array
+
+let suffix_id_ops (core : Core.t) (budget : Engine.Budget.t) =
+  let d = Core.domain core in
+  let pk = Core.packed core in
+  let rel c = Packed.release_choices pk (Packed.mask_of_set pk c.Config.perm) in
+  let suffix_memo : (int, suffix) Hashtbl.t = Hashtbl.create 64 in
+  let suffix id =
+    match Hashtbl.find_opt suffix_memo id with
+    | Some s -> s
+    | None ->
+      let s =
+        match suffix_successors_gen ~rel d (Core.cfg core id) with
+        | `Forbidden -> S_forbidden
+        | `Branches [] -> S_term
+        | `Branches bs ->
+          S_branches
+            (Array.of_list
+               (List.filter_map
+                  (function
+                    | `Bot -> None
+                    | `Cfg c -> Some (Core.intern core c))
+                  bs))
+      in
+      Hashtbl.replace suffix_memo id s;
+      s
+  in
+  (* can_fail: result memo (context-independent, as in the reference:
+     all branching is adversarial, so a back edge is a genuine cycle and
+     false is the exact game value); [visiting] is the DFS path. *)
+  let fail_memo : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let fail_visiting : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec can_fail_id id =
+    Engine.Budget.check budget;
+    match Hashtbl.find_opt fail_memo id with
+    | Some b -> b
+    | None ->
+      if Hashtbl.mem fail_visiting id then false
+      else begin
+        Hashtbl.add fail_visiting id ();
+        let result =
+          match suffix id with
+          | S_forbidden | S_term -> false
+          | S_branches ids -> Array.for_all can_fail_id ids
+        in
+        Hashtbl.remove fail_visiting id;
+        Hashtbl.replace fail_memo id result;
+        result
+      end
+  in
+  (* can_fulfill: interior nodes are path-dependent (a back edge to the
+     DFS path loses only along that path), so only completed {e
+     top-level} queries are memoized — those are the exact game values
+     the reference computes from scratch at every pair. *)
+  let fulfill_memo : (int * int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let can_fulfill_id need id =
+    match Hashtbl.find_opt fulfill_memo (need, id) with
+    | Some b -> b
+    | None ->
+      let visiting : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let rec go need id =
+        Engine.Budget.check budget;
+        let need = need land lnot (Core.written_mask core id) in
+        if need = 0 then true
+        else if Hashtbl.mem visiting (need, id) then false
+        else begin
+          Hashtbl.add visiting (need, id) ();
+          let result =
+            match suffix id with
+            | S_forbidden | S_term -> false
+            | S_branches ids -> Array.for_all (fun c -> go need c) ids
+          in
+          Hashtbl.remove visiting (need, id);
+          result
+        end
+      in
+      let b = go need id in
+      Hashtbl.add fulfill_memo (need, id) b;
+      b
+  in
+  (can_fail_id, can_fulfill_id)
+
+(* An [answer] at the id level: commitment mask, target id, source id. *)
+type fanswer = FConst of bool | FDep of int * int * int
+
+(* Same structure as [Refine.solve_fast], with the commitment mask
+   threaded through pair keys and answer-memo keys.  Identical phase-1
+   DFS (same pair set, order, and budget spend points as the reference);
+   gfp by reverse-dependency propagation.  The source's answer to one
+   target move is a function of (commit mask, source line-end id, target
+   line-end id, move index), so answers are shared between every pair
+   reaching the same post-line frontier under the same commitment. *)
+let solve_fast ?(budget = Engine.Budget.unlimited) (core : Core.t)
+    (d : Domain.t) (roots : pair list) : bool * int =
+  let pk = Core.packed core in
+  let can_fail_id, can_fulfill_id = suffix_id_ops core budget in
+  let mask_of = Packed.mask_of_set pk in
+  (* Mirrors [consume] at id granularity; [commit]/[cmask] are the same
+     set in both representations. *)
+  let rec consume_fast ~commit ~cmask (point : src_point)
+      (evs : Event.t list) (next_t : int) : fanswer =
+    match evs with
+    | [] ->
+      (match point with
+       | Pend_rel _ | Pend_acq _ -> FConst false
+       | Plain scfg ->
+         let sid = Core.intern core scfg in
+         if next_t < 0 then FConst (can_fail_id sid)
+         else FDep (cmask, next_t, sid))
+    | ev :: rest ->
+      (match point with
+       | Pend_rel _ | Pend_acq _ ->
+         (match respond_pending ~commit point ev with
+          | `Ok (commit', point') ->
+            consume_fast ~commit:commit' ~cmask:(mask_of commit') point' rest
+              next_t
+          | `Bot -> FConst true
+          | `No -> FConst false)
+       | Plain scfg ->
+         let sid = Core.intern core scfg in
+         let ln = Core.line_id core sid in
+         (match ln.Config.line_end with
+          | Config.L_bot -> FConst true
+          | Config.L_label scfg' ->
+            (match respond1 ~commit scfg' ev with
+             | `Ok (commit', point') ->
+               consume_fast ~commit:commit' ~cmask:(mask_of commit') point'
+                 rest next_t
+             | `Bot -> FConst true
+             | `No ->
+               (* the source may still escape via late UB for every oracle *)
+               FConst (can_fail_id sid))
+          | Config.L_term _ | Config.L_diverge -> FConst (can_fail_id sid)))
+  in
+  (* (commit mask, source line-end id, target line-end id, move index) *)
+  let answer_memo : (int * int * int * int, fanswer) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let analyze_fast (cmask : int) (tid : int) (sid : int) :
+      bool * fanswer list =
+    (* Fig 6: [forall-Omega exists bottom-suffix] disjunct first — it
+       matches everything. *)
+    if can_fail_id sid then (true, [])
+    else
+      let ln_t = Core.line_id core tid in
+      let need = Core.line_wmax_mask core tid lor cmask in
+      if not (can_fulfill_id need sid) then (false, [])
+      else
+        match ln_t.Config.line_end with
+        | Config.L_bot ->
+          (* only matched by the bottom-escape, which failed *)
+          (false, [])
+        | Config.L_diverge -> (true, [])
+        | Config.L_term (v, _) ->
+          let ln_s = Core.line_id core sid in
+          (match ln_s.Config.line_end with
+           | Config.L_term (v', _) ->
+             let t'id = Core.line_next core tid in
+             let s'id = Core.line_next core sid in
+             let ok =
+               Value.le v v'
+               && (Core.written_mask core t'id lor cmask)
+                  land lnot (Core.written_mask core s'id)
+                  = 0
+               && mem_le d
+                    (Core.cfg core t'id).Config.mem
+                    (Core.cfg core s'id).Config.mem
+             in
+             (ok, [])
+           | Config.L_bot | Config.L_diverge | Config.L_label _ ->
+             (false, []))
+        | Config.L_label _ ->
+          let ln_s = Core.line_id core sid in
+          (match ln_s.Config.line_end with
+           | Config.L_label _ ->
+             let t'id = Core.line_next core tid in
+             let s'id = Core.line_next core sid in
+             let commit = Packed.set_of_mask pk cmask in
+             let moves = Core.moves_id core t'id in
+             let nexts = Core.moves_next core t'id in
+             let answers =
+               List.mapi
+                 (fun k (evs, _) ->
+                   let key = (cmask, s'id, t'id, k) in
+                   match Hashtbl.find_opt answer_memo key with
+                   | Some a -> a
+                   | None ->
+                     let a =
+                       consume_fast ~commit ~cmask
+                         (Plain (Core.cfg core s'id))
+                         evs nexts.(k)
+                     in
+                     Hashtbl.add answer_memo key a;
+                     a)
+                 moves
+             in
+             (true, answers)
+           | Config.L_bot (* would have been caught by the escape *)
+           | Config.L_term _ | Config.L_diverge ->
+             (false, []))
+  in
+  let pair_ids : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let local_ok = ref (Bytes.make 64 '\001') in
+  let deps = ref (Array.make 64 [||]) in
+  let count = ref 0 in
+  let ensure n =
+    if n > Bytes.length !local_ok then begin
+      let lo = Bytes.make (2 * Bytes.length !local_ok) '\001' in
+      Bytes.blit !local_ok 0 lo 0 (Bytes.length !local_ok);
+      local_ok := lo;
+      let dp = Array.make (2 * Array.length !deps) [||] in
+      Array.blit !deps 0 dp 0 (Array.length !deps);
+      deps := dp
     end
   in
-  List.iter explore roots;
-  let alive = ref (Pair_map.map (fun _ -> true) !nodes) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Pair_map.iter
-      (fun p node ->
-        Engine.Budget.check budget;
-        if Pair_map.find p !alive then begin
-          let ok =
-            node.local_ok
-            && List.for_all
-                 (function Const b -> b | Dep q -> Pair_map.find q !alive)
-                 node.deps
-          in
-          if not ok then begin
-            alive := Pair_map.add p false !alive;
-            changed := true
-          end
-        end)
-      !nodes
+  let rec explore (cmask : int) (tid : int) (sid : int) : int =
+    let key = (cmask, tid, sid) in
+    match Hashtbl.find_opt pair_ids key with
+    | Some pid -> pid
+    | None ->
+      Engine.Budget.spend_state budget;
+      let pid = !count in
+      incr count;
+      ensure !count;
+      Hashtbl.add pair_ids key pid;
+      let node_ok, node_deps = analyze_fast cmask tid sid in
+      let ok = ref node_ok in
+      let dep_ids =
+        List.filter_map
+          (function
+            | FConst true -> None
+            | FConst false ->
+              ok := false;
+              None
+            | FDep (c, t, s) -> Some (explore c t s))
+          node_deps
+      in
+      if not !ok then Bytes.set !local_ok pid '\000';
+      !deps.(pid) <- Array.of_list dep_ids;
+      pid
+  in
+  let root_ids =
+    List.map
+      (fun p ->
+        explore (mask_of p.commit) (Core.intern core p.tgt)
+          (Core.intern core p.src))
+      roots
+  in
+  let n = !count in
+  let rdeps = Array.make (max n 1) [] in
+  for pid = 0 to n - 1 do
+    Array.iter (fun q -> rdeps.(q) <- pid :: rdeps.(q)) !deps.(pid)
   done;
-  ( List.for_all (fun p -> Pair_map.find p !alive) roots,
-    Pair_map.cardinal !nodes )
+  let alive = Array.make (max n 1) true in
+  let stack = ref [] in
+  for pid = 0 to n - 1 do
+    if Bytes.get !local_ok pid = '\000' then begin
+      alive.(pid) <- false;
+      stack := pid :: !stack
+    end
+  done;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | pid :: rest ->
+      stack := rest;
+      Engine.Budget.check budget;
+      List.iter
+        (fun r ->
+          if alive.(r) then begin
+            alive.(r) <- false;
+            stack := r :: !stack
+          end)
+        rdeps.(pid);
+      drain ()
+  in
+  drain ();
+  (List.for_all (fun pid -> alive.(pid)) root_ids, n)
+
+let check_pairs_count ?budget (d : Domain.t) (roots : pair list) :
+    bool * int =
+  match Core.create d with
+  | None -> Slow.check_pairs_count ?budget d roots
+  | Some core ->
+    (* Packability of the roots extends to every reachable pair: see
+       [Refine.check_pairs_count]; commitment sets only collect locations
+       from written sets and released memories, which stay inside the
+       domain. *)
+    (match
+       List.iter
+         (fun p ->
+           ignore (Packed.mask_of_set (Core.packed core) p.commit);
+           ignore (Core.intern core p.tgt);
+           ignore (Core.intern core p.src))
+         roots
+     with
+     | () -> solve_fast ?budget core d roots
+     | exception Packed.Unpackable -> Slow.check_pairs_count ?budget d roots)
 
 let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
   fst (check_pairs_count ?budget d roots)
@@ -432,8 +777,8 @@ let check_pairs_verdict ?budget (d : Domain.t) (roots : pair list) :
 (** [check d ~src ~tgt] decides [σ_tgt ⊑w σ_src] (Def 3.3) over the finite
     domain: advanced behavioral refinement for every oracle and every
     initial permission set and memory. *)
-let check_count ?(quantify_written = false) ?budget (d : Domain.t)
-    ~(src : Stmt.t) ~(tgt : Stmt.t) : bool * int =
+let check_count ?(quantify_written = false) ?(symmetry = false) ?budget
+    (d : Domain.t) ~(src : Stmt.t) ~(tgt : Stmt.t) : bool * int =
   Config.check_no_mixing [ src; tgt ];
   let perms = Domain.subsets d.Domain.na_locs in
   let writtens =
@@ -457,15 +802,28 @@ let check_count ?(quantify_written = false) ?budget (d : Domain.t)
           writtens)
       perms
   in
+  let roots =
+    if not symmetry then roots
+    else
+      match Core.Symmetry.automorphisms d [ src; tgt ] with
+      | [] -> roots
+      | autos ->
+        List.filter
+          (fun p ->
+            Core.Symmetry.minimal_env autos ~perm:p.tgt.Config.perm
+              ~written:p.tgt.Config.written ~mem:p.tgt.Config.mem)
+          roots
+  in
   check_pairs_count ?budget d roots
 
-let check ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
+let check ?quantify_written ?symmetry ?budget (d : Domain.t) ~(src : Stmt.t)
     ~(tgt : Stmt.t) : bool =
-  fst (check_count ?quantify_written ?budget d ~src ~tgt)
+  fst (check_count ?quantify_written ?symmetry ?budget d ~src ~tgt)
 
 (** Budgeted three-valued form of {!check}: [Unknown] on budget
     exhaustion, [Mixed_access], or any other trapped exception. *)
-let check_verdict ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : unit Engine.Verdict.t =
+let check_verdict ?quantify_written ?symmetry ?budget (d : Domain.t)
+    ~(src : Stmt.t) ~(tgt : Stmt.t) : unit Engine.Verdict.t =
   Engine.Verdict.run (fun () ->
-      Engine.Verdict.of_bool (check ?quantify_written ?budget d ~src ~tgt))
+      Engine.Verdict.of_bool
+        (check ?quantify_written ?symmetry ?budget d ~src ~tgt))

@@ -18,11 +18,27 @@ val can_fulfill_universally :
 (** A simulation node: commitment set R plus the two configurations. *)
 type pair = { commit : Loc.Set.t; tgt : Config.t; src : Config.t }
 
+(** The set-based reference checker (no hash-consing, no transition or
+    suffix-game memoization beyond the per-check [can_fail] memo the
+    checker always had).  Same game as the default entry points, so
+    verdicts {e and} explored node counts must agree — enforced by
+    test/test_diffcore.ml. *)
+module Slow : sig
+  val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
+
+  val check_pairs_count :
+    ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool * int
+end
+
 (** Decide refinement from a set of initial pairs.  [budget] (default
     unlimited, a no-op) is charged one state per explored simulation node
     and polled along the fixpoint and inside the ∀-oracle suffix games; on
     exhaustion {!Engine.Budget.Exhausted} escapes — use the [_verdict]
-    forms to get [Unknown] instead. *)
+    forms to get [Unknown] instead.
+
+    Runs the hash-consed, memoized fast path when the domain and roots
+    pack (falling back to {!Slow} otherwise); verdict and node count are
+    identical either way. *)
 val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
 
 (** Like {!check_pairs}, also reporting the number of simulation nodes
@@ -41,16 +57,18 @@ val check_pairs_verdict :
     location.
     @raise Engine.Budget.Exhausted when [budget] runs out. *)
 val check :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> bool
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
 
 (** Like {!check}, also reporting the number of simulation nodes explored
-    (for sweep statistics). *)
+    (for sweep statistics).  [symmetry] (default off) explores one initial
+    environment per location-renaming orbit — verdict preserved, node
+    counts reduced. *)
 val check_count :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> bool * int
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int
 
 (** Budgeted three-valued {!check}: never raises. *)
 val check_verdict :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t

@@ -76,9 +76,10 @@ let le (d : Domain.t) ((trtgt, rtgt) : t) ((trsrc, rsrc) : t) : bool =
      | Prt ftgt -> Event.trace_le trtgt trsrc && Loc.Set.subset ftgt fsrc
      | Trm _ | Bot -> false)
 
-(** All behaviors of [cfg] generated by executions of at most [fuel]
-    moves. *)
-let enumerate ?(budget = Engine.Budget.unlimited) (d : Domain.t) ~fuel
+(* The inductive enumeration of Def 2.1, literally: every configuration
+   contributes its ⟨ε, r⟩ behavior, every move prepends its labels to the
+   behaviors of its successor at one less fuel. *)
+let enumerate_ref ~budget (moves : Config.t -> Config.move list) ~fuel
     (cfg : Config.t) : Set.t =
   let rec go fuel cfg acc =
     Engine.Budget.spend_state budget;
@@ -98,19 +99,172 @@ let enumerate ?(budget = Engine.Budget.unlimited) (d : Domain.t) ~fuel
             | Config.Cont cfg' -> go (fuel - 1) cfg' Set.empty
           in
           Set.fold (fun (tr, r) acc -> Set.add (evs @ tr, r) acc) subs acc)
-        acc (Config.moves d cfg)
+        acc (moves cfg)
   in
   go fuel cfg Set.empty
+
+(* The same induction with the recursion memoized on (fuel, interned
+   configuration): the behavior set of a subproblem is a pure function
+   of the configuration's value and the remaining fuel, so diamonds in
+   the transition graph — different interleavings of environment choices
+   reaching the same state at the same depth — are computed once instead
+   of once per path.  Behaviors themselves are hash-consed to dense ids
+   (a trace is a move applied to a shorter interned trace, a result is a
+   packed triple), so the per-edge prepend folds are integer-set
+   operations instead of deep trace comparisons; the id sets are
+   materialized into one ordinary {!Set.t} at the very end.  [budget] is
+   charged per distinct subproblem plus per behavior propagated along
+   each edge — proportional to the set insertions actually performed,
+   where the reference charges per path but folds over full behavior
+   sets for free; test/test_diffcore.ml locks set equality against
+   {!enumerate_ref}. *)
+module Int_set = Stdlib.Set.Make (Int)
+
+let enumerate_core ~budget (core : Core.t) ~fuel (cfg : Config.t) : Set.t =
+  let pk = Core.packed core in
+  (* results: (kind, written mask, mem id, value id) -> dense id *)
+  let result_ids : (int * int * int * int, int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let result_rev : (int, result) Hashtbl.t = Hashtbl.create 64 in
+  let result_of key r =
+    match Hashtbl.find_opt result_ids key with
+    | Some rid -> rid
+    | None ->
+      let rid = Hashtbl.length result_ids in
+      Hashtbl.add result_ids key rid;
+      Hashtbl.add result_rev rid (r ());
+      rid
+  in
+  let rid_bot = result_of (0, 0, 0, 0) (fun () -> Bot) in
+  (* traces: id 0 is the empty trace; every other trace is the label
+     list of move (cfg id, move index) prepended to a shorter trace *)
+  let trace_ids : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let trace_rev : (int, Event.t list * int) Hashtbl.t = Hashtbl.create 64 in
+  let trace_count = ref 1 in
+  let prepend ~src ~k evs tid =
+    let key = (src, k, tid) in
+    match Hashtbl.find_opt trace_ids key with
+    | Some tid' -> tid'
+    | None ->
+      let tid' = !trace_count in
+      incr trace_count;
+      Hashtbl.add trace_ids key tid';
+      Hashtbl.add trace_rev tid' (evs, tid);
+      tid'
+  in
+  (* behaviors: (trace id, result id) -> dense id *)
+  let behavior_ids : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let behavior_rev : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let behavior_of tid rid =
+    let key = (tid, rid) in
+    match Hashtbl.find_opt behavior_ids key with
+    | Some bid -> bid
+    | None ->
+      let bid = Hashtbl.length behavior_ids in
+      Hashtbl.add behavior_ids key bid;
+      Hashtbl.add behavior_rev bid key;
+      bid
+  in
+  let bid_bot = behavior_of 0 rid_bot in
+  let memo : (int * int, Int_set.t) Hashtbl.t = Hashtbl.create 64 in
+  let rec go fuel id =
+    match Hashtbl.find_opt memo (fuel, id) with
+    | Some s -> s
+    | None ->
+      Engine.Budget.spend_state budget;
+      let c = Core.cfg core id in
+      let base_rid =
+        match Config.status c with
+        | Config.Term v ->
+          result_of
+            (2, Core.written_mask core id, Core.mem_id core id,
+             Packed.value_id pk v)
+            (fun () -> Trm (v, c.Config.written, c.Config.mem))
+        | Config.Running ->
+          result_of
+            (1, Core.written_mask core id, 0, 0)
+            (fun () -> Prt c.Config.written)
+      in
+      let acc = Int_set.singleton (behavior_of 0 base_rid) in
+      let result =
+        if fuel = 0 then acc
+        else begin
+          let nexts = Core.moves_next core id in
+          let k = ref (-1) in
+          List.fold_left
+            (fun acc (evs, _) ->
+              incr k;
+              let k = !k in
+              let subs =
+                if nexts.(k) < 0 then Int_set.singleton bid_bot
+                else go (fuel - 1) nexts.(k)
+              in
+              (* propagating a sub-behavior along an edge is the unit of
+                 work here (set insertions), so that is what the budget
+                 charges *)
+              Engine.Budget.spend_state ~n:(Int_set.cardinal subs) budget;
+              if evs = [] then Int_set.union subs acc
+              else
+                Int_set.fold
+                  (fun bid acc ->
+                    let tid, rid = Hashtbl.find behavior_rev bid in
+                    Int_set.add
+                      (behavior_of (prepend ~src:id ~k evs tid) rid)
+                      acc)
+                  subs acc)
+            acc
+            (Core.moves_id core id)
+        end
+      in
+      Hashtbl.replace memo (fuel, id) result;
+      result
+  in
+  let top = go fuel (Core.intern core cfg) in
+  (* materialize: each distinct trace is rebuilt once *)
+  let trace_mat : (int, Event.t list) Hashtbl.t = Hashtbl.create 64 in
+  let rec mat_trace tid =
+    if tid = 0 then []
+    else
+      match Hashtbl.find_opt trace_mat tid with
+      | Some l -> l
+      | None ->
+        let evs, parent = Hashtbl.find trace_rev tid in
+        let l = evs @ mat_trace parent in
+        Hashtbl.add trace_mat tid l;
+        l
+  in
+  Int_set.fold
+    (fun bid acc ->
+      let tid, rid = Hashtbl.find behavior_rev bid in
+      Set.add (mat_trace tid, Hashtbl.find result_rev rid) acc)
+    top Set.empty
+
+(** All behaviors of [cfg] generated by executions of at most [fuel]
+    moves.  With [tables] the enumeration is memoized over hash-consed
+    configurations (identical sets; the budget then charges subproblems
+    and per-edge behavior propagations rather than paths — proportional
+    to the set insertions actually performed); without, the reference
+    recursion runs as-is. *)
+let enumerate ?(budget = Engine.Budget.unlimited) ?tables (d : Domain.t)
+    ~fuel (cfg : Config.t) : Set.t =
+  match tables with
+  | Some tb -> (
+    match enumerate_core ~budget (Core.of_tables tb) ~fuel cfg with
+    | s -> s
+    | exception Packed.Unpackable ->
+      enumerate_ref ~budget (Config.moves d) ~fuel cfg)
+  | None -> enumerate_ref ~budget (Config.moves d) ~fuel cfg
 
 (** Enumeration-based simple behavioral refinement at a given pair of
     initial configurations: every target behavior must be ⊑-matched by a
     source behavior.  The source gets extra fuel so that matching behaviors
     that require more source steps (e.g. its unlabeled prefix) are not cut
     off by the bound. *)
-let refines_at ?budget (d : Domain.t) ~fuel ~(src : Config.t)
+let refines_at ?budget ?tables (d : Domain.t) ~fuel ~(src : Config.t)
     ~(tgt : Config.t) : (unit, t) Stdlib.result =
-  let src_behs = enumerate ?budget d ~fuel:(2 * fuel) src in
-  let tgt_behs = enumerate ?budget d ~fuel tgt in
+  let src_behs = enumerate ?budget ?tables d ~fuel:(2 * fuel) src in
+  let tgt_behs = enumerate ?budget ?tables d ~fuel tgt in
   let matched bt = Set.exists (fun bs -> le d bt bs) src_behs in
   match Set.to_seq tgt_behs |> Seq.find (fun bt -> not (matched bt)) with
   | None -> Ok ()

@@ -42,6 +42,19 @@ let mem_le (d : Domain.t) m1 m2 =
         (Loc.Map.find_default ~default:Value.zero x m2))
     d.Domain.na_locs
 
+(* The game logic below is written once against this vtable and
+   instantiated twice: [slow_ops] recomputes lines and move lists at
+   every use (the reference implementation, kept under {!Slow}), the
+   fast path serves both from a {!Core} context's per-configuration
+   memos.  Both must return identical values — the games may not drift. *)
+type ops = {
+  line : Config.t -> Config.line;
+  moves : Config.t -> Config.move list;
+}
+
+let slow_ops (d : Domain.t) : ops =
+  { line = Config.line; moves = Config.moves d }
+
 (* The source's position while answering the labels of one target move.
    RMWs and acquire-release fences emit two labels atomically; the pending
    constructors hold the forced second half. *)
@@ -191,7 +204,7 @@ let respond_pending (point : src_point) (ev : Event.t) :
 
 (* Have the source answer the label list of one target move, advancing
    through its unlabeled line between moves. *)
-let rec consume (point : src_point) (evs : Event.t list)
+let rec consume (ops : ops) (point : src_point) (evs : Event.t list)
     (next_t : Config.next) : answer =
   match evs with
   | [] ->
@@ -203,23 +216,23 @@ let rec consume (point : src_point) (evs : Event.t list)
        (match next_t with
         | Config.Bot ->
           (* target ⊥ now: source must reach ⊥ by unlabeled steps *)
-          let ln = Config.line scfg in
+          let ln = ops.line scfg in
           Const (ln.Config.line_end = Config.L_bot)
         | Config.Cont tcfg' -> Dep { tgt = tcfg'; src = scfg }))
   | ev :: rest ->
     (match point with
      | Pend_rel _ | Pend_acq _ ->
        (match respond_pending point ev with
-        | `Ok point' -> consume point' rest next_t
+        | `Ok point' -> consume ops point' rest next_t
         | `Bot -> Const true
         | `No -> Const false)
      | Plain scfg ->
-       let ln = Config.line scfg in
+       let ln = ops.line scfg in
        (match ln.Config.line_end with
         | Config.L_bot -> Const true  (* ⟨matched-prefix, ⊥⟩ matches all *)
         | Config.L_label scfg' ->
           (match respond1 scfg' ev with
-           | `Ok point' -> consume point' rest next_t
+           | `Ok point' -> consume ops point' rest next_t
            | `Bot -> Const true
            | `No -> Const false)
         | Config.L_term _ | Config.L_diverge -> Const false))
@@ -230,9 +243,9 @@ type node = {
   deps : answer list;  (* one per instantiated target move *)
 }
 
-let analyze (d : Domain.t) (p : pair) : node =
-  let ln_t = Config.line p.tgt in
-  let ln_s = Config.line p.src in
+let analyze (ops : ops) (d : Domain.t) (p : pair) : node =
+  let ln_t = ops.line p.tgt in
+  let ln_s = ops.line p.src in
   if ln_s.Config.line_end = Config.L_bot then { local_ok = true; deps = [] }
   else if not (Loc.Set.subset ln_t.Config.written_max ln_s.Config.written_max)
   then { local_ok = false; deps = [] }
@@ -256,8 +269,8 @@ let analyze (d : Domain.t) (p : pair) : node =
        | Config.L_label scfg' ->
          let answers =
            List.map
-             (fun (evs, next_t) -> consume (Plain scfg') evs next_t)
-             (Config.moves d tcfg')
+             (fun (evs, next_t) -> consume ops (Plain scfg') evs next_t)
+             (ops.moves tcfg')
          in
          { local_ok = true; deps = answers }
        | Config.L_bot | Config.L_term _ | Config.L_diverge ->
@@ -269,7 +282,7 @@ let analyze (d : Domain.t) (p : pair) : node =
    charged one state per explored pair and polled along both phases; with
    the default unlimited budget every call is a no-op and the result is
    identical to the unbudgeted checker. *)
-let solve ?(budget = Engine.Budget.unlimited) (d : Domain.t)
+let solve ?(budget = Engine.Budget.unlimited) (ops : ops) (d : Domain.t)
     (roots : pair list) : node Pair_map.t * bool Pair_map.t =
   (* Phase 1: explore the reachable pair graph. *)
   let nodes : node Pair_map.t ref = ref Pair_map.empty in
@@ -278,7 +291,7 @@ let solve ?(budget = Engine.Budget.unlimited) (d : Domain.t)
       Engine.Budget.spend_state budget;
       (* insert a stub first to cut cycles *)
       nodes := Pair_map.add p { local_ok = true; deps = [] } !nodes;
-      let node = analyze d p in
+      let node = analyze ops d p in
       nodes := Pair_map.add p node !nodes;
       List.iter
         (function Dep q -> explore q | Const _ -> ())
@@ -312,13 +325,224 @@ let solve ?(budget = Engine.Budget.unlimited) (d : Domain.t)
   done;
   (!nodes, !alive)
 
+(** The set-based reference checker: recomputes every line and move list
+    and runs the greatest fixpoint by repeated full passes.  Kept as the
+    differential-testing oracle for the fast path below — same game,
+    none of the caching layers. *)
+module Slow = struct
+  let check_pairs_count ?budget (d : Domain.t) (roots : pair list) :
+      bool * int =
+    let nodes, alive = solve ?budget (slow_ops d) d roots in
+    ( List.for_all (fun p -> Pair_map.find p alive) roots,
+      Pair_map.cardinal nodes )
+
+  let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
+    fst (check_pairs_count ?budget d roots)
+end
+
+(* Fast path: configurations hash-consed to dense ids in a {!Core}
+   context (which also memoizes lines and move lists), pairs interned by
+   id pair, and the whole game threaded at the id level — a
+   configuration is hashed once, when first discovered as a line or
+   move successor, and every later reference is an array index.  The
+   source's answer to one target move is a pure function of (source
+   line-end id, target line-end id, move index), so answers are
+   memoized and shared between every pair that reaches the same
+   post-line frontier.  Phase 1 runs the identical DFS — same pair set,
+   same order, same budget spend points — so the explored pair count
+   matches the reference exactly.  Phase 2 computes the same greatest
+   fixpoint by reverse-dependency propagation: a pair dies iff its
+   local obligations fail or it depends, transitively, on a dead pair —
+   O(pairs + deps) instead of repeated full passes. *)
+
+(* An [answer] at the id level. *)
+type fanswer = FConst of bool | FDep of int * int  (* tgt id, src id *)
+
+let solve_fast ?(budget = Engine.Budget.unlimited) (core : Core.t)
+    (d : Domain.t) (roots : pair list) : bool * int =
+  (* Mirrors [consume]: walk the source through one target move's label
+     list, at id granularity.  [next_t] is the interned continuation of
+     the move (-1 for [Bot]). *)
+  let rec consume_fast (point : src_point) (evs : Event.t list)
+      (next_t : int) : fanswer =
+    match evs with
+    | [] ->
+      (match point with
+       | Pend_rel _ | Pend_acq _ -> FConst false
+       | Plain scfg ->
+         let sid = Core.intern core scfg in
+         if next_t < 0 then
+           let ln = Core.line_id core sid in
+           FConst (ln.Config.line_end = Config.L_bot)
+         else FDep (next_t, sid))
+    | ev :: rest ->
+      (match point with
+       | Pend_rel _ | Pend_acq _ ->
+         (match respond_pending point ev with
+          | `Ok point' -> consume_fast point' rest next_t
+          | `Bot -> FConst true
+          | `No -> FConst false)
+       | Plain scfg ->
+         let sid = Core.intern core scfg in
+         let ln = Core.line_id core sid in
+         (match ln.Config.line_end with
+          | Config.L_bot -> FConst true
+          | Config.L_label scfg' ->
+            (match respond1 scfg' ev with
+             | `Ok point' -> consume_fast point' rest next_t
+             | `Bot -> FConst true
+             | `No -> FConst false)
+          | Config.L_term _ | Config.L_diverge -> FConst false))
+  in
+  (* (source line-end id, target line-end id, move index) -> answer *)
+  let answer_memo : (int * int * int, fanswer) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* [analyze] at the id level: local obligations plus one answer per
+     instantiated target move. *)
+  let analyze_fast (tid : int) (sid : int) : bool * fanswer list =
+    let ln_t = Core.line_id core tid in
+    let ln_s = Core.line_id core sid in
+    if ln_s.Config.line_end = Config.L_bot then (true, [])
+    else if
+      (* written_max subset, as a packed-mask test *)
+      Core.line_wmax_mask core tid land lnot (Core.line_wmax_mask core sid)
+      <> 0
+    then (false, [])
+    else
+      match ln_t.Config.line_end with
+      | Config.L_bot -> (false, [])
+      | Config.L_diverge -> (true, [])
+      | Config.L_term (v, tcfg') ->
+        (match ln_s.Config.line_end with
+         | Config.L_term (v', scfg') ->
+           ( Value.le v v'
+             && Loc.Set.subset tcfg'.Config.written scfg'.Config.written
+             && mem_le d tcfg'.Config.mem scfg'.Config.mem,
+             [] )
+         | Config.L_bot | Config.L_diverge | Config.L_label _ -> (false, []))
+      | Config.L_label _ ->
+        (match ln_s.Config.line_end with
+         | Config.L_label _ ->
+           let t'id = Core.line_next core tid in
+           let s'id = Core.line_next core sid in
+           let moves = Core.moves_id core t'id in
+           let nexts = Core.moves_next core t'id in
+           let answers =
+             List.mapi
+               (fun k (evs, _) ->
+                 let key = (s'id, t'id, k) in
+                 match Hashtbl.find_opt answer_memo key with
+                 | Some a -> a
+                 | None ->
+                   let a =
+                     consume_fast (Plain (Core.cfg core s'id)) evs nexts.(k)
+                   in
+                   Hashtbl.add answer_memo key a;
+                   a)
+               moves
+           in
+           (true, answers)
+         | Config.L_bot | Config.L_term _ | Config.L_diverge -> (false, []))
+  in
+  let pair_ids : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let local_ok = ref (Bytes.make 64 '\001') in
+  let deps = ref (Array.make 64 [||]) in
+  let count = ref 0 in
+  let ensure n =
+    if n > Bytes.length !local_ok then begin
+      let lo = Bytes.make (2 * Bytes.length !local_ok) '\001' in
+      Bytes.blit !local_ok 0 lo 0 (Bytes.length !local_ok);
+      local_ok := lo;
+      let dp = Array.make (2 * Array.length !deps) [||] in
+      Array.blit !deps 0 dp 0 (Array.length !deps);
+      deps := dp
+    end
+  in
+  let rec explore (tid : int) (sid : int) : int =
+    let key = (tid, sid) in
+    match Hashtbl.find_opt pair_ids key with
+    | Some pid -> pid
+    | None ->
+      Engine.Budget.spend_state budget;
+      let pid = !count in
+      incr count;
+      ensure !count;
+      (* register before analyzing to cut cycles, like the stub above *)
+      Hashtbl.add pair_ids key pid;
+      let node_ok, node_deps = analyze_fast tid sid in
+      let ok = ref node_ok in
+      let dep_ids =
+        List.filter_map
+          (function
+            | FConst true -> None
+            | FConst false ->
+              ok := false;
+              None
+            | FDep (t, s) -> Some (explore t s))
+          node_deps
+      in
+      if not !ok then Bytes.set !local_ok pid '\000';
+      !deps.(pid) <- Array.of_list dep_ids;
+      pid
+  in
+  let root_ids =
+    List.map
+      (fun p -> explore (Core.intern core p.tgt) (Core.intern core p.src))
+      roots
+  in
+  let n = !count in
+  let rdeps = Array.make (max n 1) [] in
+  for pid = 0 to n - 1 do
+    Array.iter (fun q -> rdeps.(q) <- pid :: rdeps.(q)) !deps.(pid)
+  done;
+  let alive = Array.make (max n 1) true in
+  let stack = ref [] in
+  for pid = 0 to n - 1 do
+    if Bytes.get !local_ok pid = '\000' then begin
+      alive.(pid) <- false;
+      stack := pid :: !stack
+    end
+  done;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | pid :: rest ->
+      stack := rest;
+      Engine.Budget.check budget;
+      List.iter
+        (fun r ->
+          if alive.(r) then begin
+            alive.(r) <- false;
+            stack := r :: !stack
+          end)
+        rdeps.(pid);
+      drain ()
+  in
+  drain ();
+  (List.for_all (fun pid -> alive.(pid)) root_ids, n)
+
 (** Decide simple behavioral refinement from a set of initial configuration
     pairs (target, source) that share P, F, M, also reporting the number of
-    simulation pairs explored. *)
+    simulation pairs explored.  Runs the fast hash-consed path when the
+    domain and the roots pack; falls back to {!Slow} otherwise. *)
 let check_pairs_count ?budget (d : Domain.t) (roots : pair list) : bool * int =
-  let nodes, alive = solve ?budget d roots in
-  ( List.for_all (fun p -> Pair_map.find p alive) roots,
-    Pair_map.cardinal nodes )
+  match Core.create d with
+  | None -> Slow.check_pairs_count ?budget d roots
+  | Some core ->
+    (* Validate the roots up front: packability is closed under
+       reachability (permissions shrink on release, grow within the
+       domain on acquire; written sets stay under the permissions), so a
+       packable root set means the whole run packs. *)
+    (match
+       List.iter
+         (fun p ->
+           ignore (Core.intern core p.tgt);
+           ignore (Core.intern core p.src))
+         roots
+     with
+     | () -> solve_fast ?budget core d roots
+     | exception Packed.Unpackable -> Slow.check_pairs_count ?budget d roots)
 
 let check_pairs ?budget (d : Domain.t) (roots : pair list) : bool =
   fst (check_pairs_count ?budget d roots)
@@ -357,33 +581,53 @@ let initial_pairs ?(quantify_written = false) (d : Domain.t)
         writtens)
     perms
 
+(* Symmetry reduction: keep one initial environment per orbit of the
+   location renamings fixing both programs.  Verdict-preserving,
+   count-changing — opt-in only (goldens pin unreduced pair counts). *)
+let filter_symmetry ~symmetry (d : Domain.t) ~(stmts : Stmt.t list)
+    (roots : pair list) : pair list =
+  if not symmetry then roots
+  else
+    match Core.Symmetry.automorphisms d stmts with
+    | [] -> roots
+    | autos ->
+      List.filter
+        (fun p ->
+          Core.Symmetry.minimal_env autos ~perm:p.tgt.Config.perm
+            ~written:p.tgt.Config.written ~mem:p.tgt.Config.mem)
+        roots
+
 (** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
     domain: SEQ simple behavioral refinement for every initial permission
-    set, written set, and memory. *)
-let check ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : bool =
+    set, written set, and memory.  [symmetry] (default off) explores one
+    initial environment per location-renaming orbit. *)
+let check ?quantify_written ?(symmetry = false) ?budget (d : Domain.t)
+    ~(src : Stmt.t) ~(tgt : Stmt.t) : bool =
   Config.check_no_mixing [ src; tgt ];
   let roots =
     initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+    |> filter_symmetry ~symmetry d ~stmts:[ src; tgt ]
   in
   check_pairs ?budget d roots
 
 (** Like {!check}, also reporting the number of simulation pairs explored
     (the SEQ analogue of a state count, for sweep statistics). *)
-let check_count ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : bool * int =
+let check_count ?quantify_written ?(symmetry = false) ?budget (d : Domain.t)
+    ~(src : Stmt.t) ~(tgt : Stmt.t) : bool * int =
   Config.check_no_mixing [ src; tgt ];
   let roots =
     initial_pairs ?quantify_written d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+    |> filter_symmetry ~symmetry d ~stmts:[ src; tgt ]
   in
   check_pairs_count ?budget d roots
 
 (** Budgeted three-valued form of {!check}: [Unknown] on budget
     exhaustion, [Mixed_access], or any other trapped exception. *)
-let check_verdict ?quantify_written ?budget (d : Domain.t) ~(src : Stmt.t)
-    ~(tgt : Stmt.t) : unit Engine.Verdict.t =
+let check_verdict ?quantify_written ?symmetry ?budget (d : Domain.t)
+    ~(src : Stmt.t) ~(tgt : Stmt.t) : unit Engine.Verdict.t =
   Engine.Verdict.run (fun () ->
-      Engine.Verdict.of_bool (check ?quantify_written ?budget d ~src ~tgt))
+      Engine.Verdict.of_bool
+        (check ?quantify_written ?symmetry ?budget d ~src ~tgt))
 
 (* ------------------------------------------------------------------ *)
 (* Counterexample extraction                                            *)
@@ -423,7 +667,9 @@ let describe_local (d : Domain.t) (p : pair) : string =
     mismatch.  Returns [None] when refinement holds. *)
 let find_counterexample ?budget (d : Domain.t) (roots : pair list) :
     counterexample option =
-  let nodes, alive = solve ?budget d roots in
+  (* counterexample extraction stays on the reference solver: it walks
+     [nodes], which only the Pair_map phase produces *)
+  let nodes, alive = solve ?budget (slow_ops d) d roots in
   match List.find_opt (fun p -> not (Pair_map.find p alive)) roots with
   | None -> None
   | Some root ->

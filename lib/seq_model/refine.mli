@@ -26,10 +26,26 @@ val initial_pairs :
   tgt:Prog.state ->
   pair list
 
+(** The set-based reference checker: recomputes every line and move list,
+    runs the greatest fixpoint by repeated full passes — none of the fast
+    path's caching layers.  Same game, so verdicts {e and} explored pair
+    counts must agree with the default entry points (the differential
+    harness in test/test_diffcore.ml enforces this). *)
+module Slow : sig
+  val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
+
+  val check_pairs_count :
+    ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool * int
+end
+
 (** Decide refinement from a set of initial pairs.  [budget] (default
     unlimited, a no-op) is charged one state per explored simulation pair
     and polled along the fixpoint; on exhaustion {!Engine.Budget.Exhausted}
-    escapes — use the [_verdict] forms to get [Unknown] instead. *)
+    escapes — use the [_verdict] forms to get [Unknown] instead.
+
+    Runs the hash-consed, memoized fast path when the domain and roots
+    pack (falling back to {!Slow} otherwise); verdict and pair count are
+    identical either way. *)
 val check_pairs : ?budget:Engine.Budget.t -> Domain.t -> pair list -> bool
 
 (** Like {!check_pairs}, also reporting the number of simulation pairs
@@ -43,23 +59,26 @@ val check_pairs_verdict :
   ?budget:Engine.Budget.t -> Domain.t -> pair list -> unit Engine.Verdict.t
 
 (** [check d ~src ~tgt] decides [σ_tgt ⊑ σ_src] (Def 2.4) over the finite
-    domain.  @raise Config.Mixed_access on mixed atomic/non-atomic use of a
+    domain.  [symmetry] (default off) explores one initial environment per
+    orbit of the location renamings fixing both programs — verdict
+    preserved, pair counts reduced (hence off wherever counts are golden).
+    @raise Config.Mixed_access on mixed atomic/non-atomic use of a
     location.
     @raise Engine.Budget.Exhausted when [budget] runs out. *)
 val check :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> bool
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool
 
 (** Like {!check}, also reporting the number of simulation pairs explored
     (the SEQ analogue of a state count, for sweep statistics). *)
 val check_count :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> bool * int
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> bool * int
 
 (** Budgeted three-valued {!check}: never raises. *)
 val check_verdict :
-  ?quantify_written:bool -> ?budget:Engine.Budget.t -> Domain.t ->
-  src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t
+  ?quantify_written:bool -> ?symmetry:bool -> ?budget:Engine.Budget.t ->
+  Domain.t -> src:Stmt.t -> tgt:Stmt.t -> unit Engine.Verdict.t
 
 (** A witness for a refuted refinement. *)
 type counterexample = {

@@ -62,3 +62,168 @@ let to_string j =
 let to_channel oc j =
   output_string oc (to_string j);
   output_char oc '\n'
+
+(* ------------------------------------------------------------------ *)
+(* Parsing — a recursive-descent reader for the subset this module
+   emits (sufficient for reading our own records back, e.g. the bench
+   regression guard against bench/baseline.json).                      *)
+
+exception Parse_error of string
+
+let of_string (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (Printf.sprintf "%d: %s" !pos msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n
+       && String.sub s !pos (String.length word) = word
+    then (pos := !pos + String.length word; v)
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= n then error "unterminated escape");
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           let hex4 () =
+             if !pos + 4 > n then error "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some code -> code
+             | None -> error "bad \\u escape"
+           in
+           let code = hex4 () in
+           let code =
+             if code >= 0xD800 && code <= 0xDBFF then begin
+               (* high surrogate: a \uDC00-\uDFFF pair must follow *)
+               if
+                 !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let low = hex4 () in
+                 if low < 0xDC00 || low > 0xDFFF then
+                   error "bad low surrogate";
+                 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+               end
+               else error "lone high surrogate"
+             end
+             else if code >= 0xDC00 && code <= 0xDFFF then
+               error "lone low surrogate"
+             else code
+           in
+           Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+         | _ -> error "bad escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do advance () done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt tok with
+       | Some f -> Float f
+       | None -> error (Printf.sprintf "bad number %S" tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); items (v :: acc)
+          | Some ']' -> advance (); List (List.rev (v :: acc))
+          | _ -> error "expected ',' or ']'"
+        in
+        items []
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); fields ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> error "expected ',' or '}'"
+        in
+        fields []
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then error "trailing garbage";
+  v
+
+(* Accessors for reading records back; [None] on shape mismatch. *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None

@@ -20,3 +20,20 @@ val to_string : t -> string
 
 (** [to_channel oc j]: {!to_string} plus a trailing newline. *)
 val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+(** Parse the subset this module emits (objects, arrays, strings with
+    ASCII escapes, numbers, booleans, null) — enough to read our own
+    records back, e.g. bench/guard.ml reading bench JSON records.
+    @raise Parse_error with a position-prefixed message on malformed
+    input. *)
+val of_string : string -> t
+
+(** Shape-checked accessors; [None] on mismatch.  [to_float_opt] also
+    accepts integers. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,337 @@
+(* Differential harness for the fast enumeration core (Seq_model.Core):
+   the hash-consed, memoized checkers and the packed per-mask caches must
+   be observationally identical to the set-based reference
+   implementations — same verdicts, same explored pair counts, same
+   transition lists (content and order), same behavior sets — across the
+   litmus corpus, random generated programs, and worker counts. *)
+
+open Lang
+module C = Litmus.Catalog
+
+let values = Domain.default_values
+
+let parse_pair (tr : C.transformation) =
+  let src = Parser.stmt_of_string tr.C.src in
+  let tgt = Parser.stmt_of_string tr.C.tgt in
+  (Domain.of_stmts ~values [ src; tgt ], src, tgt)
+
+let refine_roots (d, src, tgt) =
+  Seq_model.Refine.initial_pairs d ~src:(Prog.init src) ~tgt:(Prog.init tgt)
+
+let advanced_roots item =
+  List.map
+    (fun (p : Seq_model.Refine.pair) ->
+      {
+        Seq_model.Advanced.commit = Loc.Set.empty;
+        tgt = p.Seq_model.Refine.tgt;
+        src = p.Seq_model.Refine.src;
+      })
+    (refine_roots item)
+
+let corpus = lazy (List.map parse_pair C.transformations)
+
+(* --------------------------------------------------------------- *)
+(* Corpus-wide: fast == Slow, verdict and pair count, both games    *)
+(* --------------------------------------------------------------- *)
+
+let corpus_suite =
+  [
+    Alcotest.test_case "refine: fast == Slow on every transformation" `Quick
+      (fun () ->
+        List.iter2
+          (fun (tr : C.transformation) ((d, _, _) as item) ->
+            let roots = refine_roots item in
+            let v_slow, n_slow = Seq_model.Refine.Slow.check_pairs_count d roots in
+            let v_fast, n_fast = Seq_model.Refine.check_pairs_count d roots in
+            Alcotest.(check bool) (tr.C.name ^ ": verdict") v_slow v_fast;
+            Alcotest.(check int) (tr.C.name ^ ": pair count") n_slow n_fast)
+          C.transformations (Lazy.force corpus));
+    Alcotest.test_case "advanced: fast == Slow on every transformation"
+      `Quick (fun () ->
+        List.iter2
+          (fun (tr : C.transformation) ((d, _, _) as item) ->
+            let roots = advanced_roots item in
+            let v_slow, n_slow =
+              Seq_model.Advanced.Slow.check_pairs_count d roots
+            in
+            let v_fast, n_fast = Seq_model.Advanced.check_pairs_count d roots in
+            Alcotest.(check bool) (tr.C.name ^ ": verdict") v_slow v_fast;
+            Alcotest.(check int) (tr.C.name ^ ": node count") n_slow n_fast)
+          C.transformations (Lazy.force corpus));
+    Alcotest.test_case "symmetry reduction preserves every corpus verdict"
+      `Quick (fun () ->
+        List.iter
+          (fun (tr : C.transformation) ->
+            let src = Parser.stmt_of_string tr.C.src in
+            let tgt = Parser.stmt_of_string tr.C.tgt in
+            let d = Domain.of_stmts ~values [ src; tgt ] in
+            Alcotest.(check bool)
+              (tr.C.name ^ ": refine under symmetry")
+              (Seq_model.Refine.check d ~src ~tgt)
+              (Seq_model.Refine.check ~symmetry:true d ~src ~tgt))
+          C.transformations);
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Same results at jobs:1 and jobs:4                                *)
+(* --------------------------------------------------------------- *)
+
+let sweep_results ~jobs =
+  let f ~budget:_ ((d, _, _) as item) =
+    let vr, nr = Seq_model.Refine.check_pairs_count d (refine_roots item) in
+    let va, na =
+      if vr then (true, 0)
+      else Seq_model.Advanced.check_pairs_count d (advanced_roots item)
+    in
+    (vr, nr, va, na)
+  in
+  List.map
+    (fun (o : _ Engine.Sweep.outcome) -> o.Engine.Sweep.result)
+    (Engine.Sweep.run_verdict ~jobs ~f (Lazy.force corpus))
+
+let jobs_suite =
+  [
+    Alcotest.test_case
+      "corpus verdicts and pair counts agree at jobs:1 and jobs:4" `Quick
+      (fun () ->
+        let r1 = sweep_results ~jobs:1 in
+        let r4 = sweep_results ~jobs:4 in
+        List.iteri
+          (fun i (o1, o4) ->
+            if o1 <> o4 then
+              Alcotest.failf "transformation %d: jobs:1 and jobs:4 disagree" i)
+          (List.combine r1 r4));
+  ]
+
+(* --------------------------------------------------------------- *)
+(* Random programs: fast == Slow on generated refinement queries    *)
+(* --------------------------------------------------------------- *)
+
+let gen_cfg =
+  {
+    Gen.default_config with
+    Gen.na_locs = [ Loc.make "X" ];
+    at_locs = [ Loc.make "Y" ];
+    regs = [ Reg.make "a"; Reg.make "b" ];
+    values = [ 0; 1 ];
+  }
+
+let stmt_gen (cfg : Gen.config) ~size : Stmt.t QCheck.Gen.t =
+ fun rand -> Gen.gen_program cfg rand ~size
+
+let stmt_arbitrary cfg ~size =
+  QCheck.make
+    ~print:(fun s -> Fmt.str "%a" Stmt.pp s)
+    (stmt_gen cfg ~size)
+
+let qcheck_games =
+  QCheck.Test.make
+    ~name:"fast == Slow on random program pairs (refine and advanced)"
+    ~count:30
+    (QCheck.pair (stmt_arbitrary gen_cfg ~size:3) (stmt_arbitrary gen_cfg ~size:3))
+    (fun (src, tgt) ->
+      let d = Domain.of_stmts ~values [ src; tgt ] in
+      let item = (d, src, tgt) in
+      let roots = refine_roots item in
+      let aroots = advanced_roots item in
+      Seq_model.Refine.Slow.check_pairs_count d roots
+      = Seq_model.Refine.check_pairs_count d roots
+      && Seq_model.Advanced.Slow.check_pairs_count d aroots
+         = Seq_model.Advanced.check_pairs_count d aroots)
+
+let loop_cfg = { gen_cfg with Gen.allow_loops = true }
+
+let qcheck_enumeration =
+  QCheck.Test.make
+    ~name:"memoized behavior enumeration == reference on random programs"
+    ~count:20
+    (stmt_arbitrary loop_cfg ~size:8)
+    (fun p ->
+      let d = Domain.of_stmts [ p ] in
+      let cfg = Seq_model.Config.make ~perm:(Domain.na_set d) (Prog.init p) in
+      let fuel = (4 * Stmt.size p) + 16 in
+      let slow = Seq_model.Behavior.enumerate d ~fuel cfg in
+      let fast =
+        Seq_model.Behavior.enumerate
+          ?tables:(Seq_model.Config.make_tables d) d ~fuel cfg
+      in
+      Seq_model.Behavior.Set.equal slow fast)
+
+let qcheck_suite =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ qcheck_games; qcheck_enumeration ]
+
+(* --------------------------------------------------------------- *)
+(* Packed / Core layer contracts                                    *)
+(* --------------------------------------------------------------- *)
+
+let contract_domain =
+  Domain.make
+    ~values:[ Value.Int 0; Value.Int 1 ]
+    ~na_locs:[ Loc.make "X"; Loc.make "W"; Loc.make "Z" ]
+    ~at_locs:[ Loc.make "Y" ] ()
+
+(* Every reachable configuration of [p] from the all-permission initial
+   one, breadth-first, capped. *)
+let reachable d p ~cap =
+  let module CSet = Set.Make (Seq_model.Config) in
+  let seen = ref CSet.empty in
+  let queue = Queue.create () in
+  Queue.add (Seq_model.Config.make ~perm:(Domain.na_set d) (Prog.init p)) queue;
+  while (not (Queue.is_empty queue)) && CSet.cardinal !seen < cap do
+    let cfg = Queue.pop queue in
+    if not (CSet.mem cfg !seen) then begin
+      seen := CSet.add cfg !seen;
+      List.iter
+        (fun (_, next) ->
+          match next with
+          | Seq_model.Config.Cont c -> Queue.add c queue
+          | Seq_model.Config.Bot -> ())
+        (Seq_model.Config.moves d cfg)
+    end
+  done;
+  CSet.elements !seen
+
+let equal_move (evs1, n1) (evs2, n2) =
+  List.compare Seq_model.Event.compare evs1 evs2 = 0
+  &&
+  match n1, n2 with
+  | Seq_model.Config.Bot, Seq_model.Config.Bot -> true
+  | Seq_model.Config.Cont c1, Seq_model.Config.Cont c2 ->
+    Seq_model.Config.equal c1 c2
+  | _ -> false
+
+let equal_line (l1 : Seq_model.Config.line) (l2 : Seq_model.Config.line) =
+  Loc.Set.equal l1.Seq_model.Config.written_max l2.Seq_model.Config.written_max
+  &&
+  match l1.Seq_model.Config.line_end, l2.Seq_model.Config.line_end with
+  | L_bot, L_bot | L_diverge, L_diverge -> true
+  | L_term (v1, c1), L_term (v2, c2) ->
+    Value.compare v1 v2 = 0 && Seq_model.Config.equal c1 c2
+  | L_label c1, L_label c2 -> Seq_model.Config.equal c1 c2
+  | _ -> false
+
+let sample_programs =
+  [
+    "X.store(na, 1); a = Y.load(acq); W.store(na, a); Y.store(rel, 1); \
+     b = X.load(na); return b";
+    "c = 0; while c < 2 { a = Y.load(acq); X.store(na, 1); \
+     Y.store(rel, 1); c = c + 1 }; return 0";
+    (* an unlabeled silent cycle: line must report L_diverge, not loop *)
+    "while 0 == 0 { skip }; return 1";
+  ]
+
+let contract_suite =
+  [
+    Alcotest.test_case
+      "packed acquire/release choice caches replay the Domain lists" `Quick
+      (fun () ->
+        let pk = Packed.make contract_domain in
+        List.iter
+          (fun perm ->
+            let pmask = Packed.mask_of_set pk perm in
+            let cached = Packed.acquire_choices pk pmask in
+            let fresh = Domain.acquire_choices contract_domain perm in
+            Alcotest.(check int)
+              "acquire choice count" (List.length fresh) (List.length cached);
+            List.iter2
+              (fun (p1, m1) (p2, m2) ->
+                Alcotest.(check bool) "acquire post set" true
+                  (Loc.Set.equal p1 p2);
+                Alcotest.(check int) "acquire values" 0
+                  (Loc.Map.compare Value.compare m1 m2))
+              cached fresh;
+            let rcached = Packed.release_choices pk pmask in
+            let rfresh = Domain.subsets_of contract_domain perm in
+            Alcotest.(check int)
+              "release choice count" (List.length rfresh) (List.length rcached);
+            List.iter2
+              (fun s1 s2 ->
+                Alcotest.(check bool) "release subset" true (Loc.Set.equal s1 s2))
+              rcached rfresh)
+          (Domain.subsets contract_domain.Domain.na_locs));
+    Alcotest.test_case "submasks enumerates exactly the submasks" `Quick
+      (fun () ->
+        List.iter
+          (fun mask ->
+            let subs = Packed.submasks mask in
+            let expected =
+              List.filter
+                (fun x -> x land mask = x)
+                (List.init 16 (fun i -> i))
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "submasks of %d" mask)
+              (List.sort compare expected)
+              (List.sort compare subs))
+          [ 0; 1; 5; 7; 10; 15 ]);
+    Alcotest.test_case "moves_t == moves on every reachable configuration"
+      `Quick (fun () ->
+        List.iter
+          (fun srcp ->
+            let p = Parser.stmt_of_string srcp in
+            let d = Domain.of_stmts [ p ] in
+            match Seq_model.Config.make_tables d with
+            | None -> Alcotest.fail "sample domain should pack"
+            | Some tb ->
+              List.iter
+                (fun cfg ->
+                  let m1 = Seq_model.Config.moves d cfg in
+                  let m2 = Seq_model.Config.moves_t tb d cfg in
+                  Alcotest.(check int)
+                    "move count" (List.length m1) (List.length m2);
+                  List.iter2
+                    (fun mv1 mv2 ->
+                      Alcotest.(check bool)
+                        "same move (content and order)" true
+                        (equal_move mv1 mv2))
+                    m1 m2)
+                (reachable d p ~cap:500))
+          sample_programs);
+    Alcotest.test_case "Core.line == Config.line on every reachable \
+                        configuration (divergent loops included)" `Quick
+      (fun () ->
+        List.iter
+          (fun srcp ->
+            let p = Parser.stmt_of_string srcp in
+            let d = Domain.of_stmts [ p ] in
+            match Seq_model.Core.create d with
+            | None -> Alcotest.fail "sample domain should pack"
+            | Some core ->
+              List.iter
+                (fun cfg ->
+                  Alcotest.(check bool)
+                    "same line" true
+                    (equal_line (Seq_model.Config.line cfg)
+                       (Seq_model.Core.line core cfg)))
+                (reachable d p ~cap:500))
+          sample_programs);
+    Alcotest.test_case "released_mem is independent of enumeration order"
+      `Quick (fun () ->
+        let d = contract_domain in
+        List.iter
+          (fun perm ->
+            List.iter
+              (fun mem ->
+                let cfg =
+                  Seq_model.Config.make ~perm ~mem
+                    (Prog.init (Parser.stmt_of_string "return 0"))
+                in
+                let got = Seq_model.Config.released_mem d cfg in
+                (* the spec, built by folding over the permission set
+                   itself — any enumeration order must produce this map *)
+                let want =
+                  Loc.Set.fold
+                    (fun x acc ->
+                      Loc.Map.add x (Seq_model.Config.read_mem cfg x) acc)
+                    perm Loc.Map.empty
+                in
+                Alcotest.(check int)
+                  "released memory" 0
+                  (Loc.Map.compare Value.compare want got))
+              (Domain.memories d))
+          (Domain.subsets d.Domain.na_locs));
+  ]
+
+let suite = corpus_suite @ jobs_suite @ qcheck_suite @ contract_suite

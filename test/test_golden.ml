@@ -80,14 +80,14 @@ let rtrim s =
 
 let lines s = String.split_on_char '\n' s |> List.map rtrim
 
-let test_e12_golden () =
-  (* swept through the engine so the golden table also re-certifies the
-     parallel=sequential rendering contract *)
-  let actual = Litmus.Matrix.render_e12 ~stats:false (Litmus.Matrix.e12_rows ~jobs:2 ()) in
-  let exp = List.filter (fun l -> l <> "") (lines golden) in
+(* Right-trimmed, blank-line-insensitive comparison with a line-precise
+   failure report.  All renderers pad fixed-width columns, so rows carry
+   trailing spaces an editor would strip from the embedded golden. *)
+let check_golden ~what ~expected ~actual =
+  let exp = List.filter (fun l -> l <> "") (lines expected) in
   let got = List.filter (fun l -> l <> "") (lines actual) in
   if exp <> got then begin
-    Fmt.epr "--- actual E1/E2 table ---@.%s--- end ---@." actual;
+    Fmt.epr "--- actual %s ---@.%s--- end ---@." what actual;
     let rec first_diff i = function
       | [], [] -> ()
       | e :: _, [] -> Alcotest.failf "line %d: missing %S" i e
@@ -100,5 +100,119 @@ let test_e12_golden () =
     first_diff 1 (exp, got)
   end
 
+let test_e12_golden () =
+  (* swept through the engine so the golden table also re-certifies the
+     parallel=sequential rendering contract *)
+  let actual = Litmus.Matrix.render_e12 ~stats:false (Litmus.Matrix.e12_rows ~jobs:2 ()) in
+  check_golden ~what:"E1/E2 table" ~expected:golden ~actual
+
+(* E4 litmus exploration: states, races and behavior sets per catalog
+   program.  State counts pin the promising-machine and SC-baseline
+   visited-set identities — a conflation or split in either shows up
+   here as a count drift. *)
+let golden_e4 =
+  {golden|litmus       paper ref          states   races   behaviors
+SB-rlx       classic            136      false   {⟨0 ∥ 0⟩; ⟨0 ∥ 1⟩; ⟨1 ∥ 0⟩; ⟨1 ∥ 1⟩}
+MP-rel-acq   classic            200      false   {⟨0 ∥ 0⟩; ⟨0 ∥ 11⟩}
+LB-rlx       classic            157      false   {⟨0 ∥ 0⟩; ⟨0 ∥ 1⟩; ⟨1 ∥ 0⟩; ⟨1 ∥ 1⟩}
+LB-data      out-of-thin-air    157      false   {⟨0 ∥ 0⟩}
+Ex-5.1       Ex 5.1             647      true    {⟨0 ∥ 0⟩; ⟨0 ∥ 1⟩; ⟨1 ∥ 1⟩; ⟨2 ∥ 1⟩; ⟨undef ∥ 1⟩}
+WW-race      §5                1901     true    {⊥; ⟨0 ∥ 0⟩}
+RW-race      §5                216      true    {⟨0 ∥ 0⟩; ⟨1 ∥ 0⟩; ⟨2 ∥ 0⟩; ⟨undef ∥ 0⟩}
+2+2W-rlx     classic            3824     false   {⟨0 ∥ 0 ∥ 0⟩; ⟨0 ∥ 0 ∥ 1⟩; ⟨0 ∥ 0 ∥ 2⟩; ⟨0 ∥ 0 ∥ 10⟩; ⟨0 ∥ 0 ∥ 11⟩; ⟨0 ∥ 0 ∥ 12⟩; ⟨0 ∥ 0 ∥ 20⟩; ⟨0 ∥ 0 ∥ 21⟩; ⟨0 ∥ 0 ∥ 22⟩}
+MP-fences    extension (fences) 290      false   {⟨0 ∥ 0⟩; ⟨0 ∥ 11⟩}
+SB-sc-fence  extension (SC fences) 208      false   {⟨0 ∥ 1⟩; ⟨1 ∥ 0⟩; ⟨1 ∥ 1⟩}
+-- 10 litmus programs
+|golden}
+
+let test_e4_golden () =
+  let actual =
+    Litmus.Matrix.render_e4 ~stats:false (Litmus.Matrix.e4_rows ~jobs:2 ())
+  in
+  check_golden ~what:"E4 table" ~expected:golden_e4 ~actual
+
+(* E5 adequacy slice exactly as the default (non --full) bench run slices
+   it: every 4th transformation × the first 4 contexts. *)
+let golden_e5 =
+  {golden|transformation                   SEQ-adv   PS-refines  ok
+slf-basic                        true      true        ok
+reorder-na-ww-diff               true      true        ok
+read-before-write-elim           true      true        ok
+write-before-loop                false     false       ok
+irrelevant-load-intro            true      true        ok
+na-read-then-rel                 false     true        ok
+na-write-into-rel                true      true        ok
+slf-across-rlx-write             true      true        ok
+rlx-read-then-na-write           true      true        ok
+unconditional-ub-hoist           true      true        ok
+dse-across-rel-acq               false     true        ok
+na-write-into-acq-fence          true      true        ok
+rmw-identity                     true      true        ok
+sc-fence-identity                true      true        ok
+no-na-to-rlx-strengthening       false     true        ok
+-- 15 rows x 4 contexts, 0 adequacy violations
+|golden}
+
+let test_e5_golden () =
+  let corpus =
+    List.filteri (fun i _ -> i mod 4 = 0) Litmus.Catalog.transformations
+  in
+  let contexts = List.filteri (fun i _ -> i < 4) Litmus.Catalog.contexts in
+  let actual =
+    Litmus.Matrix.render_e5 ~stats:false
+      (Litmus.Adequacy.run ~jobs:2 ~contexts ~corpus ())
+  in
+  check_golden ~what:"E5 slice" ~expected:golden_e5 ~actual
+
+(* seqlint over examples/programs/*.wm must reproduce the checked-in
+   examples/seqlint.golden byte for byte (same rendering as
+   bin/seqlint.ml, same shell-glob file order). *)
+let test_seqlint_golden () =
+  (* dune runtest runs with cwd _build/default/test (where the source_tree
+     dep materialises ../examples); a direct dune exec runs from the
+     project root. *)
+  let root =
+    if Sys.file_exists "../examples/programs" then ".." else "examples/.."
+  in
+  let dir = Filename.concat root "examples/programs" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".wm")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "example programs present" true (files <> []);
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun f ->
+      let label = "examples/programs/" ^ f in
+      let text =
+        In_channel.with_open_text (Filename.concat dir f) In_channel.input_all
+      in
+      let threads = Lang.Parser.threads_of_string text in
+      let diags = Optimizer.Lint.lint ~hints:true threads in
+      let n = List.length threads in
+      if diags = [] then Fmt.pf ppf "%s: clean@." label
+      else begin
+        Fmt.pf ppf "%s:@." label;
+        List.iter
+          (fun d -> Fmt.pf ppf "  %a@." (Optimizer.Lint.pp_diag ~threads:n) d)
+          diags
+      end)
+    files;
+  Format.pp_print_flush ppf ();
+  let expected =
+    In_channel.with_open_text
+      (Filename.concat root "examples/seqlint.golden")
+      In_channel.input_all
+  in
+  check_golden ~what:"seqlint output" ~expected ~actual:(Buffer.contents buf)
+
 let suite =
-  [ Alcotest.test_case "E1/E2 table matches golden" `Quick test_e12_golden ]
+  [
+    Alcotest.test_case "E1/E2 table matches golden" `Quick test_e12_golden;
+    Alcotest.test_case "E4 table matches golden" `Quick test_e4_golden;
+    Alcotest.test_case "E5 slice matches golden" `Quick test_e5_golden;
+    Alcotest.test_case "seqlint output matches golden" `Quick
+      test_seqlint_golden;
+  ]

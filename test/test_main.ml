@@ -14,6 +14,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("adequacy", Test_adequacy.suite);
       ("golden", Test_golden.suite);
+      ("diffcore", Test_diffcore.suite);
       ("properties", Test_properties.suite);
       ("analysis", Test_analysis.suite);
       ("service", Test_service.suite);
