@@ -1,13 +1,24 @@
-(* Bench regression guard: compare the E12 enumeration-core speedup rows
-   of a fresh `bench --json` record against the checked-in baseline
-   (bench/baseline.json).
+(* Bench regression guard: compare a fresh `bench --json` record against
+   the checked-in baseline (bench/baseline.json) on its
+   machine-independent rows.
 
-   Speedups are same-run ratios of two measurements under identical
-   load, so they are machine-independent where absolute times are not —
-   that is what gets compared.  A row regressing below
-   [soft_floor] x its baseline speedup fails the guard (exit 1); a row
-   collapsing by an order of magnitude is reported as a hard failure
-   (exit 2) — that means a fast path stopped engaging, not noise.
+   E12 (enumeration-core speedups): speedups are same-run ratios of two
+   measurements under identical load, so they are machine-independent
+   where absolute times are not — that is what gets compared.  A row
+   regressing below [soft_floor] x its baseline speedup fails the guard
+   (exit 1); a row collapsing by an order of magnitude is reported as a
+   hard failure (exit 2) — that means a fast path stopped engaging, not
+   noise.
+
+   E13 (chaos drill, present when the record was produced with
+   --service): the pass/fail signal is categorical, not a timing —
+   every pass must report [verdicts_ok] (the resilient client masked
+   every injected fault), and the chaos pass must actually have been
+   chaotic: [faults_injected] at or above the baseline row's
+   [min_faults] floor (the schedule is seeded, so a collapse here means
+   the proxy stopped injecting, not noise).  A record without an E13
+   table is only an error when the baseline demands one and the record
+   carries other service tables.
 
    The baseline's speedup fields are conservative floors (below the
    worst ratio observed across healthy runs), not a verbatim run record:
@@ -32,36 +43,134 @@ let read_file path =
 
 let fail fmt = Fmt.kstr (fun m -> prerr_endline ("guard: " ^ m); exit 1) fmt
 
-(* The E12 rows as (name, speedup) pairs. *)
-let e12_rows path : (string * float) list =
-  let doc =
-    match J.of_string (read_file path) with
-    | doc -> doc
-    | exception J.Parse_error msg -> fail "%s: JSON parse error at %s" path msg
-  in
-  let tables =
-    match Option.bind (J.member "tables" doc) J.to_list_opt with
-    | Some ts -> ts
-    | None -> fail "%s: no \"tables\" array" path
-  in
-  let e12 =
-    List.find_opt
-      (fun t -> Option.bind (J.member "id" t) J.to_string_opt = Some "E12")
-      tables
-  in
-  match Option.bind e12 (fun t -> Option.bind (J.member "rows" t) J.to_list_opt)
-  with
+let load path =
+  match J.of_string (read_file path) with
+  | doc -> doc
+  | exception J.Parse_error msg -> fail "%s: JSON parse error at %s" path msg
+
+let tables path doc =
+  match Option.bind (J.member "tables" doc) J.to_list_opt with
+  | Some ts -> ts
+  | None -> fail "%s: no \"tables\" array" path
+
+(* The rows of table [id], or [None] when the record has no such table. *)
+let table_rows id tables =
+  Option.bind
+    (List.find_opt
+       (fun t -> Option.bind (J.member "id" t) J.to_string_opt = Some id)
+       tables)
+    (fun t -> Option.bind (J.member "rows" t) J.to_list_opt)
+
+let row_name row = Option.bind (J.member "name" row) J.to_string_opt
+
+let find_row name rows =
+  List.find_opt (fun r -> row_name r = Some name) rows
+
+(* ---------------- E12: speedup floors ---------------- *)
+
+let e12_pairs path tbls : (string * float) list =
+  match table_rows "E12" tbls with
   | None -> fail "%s: no E12 table" path
   | Some rows ->
     List.filter_map
       (fun row ->
         match
-          ( Option.bind (J.member "name" row) J.to_string_opt,
-            Option.bind (J.member "speedup" row) J.to_float_opt )
+          (row_name row, Option.bind (J.member "speedup" row) J.to_float_opt)
         with
         | Some name, Some speedup -> Some (name, speedup)
         | _ -> None)
       rows
+
+let check_e12 ~current ~cur_tbls ~baseline ~base_tbls =
+  let cur = e12_pairs current cur_tbls in
+  let base = e12_pairs baseline base_tbls in
+  if base = [] then fail "%s: baseline has no E12 speedup rows" baseline;
+  let soft = ref [] and hard = ref [] in
+  List.iter
+    (fun (name, bspeed) ->
+      match List.assoc_opt name cur with
+      | None ->
+        fail "row %S present in baseline but missing from %s" name current
+      | Some cspeed ->
+        let ratio = cspeed /. bspeed in
+        Fmt.pr "%-22s baseline %6.2fx  current %6.2fx  ratio %.2f@." name
+          bspeed cspeed ratio;
+        if ratio < hard_floor then hard := name :: !hard
+        else if ratio < soft_floor then soft := name :: !soft)
+    base;
+  (match !hard, !soft with
+   | [], [] ->
+     Fmt.pr "guard: all %d E12 rows within bounds@." (List.length base)
+   | _ -> ());
+  (!hard, !soft)
+
+(* ---------------- E13: chaos drill invariants ---------------- *)
+
+let check_e13 ~current ~cur_tbls ~base_tbls =
+  match table_rows "E13" base_tbls with
+  | None -> []  (* baseline predates the chaos drill *)
+  | Some base_rows -> (
+    match table_rows "E13" cur_tbls with
+    | None ->
+      (* E13 only exists under --service; a non-service record is fine,
+         a service record that lost the table is not *)
+      if table_rows "E10" cur_tbls <> None then
+        fail "%s: has service tables but no E13 chaos table" current
+      else begin
+        Fmt.pr "guard: no service tables in record, E13 skipped@.";
+        []
+      end
+    | Some cur_rows ->
+      let bad = ref [] in
+      List.iter
+        (fun brow ->
+          let name =
+            match row_name brow with
+            | Some n -> n
+            | None -> fail "baseline E13 row without a name"
+          in
+          match find_row name cur_rows with
+          | None ->
+            fail "E13 row %S present in baseline but missing from %s" name
+              current
+          | Some crow ->
+            let verdicts_ok =
+              match J.member "verdicts_ok" crow with
+              | Some (J.Bool b) -> b
+              | _ -> false
+            in
+            let faults =
+              match
+                Option.bind (J.member "faults_injected" crow) J.to_float_opt
+              with
+              | Some f -> f
+              | None -> 0.
+            in
+            let min_faults =
+              match
+                Option.bind (J.member "min_faults" brow) J.to_float_opt
+              with
+              | Some f -> f
+              | None -> 0.
+            in
+            Fmt.pr "E13 %-8s verdicts_ok=%b  faults=%.0f (floor %.0f)@." name
+              verdicts_ok faults min_faults;
+            if not verdicts_ok then begin
+              Fmt.epr "guard: E13 %s pass: verdicts diverged under faults@."
+                name;
+              bad := name :: !bad
+            end;
+            if faults < min_faults then begin
+              Fmt.epr
+                "guard: E13 %s pass: only %.0f faults injected (floor %.0f) \
+                 — the chaos proxy is not exercising the client@."
+                name faults min_faults;
+              bad := name :: !bad
+            end)
+        base_rows;
+      if !bad = [] then
+        Fmt.pr "guard: all %d E13 rows within bounds@." (List.length base_rows);
+      !bad)
 
 let () =
   let current, baseline =
@@ -70,26 +179,19 @@ let () =
     | [ _; c; b ] -> (c, b)
     | _ -> fail "usage: guard.exe CURRENT.json [BASELINE.json]"
   in
-  let cur = e12_rows current in
-  let base = e12_rows baseline in
-  if base = [] then fail "%s: baseline has no E12 speedup rows" baseline;
-  let soft = ref [] and hard = ref [] in
-  List.iter
-    (fun (name, bspeed) ->
-      match List.assoc_opt name cur with
-      | None -> fail "row %S present in baseline but missing from %s" name current
-      | Some cspeed ->
-        let ratio = cspeed /. bspeed in
-        Fmt.pr "%-22s baseline %6.2fx  current %6.2fx  ratio %.2f@." name
-          bspeed cspeed ratio;
-        if ratio < hard_floor then hard := name :: !hard
-        else if ratio < soft_floor then soft := name :: !soft)
-    base;
-  match !hard, !soft with
-  | [], [] -> Fmt.pr "guard: all %d E12 rows within bounds@." (List.length base)
-  | hard, soft ->
+  let cur_tbls = tables current (load current) in
+  let base_tbls = tables baseline (load baseline) in
+  let hard, soft = check_e12 ~current ~cur_tbls ~baseline ~base_tbls in
+  let chaos_bad = check_e13 ~current ~cur_tbls ~base_tbls in
+  match hard, soft, chaos_bad with
+  | [], [], [] -> ()
+  | hard, soft, chaos_bad ->
     List.iter
       (Fmt.epr "guard: HARD regression (order of magnitude): %s@.")
       hard;
-    List.iter (Fmt.epr "guard: regression below %.0f%% of baseline: %s@." (100. *. soft_floor)) soft;
+    List.iter
+      (Fmt.epr "guard: regression below %.0f%% of baseline: %s@."
+         (100. *. soft_floor))
+      soft;
+    List.iter (Fmt.epr "guard: E13 chaos invariant violated: %s@.") chaos_bad;
     exit (if hard <> [] then 2 else 1)

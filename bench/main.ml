@@ -827,9 +827,11 @@ let service_table ~jobs ~robust () =
   let config =
     {
       Service.Server.socket_path = Filename.concat dir "seqd.sock";
+      tcp = None;
       cache_dir = Some (Filename.concat dir "cache");
       mem_capacity = 4096;
       jobs;
+      max_inflight = max 8 (2 * jobs);
       default_budget = robust.spec;
     }
   in
@@ -898,6 +900,147 @@ let service_table ~jobs ~robust () =
     check_full_hits "warm" warm;
     check_full_hits "restart" disk_pass
   end
+
+(* ------------------------------------------------------------------ *)
+(* E13: seqd under chaos — clean vs fault-injected per-request latency  *)
+(* ------------------------------------------------------------------ *)
+
+(* Fixed seed: the proxy's fault schedule and the client's backoff
+   jitter are pure functions of it, so the injected fault sequence
+   replays across runs (bench/guard.ml floors the fault count). *)
+let e13_seed = 7
+
+let chaos_table ~jobs ~robust () =
+  let title =
+    "E13 — seqd under chaos: per-request latency, clean vs fault-injected"
+  in
+  header title;
+  let dir = temp_dir "seq-bench-e13" in
+  let sock = Filename.concat dir "seqd.sock" in
+  let proxy_sock = Filename.concat dir "chaos.sock" in
+  let config =
+    {
+      Service.Server.socket_path = sock;
+      tcp = None;
+      cache_dir = Some (Filename.concat dir "cache");
+      mem_capacity = 4096;
+      jobs;
+      max_inflight = max 8 (2 * jobs);
+      default_budget = robust.spec;
+    }
+  in
+  let expected (t : C.transformation) : Service.Proto.verdict =
+    match (t.C.simple, t.C.advanced) with
+    | C.Sound, _ -> Service.Proto.Refines_simple
+    | C.Unsound, C.Sound -> Service.Proto.Refines_advanced
+    | C.Unsound, C.Unsound -> Service.Proto.Refuted
+  in
+  (* under a finite budget a verdict may legitimately be Unknown *)
+  let budget_limited = not (Engine.Budget.spec_is_unlimited robust.spec) in
+  let metrics = Engine.Metrics.create () in
+  let n = List.length C.transformations in
+  let handle = Service.Server.spawn config in
+  (* one warm-up batch so both measured passes answer from the same
+     cache tier and differ only in what the transport does to them *)
+  Service.Client.with_connection sock (fun c ->
+      ignore
+        (Service.Client.batch c
+           (List.map
+              (fun (t : C.transformation) ->
+                { Service.Proto.src = t.C.src; tgt = t.C.tgt; values = [];
+                  fast_path = true })
+              C.transformations)));
+  let run_pass label addr policy =
+    let wrong = ref 0 in
+    let ctrs =
+      Service.Client.with_connection ~policy addr (fun c ->
+          List.iter
+            (fun (t : C.transformation) ->
+              let r, ms =
+                Engine.Stats.timed (fun () ->
+                    Service.Client.check c ~src:t.C.src ~tgt:t.C.tgt ())
+              in
+              Engine.Metrics.observe metrics label ms;
+              let want = expected t in
+              let ok =
+                r.Service.Proto.verdict = want
+                || budget_limited
+                   && (match r.Service.Proto.verdict with
+                       | Service.Proto.Unknown _ -> true
+                       | _ -> false)
+              in
+              if not ok then begin
+                incr wrong;
+                incr mismatches;
+                Fmt.pr "-- ERROR: %s pass: %s answered %s (expected %s)@."
+                  label t.C.name
+                  (Service.Proto.verdict_to_string r.Service.Proto.verdict)
+                  (Service.Proto.verdict_to_string want)
+              end)
+            C.transformations;
+          Service.Client.counters c)
+    in
+    (ctrs, !wrong)
+  in
+  let clean_ctrs, clean_wrong =
+    run_pass "clean" sock Service.Client.default_policy
+  in
+  (* the chaos pass goes through the seeded fault-injecting proxy; the
+     request timeout is what turns a dropped frame into a retry *)
+  let proxy =
+    Service.Chaos.start
+      ~listen:(Service.Addr.Unix_sock proxy_sock)
+      ~upstream:(Service.Addr.Unix_sock sock)
+      (Service.Chaos.schedule e13_seed)
+  in
+  let chaos_policy =
+    {
+      Service.Client.resilient_policy with
+      attempts = 16;
+      request_timeout_ms = Some 500.;
+      seed = e13_seed;
+    }
+  in
+  let chaos_ctrs, chaos_wrong = run_pass "chaos" proxy_sock chaos_policy in
+  let fc = Service.Chaos.counts proxy in
+  Service.Chaos.stop proxy;
+  Service.Server.stop handle;
+  let faults = Service.Chaos.injected fc in
+  Fmt.pr
+    "-- chaos seed=%d: frames=%d pass=%d delay=%d drop=%d garble=%d \
+     truncate=%d duplicate=%d kill=%d@."
+    e13_seed fc.Service.Chaos.frames fc.Service.Chaos.passed
+    fc.Service.Chaos.delayed fc.Service.Chaos.dropped fc.Service.Chaos.garbled
+    fc.Service.Chaos.truncated fc.Service.Chaos.duplicated
+    fc.Service.Chaos.killed;
+  Fmt.pr "%-8s %5s %9s %9s %9s %8s %5s %11s %7s %9s@." "pass" "req" "p50 ms"
+    "p90 ms" "p99 ms" "retries" "busy" "reconnects" "faults" "verdicts";
+  let row name (ctrs : Service.Client.counters) wrong faults =
+    let lat =
+      match Engine.Metrics.latency metrics name with
+      | Some l -> l
+      | None -> { Engine.Metrics.count = 0; p50 = 0.; p90 = 0.; p99 = 0. }
+    in
+    Fmt.pr "%-8s %5d %9.2f %9.2f %9.2f %8d %5d %11d %7d %9s@." name n
+      lat.Engine.Metrics.p50 lat.Engine.Metrics.p90 lat.Engine.Metrics.p99
+      ctrs.Service.Client.retries ctrs.Service.Client.busy
+      ctrs.Service.Client.reconnects faults
+      (if wrong = 0 then "ok" else "MISMATCH");
+    J.Obj
+      [ ("name", J.String name);
+        ("requests", J.Int n);
+        ("p50_ms", J.Float lat.Engine.Metrics.p50);
+        ("p90_ms", J.Float lat.Engine.Metrics.p90);
+        ("p99_ms", J.Float lat.Engine.Metrics.p99);
+        ("retries", J.Int ctrs.Service.Client.retries);
+        ("busy", J.Int ctrs.Service.Client.busy);
+        ("reconnects", J.Int ctrs.Service.Client.reconnects);
+        ("faults_injected", J.Int faults);
+        ("verdicts_ok", J.Bool (wrong = 0)) ]
+  in
+  let clean_row = row "clean" clean_ctrs clean_wrong 0 in
+  let chaos_row = row "chaos" chaos_ctrs chaos_wrong faults in
+  add_table "E13" title [ clean_row; chaos_row ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -1056,7 +1199,10 @@ let () =
     fuzz_table ~pool ~robust ();
     enumcore_table ();
     Engine.Pool.shutdown pool;
-    if service then service_table ~jobs ~robust ();
+    if service then begin
+      service_table ~jobs ~robust ();
+      chaos_table ~jobs ~robust ()
+    end;
     if not no_bechamel then bechamel_benches ()
   in
   (match json_path with
@@ -1064,7 +1210,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/3");
+         [ ("schema", J.String "seq-bench/4");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

@@ -22,11 +22,17 @@
     emits labels the source cannot).  [--lint] additionally prints
     the full static race/UB diagnostics for both programs (see seqlint).
 
-    [--server ADDR] turns seqcheck into a thin client of a running seqd:
-    single checks are sent as one request, [--corpus] as one parallel
-    batch over one connection, and each answer reports its serving tier
-    ([computed]/[mem]/[disk]) next to the proof provenance.  Exit codes
-    are unchanged; out-of-range flags exit 2 (see README). *)
+    [--server ADDR] turns seqcheck into a thin client of a running seqd
+    (ADDR is a Unix socket path or [tcp:HOST:PORT]): single checks are
+    sent as one request, [--corpus] as one parallel batch over one
+    connection, and each answer reports its serving tier
+    ([computed]/[mem]/[disk]) next to the proof provenance.  In server
+    mode [--retries N] bounds re-sends on connection failures and [Busy]
+    answers (verdict requests are pure, so re-sending is safe); if the
+    daemon still cannot be reached — it died mid-batch, say — the check
+    is undecided: exit 4 with a diagnostic, never an uncaught protocol
+    error.  Other exit codes are unchanged; out-of-range flags exit 2
+    (see README). *)
 
 open Cmdliner
 open Lang
@@ -75,9 +81,12 @@ let corpus_summary (results : Service.Proto.check_result list) =
          | _ -> false))
 
 let run_client addr src_path tgt_path values corpus timeout_ms max_states
-    keep_going =
+    keep_going retries =
   let budget = { Service.Proto.timeout_ms; max_states } in
-  Service.Client.with_connection addr (fun c ->
+  let policy =
+    { Service.Client.resilient_policy with attempts = retries + 1 }
+  in
+  Service.Client.with_connection ~policy addr (fun c ->
       if corpus then begin
         let entries = Litmus.Catalog.transformations in
         let checks =
@@ -173,9 +182,30 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
   | Ok () ->
   try
     match server with
-    | Some addr ->
-      run_client addr src_path tgt_path values corpus timeout_ms max_states
-        keep_going
+    | Some addr -> (
+      (* a daemon that dies mid-batch (or mid-handshake) leaves the
+         check undecided, not erroneous: exit 4 with a diagnostic, never
+         an uncaught Unix_error/Proto.Error escaping the sweep *)
+      try
+        run_client addr src_path tgt_path values corpus timeout_ms
+          max_states keep_going retries
+      with
+      | Unix.Unix_error (e, _, arg) ->
+        Fmt.epr
+          "seqcheck: daemon at %s unreachable or died mid-request (%s%s)@."
+          addr
+          (Unix.error_message e)
+          (if arg = "" then "" else ": " ^ arg);
+        Fmt.epr "UNKNOWN(daemon lost after %d attempt(s))@." (retries + 1);
+        4
+      | Service.Proto.Error msg ->
+        Fmt.epr "seqcheck: protocol failure talking to %s: %s@." addr msg;
+        Fmt.epr "UNKNOWN(daemon lost after %d attempt(s))@." (retries + 1);
+        4
+      | Service.Client.Timeout ->
+        Fmt.epr "seqcheck: request to %s timed out@." addr;
+        Fmt.epr "UNKNOWN(daemon lost after %d attempt(s))@." (retries + 1);
+        4)
     | None ->
     let spec = budget_spec timeout_ms max_states in
     if corpus then run_corpus jobs spec retries keep_going
@@ -313,7 +343,9 @@ let keep_going =
 
 let retries =
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
-         ~doc:"Retries per corpus task on transient failures (deadline).")
+         ~doc:"Retries per corpus task on transient failures (deadline); \
+               with --server, re-sends per request on connection failures \
+               and Busy answers (seeded backoff).")
 
 let lint =
   Arg.(value & flag & info [ "lint" ]
@@ -321,9 +353,10 @@ let lint =
 
 let server =
   Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
-         ~doc:"Send the check(s) to a running seqd at this Unix socket \
-               instead of checking locally; --corpus goes over one \
-               connection as one parallel batch.")
+         ~doc:"Send the check(s) to a running seqd at this address (a \
+               Unix socket path or tcp:HOST:PORT) instead of checking \
+               locally; --corpus goes over one connection as one \
+               parallel batch.")
 
 let cmd =
   Cmd.v

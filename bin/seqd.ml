@@ -1,49 +1,95 @@
 (** seqd — the persistent refinement-check service.
 
-    Runs a long-lived daemon on a Unix-domain socket, accepting
-    refinement / lint / optimize / litmus requests over the versioned
-    length-prefixed protocol (docs/SERVICE.md) and answering from a
-    two-tier content-addressed result cache: an in-memory LRU in front
-    of an on-disk store ([--cache-dir]).  Batch requests are swept in
-    parallel over [--jobs] worker domains; every other request is served
-    one at a time, which is what makes the SIGINT/SIGTERM drain trivial:
-    the in-flight request completes, its response is flushed, and the
-    socket is unlinked before exit.
+    Runs a long-lived daemon on a Unix-domain socket (and optionally a
+    TCP port, [--tcp HOST:PORT]), accepting refinement / lint /
+    optimize / litmus requests over the versioned length-prefixed
+    protocol (docs/SERVICE.md) and answering from a two-tier
+    content-addressed result cache: an in-memory LRU in front of an
+    on-disk store ([--cache-dir]).  Request evaluation is dispatched
+    onto [--jobs] worker domains, so many clients make progress at
+    once; at most [--max-inflight] evaluations run concurrently and
+    excess requests are answered [Busy] (clients back off and retry).
+    On SIGINT/SIGTERM the daemon drains: in-flight evaluations finish,
+    their responses are flushed, and the socket is unlinked before
+    exit.
 
-    Clients: [seqcheck --server PATH] (single checks and the corpus as
-    one batch), or any program speaking the protocol via
+    [--fsck] instead scans the on-disk store: entries failing
+    magic/version/length/MD5 validation are pruned and orphan temp
+    files (a kill mid-write) removed.  Exit 0 if the store was already
+    clean, 1 if anything was repaired.
+
+    Clients: [seqcheck --server PATH|tcp:HOST:PORT] (single checks and
+    the corpus as one batch), or any program speaking the protocol via
     [Service.Client].  Exit 0 after a clean drain; 2 on bad flags. *)
 
 open Cmdliner
 
-let run socket cache_dir mem_capacity jobs timeout_ms max_states =
-  match
-    let ( let* ) = Result.bind in
-    let* () = Engine.Cliopts.validate ~jobs ~timeout_ms ~max_states () in
-    Engine.Cliopts.validate_pos ~flag:"--mem-capacity" mem_capacity
-  with
-  | Error msg ->
-    Fmt.epr "seqd: %s@." msg;
+let run_fsck cache_dir =
+  match cache_dir with
+  | None ->
+    Fmt.epr "seqd: --fsck requires --cache-dir@.";
     Engine.Cliopts.usage_exit
-  | Ok () ->
-    let config =
-      {
-        Service.Server.socket_path = socket;
-        cache_dir;
-        mem_capacity;
-        jobs;
-        default_budget = Engine.Budget.spec ?timeout_ms ?max_states ();
-      }
-    in
-    Fmt.epr "seqd: listening on %s (jobs=%d, cache=%s)@." socket jobs
-      (match cache_dir with Some d -> d | None -> "memory-only");
-    Service.Server.run config;
-    Fmt.epr "seqd: drained, bye@.";
-    0
+  | Some dir ->
+    let r = Service.Cache.fsck ~dir in
+    Fmt.pr
+      "fsck %s: scanned=%d valid=%d pruned=%d orphan-tmp=%d%s@." dir
+      r.Service.Cache.scanned r.Service.Cache.valid r.Service.Cache.pruned
+      r.Service.Cache.orphan_tmp
+      (if r.Service.Cache.version_reset then " (foreign VERSION: store cleared)"
+       else "");
+    if Service.Cache.fsck_clean r then 0 else 1
+
+let run socket tcp cache_dir mem_capacity jobs max_inflight timeout_ms
+    max_states fsck =
+  if fsck then run_fsck cache_dir
+  else
+    match
+      let ( let* ) = Result.bind in
+      let* () = Engine.Cliopts.validate ~jobs ~timeout_ms ~max_states () in
+      let* () = Engine.Cliopts.validate_pos ~flag:"--mem-capacity" mem_capacity in
+      let* () = Engine.Cliopts.validate_pos ~flag:"--max-inflight" max_inflight in
+      match tcp with
+      | None -> Ok None
+      | Some hp -> (
+        match Service.Addr.parse_hostport hp with
+        | Service.Addr.Tcp (host, port) -> Ok (Some (host, port))
+        | _ -> assert false
+        | exception Failure msg -> Error msg)
+    with
+    | Error msg ->
+      Fmt.epr "seqd: %s@." msg;
+      Engine.Cliopts.usage_exit
+    | Ok tcp ->
+      let config =
+        {
+          Service.Server.socket_path = socket;
+          tcp;
+          cache_dir;
+          mem_capacity;
+          jobs;
+          max_inflight;
+          default_budget = Engine.Budget.spec ?timeout_ms ?max_states ();
+        }
+      in
+      Fmt.epr "seqd: listening on %s%s (jobs=%d, max-inflight=%d, cache=%s)@."
+        socket
+        (match tcp with
+         | Some (h, p) -> Printf.sprintf " and tcp:%s:%d" h p
+         | None -> "")
+        jobs max_inflight
+        (match cache_dir with Some d -> d | None -> "memory-only");
+      Service.Server.run config;
+      Fmt.epr "seqd: drained, bye@.";
+      0
 
 let socket =
   Arg.(value & opt string "/tmp/seqd.sock" & info [ "socket" ] ~docv:"PATH"
          ~doc:"Unix-domain socket to listen on.")
+
+let tcp =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Also listen on this TCP address (same protocol; clients \
+               connect with tcp:HOST:PORT).")
 
 let cache_dir =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
@@ -56,7 +102,12 @@ let mem_capacity =
 
 let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ]
-         ~doc:"Worker domains for batch sweeps.")
+         ~doc:"Worker domains evaluating requests (and batch sweeps).")
+
+let max_inflight =
+  Arg.(value & opt int 8 & info [ "max-inflight" ] ~docv:"N"
+         ~doc:"Admission gate: evaluations in flight before excess \
+               requests are answered Busy.")
 
 let timeout_ms =
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
@@ -68,12 +119,18 @@ let max_states =
          ~doc:"Default state budget per request (client budgets override \
                field-wise).")
 
+let fsck =
+  Arg.(value & flag & info [ "fsck" ]
+         ~doc:"Scan the on-disk store ($(b,--cache-dir)), prune corrupt \
+               entries and orphan temp files, then exit (0 = clean, \
+               1 = repaired).")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqd" ~version:"1.0"
        ~doc:"Persistent SEQ refinement-check service with a \
              content-addressed result cache")
-    Term.(const run $ socket $ cache_dir $ mem_capacity $ jobs $ timeout_ms
-          $ max_states)
+    Term.(const run $ socket $ tcp $ cache_dir $ mem_capacity $ jobs
+          $ max_inflight $ timeout_ms $ max_states $ fsck)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,6 +39,17 @@ let seeded ~seed ~tasks ~faulty ?(action = Raise { transient = false })
     |> List.sort (fun a b -> compare a.index b.index)
   end
 
+let backoff_ms ~seed ~base_ms ~max_ms ~attempt =
+  let attempt = max 1 attempt in
+  (* explicit-seed PRNG: the delay is a pure function of (seed, attempt),
+     so retry schedules replay exactly in tests and chaos drills *)
+  let st = Random.State.make [| 0xbac0ff; seed; attempt |] in
+  let base = Float.max 0. base_ms in
+  let cap = Float.max base max_ms in
+  let exp = Float.min cap (base *. (2. ** float_of_int (attempt - 1))) in
+  let jitter = if exp > 0. then Random.State.float st (exp /. 2.) else 0. in
+  Float.min cap (exp +. jitter)
+
 let apply (plan : plan) ~(budget : Budget.t) ~index ~attempt =
   match List.find_opt (fun r -> r.index = index) plan with
   | None -> ()

@@ -39,6 +39,15 @@ val seeded :
   seed:int -> tasks:int -> faulty:int -> ?action:action -> ?attempts:int ->
   unit -> plan
 
+(** [backoff_ms ~seed ~base_ms ~max_ms ~attempt] is the delay (ms)
+    before retry [attempt] (1-based): exponential doubling from
+    [base_ms], capped at [max_ms], plus up to 50% jitter drawn from an
+    explicit-seed PRNG — a pure function of [(seed, attempt)], so retry
+    schedules replay exactly under test.  Used by the service client's
+    resilience layer. *)
+val backoff_ms :
+  seed:int -> base_ms:float -> max_ms:float -> attempt:int -> float
+
 (** Run the plan's rule for [index]/[attempt], if any, against the
     attempt's budget.  Called by {!Sweep.run_verdict} at the start of
     every task attempt; a no-op for indices without a rule. *)

@@ -2,11 +2,19 @@
 
     Synchronization is a single mutex plus two conditions: [work] wakes
     workers when chunks are enqueued (or at shutdown), [finished] wakes
-    the orchestrator when a job's remaining-item count hits zero.  The
-    job's [remaining] counter counts items {e accounted for} (run or
-    skipped after an escape), so it reaches zero even if a [run]
-    callback violates the no-raise contract — the pool never deadlocks
-    on a raising task. *)
+    waiters when a job's remaining-item count hits zero.  The job's
+    [remaining] counter counts items {e accounted for} (run or skipped
+    after an escape), so it reaches zero even if a [run] callback
+    violates the no-raise contract — the pool never deadlocks on a
+    raising task.
+
+    Deadlock-freedom with nested/concurrent jobs: a domain blocks on
+    [finished] only after the queue is empty, at which point every
+    unaccounted chunk of its job has been popped by some domain.  A
+    popped chunk is either executing (progress) or its executor is
+    itself blocked on a job nested strictly inside that chunk — the
+    waits-on chain follows nesting depth, which is finite and acyclic,
+    so it ends at an actively executing domain. *)
 
 type job = {
   run : wid:int -> int -> unit;
@@ -17,6 +25,7 @@ type job = {
 type range = { job : job; lo : int; hi : int }
 
 type t = {
+  uid : int;  (* identifies this pool in worker-domain DLS *)
   mutex : Mutex.t;
   work : Condition.t;
   finished : Condition.t;
@@ -24,7 +33,22 @@ type t = {
   mutable closed : bool;
   mutable domains : unit Domain.t list;
   size : int;
+  dedicated : bool;
 }
+
+let next_uid = Atomic.make 0
+
+(* Which pool (by uid) and worker slot the current domain belongs to.
+   Lets [run_job] called from inside a worker (a [submit] thunk running
+   a nested sweep) participate under its own [wid] instead of stealing
+   slot 0. *)
+let dls_slot : (int * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_slot t =
+  match !(Domain.DLS.get dls_slot) with
+  | Some (uid, wid) when uid = t.uid -> Some wid
+  | _ -> None
 
 let size t = t.size
 
@@ -49,7 +73,7 @@ let rec worker t wid =
   while Queue.is_empty t.queue && not t.closed do
     Condition.wait t.work t.mutex
   done;
-  if Queue.is_empty t.queue then Mutex.unlock t.mutex  (* closed *)
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex  (* closed and drained *)
   else begin
     let r = Queue.pop t.queue in
     Mutex.unlock t.mutex;
@@ -57,7 +81,7 @@ let rec worker t wid =
     worker t wid
   end
 
-let create ?jobs () =
+let create ?jobs ?(dedicated = false) () =
   let size =
     match jobs with
     | Some j -> max 1 j
@@ -65,6 +89,7 @@ let create ?jobs () =
   in
   let t =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       mutex = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -72,11 +97,41 @@ let create ?jobs () =
       closed = false;
       domains = [];
       size;
+      dedicated;
     }
   in
+  (* Dedicated pools own every slot (an external orchestrator never
+     participates); shared pools leave slot 0 to the [run_job] caller. *)
+  let spawn wid =
+    Domain.spawn (fun () ->
+        Domain.DLS.get dls_slot := Some (t.uid, wid);
+        worker t wid)
+  in
   t.domains <-
-    List.init (size - 1) (fun k -> Domain.spawn (fun () -> worker t (k + 1)));
+    (if dedicated then List.init size spawn
+     else List.init (size - 1) (fun k -> spawn (k + 1)));
   t
+
+let enqueue t job ~n ~chunk =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Engine.Pool: pool is shut down"
+  end;
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min n (!lo + chunk) in
+    Queue.push { job; lo = !lo; hi } t.queue;
+    lo := hi
+  done;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex
+
+let submit t thunk =
+  let job =
+    { run = (fun ~wid:_ _ -> thunk ()); remaining = 1; poison = None }
+  in
+  enqueue t job ~n:1 ~chunk:1
 
 let run_job t ?chunk ~n run =
   if n > 0 then begin
@@ -86,37 +141,41 @@ let run_job t ?chunk ~n run =
       | Some c -> max 1 c
       | None -> max 1 (n / (4 * t.size))
     in
-    Mutex.lock t.mutex;
-    if t.closed then begin
-      Mutex.unlock t.mutex;
-      invalid_arg "Engine.Pool.run_job: pool is shut down"
-    end;
-    let lo = ref 0 in
-    while !lo < n do
-      let hi = min n (!lo + chunk) in
-      Queue.push { job; lo = !lo; hi } t.queue;
-      lo := hi
-    done;
-    Condition.broadcast t.work;
-    Mutex.unlock t.mutex;
-    (* The caller participates as worker 0 until the queue is drained,
-       then blocks until in-flight chunks finish. *)
-    let rec drain () =
-      Mutex.lock t.mutex;
-      if not (Queue.is_empty t.queue) then begin
-        let r = Queue.pop t.queue in
-        Mutex.unlock t.mutex;
-        exec t ~wid:0 r;
-        drain ()
-      end
-      else begin
-        while job.remaining > 0 do
-          Condition.wait t.finished t.mutex
-        done;
-        Mutex.unlock t.mutex
-      end
+    enqueue t job ~n ~chunk;
+    let participant_wid =
+      match my_slot t with
+      | Some wid -> Some wid  (* nested call from one of our workers *)
+      | None -> if t.dedicated then None else Some 0
     in
-    drain ();
+    (match participant_wid with
+     | Some wid ->
+       (* Participate until the queue is drained (executing whatever is
+          queued, including other jobs' chunks — required for progress
+          when jobs nest), then block until in-flight chunks finish. *)
+       let rec drain () =
+         Mutex.lock t.mutex;
+         if not (Queue.is_empty t.queue) then begin
+           let r = Queue.pop t.queue in
+           Mutex.unlock t.mutex;
+           exec t ~wid r;
+           drain ()
+         end
+         else begin
+           while job.remaining > 0 do
+             Condition.wait t.finished t.mutex
+           done;
+           Mutex.unlock t.mutex
+         end
+       in
+       drain ()
+     | None ->
+       (* External caller of a dedicated pool: the workers own every
+          slot, so just wait for the job to be accounted for. *)
+       Mutex.lock t.mutex;
+       while job.remaining > 0 do
+         Condition.wait t.finished t.mutex
+       done;
+       Mutex.unlock t.mutex);
     match job.poison with None -> () | Some e -> raise e
   end
 

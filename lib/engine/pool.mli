@@ -1,32 +1,48 @@
 (** A fixed-size pool of worker domains draining a chunked work queue.
 
-    The pool owns [size - 1] spawned domains; the caller of {!run_job}
-    participates as worker 0, so [jobs = 1] runs everything synchronously
-    on the calling domain with no spawning at all.  Work is submitted as
-    one job of [n] indexed items, split into contiguous index ranges
-    (chunks) that workers pull off a shared queue under a mutex.
+    Two shapes:
 
-    The pool is an orchestration primitive, not a general scheduler: one
-    job runs at a time, submitted from a single orchestrating domain
-    (concurrent {!run_job} calls are not supported).  See
-    {!Sweep} for the high-level, exception-safe API. *)
+    - {b Shared} (default): the pool owns [size - 1] spawned domains and
+      the caller of {!run_job} participates as worker 0, so [jobs = 1]
+      runs everything synchronously on the calling domain with no
+      spawning at all.  One job at a time, submitted from a single
+      orchestrating domain.
+    - {b Dedicated} ([~dedicated:true]): the pool owns all [size]
+      domains.  {!submit} dispatches fire-and-forget thunks onto them,
+      several callers may {!run_job} concurrently, and a thunk running on
+      a worker may itself call {!run_job} on the same pool (it
+      participates under its own worker slot) — this is how the seqd
+      server evaluates many requests at once while [Batch] requests
+      still fan out their sweeps.
+
+    Work is submitted as one job of [n] indexed items, split into
+    contiguous index ranges (chunks) that workers pull off a shared
+    queue under a mutex.  See {!Sweep} for the high-level,
+    exception-safe API. *)
 
 type t
 
-(** [create ?jobs ()] spawns a pool with [jobs] worker slots (including
-    the caller).  Default: [Domain.recommended_domain_count ()].  Values
-    are clamped to at least 1. *)
-val create : ?jobs:int -> unit -> t
+(** [create ?jobs ?dedicated ()] spawns a pool with [jobs] worker slots.
+    Default [jobs]: [Domain.recommended_domain_count ()]; clamped to at
+    least 1.  [dedicated] (default [false]) spawns a domain for every
+    slot instead of leaving slot 0 to the {!run_job} caller. *)
+val create : ?jobs:int -> ?dedicated:bool -> unit -> t
 
-(** Worker slots, including the calling domain. *)
+(** Worker slots (including the calling domain for shared pools). *)
 val size : t -> int
 
 (** [run_job t ~n run] executes [run ~wid i] for every [i] in
     [0 .. n-1] across the pool and returns when all items are accounted
-    for.  [wid] is the worker slot (0 = caller) — distinct concurrent
-    invocations always carry distinct [wid]s, so [wid]-indexed state
-    needs no locking.  [chunk] is the queue granularity (default:
+    for.  [wid] is the worker slot — distinct concurrent invocations on
+    distinct domains always carry distinct [wid]s, so [wid]-indexed
+    state needs no locking.  [chunk] is the queue granularity (default:
     [max 1 (n / (4 * size))]).
+
+    On a shared pool the caller participates as worker 0 (single
+    orchestrator only).  On a dedicated pool an external caller blocks
+    while the workers execute; a caller that is itself a pool worker (a
+    {!submit} thunk) participates under its own slot, draining queued
+    chunks — including other jobs' — until its job completes.
 
     [run] is expected not to raise; if it does, the first exception
     observed is re-raised after the job completes (remaining items of
@@ -34,10 +50,20 @@ val size : t -> int
     deterministic error reporting use {!Sweep}, which catches per item. *)
 val run_job : t -> ?chunk:int -> n:int -> (wid:int -> int -> unit) -> unit
 
-(** Signal workers to exit and join them.  Idempotent.  Jobs must not be
+(** [submit t thunk] enqueues a fire-and-forget task for a worker domain
+    to run.  Never blocks and never reports completion — callers track
+    their own completions (the seqd server pairs it with a wakeup
+    pipe).  [thunk] must not raise; an escaping exception is swallowed.
+    Meaningful on dedicated pools (on a shared pool with [jobs = 1]
+    nothing will ever run the thunk).  @raise Invalid_argument after
+    {!shutdown}. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Signal workers to exit and join them.  Idempotent.  Queued work is
+    still drained before workers exit; {!run_job} jobs must not be
     running. *)
 val shutdown : t -> unit
 
-(** [with_pool ?jobs f] runs [f] with a fresh pool and always shuts it
-    down. *)
+(** [with_pool ?jobs f] runs [f] with a fresh shared pool and always
+    shuts it down. *)
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a

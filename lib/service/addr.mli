@@ -1,0 +1,35 @@
+(** Service endpoint addresses: a Unix-domain socket path or a TCP
+    host/port, with one shared connect/listen path so the daemon, the
+    client, and the chaos proxy all speak to either transport
+    identically. *)
+
+type t =
+  | Unix_sock of string  (** filesystem socket path *)
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+
+(** Parse an address string: ["tcp:HOST:PORT"] is TCP (an empty host
+    means 127.0.0.1), anything else is a Unix socket path.
+    @raise Failure on a malformed TCP address. *)
+val of_string : string -> t
+
+(** Parse a bare ["HOST:PORT"] (no [tcp:] prefix) — the [seqd --tcp]
+    argument.  @raise Failure if malformed. *)
+val parse_hostport : string -> t
+
+(** Round-trips with {!of_string}. *)
+val to_string : t -> string
+
+(** Bound, listening socket for this address.  Unix: any stale socket
+    file is unlinked first.  TCP: [SO_REUSEADDR] is set.  [backlog]
+    defaults to 64.  @raise Unix.Unix_error on bind failure. *)
+val listen_fd : ?backlog:int -> t -> Unix.file_descr
+
+(** Blocking-mode connected socket.  With [timeout_ms] the connect is
+    bounded (nonblocking connect + select + [SO_ERROR]), raising
+    [Unix.Unix_error (ETIMEDOUT, _, _)] on expiry.  TCP sockets get
+    [TCP_NODELAY].  @raise Unix.Unix_error if nothing listens there. *)
+val connect_fd : ?timeout_ms:float -> t -> Unix.file_descr
+
+(** Remove the socket file of a Unix address (no-op for TCP, and for
+    already-missing files). *)
+val unlink_if_unix : t -> unit

@@ -178,6 +178,82 @@ let clear_store dir =
       end)
     (try Sys.readdir dir with Sys_error _ -> [||])
 
+(* ------------------------------------------------------------------ *)
+(* fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  pruned : int;
+  orphan_tmp : int;
+  version_reset : bool;
+}
+
+let fsck_clean r = r.pruned = 0 && r.orphan_tmp = 0 && not r.version_reset
+
+(* A kill mid-write leaves orphan temp files; a torn rename cannot
+   happen, but disk corruption (or truncation by another tool) can leave
+   an entry whose magic/version/length/MD5 no longer validate.  Both
+   read as misses at serving time; [fsck] reclaims the space and reports
+   what it found.  Temp files are [Filename.temp_file ".seqc*.tmp"]
+   debris in shard dirs or the root. *)
+let fsck ~dir =
+  let is_tmp name =
+    String.length name > 4
+    && String.sub name (String.length name - 4) 4 = ".tmp"
+  in
+  let report =
+    ref { scanned = 0; valid = 0; pruned = 0; orphan_tmp = 0;
+          version_reset = false }
+  in
+  let remove path = try Sys.remove path with Sys_error _ -> () in
+  if not (Sys.file_exists dir) then !report
+  else begin
+    (match read_version dir with
+     | Some v when v = format_version -> ()
+     | _ ->
+       (* foreign or missing VERSION: every entry belongs to another
+          format; clear and restamp, like [create] would *)
+       clear_store dir;
+       write_version dir;
+       report := { !report with version_reset = true });
+    Array.iter
+      (fun name ->
+        let p = Filename.concat dir name in
+        if is_tmp name then begin
+          remove p;
+          report := { !report with orphan_tmp = !report.orphan_tmp + 1 }
+        end
+        else if name <> "VERSION" && (try Sys.is_directory p with Sys_error _ -> false)
+        then
+          Array.iter
+            (fun entry ->
+              let ep = Filename.concat p entry in
+              if is_tmp entry then begin
+                remove ep;
+                report := { !report with orphan_tmp = !report.orphan_tmp + 1 }
+              end
+              else begin
+                report := { !report with scanned = !report.scanned + 1 };
+                let ok =
+                  match
+                    In_channel.with_open_bin ep In_channel.input_all
+                  with
+                  | entry -> payload_of_entry entry <> None
+                  | exception Sys_error _ -> false
+                in
+                if ok then report := { !report with valid = !report.valid + 1 }
+                else begin
+                  remove ep;
+                  report := { !report with pruned = !report.pruned + 1 }
+                end
+              end)
+            (try Sys.readdir p with Sys_error _ -> [||]))
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    !report
+  end
+
 let create ?dir ~mem_capacity () =
   if mem_capacity < 1 then invalid_arg "Cache.create: mem_capacity must be >= 1";
   (match dir with

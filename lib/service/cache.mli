@@ -62,3 +62,27 @@ val mem_size : t -> int
 type stats = { hits_mem : int; hits_disk : int; misses : int; writes : int }
 
 val stats : t -> stats
+
+(** {2 Store fsck}
+
+    Offline scan of an on-disk store (run it on a store no daemon has
+    open): validates every entry's magic/version/length/MD5 exactly as
+    {!find} would, prunes the ones that fail, and removes orphan temp
+    files left by a kill mid-write.  A store whose [VERSION] disagrees
+    with {!format_version} is cleared and restamped (as {!create} would
+    on open). *)
+
+type fsck_report = {
+  scanned : int;  (** entries examined *)
+  valid : int;  (** entries that validated *)
+  pruned : int;  (** corrupt entries removed *)
+  orphan_tmp : int;  (** leftover temp files removed *)
+  version_reset : bool;  (** store was foreign-format and was cleared *)
+}
+
+(** Nothing pruned, no debris, no version reset. *)
+val fsck_clean : fsck_report -> bool
+
+(** Scan and repair [dir].  A missing directory yields an all-zero
+    (clean) report. *)
+val fsck : dir:string -> fsck_report

@@ -1,0 +1,76 @@
+(** Seeded fault-injecting proxy for the seqd protocol.
+
+    Sits between a client and a daemon, reassembles frames in both
+    directions ({!Proto.Assembler}), and pushes each complete frame
+    through a deterministic fault schedule: the fault for the [i]-th
+    frame the proxy sees is a pure function of [(seed, i)] (the
+    per-index stream idiom of {!Engine.Faults}), so a fixed-seed chaos
+    run injects the same fault sequence every time.
+
+    Faults and how a resilient client masks them:
+    - {!fault.Delay_ms}: latency, nothing else;
+    - {!fault.Drop_frame}: the peer never sees the frame — the client's
+      request deadline fires and the retry uses a fresh connection;
+    - {!fault.Garble}: a corrupted magic byte — the receiver gets one
+      deterministic {!Proto.Error} and the connection dies;
+    - {!fault.Truncate}: a torn frame, then the connection dies;
+    - {!fault.Duplicate}: the frame is forwarded twice, then the
+      connection dies (the protocol has no request ids, so a surviving
+      duplicate would desynchronize pairing — this exercises the
+      client's stale-byte hygiene on reconnect);
+    - {!fault.Kill}: a few header bytes, then the connection dies
+      mid-response.
+
+    The proxy runs on its own domain; {!stop} joins it.  It is a test
+    harness, not a production component: throughput is sacrificed for
+    determinism (one frame at a time through the schedule). *)
+
+type fault =
+  | Pass
+  | Delay_ms of float
+  | Drop_frame
+  | Garble
+  | Truncate
+  | Duplicate
+  | Kill
+
+val fault_to_string : fault -> string
+
+(** A fault schedule: [rate] is the probability (0..1, clamped) that a
+    frame is faulted; delays are uniform in (0, max_delay_ms]. *)
+type schedule = { seed : int; rate : float; max_delay_ms : float }
+
+(** [schedule seed] with [rate] defaulting to 0.25 and [max_delay_ms]
+    to 5. *)
+val schedule : ?rate:float -> ?max_delay_ms:float -> int -> schedule
+
+(** The fault applied to the [index]-th frame: pure in [(seed, index)]. *)
+val fault_at : schedule -> int -> fault
+
+(** What the proxy observed/injected, by kind. *)
+type counts = {
+  frames : int;  (** complete frames seen (both directions) *)
+  passed : int;
+  delayed : int;
+  dropped : int;
+  garbled : int;
+  truncated : int;
+  duplicated : int;
+  killed : int;
+}
+
+(** Total injected faults (everything but [passed]). *)
+val injected : counts -> int
+
+type t
+
+(** [start ~listen ~upstream sched] spawns the proxy domain, listening
+    on [listen] and forwarding to [upstream] (either may be Unix or
+    TCP).  Returns once the listener accepts connections.
+    @raise Failure if it never comes up. *)
+val start : listen:Addr.t -> upstream:Addr.t -> schedule -> t
+
+val counts : t -> counts
+
+(** Close everything and join the proxy domain.  Idempotent. *)
+val stop : t -> unit

@@ -198,6 +198,7 @@ type response =
     }
   | Stats_result of string
   | Err of string
+  | Busy
   | Bye
 
 let response_tier = function
@@ -206,7 +207,7 @@ let response_tier = function
   | Linted l -> Some l.tier
   | Optimized o -> Some o.result.tier
   | Litmus_result l -> Some l.tier
-  | Pong | Stats_result _ | Err _ | Bye -> None
+  | Pong | Stats_result _ | Err _ | Busy | Bye -> None
 
 let with_tier resp tier =
   match resp with
@@ -214,7 +215,7 @@ let with_tier resp tier =
   | Linted l -> Linted { l with tier }
   | Optimized o -> Optimized { o with result = { o.result with tier } }
   | Litmus_result l -> Litmus_result { l with tier }
-  | Pong | Batched _ | Stats_result _ | Err _ | Bye -> resp
+  | Pong | Batched _ | Stats_result _ | Err _ | Busy | Bye -> resp
 
 (* ------------------------------------------------------------------ *)
 (* codec                                                               *)
@@ -400,7 +401,8 @@ let encode_response resp =
    | Err msg ->
      w_u8 buf 7;
      w_str buf msg
-   | Bye -> w_u8 buf 8);
+   | Bye -> w_u8 buf 8
+   | Busy -> w_u8 buf 9);
   Buffer.contents buf
 
 let decode_response s =
@@ -437,6 +439,7 @@ let decode_response s =
     | 6 -> Stats_result (r_str r)
     | 7 -> Err (r_str r)
     | 8 -> Bye
+    | 9 -> Busy
     | n -> fail "unknown response tag %d" n
   in
   r_done r;
@@ -446,10 +449,28 @@ let decode_response s =
 (* framing over a file descriptor                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The blocking framing helpers must behave identically whether a write
+   or read completes in one syscall or many: a TCP segment boundary, a
+   signal (EINTR), or a nonblocking descriptor (EAGAIN, waited out with
+   [select]) must never tear a frame.  A partial syscall is therefore
+   always resumed, never treated as completion. *)
+
+let wait_fd ~for_write fd =
+  match
+    if for_write then Unix.select [] [ fd ] [] (-1.0)
+    else Unix.select [ fd ] [] [] (-1.0)
+  with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
 let rec write_all fd bytes pos len =
   if len > 0 then begin
-    let n = Unix.write fd bytes pos len in
-    write_all fd bytes (pos + n) (len - n)
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      wait_fd ~for_write:true fd;
+      write_all fd bytes pos len
   end
 
 let write_frame fd payload =
@@ -475,29 +496,119 @@ let read_exactly ?(eof_ok = false) fd len =
         if pos = 0 && eof_ok then None
         else fail "unexpected EOF after %d of %d bytes" pos len
       | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_fd ~for_write:false fd;
+        go pos
   in
   go 0
+
+let header_len = 9
+
+(* Validate a complete 9-byte header; returns the payload length. *)
+let parse_header hdr =
+  let m = Bytes.sub_string hdr 0 4 in
+  if m <> magic then fail "bad magic %S (want %S)" m magic;
+  let v = Char.code (Bytes.get hdr 4) in
+  if v <> version then fail "protocol version mismatch: got %d, want %d" v version;
+  let len =
+    (Char.code (Bytes.get hdr 5) lsl 24)
+    lor (Char.code (Bytes.get hdr 6) lsl 16)
+    lor (Char.code (Bytes.get hdr 7) lsl 8)
+    lor Char.code (Bytes.get hdr 8)
+  in
+  if len > max_frame then fail "frame payload %d exceeds max %d" len max_frame;
+  len
 
 let read_frame fd =
   match read_exactly ~eof_ok:true fd 4 with
   | None -> None
   | Some m ->
-    let m = Bytes.to_string m in
-    if m <> magic then fail "bad magic %S (want %S)" m magic;
-    let hdr =
-      match read_exactly fd 5 with
+    let rest =
+      match read_exactly fd (header_len - 4) with
       | Some b -> b
       | None -> assert false
     in
-    let v = Char.code (Bytes.get hdr 0) in
-    if v <> version then fail "protocol version mismatch: got %d, want %d" v version;
-    let len =
-      (Char.code (Bytes.get hdr 1) lsl 24)
-      lor (Char.code (Bytes.get hdr 2) lsl 16)
-      lor (Char.code (Bytes.get hdr 3) lsl 8)
-      lor Char.code (Bytes.get hdr 4)
-    in
-    if len > max_frame then fail "frame payload %d exceeds max %d" len max_frame;
+    let len = parse_header (Bytes.cat m rest) in
     (match read_exactly fd len with
      | Some payload -> Some (Bytes.to_string payload)
      | None -> assert false)
+
+(* ------------------------------------------------------------------ *)
+(* incremental frame assembly (nonblocking readers)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The select-multiplexed server (and the chaos proxy) read whatever the
+   kernel has — possibly half a header, possibly three frames at once —
+   and need frame boundaries restored without ever blocking.  An
+   assembler is that state machine: feed it raw chunks, pull complete
+   payloads.  Header violations raise {!Error} exactly as [read_frame]
+   would, at the same byte. *)
+module Assembler = struct
+  type t = {
+    hdr : Bytes.t;  (* the 9 header bytes being collected *)
+    mutable hdr_got : int;
+    mutable payload : Bytes.t option;  (* allocated once the header parses *)
+    mutable got : int;  (* payload bytes collected *)
+    ready : string Queue.t;
+  }
+
+  let create () =
+    {
+      hdr = Bytes.create header_len;
+      hdr_got = 0;
+      payload = None;
+      got = 0;
+      ready = Queue.create ();
+    }
+
+  let feed t bytes off len =
+    let pos = ref off in
+    let stop = off + len in
+    while !pos < stop do
+      match t.payload with
+      | None ->
+        let n = min (header_len - t.hdr_got) (stop - !pos) in
+        Bytes.blit bytes !pos t.hdr t.hdr_got n;
+        t.hdr_got <- t.hdr_got + n;
+        pos := !pos + n;
+        if t.hdr_got = header_len then begin
+          let plen = parse_header t.hdr in
+          t.payload <- Some (Bytes.create plen);
+          t.got <- 0;
+          (* a zero-length payload completes immediately *)
+          if plen = 0 then begin
+            Queue.push "" t.ready;
+            t.payload <- None;
+            t.hdr_got <- 0
+          end
+        end
+      | Some p ->
+        let n = min (Bytes.length p - t.got) (stop - !pos) in
+        Bytes.blit bytes !pos p t.got n;
+        t.got <- t.got + n;
+        pos := !pos + n;
+        if t.got = Bytes.length p then begin
+          Queue.push (Bytes.to_string p) t.ready;
+          t.payload <- None;
+          t.hdr_got <- 0
+        end
+    done
+
+  let next t = Queue.take_opt t.ready
+
+  (* true iff EOF here would tear a frame *)
+  let mid_frame t = t.hdr_got > 0 || t.payload <> None
+
+  (* One frame as raw wire bytes (header + payload) — what a proxy
+     forwards verbatim. *)
+  let frame_bytes payload =
+    let len = String.length payload in
+    if len > max_frame then fail "frame payload %d exceeds max %d" len max_frame;
+    let buf = Buffer.create (header_len + len) in
+    Buffer.add_string buf magic;
+    w_u8 buf version;
+    w_u32 buf len;
+    Buffer.add_string buf payload;
+    Buffer.contents buf
+end

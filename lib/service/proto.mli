@@ -115,6 +115,7 @@ type response =
     }
   | Stats_result of string  (** {!Engine.Metrics.render} snapshot *)
   | Err of string
+  | Busy  (** admission gate full; back off and resend the request *)
   | Bye  (** acknowledged [Shutdown]; the server drains and exits *)
 
 (** Serving tier of a response, when it has one. *)
@@ -130,10 +131,40 @@ val decode_request : string -> request
 val encode_response : response -> string
 val decode_response : string -> response
 
-(** Write one frame (header + payload).  @raise Error on oversized
-    payloads. *)
+(** Write one frame (header + payload).  Loops until every byte is
+    written: short writes are resumed, [EINTR] is retried, and [EAGAIN]
+    on a nonblocking descriptor is waited out — a frame is never torn by
+    a partial syscall.  @raise Error on oversized payloads. *)
 val write_frame : Unix.file_descr -> string -> unit
 
-(** Read one frame's payload.  [None] on clean EOF before any header
-    byte.  @raise Error on bad magic/version/length or truncation. *)
+(** Read one frame's payload, looping across partial reads and retrying
+    [EINTR]/[EAGAIN] the same way.  [None] on clean EOF before any
+    header byte.  @raise Error on bad magic/version/length or EOF
+    mid-frame. *)
 val read_frame : Unix.file_descr -> string option
+
+(** Incremental frame reassembly for nonblocking readers (the
+    select-multiplexed server and the chaos proxy): feed raw byte chunks
+    as they arrive — half a header, three frames at once, anything —
+    and pull complete payloads out in order. *)
+module Assembler : sig
+  type t
+
+  val create : unit -> t
+
+  (** Feed [len] bytes of [bytes] starting at [off].  @raise Error at
+      the same byte [read_frame] would: bad magic, version mismatch, or
+      an oversized length. *)
+  val feed : t -> Bytes.t -> int -> int -> unit
+
+  (** Next complete payload, in arrival order, if any. *)
+  val next : t -> string option
+
+  (** [true] iff EOF at this point would tear a frame (header or
+      payload partially collected). *)
+  val mid_frame : t -> bool
+
+  (** A payload as raw wire bytes (header included) — what a proxy
+      forwards verbatim. *)
+  val frame_bytes : string -> string
+end

@@ -1,33 +1,52 @@
 (** seqd — the persistent refinement-check daemon.
 
-    A server owns one {!Handler} (cache + metrics) and one
-    {!Engine.Pool} and serves {!Proto} frames over a Unix-domain
-    socket.  Request handling is single-threaded by design: the accept
-    loop multiplexes connections with [select] and evaluates one request
-    at a time, so requests never interleave mid-evaluation and the
-    cache-consistency argument is trivial — parallelism comes from the
-    engine pool {e inside} a [Batch] request, which sweeps its items
-    across [jobs] domains (the recommended way to stream a corpus:
-    one connection, one batch).
+    A server owns one {!Handler} (cache + metrics) and one dedicated
+    {!Engine.Pool}.  A single orchestrator domain multiplexes
+    connections with [select] — nonblocking sockets, incremental frame
+    reassembly ({!Proto.Assembler}), partial-write buffers — and
+    dispatches request evaluation onto the pool's worker domains, so N
+    clients make progress simultaneously.  [Batch] requests still sweep
+    their items across the same pool from inside their worker (nested
+    pool entry), which remains the recommended way to stream a corpus.
+    {!Cache} and {!Engine.Metrics} are domain-safe, so concurrent
+    evaluations share the two-tier cache soundly.
+
+    Ordering: at most one request per connection is in flight, and the
+    next frame is not decoded until the previous response has been
+    flushed — responses on a connection always arrive in request order
+    (the protocol has no request ids).  Cheap control requests
+    ([Ping]/[Stats]/[Shutdown]) are answered inline by the orchestrator
+    and never queue behind evaluations.
+
+    Overload: at most [max_inflight] evaluations run at once; excess
+    requests are answered with {!Proto.Busy} immediately (counted as
+    [req.busy] in the metrics) so clients back off and p99 degrades
+    gracefully instead of collapsing.  Per-request deadlines come from
+    the wire budget ({!Handler}), so a slow evaluation bounds itself.
 
     Graceful drain: on SIGINT/SIGTERM (when [signals] is on) or on a
-    [Shutdown] request, the server finishes the request it is
-    evaluating, sends its response, stops accepting, closes every
-    connection, unlinks the socket and returns.  Because cache writes
-    are atomic (tmp+rename, {!Cache}), a SIGKILL instead of a drain can
-    orphan temp files but never corrupts an entry — a truncated or
-    garbled entry reads as a miss. *)
+    [Shutdown] request, the server stops accepting, lets in-flight
+    evaluations finish, flushes their responses (and any partially
+    written ones), closes every connection, unlinks the socket and
+    returns.  Because cache writes are atomic (tmp+rename, {!Cache}), a
+    SIGKILL instead of a drain can orphan temp files but never corrupts
+    an entry — a truncated or garbled entry reads as a miss, and
+    [seqd --fsck] prunes the debris. *)
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** also listen on this TCP host/port (same protocol) *)
   cache_dir : string option;  (** [None]: memory-only cache *)
   mem_capacity : int;  (** LRU entries *)
-  jobs : int;  (** engine pool size for [Batch] sweeps *)
+  jobs : int;  (** worker domains evaluating requests / [Batch] sweeps *)
+  max_inflight : int;  (** admission gate: evaluations in flight *)
   default_budget : Engine.Budget.spec;
       (** applied to requests that carry no budget *)
 }
 
-(** Memory-only cache, 4096 LRU entries, 1 job, unlimited budget. *)
+(** Memory-only cache, 4096 LRU entries, 1 job, no TCP listener,
+    [max_inflight = 8], unlimited budget. *)
 val default_config : socket_path:string -> config
 
 (** Run the accept loop until drained.  [signals] (default [true])
@@ -45,8 +64,8 @@ val run : ?signals:bool -> config -> unit
 type handle
 
 (** Spawn [run ~signals:false] in a new domain and wait (up to
-    [timeout_s], default 10s) for the socket to accept connections.
-    @raise Failure if the socket never comes up. *)
+    [timeout_s], default 10s) for the Unix socket to accept
+    connections.  @raise Failure if the socket never comes up. *)
 val spawn : ?timeout_s:float -> config -> handle
 
 (** Send [Shutdown], then join the server domain.  Idempotent. *)

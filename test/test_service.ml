@@ -455,6 +455,350 @@ let test_server_end_to_end () =
     (Sys.file_exists config.Server.socket_path)
 
 (* ------------------------------------------------------------------ *)
+(* incremental framing (the nonblocking server's read path)            *)
+(* ------------------------------------------------------------------ *)
+
+let test_assembler_incremental () =
+  let a = Proto.Assembler.create () in
+  let wire =
+    Proto.Assembler.frame_bytes "hello"
+    ^ Proto.Assembler.frame_bytes ""
+    ^ Proto.Assembler.frame_bytes "world"
+  in
+  (* drip the wire bytes in one-byte reads: frame boundaries must not
+     depend on read chunking *)
+  String.iter (fun c -> Proto.Assembler.feed a (Bytes.make 1 c) 0 1) wire;
+  Alcotest.(check (option string)) "frame 1" (Some "hello")
+    (Proto.Assembler.next a);
+  Alcotest.(check (option string)) "frame 2 (empty)" (Some "")
+    (Proto.Assembler.next a);
+  Alcotest.(check (option string)) "frame 3" (Some "world")
+    (Proto.Assembler.next a);
+  Alcotest.(check (option string)) "drained" None (Proto.Assembler.next a);
+  Alcotest.(check bool) "between frames: EOF would be clean" false
+    (Proto.Assembler.mid_frame a);
+  (* a partial header means EOF here tears a frame *)
+  Proto.Assembler.feed a (Bytes.of_string "SEQ") 0 3;
+  Alcotest.(check bool) "mid-header is mid-frame" true
+    (Proto.Assembler.mid_frame a);
+  (* bad magic is a deterministic protocol error *)
+  let b = Proto.Assembler.create () in
+  (match Proto.Assembler.feed b (Bytes.of_string "XXXXXXXXX") 0 9 with
+   | exception Proto.Error _ -> ()
+   | () -> Alcotest.fail "bad magic accepted by assembler")
+
+let test_large_frame_roundtrip () =
+  (* ~1 MiB, well under the 16 MiB frame cap but far over any single
+     read/write chunk: exercises the partial-read/short-write loops *)
+  let payload = String.init (1 lsl 20) (fun i -> Char.chr (i land 0xff)) in
+  with_pipe (fun r w ->
+      let writer = Domain.spawn (fun () -> Proto.write_frame w payload) in
+      Alcotest.(check bool) "1 MiB frame roundtrips" true
+        (Proto.read_frame r = Some payload);
+      Domain.join writer)
+
+(* ------------------------------------------------------------------ *)
+(* client resilience against a scripted daemon                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One scripted connection per element: accept, then for each action
+   read one request frame and either answer it or hang up. *)
+type fake_action = Reply of Proto.response | Hangup
+
+let run_fake_server lfd (conns : fake_action list list) =
+  List.iter
+    (fun actions ->
+      let fd, _ = Unix.accept lfd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          try
+            List.iter
+              (fun act ->
+                match Proto.read_frame fd with
+                | None -> raise Exit
+                | Some _req -> (
+                  match act with
+                  | Reply r -> Proto.write_frame fd (Proto.encode_response r)
+                  | Hangup -> raise Exit))
+              actions
+          with Exit -> ()))
+    conns
+
+let fake_policy =
+  {
+    Client.resilient_policy with
+    attempts = 5;
+    base_delay_ms = 1.;
+    max_delay_ms = 10.;
+    connect_timeout_ms = Some 2000.;
+    seed = 3;
+  }
+
+let with_fake_server conns f =
+  let dir = temp_dir "seq-fake" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "fake.sock" in
+  (* bind before spawning, so the client's first connect cannot race the
+     listener into an (uncounted-for) extra retry *)
+  let lfd = Service.Addr.listen_fd (Service.Addr.Unix_sock path) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let srv = Domain.spawn (fun () -> run_fake_server lfd conns) in
+  Fun.protect ~finally:(fun () -> Domain.join srv) (fun () -> f path)
+
+let test_client_retry_until_success () =
+  (* two connections die after reading the request; the third answers —
+     the client must mask both failures and count them *)
+  with_fake_server
+    [ [ Hangup ]; [ Hangup ]; [ Reply Proto.Pong ] ]
+    (fun path ->
+      let c = Client.connect ~policy:fake_policy path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Alcotest.(check bool) "ping survives two dead connections" true
+        (Client.ping c);
+      let k = Client.counters c in
+      Alcotest.(check int) "two retries" 2 k.Client.retries;
+      Alcotest.(check int) "two reconnects" 2 k.Client.reconnects;
+      Alcotest.(check int) "no busy" 0 k.Client.busy)
+
+let test_client_busy_backoff () =
+  (* the admission gate answers Busy twice on a healthy connection: the
+     client backs off and re-sends without reconnecting *)
+  with_fake_server
+    [ [ Reply Proto.Busy; Reply Proto.Busy; Reply Proto.Pong ] ]
+    (fun path ->
+      let c = Client.connect ~policy:fake_policy path in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Alcotest.(check bool) "ping survives Busy answers" true (Client.ping c);
+      let k = Client.counters c in
+      Alcotest.(check int) "two busy answers" 2 k.Client.busy;
+      Alcotest.(check int) "busy retries counted" 2 k.Client.retries;
+      Alcotest.(check int) "same connection throughout" 0 k.Client.reconnects)
+
+let test_backoff_deterministic () =
+  let b attempt =
+    Engine.Faults.backoff_ms ~seed:1 ~base_ms:5. ~max_ms:100. ~attempt
+  in
+  Alcotest.(check bool) "same (seed, attempt) replays" true (b 1 = b 1);
+  (* attempt n's delay is in [base * 2^(n-1), 1.5 * that], capped *)
+  Alcotest.(check bool) "first delay within [5, 7.5]" true
+    (b 1 >= 5. && b 1 <= 7.5);
+  Alcotest.(check bool) "fourth delay within [40, 60]" true
+    (b 4 >= 40. && b 4 <= 60.);
+  Alcotest.(check bool) "cap respected far out" true (b 12 <= 100.);
+  Alcotest.(check bool) "different seed, different jitter" true
+    (Engine.Faults.backoff_ms ~seed:2 ~base_ms:5. ~max_ms:100. ~attempt:1
+     <> b 1)
+
+(* ------------------------------------------------------------------ *)
+(* chaos proxy                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_schedule_determinism () =
+  let module Chaos = Service.Chaos in
+  let s = Chaos.schedule 11 in
+  let seq () = List.init 200 (Chaos.fault_at s) in
+  Alcotest.(check bool) "fixed seed replays the fault sequence" true
+    (seq () = seq ());
+  Alcotest.(check bool) "another seed gives another sequence" true
+    (List.init 200 (Chaos.fault_at (Chaos.schedule 12)) <> seq ());
+  Alcotest.(check bool) "rate 0 never faults" true
+    (List.for_all
+       (fun f -> f = Chaos.Pass)
+       (List.init 200 (Chaos.fault_at (Chaos.schedule ~rate:0. 11))));
+  Alcotest.(check bool) "rate 1 always faults" true
+    (List.for_all
+       (fun f -> f <> Chaos.Pass)
+       (List.init 200 (Chaos.fault_at (Chaos.schedule ~rate:1. 11))))
+
+let test_chaos_end_to_end () =
+  let module Chaos = Service.Chaos in
+  let dir = temp_dir "seq-chaos" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "seqd.sock" in
+  let proxy_sock = Filename.concat dir "chaos.sock" in
+  let config =
+    { (Server.default_config ~socket_path:sock) with jobs = 2 }
+  in
+  let trs = List.filteri (fun i _ -> i < 8) C.transformations in
+  let handle = Server.spawn config in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let proxy =
+    Chaos.start
+      ~listen:(Service.Addr.Unix_sock proxy_sock)
+      ~upstream:(Service.Addr.Unix_sock sock)
+      (Chaos.schedule ~rate:0.3 5)
+  in
+  Fun.protect ~finally:(fun () -> Chaos.stop proxy) @@ fun () ->
+  let policy =
+    {
+      Client.resilient_policy with
+      attempts = 16;
+      base_delay_ms = 1.;
+      max_delay_ms = 10.;
+      request_timeout_ms = Some 500.;
+      seed = 5;
+    }
+  in
+  let through_chaos =
+    Client.with_connection ~policy proxy_sock (fun c ->
+        List.map
+          (fun (t : C.transformation) ->
+            let r = Client.check c ~src:t.C.src ~tgt:t.C.tgt () in
+            (r.Proto.verdict, r.Proto.origin))
+          trs)
+  in
+  (* same pairs, no network, no faults *)
+  let h = Handler.create () in
+  let local =
+    List.map
+      (fun t ->
+        let r = handler_check h t in
+        (r.Proto.verdict, r.Proto.origin))
+      trs
+  in
+  Alcotest.(check bool) "verdicts through chaos == local" true
+    (through_chaos = local);
+  Alcotest.(check bool) "the schedule actually injected faults" true
+    (Chaos.injected (Chaos.counts proxy) > 0)
+
+(* ------------------------------------------------------------------ *)
+(* crash recovery: fsck                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsck_recovers_store () =
+  let dir = temp_dir "seq-fsck" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let c = Cache.create ~dir ~mem_capacity:8 () in
+  Cache.add c "k1" "payload-1";
+  Cache.add c "k2" "payload-2";
+  let entries =
+    List.filter (fun p -> Filename.basename p <> "VERSION") (files_under dir)
+  in
+  Alcotest.(check int) "two entries on disk" 2 (List.length entries);
+  (* a kill mid-write: one torn entry plus one orphan temp file *)
+  let victim = List.hd entries in
+  let full = In_channel.with_open_bin victim In_channel.input_all in
+  Out_channel.with_open_bin victim (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full / 2)));
+  Out_channel.with_open_bin
+    (Filename.concat (Filename.dirname victim) ".seqc-orphan.tmp")
+    (fun oc -> Out_channel.output_string oc "torn write debris");
+  let r = Cache.fsck ~dir in
+  Alcotest.(check int) "scanned both entries" 2 r.Cache.scanned;
+  Alcotest.(check int) "one valid" 1 r.Cache.valid;
+  Alcotest.(check int) "one pruned" 1 r.Cache.pruned;
+  Alcotest.(check int) "one orphan removed" 1 r.Cache.orphan_tmp;
+  Alcotest.(check bool) "dirty store reported" false (Cache.fsck_clean r);
+  (* second pass: the store is clean now *)
+  let r2 = Cache.fsck ~dir in
+  Alcotest.(check bool) "second pass clean" true (Cache.fsck_clean r2);
+  Alcotest.(check int) "one entry survives" 1 r2.Cache.scanned;
+  (* the surviving entry still serves; the pruned one is an honest miss *)
+  let c2 = Cache.create ~dir ~mem_capacity:8 () in
+  let hit k = Cache.find c2 k <> None in
+  Alcotest.(check bool) "exactly one key survives" true
+    (hit "k1" <> hit "k2")
+
+let test_fsck_missing_dir () =
+  let r = Cache.fsck ~dir:"/nonexistent/seq-fsck-nowhere" in
+  Alcotest.(check bool) "missing dir is a clean zero report" true
+    (Cache.fsck_clean r && r.Cache.scanned = 0)
+
+(* ------------------------------------------------------------------ *)
+(* TCP transport and concurrent clients                                *)
+(* ------------------------------------------------------------------ *)
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> Alcotest.fail "expected an inet sockaddr"
+
+let test_server_tcp_matches_unix () =
+  let dir = temp_dir "seq-tcp" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let port = free_port () in
+  let config =
+    {
+      (Server.default_config ~socket_path:(Filename.concat dir "seqd.sock"))
+      with
+      tcp = Some ("127.0.0.1", port);
+      cache_dir = Some (Filename.concat dir "cache");
+      jobs = 2;
+    }
+  in
+  let trs = List.filteri (fun i _ -> i < 8) C.transformations in
+  let checks = List.map check_of trs in
+  let handle = Server.spawn config in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let via_unix =
+    Client.with_connection config.Server.socket_path (fun c ->
+        Client.batch c checks)
+  in
+  let via_tcp =
+    Client.with_connection
+      (Printf.sprintf "tcp:127.0.0.1:%d" port)
+      (fun c -> Client.batch c checks)
+  in
+  List.iter2
+    (fun (u : Proto.check_result) (t : Proto.check_result) ->
+      Alcotest.(check bool) "tcp verdict == unix verdict" true
+        (t.Proto.verdict = u.Proto.verdict && t.Proto.origin = u.Proto.origin);
+      (* both transports share one daemon cache: the second pass hits *)
+      Alcotest.(check bool) "tcp pass served from cache" true
+        (t.Proto.tier = Proto.Mem))
+    via_unix via_tcp
+
+let test_server_concurrent_clients () =
+  let dir = temp_dir "seq-conc" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config =
+    {
+      (Server.default_config ~socket_path:(Filename.concat dir "seqd.sock"))
+      with
+      jobs = 2;
+      max_inflight = 16;
+    }
+  in
+  let trs = List.filteri (fun i _ -> i < 10) C.transformations in
+  let handle = Server.spawn config in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let worker () =
+    Client.with_connection config.Server.socket_path (fun c ->
+        List.map
+          (fun (t : C.transformation) ->
+            let r = Client.check c ~src:t.C.src ~tgt:t.C.tgt () in
+            (r.Proto.verdict, r.Proto.origin))
+          trs)
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join domains in
+  let reference = List.hd results in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "client %d agrees with client 0" i)
+        true (r = reference))
+    results;
+  (* and with a local, serial evaluation *)
+  let h = Handler.create () in
+  let local =
+    List.map
+      (fun t ->
+        let r = handler_check h t in
+        (r.Proto.verdict, r.Proto.origin))
+      trs
+  in
+  Alcotest.(check bool) "concurrent verdicts == local" true
+    (reference = local)
+
+(* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -544,6 +888,28 @@ let suite =
     QCheck_alcotest.to_alcotest prop_server_matches_local;
     Alcotest.test_case "server: end-to-end tiers over a socket" `Quick
       test_server_end_to_end;
+    Alcotest.test_case "proto: assembler reassembles any chunking" `Quick
+      test_assembler_incremental;
+    Alcotest.test_case "proto: 1 MiB frame roundtrips" `Quick
+      test_large_frame_roundtrip;
+    Alcotest.test_case "client: retries until a connection survives" `Quick
+      test_client_retry_until_success;
+    Alcotest.test_case "client: Busy backs off on the same connection" `Quick
+      test_client_busy_backoff;
+    Alcotest.test_case "faults: backoff is seeded and capped" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "chaos: schedule is pure in (seed, index)" `Quick
+      test_chaos_schedule_determinism;
+    Alcotest.test_case "chaos: corpus verdicts survive a faulty wire" `Quick
+      test_chaos_end_to_end;
+    Alcotest.test_case "fsck: prunes torn entries and orphan tmps" `Quick
+      test_fsck_recovers_store;
+    Alcotest.test_case "fsck: missing store is clean" `Quick
+      test_fsck_missing_dir;
+    Alcotest.test_case "server: tcp and unix answer identically" `Quick
+      test_server_tcp_matches_unix;
+    Alcotest.test_case "server: concurrent clients, one answer" `Quick
+      test_server_concurrent_clients;
     Alcotest.test_case "metrics: counters and percentiles" `Quick test_metrics;
     Alcotest.test_case "cliopts: range validation" `Quick test_cliopts;
   ]
