@@ -20,6 +20,14 @@
    table is only an error when the baseline demands one and the record
    carries other service tables.
 
+   E14 (abstract-interpretation certificates): the baseline row fixes
+   floors for the certifier coverage counts over the transformation
+   corpus — [min_union] on the replay∪abstract union, and the union must
+   stay strictly above the replay count (the abstract tier must keep
+   certifying pairs the pipeline replay cannot).  Coverage is a pure
+   function of the corpus and the certifiers, so any drop is a code
+   regression, not noise.
+
    The baseline's speedup fields are conservative floors (below the
    worst ratio observed across healthy runs), not a verbatim run record:
    same-run ratios still wobble with GC pressure and machine load, and
@@ -172,6 +180,58 @@ let check_e13 ~current ~cur_tbls ~base_tbls =
         Fmt.pr "guard: all %d E13 rows within bounds@." (List.length base_rows);
       !bad)
 
+(* ---------------- E14: certifier coverage floors ---------------- *)
+
+let check_e14 ~current ~cur_tbls ~base_tbls =
+  match table_rows "E14" base_tbls with
+  | None -> []  (* baseline predates the abstract certifier *)
+  | Some base_rows -> (
+    let floor_row =
+      match find_row "coverage" base_rows with
+      | Some r -> r
+      | None -> fail "baseline E14 table has no \"coverage\" row"
+    in
+    let min_union =
+      match Option.bind (J.member "min_union" floor_row) J.to_float_opt with
+      | Some f -> int_of_float f
+      | None -> fail "baseline E14 coverage row has no min_union floor"
+    in
+    match table_rows "E14" cur_tbls with
+    | None -> fail "%s: no E14 table" current
+    | Some cur_rows ->
+      let cov =
+        match find_row "coverage" cur_rows with
+        | Some r -> r
+        | None -> fail "%s: E14 table has no coverage row" current
+      in
+      let geti k =
+        match Option.bind (J.member k cov) J.to_float_opt with
+        | Some f -> int_of_float f
+        | None -> fail "%s: E14 coverage row has no %S" current k
+      in
+      let replay = geti "replay"
+      and abs = geti "abstract"
+      and union = geti "union"
+      and total = geti "total" in
+      Fmt.pr
+        "E14 coverage: replay %d/%d  abstract %d/%d  union %d/%d (floor %d)@."
+        replay total abs total union total min_union;
+      let bad = ref [] in
+      if union < min_union then begin
+        Fmt.epr "guard: E14 union %d below baseline floor %d@." union
+          min_union;
+        bad := "union-floor" :: !bad
+      end;
+      if union <= replay then begin
+        Fmt.epr
+          "guard: E14 union %d does not exceed replay %d — the abstract \
+           certifier adds no coverage@."
+          union replay;
+        bad := "abstract-uplift" :: !bad
+      end;
+      if !bad = [] then Fmt.pr "guard: E14 coverage within bounds@.";
+      !bad)
+
 let () =
   let current, baseline =
     match Array.to_list Sys.argv with
@@ -183,9 +243,10 @@ let () =
   let base_tbls = tables baseline (load baseline) in
   let hard, soft = check_e12 ~current ~cur_tbls ~baseline ~base_tbls in
   let chaos_bad = check_e13 ~current ~cur_tbls ~base_tbls in
-  match hard, soft, chaos_bad with
-  | [], [], [] -> ()
-  | hard, soft, chaos_bad ->
+  let abs_bad = check_e14 ~current ~cur_tbls ~base_tbls in
+  match hard, soft, chaos_bad, abs_bad with
+  | [], [], [], [] -> ()
+  | hard, soft, chaos_bad, abs_bad ->
     List.iter
       (Fmt.epr "guard: HARD regression (order of magnitude): %s@.")
       hard;
@@ -194,4 +255,5 @@ let () =
          (100. *. soft_floor))
       soft;
     List.iter (Fmt.epr "guard: E13 chaos invariant violated: %s@.") chaos_bad;
+    List.iter (Fmt.epr "guard: E14 certifier floor violated: %s@.") abs_bad;
     exit (if hard <> [] then 2 else 1)

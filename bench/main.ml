@@ -206,12 +206,20 @@ let optimizer_table () =
         | Optimizer.Validate.Static _ ->
           fp :=
             Engine.Stats.add_fastpath !fp
-              { Engine.Stats.static_hits = 1; enumerated = 0 };
+              { Engine.Stats.static_hits = 1; static_abs_hits = 0;
+                enumerated = 0 };
           "static"
+        | Optimizer.Validate.Static_abs _ ->
+          fp :=
+            Engine.Stats.add_fastpath !fp
+              { Engine.Stats.static_hits = 0; static_abs_hits = 1;
+                enumerated = 0 };
+          "static-abs"
         | Optimizer.Validate.Enumerated ->
           fp :=
             Engine.Stats.add_fastpath !fp
-              { Engine.Stats.static_hits = 0; enumerated = 1 };
+              { Engine.Stats.static_hits = 0; static_abs_hits = 0;
+                enumerated = 1 };
           "enum"
       in
       let validated =
@@ -531,7 +539,8 @@ let fastpath_table () =
           | Some c ->
             fp :=
               Engine.Stats.add_fastpath !fp
-                { Engine.Stats.static_hits = 1; enumerated = 0 };
+                { Engine.Stats.static_hits = 1; static_abs_hits = 0;
+                  enumerated = 0 };
             let sound = t.C.advanced = C.Sound in
             let honest = Optimizer.Certify.replay c ~src ~tgt in
             ( Printf.sprintf "static/%d" (List.length c.Optimizer.Certify.stages),
@@ -543,7 +552,8 @@ let fastpath_table () =
           | None ->
             fp :=
               Engine.Stats.add_fastpath !fp
-                { Engine.Stats.static_hits = 0; enumerated = 1 };
+                { Engine.Stats.static_hits = 0; static_abs_hits = 0;
+                  enumerated = 1 };
             ("enum", "-")
         in
         jrows :=
@@ -563,6 +573,86 @@ let fastpath_table () =
   if (!fp).Engine.Stats.static_hits = 0 then begin
     incr mismatches;
     Fmt.pr "-- ERROR: expected a nonzero static hit rate@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E14: abstract-interpretation certificates over the corpus           *)
+(* ------------------------------------------------------------------ *)
+
+let certabs_table () =
+  let title =
+    "E14 — seqabs certificates: abstract-interpretation coverage and \
+     fast-path uplift over pipeline replay"
+  in
+  header title;
+  (* Same ground-truth audit as E9: a certificate (of either kind) on a
+     pair whose advanced verdict is Unsound would be a soundness bug in
+     the certifier, counted as a mismatch.  The uplift the table exists
+     to record is the set of Sound pairs the abstract certifier proves
+     that pipeline replay cannot reach. *)
+  let replay = ref 0 and abs = ref 0 and union = ref 0 in
+  let jrows = ref [] in
+  Fmt.pr "%-22s %-10s %-14s %s@." "transformation" "expected" "route" "agree";
+  let (), table_ms =
+    Engine.Stats.timed @@ fun () ->
+    List.iter
+      (fun (t : C.transformation) ->
+        let src = Parser.stmt_of_string t.C.src in
+        let tgt = Parser.stmt_of_string t.C.tgt in
+        let cert = Optimizer.Certify.attempt ~src ~tgt () in
+        let acert = Optimizer.Certabs.attempt ~src ~tgt () in
+        if cert <> None then incr replay;
+        if acert <> None then incr abs;
+        if cert <> None || acert <> None then incr union;
+        let route =
+          match (cert, acert) with
+          | Some _, Some _ -> "static+abs"
+          | Some _, None -> "static"
+          | None, Some c ->
+            Printf.sprintf "static-abs/%d"
+              (List.length c.Optimizer.Certabs.rules)
+          | None, None -> "enum"
+        in
+        let sound = t.C.advanced = C.Sound in
+        let agree =
+          if cert = None && acert = None then "-"
+          else if sound then "ok"
+          else begin
+            incr mismatches;
+            "MISMATCH"
+          end
+        in
+        jrows :=
+          J.Obj
+            [ ("name", J.String t.C.name);
+              ("expected", J.String (C.verdict_to_string t.C.advanced));
+              ("route", J.String route);
+              ("agree", J.String agree) ]
+          :: !jrows;
+        Fmt.pr "%-22s %-10s %-14s %s@." t.C.name
+          (C.verdict_to_string t.C.advanced)
+          route agree)
+      C.transformations
+  in
+  let total = List.length C.transformations in
+  jrows :=
+    J.Obj
+      [ ("name", J.String "coverage");
+        ("replay", J.Int !replay);
+        ("abstract", J.Int !abs);
+        ("union", J.Int !union);
+        ("total", J.Int total) ]
+    :: !jrows;
+  add_table ~ms:table_ms "E14" title (List.rev !jrows);
+  Fmt.pr
+    "-- certifier coverage: replay %d/%d, abstract %d/%d, union %d/%d \
+     (uplift +%d)@."
+    !replay total !abs total !union total (!union - !replay);
+  if !union <= !replay then begin
+    incr mismatches;
+    Fmt.pr
+      "-- ERROR: the abstract certifier adds no coverage over pipeline \
+       replay@."
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1196,6 +1286,7 @@ let () =
     drf_table ();
     determinism_table ();
     fastpath_table ();
+    certabs_table ();
     fuzz_table ~pool ~robust ();
     enumcore_table ();
     Engine.Pool.shutdown pool;
@@ -1210,7 +1301,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/4");
+         [ ("schema", J.String "seq-bench/5");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

@@ -68,10 +68,11 @@ let corpus_summary (results : Service.Proto.check_result list) =
     r.tier = Service.Proto.Computed && r.origin = Some o
   in
   Fmt.pr
-    "-- cache: computed=%d (static=%d, enumerated=%d) mem=%d disk=%d \
-     unknown=%d@."
+    "-- cache: computed=%d (static=%d, static-abs=%d, enumerated=%d) mem=%d \
+     disk=%d unknown=%d@."
     computed
     (count (of_origin Service.Proto.Static))
+    (count (of_origin Service.Proto.Static_abs))
     (count (of_origin Service.Proto.Enumerated))
     (count (fun r -> r.Service.Proto.tier = Service.Proto.Mem))
     (count (fun r -> r.Service.Proto.tier = Service.Proto.Disk))
@@ -244,18 +245,35 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
               as non-atomic)@."
              (Loc.name c.Analysis.Modes.cloc))
          conflicts);
-    if lint then
-      List.iter
-        (fun (label, s) ->
-          match Optimizer.Lint.lint [ s ] with
-          | [] -> Fmt.epr "lint (%s): clean@." label
-          | diags ->
-            Fmt.epr "lint (%s):@." label;
-            List.iter
-              (fun d ->
-                Fmt.epr "  %a@." (Optimizer.Lint.pp_diag ~threads:1) d)
-              diags)
-        [ ("src", src); ("tgt", tgt) ];
+    let lint_errors =
+      (* Same rules, same severities, same exit contract as seqlint:
+         error-severity diagnostics force exit 3 even when the
+         refinement holds, so `seqcheck --lint` and `seqlint` never
+         disagree on a program pair (CLI-tested). *)
+      lint
+      && List.fold_left
+           (fun acc (label, s) ->
+             match Optimizer.Lint.lint [ s ] with
+             | [] ->
+               Fmt.epr "lint (%s): clean@." label;
+               acc
+             | diags ->
+               Fmt.epr "lint (%s):@." label;
+               List.iter
+                 (fun d ->
+                   Fmt.epr "  %a@." (Optimizer.Lint.pp_diag ~threads:1) d)
+                 diags;
+               acc || Optimizer.Lint.has_errors diags)
+           false
+           [ ("src", src); ("tgt", tgt) ]
+    in
+    let with_lint code =
+      if code = 0 && lint_errors then begin
+        Fmt.pr "(lint errors: exit 3, matching seqlint)@.";
+        3
+      end
+      else code
+    in
     let values = List.map (fun n -> Value.Int n) values in
     let d = Domain.of_stmts ~values [ src; tgt ] in
     Fmt.epr "domain: %a@." Domain.pp d;
@@ -271,10 +289,10 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
      with
      | `Simple ->
        Fmt.pr "REFINES (simple notion, Def 2.4)@.";
-       0
+       with_lint 0
      | `Advanced ->
        Fmt.pr "REFINES (advanced notion, Def 3.3)@.";
-       0
+       with_lint 0
      | `Refuted ->
        Fmt.pr "DOES NOT REFINE@.";
        let roots =

@@ -8,7 +8,9 @@
     instructions an optimizer pass would rewrite or remove.
 
     [--corpus] lints every concurrent program of the built-in litmus
-    catalog instead.  Exit code 0: no errors (warnings and hints are
+    catalog instead.  [--json] emits one machine-readable record for the
+    whole run (schema [seqlint/1], deterministic field order) instead of
+    the human rendering.  Exit code 0: no errors (warnings and hints are
     informational); 3: at least one error; 1: parse failure; 2 is
     reserved for usage errors, like every driver (see README). *)
 
@@ -16,6 +18,34 @@ open Cmdliner
 open Lang
 
 let read path = In_channel.with_open_text path In_channel.input_all
+
+let severity_name = function
+  | Optimizer.Lint.Error -> "error"
+  | Optimizer.Lint.Warning -> "warning"
+  | Optimizer.Lint.Hint -> "hint"
+
+let diag_json (d : Optimizer.Lint.diag) : Service.Json.t =
+  Service.Json.Obj
+    [
+      ("rule", Service.Json.String (Optimizer.Lint.rule_name d.rule));
+      ("severity", Service.Json.String (severity_name d.sev));
+      ("thread", Service.Json.Int d.thread);
+      ("path", Service.Json.String (Analysis.Path.to_string d.path));
+      ( "loc",
+        match d.loc with
+        | Some x -> Service.Json.String (Loc.name x)
+        | None -> Service.Json.Null );
+      ("message", Service.Json.String d.message);
+    ]
+
+let program_json ~label ~threads diags : Service.Json.t =
+  Service.Json.Obj
+    [
+      ("program", Service.Json.String label);
+      ("threads", Service.Json.Int threads);
+      ("errors", Service.Json.Bool (Optimizer.Lint.has_errors diags));
+      ("diags", Service.Json.List (List.map diag_json diags));
+    ]
 
 let lint_text ~label ~hints text =
   let threads = Parser.threads_of_string text in
@@ -30,7 +60,7 @@ let lint_text ~label ~hints text =
   end;
   Optimizer.Lint.has_errors diags
 
-let run files corpus hints =
+let run files corpus hints json =
   try
     let targets =
       if corpus then
@@ -43,6 +73,25 @@ let run files corpus hints =
     if targets = [] then begin
       Fmt.epr "error: no input files (or use --corpus)@.";
       1
+    end
+    else if json then begin
+      let records, errors =
+        List.fold_left
+          (fun (recs, errs) (label, text) ->
+            let threads = Parser.threads_of_string text in
+            let diags = Optimizer.Lint.lint ~hints threads in
+            let n = List.length threads in
+            ( program_json ~label ~threads:n diags :: recs,
+              if Optimizer.Lint.has_errors diags then errs + 1 else errs ))
+          ([], 0) targets
+      in
+      Service.Json.to_channel stdout
+        (Service.Json.Obj
+           [
+             ("schema", Service.Json.String "seqlint/1");
+             ("programs", Service.Json.List (List.rev records));
+           ]);
+      if errors > 0 then 3 else 0
     end
     else begin
       let errors =
@@ -74,10 +123,15 @@ let hints =
          ~doc:"Also emit optimizer-pass hints (dead stores, redundant \
                loads, dead assignments).")
 
+let json =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit one seqlint/1 JSON record for the whole run instead \
+               of the human rendering.")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqlint" ~version:"1.0"
        ~doc:"Static race/UB linter for SEQ (PLDI 2022)")
-    Term.(const run $ files $ corpus $ hints)
+    Term.(const run $ files $ corpus $ hints $ json)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,112 @@
+(** Available-access analysis (see avail.mli). *)
+
+open Lang
+
+type kind =
+  | Redundant_load of Reg.t
+  | Noop_store
+  | Covered_store
+
+type finding = {
+  path : Path.t;
+  loc : Loc.t;
+  kind : kind;
+  permitted : bool;
+}
+
+let kind_name = function
+  | Redundant_load _ -> "redundant-load"
+  | Noop_store -> "noop-store"
+  | Covered_store -> "covered-store"
+
+let describe (f : finding) : string =
+  let perm =
+    if f.permitted then " (the location is provably permitted here)"
+    else ""
+  in
+  match f.kind with
+  | Redundant_load r ->
+    Fmt.str
+      "non-atomic load of %s is redundant: register %s provably holds its \
+       current value%s"
+      (Loc.name f.loc) (Reg.name r) perm
+  | Noop_store ->
+    Fmt.str
+      "non-atomic store to %s is a no-op: it stores the value the location \
+       already holds%s"
+      (Loc.name f.loc) perm
+  | Covered_store ->
+    Fmt.str
+      "non-atomic store to %s is dead: the next access of the location is \
+       another store%s"
+      (Loc.name f.loc) perm
+
+(* A same-block overwrite with nothing in between but register-local
+   leaves: the strictest form of deadness, used for the covered-store
+   report (the DSE pass itself decides the general case). *)
+let rec covered x (rest : Stmt.t list) =
+  match rest with
+  | Stmt.Store (Mode.Wna, y, _) :: _ when Loc.equal x y -> true
+  | (Stmt.Assign _ | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Skip) :: tl ->
+    covered x tl
+  | _ -> false
+
+let analyze (stmt : Stmt.t) : finding list =
+  let c = Vn.create () in
+  let perm_facts = Perm.analyze stmt in
+  let acc = ref [] in
+  let permitted path x =
+    match Perm.Table.before perm_facts path with
+    | Some d -> Loc.Set.mem x d.Perm.p
+    | None -> false
+  in
+  let note path loc kind =
+    acc := { path; loc; kind; permitted = permitted path loc } :: !acc
+  in
+  (* Walk the statement tree with the VN state, keeping a lookahead spine
+     of the statements that follow in the same block for the
+     covered-store check. *)
+  let rec flat s acc = match s with
+    | Stmt.Seq (a, b) -> flat a (flat b acc)
+    | s -> s :: acc
+  in
+  let rec go st (s : Stmt.t) (p : Path.t) (rest : Stmt.t list) : Vn.state =
+    match s with
+    | Stmt.Seq (a, b) ->
+      let st = go st a (Path.child p Path.Fst) (flat b rest) in
+      go st b (Path.child p Path.Snd) rest
+    | Stmt.If (_, a, b) ->
+      let sa = go st a (Path.child p Path.Then) [] in
+      let sb = go st b (Path.child p Path.Else) [] in
+      Vn.join sa sb
+    | Stmt.While (_, body) ->
+      let bp = Path.child p Path.Body in
+      let head, _ = Vn.loop_fix (fun h -> probe h body) st in
+      ignore (go head body bp [] : Vn.state);
+      head
+    | Stmt.Load (r, Mode.Rna, x) as leaf ->
+      (match Vn.mem_vn st x with
+       | Some n ->
+         let hs = Reg.Set.remove r (Vn.holders st n) in
+         (match Reg.Set.min_elt_opt hs with
+          | Some h -> note p x (Redundant_load h)
+          | None -> ())
+       | None -> ());
+      Vn.transfer c st leaf
+    | Stmt.Store (Mode.Wna, x, e) as leaf ->
+      (match Vn.eval c st e, Vn.mem_vn st x with
+       | Some n, Some m when n = m -> note p x Noop_store
+       | _ -> if covered x rest then note p x Covered_store);
+      Vn.transfer c st leaf
+    | leaf -> Vn.transfer c st leaf
+  and probe st s =
+    match s with
+    | Stmt.Seq (a, b) -> probe (probe st a) b
+    | Stmt.If (_, a, b) -> Vn.join (probe st a) (probe st b)
+    | Stmt.While (_, body) ->
+      let head, _ = Vn.loop_fix (fun h -> probe h body) st in
+      head
+    | leaf -> Vn.transfer c st leaf
+  in
+  ignore (go Vn.empty stmt Path.root [] : Vn.state);
+  List.rev !acc

@@ -1,0 +1,37 @@
+(** Available-access analysis — the second seqabs domain.
+
+    Combines the {!Vn} value-numbering facts with the {!Perm} permission
+    must-analysis to report which non-atomic accesses are {e redundant}
+    under SEQ's P/F semantics:
+
+    - a load whose location's current value is provably held by a
+      register ([Redundant_load], the forwarding passes' enabling fact);
+    - a store of the value the location already holds ([Noop_store],
+      Ex 2.6(iv): the store can be elided);
+    - a store whose location's next access is another same-block store
+      with only register-local instructions in between ([Covered_store],
+      Ex 2.6(i): the strictest form of deadness — the DSE pass decides
+      the general case).
+
+    Each finding carries the {!Perm} evidence ([permitted]: the location
+    is provably in the permission set at that point), so lint messages
+    and certificates can cite both the value fact and the permission
+    fact. *)
+
+open Lang
+
+type kind =
+  | Redundant_load of Reg.t  (** this register holds the value *)
+  | Noop_store
+  | Covered_store
+
+type finding = {
+  path : Path.t;
+  loc : Loc.t;
+  kind : kind;
+  permitted : bool;  (** [loc ∈ P] provably holds before the access *)
+}
+
+val kind_name : kind -> string
+val describe : finding -> string
+val analyze : Stmt.t -> finding list

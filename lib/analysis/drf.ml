@@ -1,0 +1,277 @@
+(** Static data-race-freedom certifier (see drf.mli). *)
+
+open Lang
+
+type access = {
+  thread : int;
+  path : Path.t;
+  loc : Loc.t;
+  write : bool;
+  weak : bool;
+}
+
+type pair = { a : access; b : access }
+
+type protocol = {
+  ploc : Loc.t;
+  owner : int;
+  flag : Loc.t;
+  publish : Path.t;  (** the owner's release store of the guard value *)
+  guards : (int * Path.t) list;  (** per reader: the guarded [If] *)
+}
+
+type evidence = No_weak_pairs | Owner_protocol of protocol
+
+type verdict = Race_free of evidence list | Unproven of pair list
+
+(* ------------------------------------------------------------------ *)
+
+let accesses_of (thread : int) (s : Stmt.t) : access list =
+  let acc = ref [] in
+  Path.iter_leaves s ~f:(fun path leaf ->
+      let add loc write weak = acc := { thread; path; loc; write; weak } :: !acc in
+      match leaf with
+      | Stmt.Load (_, m, x) -> add x false (m = Mode.Rna || m = Mode.Rrlx)
+      | Stmt.Store (m, x, _) -> add x true (m = Mode.Wna || m = Mode.Wrlx)
+      | Stmt.Cas (_, x, _, _) | Stmt.Fadd (_, x, _) -> add x true false
+      | _ -> ());
+  List.rev !acc
+
+let weak_pairs (accs : access list) : pair list =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if
+            a.thread < b.thread
+            && Loc.equal a.loc b.loc
+            && (a.write || b.write)
+            && (a.weak || b.weak)
+          then Some { a; b }
+          else None)
+        accs)
+    accs
+
+(* Top-level statement spine with source paths ([Skip] kept). *)
+let rec spine_with_paths p s acc =
+  match s with
+  | Stmt.Seq (a, b) ->
+    spine_with_paths (Path.child p Path.Fst) a
+      (spine_with_paths (Path.child p Path.Snd) b acc)
+  | s -> (p, s) :: acc
+
+let spine s = spine_with_paths Path.root s []
+
+let touches (x : Loc.t) (s : Stmt.t) =
+  let fp = Stmt.footprint s in
+  Loc.Set.mem x fp.Stmt.na || Loc.Set.mem x fp.Stmt.at
+
+let defines_reg r = function
+  | Stmt.Assign (r', _) | Stmt.Load (r', _, _) | Stmt.Cas (r', _, _, _)
+  | Stmt.Fadd (r', _, _) | Stmt.Choose r' | Stmt.Freeze (r', _) ->
+    Reg.equal r r'
+  | _ -> false
+
+let guard_const (e : Expr.t) : (Reg.t * int) option =
+  match e with
+  | Expr.Binop (Expr.Eq, Expr.Reg r, Expr.Const (Value.Int c))
+  | Expr.Binop (Expr.Eq, Expr.Const (Value.Int c), Expr.Reg r)
+    when c <> 0 -> Some (r, c)
+  | _ -> None
+
+let is_prefix (p : Path.t) (q : Path.t) =
+  let rec go p q =
+    match p, q with
+    | [], _ -> true
+    | a :: p, b :: q -> a = b && go p q
+    | _ :: _, [] -> false
+  in
+  go p q
+
+(* The message-passing ownership protocol for location [x] (the MP-rel-acq
+   shape, Fig 1): one owner thread performs every write of [x] and
+   publishes a non-zero constant [c] to a release/acquire-disciplined
+   flag [y] after its last access of [x]; every other thread touches [x]
+   only inside the Then branch of a top-level [If (r == c)] where [r] was
+   set by an acquire load of [y] and not redefined since.  Initial memory
+   is all-zero, so a reader observing [c ≠ 0] must have synchronized with
+   the owner's unique release store of [c] — every cross-thread pair on
+   [x] is ordered by that happens-before edge. *)
+let owner_protocol (threads : Stmt.t list) (accs : access list) (x : Loc.t) :
+    protocol option =
+  let ( let* ) = Option.bind in
+  let x_accs = List.filter (fun a -> Loc.equal a.loc x) accs in
+  let writers =
+    List.sort_uniq compare
+      (List.filter_map (fun a -> if a.write then Some a.thread else None) x_accs)
+  in
+  let* owner = match writers with [ o ] -> Some o | _ -> None in
+  let readers =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun a -> if a.thread <> owner then Some a.thread else None)
+         x_accs)
+  in
+  (* Per-reader guard: acquire load of a flag, then the guarded If. *)
+  let reader_guard (t : int) : (Loc.t * int * Path.t) option =
+    let sp = spine (List.nth threads t) in
+    let rec scan = function
+      | [] -> None
+      | (_, Stmt.Load (r, Mode.Racq, y)) :: rest when not (Loc.equal y x) ->
+        (match scan_if r y rest with
+         | Some g -> Some g
+         | None -> scan rest)
+      | _ :: rest -> scan rest
+    and scan_if r y = function
+      | [] -> None
+      | (ip, Stmt.If (cond, _, els)) :: _
+        when (match guard_const cond with
+              | Some (r', _) -> Reg.equal r r'
+              | None -> false)
+             && not (touches x els) ->
+        let _, c = Option.get (guard_const cond) in
+        Some (y, c, ip)
+      | (_, s) :: rest when not (defines_reg r s || touches x s) ->
+        scan_if r y rest
+      | _ -> None
+    in
+    scan sp
+  in
+  let* guards =
+    List.fold_left
+      (fun acc t ->
+        let* acc = acc in
+        let* y, c, ip = reader_guard t in
+        (* every access of [x] in thread [t] must sit under the Then *)
+        let under_then =
+          List.for_all
+            (fun a ->
+              a.thread <> t
+              || is_prefix (ip @ [ Path.Then ]) a.path)
+            x_accs
+        in
+        if under_then then Some ((t, y, c, ip) :: acc) else None)
+      (Some []) readers
+  in
+  let* flag, c =
+    match List.sort_uniq compare (List.map (fun (_, y, c, _) -> (y, c)) guards)
+    with
+    | [ (y, c) ] -> Some (y, c)
+    | [] -> None  (* no readers: single-threaded access, trivially ordered *)
+    | _ -> None
+  in
+  (* Flag discipline: written only by the owner and only with release
+     stores; read elsewhere only with acquire loads. *)
+  let flag_ok =
+    List.for_all
+      (fun (t, s) ->
+        let ok = ref true in
+        Path.iter_leaves s ~f:(fun _ leaf ->
+            match leaf with
+            | Stmt.Load (_, m, y) when Loc.equal y flag ->
+              if m <> Mode.Racq then ok := false
+            | Stmt.Store (m, y, _) when Loc.equal y flag ->
+              if not (t = owner && m = Mode.Wrel) then ok := false
+            | Stmt.Cas (_, y, _, _) | Stmt.Fadd (_, y, _)
+              when Loc.equal y flag -> ok := false
+            | _ -> ());
+        !ok)
+      (List.mapi (fun t s -> (t, s)) threads)
+  in
+  if not flag_ok then None
+  else
+    (* Owner: every access of [x] is a top-level leaf before the unique
+       top-level release store of [Const c] to the flag. *)
+    let osp = spine (List.nth threads owner) in
+    let is_publish (s : Stmt.t) =
+      match s with
+      | Stmt.Store (Mode.Wrel, y, Expr.Const (Value.Int c')) ->
+        Loc.equal y flag && c' = c
+      | _ -> false
+    in
+    let* publish_idx, publish_path =
+      match
+        List.filteri (fun _ (_, s) -> is_publish s) osp
+      with
+      | [ (p, _) ] ->
+        let rec idx i = function
+          | [] -> None
+          | (q, _) :: _ when Path.equal q p -> Some (i, p)
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 osp
+      | _ -> None
+    in
+    let owner_ok =
+      List.for_all
+        (fun (i, (_, s)) ->
+          match s with
+          | _ when not (touches x s) -> true
+          | Stmt.Load (_, _, _) | Stmt.Store (_, _, _) -> i < publish_idx
+          | _ -> false (* [x] inside a compound or RMW: unproven *))
+        (List.mapi (fun i it -> (i, it)) osp)
+    in
+    if owner_ok then
+      Some
+        {
+          ploc = x;
+          owner;
+          flag;
+          publish = publish_path;
+          guards = List.rev_map (fun (t, _, _, ip) -> (t, ip)) guards;
+        }
+    else None
+
+let certify (threads : Stmt.t list) : verdict =
+  let accs = List.concat (List.mapi accesses_of threads) in
+  let pairs = weak_pairs accs in
+  if pairs = [] then Race_free [ No_weak_pairs ]
+  else
+    let locs =
+      List.sort_uniq Loc.compare (List.map (fun p -> p.a.loc) pairs)
+    in
+    let proofs = List.map (fun x -> (x, owner_protocol threads accs x)) locs in
+    if List.for_all (fun (_, p) -> p <> None) proofs then
+      Race_free
+        (List.filter_map
+           (fun (_, p) -> Option.map (fun p -> Owner_protocol p) p)
+           proofs)
+    else
+      Unproven
+        (List.filter
+           (fun p ->
+             List.exists
+               (fun (x, proof) -> proof = None && Loc.equal x p.a.loc)
+             proofs)
+           pairs)
+
+(* ------------------------------------------------------------------ *)
+
+let pp_evidence ppf = function
+  | No_weak_pairs ->
+    Fmt.pf ppf
+      "no cross-thread conflicting pair involves a non-atomic or relaxed \
+       access"
+  | Owner_protocol p ->
+    Fmt.pf ppf
+      "%s is owned by thread %d, published via release store of flag %s at \
+       %a; reader guard%s %a"
+      (Loc.name p.ploc) p.owner (Loc.name p.flag) Path.pp p.publish
+      (if List.length p.guards = 1 then "" else "s")
+      (Fmt.list ~sep:Fmt.comma (fun ppf (t, q) ->
+           Fmt.pf ppf "thread %d at %a" t Path.pp q))
+      p.guards
+
+let pp_pair ppf (p : pair) =
+  let side ppf (a : access) =
+    Fmt.pf ppf "thread %d %s %s at %a" a.thread
+      (if a.write then "write" else "read")
+      (Loc.name a.loc) Path.pp a.path
+  in
+  Fmt.pf ppf "%a / %a" side p.a side p.b
+
+let pp_verdict ppf = function
+  | Race_free ev ->
+    Fmt.pf ppf "race-free: %a" (Fmt.list ~sep:Fmt.semi pp_evidence) ev
+  | Unproven ps ->
+    Fmt.pf ppf "unproven: %a" (Fmt.list ~sep:Fmt.semi pp_pair) ps

@@ -1,0 +1,68 @@
+(** Static data-race-freedom certifier — the third seqabs domain.
+
+    A must-analysis over a {e closed} set of threads, proving that every
+    cross-thread conflicting pair involving a non-atomic or relaxed
+    access is ordered by a release/acquire happens-before edge.  Two
+    criteria:
+
+    - {b No_weak_pairs}: no cross-thread same-location pair with a write
+      and a non-atomic/relaxed side exists at all (e.g. a program whose
+      only shared accesses are release stores and acquire loads);
+    - {b Owner_protocol}: the message-passing shape (Fig 1).  For each
+      weakly-accessed location [x]: a single owner thread performs every
+      write of [x] and publishes a non-zero constant to a rel/acq-only
+      flag after its last [x]-access; every other thread touches [x]
+      only under a top-level [If (r == c)] whose register was set by an
+      acquire load of the flag and not redefined since.  Since initial
+      memory is all-zero and the owner's release store of [c] is unique,
+      a reader observing [c] has synchronized with it — ordering every
+      pair on [x].
+
+    [Race_free] is {e sound} with respect to the promise-free dynamic
+    race detector: it implies {!Baselines.Drf}'s [pf_race_free] on the
+    same threads (cross-checked over the full litmus catalog by the test
+    suite).  [Unproven] is {e not} a race report — the analysis is
+    incomplete by design (so e.g. fence-based synchronization stays
+    Unproven).
+
+    Consumers: the seqlint racy-read upgrade/suppression (a [Race_free]
+    verdict downgrades racy-read warnings to cited hints; a provably
+    unorderable pair upgrades them to errors) and the E14 bench table. *)
+
+open Lang
+
+type access = {
+  thread : int;
+  path : Path.t;
+  loc : Loc.t;
+  write : bool;
+  weak : bool;  (** non-atomic or relaxed *)
+}
+
+(** A cross-thread conflicting pair with a weak side ([a.thread <
+    b.thread]). *)
+type pair = { a : access; b : access }
+
+type protocol = {
+  ploc : Loc.t;  (** the protected location *)
+  owner : int;  (** the unique writer thread *)
+  flag : Loc.t;  (** the rel/acq-disciplined flag *)
+  publish : Path.t;  (** the owner's release store of the guard value *)
+  guards : (int * Path.t) list;  (** per reader: the guarded [If] *)
+}
+
+type evidence = No_weak_pairs | Owner_protocol of protocol
+
+type verdict = Race_free of evidence list | Unproven of pair list
+
+(** All shared-memory accesses of one thread, with paths. *)
+val accesses_of : int -> Stmt.t -> access list
+
+(** The cross-thread weak conflicting pairs of a closed thread set. *)
+val weak_pairs : access list -> pair list
+
+val certify : Stmt.t list -> verdict
+
+val pp_evidence : Format.formatter -> evidence -> unit
+val pp_pair : Format.formatter -> pair -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

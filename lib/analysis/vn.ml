@@ -1,0 +1,158 @@
+(** Value numbering / available expressions (see vn.mli). *)
+
+open Lang
+
+type vn = int
+
+(* Hash-consing context.  Constants and operator applications over known
+   operands are numbered structurally; everything whose value the
+   analysis cannot predict (atomic loads, choose/freeze, operands of
+   unknown number) gets a fresh number that is equal only to itself. *)
+type key =
+  | Kconst of Value.t
+  | Kbin of Expr.binop * vn * vn
+  | Kun of Expr.unop * vn
+
+type ctx = { tbl : (key, vn) Hashtbl.t; mutable next : vn }
+
+let create () : ctx = { tbl = Hashtbl.create 64; next = 0 }
+
+let fresh (c : ctx) : vn =
+  let n = c.next in
+  c.next <- n + 1;
+  n
+
+let intern (c : ctx) (k : key) : vn =
+  match Hashtbl.find_opt c.tbl k with
+  | Some n -> n
+  | None ->
+    let n = fresh c in
+    Hashtbl.add c.tbl k n;
+    n
+
+type state = { regs : vn Reg.Map.t; mem : vn Loc.Map.t }
+
+let empty = { regs = Reg.Map.empty; mem = Loc.Map.empty }
+
+let reg_vn st r = Reg.Map.find_opt r st.regs
+let mem_vn st x = Loc.Map.find_opt x st.mem
+
+let rec eval (c : ctx) (st : state) (e : Expr.t) : vn option =
+  match e with
+  | Expr.Const v -> Some (intern c (Kconst v))
+  | Expr.Reg r -> Reg.Map.find_opt r st.regs
+  | Expr.Binop (op, a, b) ->
+    (match eval c st a, eval c st b with
+     | Some na, Some nb -> Some (intern c (Kbin (op, na, nb)))
+     | _ -> None)
+  | Expr.Unop (op, a) ->
+    (match eval c st a with
+     | Some na -> Some (intern c (Kun (op, na)))
+     | None -> None)
+
+let eval_or_fresh c st e =
+  match eval c st e with Some n -> n | None -> fresh c
+
+let holders (st : state) (n : vn) : Reg.Set.t =
+  Reg.Map.fold
+    (fun r m acc -> if m = n then Reg.Set.add r acc else acc)
+    st.regs Reg.Set.empty
+
+let set_reg st r n = { st with regs = Reg.Map.add r n st.regs }
+let set_mem st x n = { st with mem = Loc.Map.add x n st.mem }
+let clear_mem st = { st with mem = Loc.Map.empty }
+
+(* Mode-aware clobbers, mirroring the forwarding passes' kill rules
+   (App D, Fig 8): an acquire event (acquire load, RMW, acq/acqrel/sc
+   fence) may import fresh memory for any non-atomic location, so all
+   location numbers die; relaxed and release accesses leave non-atomic
+   memory untouched (SEQ's release keeps M, only permissions drop), so
+   location numbers survive them. *)
+let transfer (c : ctx) (st : state) (s : Stmt.t) : state =
+  match s with
+  | Stmt.Assign (r, e) -> set_reg st r (eval_or_fresh c st e)
+  | Stmt.Load (r, Mode.Rna, x) ->
+    let n = match mem_vn st x with Some n -> n | None -> fresh c in
+    set_mem (set_reg st r n) x n
+  | Stmt.Load (r, Mode.Rrlx, _) -> set_reg st r (fresh c)
+  | Stmt.Load (r, Mode.Racq, _) -> clear_mem (set_reg st r (fresh c))
+  | Stmt.Store (Mode.Wna, x, e) -> set_mem st x (eval_or_fresh c st e)
+  | Stmt.Store ((Mode.Wrlx | Mode.Wrel), _, _) -> st
+  | Stmt.Cas (r, _, _, _) | Stmt.Fadd (r, _, _) ->
+    clear_mem (set_reg st r (fresh c))
+  | Stmt.Choose r | Stmt.Freeze (r, _) -> set_reg st r (fresh c)
+  | Stmt.Fence (Mode.Facq | Mode.Facqrel | Mode.Fsc) -> clear_mem st
+  | Stmt.Fence Mode.Frel | Stmt.Skip | Stmt.Print _ | Stmt.Abort
+  | Stmt.Return _ -> st
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ ->
+    invalid_arg "Vn.transfer: compound statement"
+
+(* Must-join: keep only bindings both sides agree on. *)
+let join (a : state) (b : state) : state =
+  let agree _ x y =
+    match x, y with Some x, Some y when x = y -> Some x | _ -> None
+  in
+  { regs = Reg.Map.merge agree a.regs b.regs;
+    mem = Loc.Map.merge agree a.mem b.mem }
+
+let leq (a : state) (b : state) =
+  (* a carries at least b's bindings *)
+  Reg.Map.for_all (fun r n -> Reg.Map.find_opt r a.regs = Some n) b.regs
+  && Loc.Map.for_all (fun x n -> Loc.Map.find_opt x a.mem = Some n) b.mem
+
+let equal (a : state) (b : state) = leq a b && leq b a
+
+(* Loop fixpoint from head state [h]: iterate [h ⊓ step h] until stable.
+   Unpredictable values get genuinely fresh numbers on every probe, so a
+   binding survives the join only if its value is iteration-independent
+   (constants, values established before the loop and not clobbered
+   inside it) — which is exactly when forwarding it is sound.  The chain
+   is pointwise-shrinking over finitely many bindings, so it terminates
+   without a widening bound. *)
+let loop_fix (step : state -> state) (h0 : state) : state * int =
+  let rec fix h iters =
+    let h' = join h (step h) in
+    if equal h h' then (h, iters) else fix h' (iters + 1)
+  in
+  fix h0 1
+
+(* Published facts: a straight-line walk recording the state before every
+   leaf.  If/While bodies are analyzed with the proper joins (branch
+   join, loop fixpoint), so facts inside compounds are sound. *)
+type facts = state Path.Map.t
+
+let analyze ?ctx (stmt : Stmt.t) : facts =
+  let c = match ctx with Some c -> c | None -> create () in
+  let tbl = ref Path.Map.empty in
+  let rec go (st : state) (s : Stmt.t) (p : Path.t) : state =
+    tbl := Path.Map.add p st !tbl;
+    match s with
+    | Stmt.Seq (a, b) ->
+      let st = go st a (Path.child p Path.Fst) in
+      go st b (Path.child p Path.Snd)
+    | Stmt.If (_, a, b) ->
+      let sa = go st a (Path.child p Path.Then) in
+      let sb = go st b (Path.child p Path.Else) in
+      join sa sb
+    | Stmt.While (_, body) ->
+      let bp = Path.child p Path.Body in
+      let head, _ =
+        loop_fix (fun h -> probe h body) st
+      in
+      ignore (go head body bp : state);
+      head
+    | leaf -> transfer c st leaf
+  and probe (st : state) (s : Stmt.t) : state =
+    (* fixpoint probe: no fact recording *)
+    match s with
+    | Stmt.Seq (a, b) -> probe (probe st a) b
+    | Stmt.If (_, a, b) -> join (probe st a) (probe st b)
+    | Stmt.While (_, body) ->
+      let head, _ = loop_fix (fun h -> probe h body) st in
+      head
+    | leaf -> transfer c st leaf
+  in
+  ignore (go empty stmt Path.root : state);
+  !tbl
+
+let before (f : facts) (p : Path.t) = Path.Map.find_opt p f

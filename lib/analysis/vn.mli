@@ -1,0 +1,75 @@
+(** Value numbering / available expressions — the first seqabs domain.
+
+    A forward must-analysis mapping registers and non-atomic locations to
+    {e value numbers}: two entities with the same number provably hold
+    the same value in every execution reaching the program point.
+    Numbers are hash-consed structurally over constants and operator
+    applications; anything the analysis cannot predict — atomic loads
+    (each relaxed or acquire read is an environment choice carrying its
+    own trace label, so it is {e never} available for reuse), [choose],
+    [freeze], operands of unknown number — gets a number equal only to
+    itself.
+
+    Location numbers are killed by mode-aware clobbers, mirroring the
+    forwarding passes (App D, Fig 8): acquire events (acquire loads,
+    RMWs, acq/acqrel/sc fences) may import fresh memory and kill every
+    location binding; relaxed accesses, release stores and release
+    fences leave non-atomic memory untouched and kill nothing.  A
+    non-atomic store re-binds its own location to the stored
+    expression's number.
+
+    Loop heads take a genuine fixpoint with {e fresh-per-probe} numbers
+    for unpredictable values, so a binding survives a loop join only
+    when it is iteration-independent — no widening bound is needed (the
+    chain shrinks pointwise over finitely many bindings).
+
+    Consumers: the {!Opt.Cse} and {!Opt.Rle} passes, the [Static_abs]
+    certifier ({!Opt.Certabs}) and the {!Avail} redundancy report. *)
+
+open Lang
+
+type vn = int
+
+(** Shared numbering context.  One context per analysis question; states
+    from different contexts are not comparable. *)
+type ctx
+
+val create : unit -> ctx
+
+(** A fresh number, equal only to itself. *)
+val fresh : ctx -> vn
+
+(** Per-point abstract state: must-bindings for registers and non-atomic
+    locations.  Absent = unknown. *)
+type state = { regs : vn Reg.Map.t; mem : vn Loc.Map.t }
+
+val empty : state
+val reg_vn : state -> Reg.t -> vn option
+val mem_vn : state -> Loc.t -> vn option
+
+(** Registers currently bound to [vn]. *)
+val holders : state -> vn -> Reg.Set.t
+
+(** Structural evaluation; [None] when some register is unbound. *)
+val eval : ctx -> state -> Expr.t -> vn option
+
+val eval_or_fresh : ctx -> state -> Expr.t -> vn
+
+(** Leaf transfer function (raises [Invalid_argument] on compounds). *)
+val transfer : ctx -> state -> Stmt.t -> state
+
+(** Must-join: keep only bindings both sides agree on. *)
+val join : state -> state -> state
+
+val leq : state -> state -> bool
+val equal : state -> state -> bool
+
+(** [loop_fix step h0] iterates [h ⊓ step h] to stability; returns the
+    head state and the iteration count. *)
+val loop_fix : (state -> state) -> state -> state * int
+
+(** Facts keyed by statement path: the state {e before} each node. *)
+type facts = state Path.Map.t
+
+val analyze : ?ctx:ctx -> Stmt.t -> facts
+val before : facts -> Path.t -> state option

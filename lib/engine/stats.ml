@@ -19,22 +19,27 @@ let timed f =
 let pp ppf t =
   Format.fprintf ppf "%.1fms %d states %d hits" t.wall_ms t.states t.memo_hits
 
-type fastpath = { static_hits : int; enumerated : int }
+type fastpath = { static_hits : int; static_abs_hits : int; enumerated : int }
 
-let fastpath_zero = { static_hits = 0; enumerated = 0 }
+let fastpath_zero = { static_hits = 0; static_abs_hits = 0; enumerated = 0 }
 
 let add_fastpath a b =
   {
     static_hits = a.static_hits + b.static_hits;
+    static_abs_hits = a.static_abs_hits + b.static_abs_hits;
     enumerated = a.enumerated + b.enumerated;
   }
 
-let fastpath_total f = f.static_hits + f.enumerated
+let fastpath_static f = f.static_hits + f.static_abs_hits
+let fastpath_total f = f.static_hits + f.static_abs_hits + f.enumerated
 
 let fastpath_rate f =
   let total = fastpath_total f in
-  if total = 0 then 0. else float_of_int f.static_hits /. float_of_int total
+  if total = 0 then 0.
+  else float_of_int (fastpath_static f) /. float_of_int total
 
 let pp_fastpath ppf f =
-  Format.fprintf ppf "static %d/%d (%.0f%%)" f.static_hits (fastpath_total f)
+  Format.fprintf ppf "static %d/%d (%.0f%%, %d replay + %d abstract)"
+    (fastpath_static f) (fastpath_total f)
     (100. *. fastpath_rate f)
+    f.static_hits f.static_abs_hits

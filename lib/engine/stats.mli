@@ -22,16 +22,21 @@ val timed : (unit -> 'a) -> 'a * float
 val pp : Format.formatter -> task -> unit
 
 (** Static fast-path counters for validation sweeps: how many checks were
-    discharged by a static certificate vs. by enumeration.  Unlike
-    [wall_ms], both fields are deterministic. *)
-type fastpath = { static_hits : int; enumerated : int }
+    discharged by a pipeline-replay certificate ([static_hits]), by the
+    abstract-interpretation certifier ([static_abs_hits]), or by
+    enumeration.  Unlike [wall_ms], all fields are deterministic. *)
+type fastpath = { static_hits : int; static_abs_hits : int; enumerated : int }
 
 val fastpath_zero : fastpath
 val add_fastpath : fastpath -> fastpath -> fastpath
+
+(** Checks discharged without enumeration (either static route). *)
+val fastpath_static : fastpath -> int
+
 val fastpath_total : fastpath -> int
 
 (** Fraction of checks discharged statically (0 when none ran). *)
 val fastpath_rate : fastpath -> float
 
-(** E.g. ["static 12/57 (21%)"]. *)
+(** E.g. ["static 32/57 (56%, 16 replay + 16 abstract)"]. *)
 val pp_fastpath : Format.formatter -> fastpath -> unit

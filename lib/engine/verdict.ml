@@ -9,11 +9,13 @@ type reason =
 type 'a t = Proved | Refuted of 'a | Unknown of reason
 
 (* How a Proved was obtained: a static certificate needs no enumeration,
-   so the split is the fast-path hit rate. *)
-type provenance = Static | Enumerated
+   so the split is the fast-path hit rate.  Static = pipeline-replay
+   certificate; Static_abs = abstract-interpretation certificate. *)
+type provenance = Static | Static_abs | Enumerated
 
 let provenance_to_string = function
   | Static -> "static"
+  | Static_abs -> "static-abs"
   | Enumerated -> "enumerated"
 
 let pp_provenance ppf p = Format.pp_print_string ppf (provenance_to_string p)

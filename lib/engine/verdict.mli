@@ -28,12 +28,14 @@ type reason =
     info (a counterexample, a mismatch description, [unit]). *)
 type 'a t = Proved | Refuted of 'a | Unknown of reason
 
-(** How a definite verdict was established: [Static] — certified from
-    dataflow facts alone, no state enumeration ran; [Enumerated] — the
-    exhaustive checker ran.  A [Static] proof is sound only if the static
-    certifier is (cross-checked by the qcheck suite); the split is what
-    the benchmarks report as the fast-path hit rate. *)
-type provenance = Static | Enumerated
+(** How a definite verdict was established: [Static] — certified by
+    pipeline replay, no state enumeration ran; [Static_abs] — certified
+    by the abstract-interpretation layer (value numbering + permission
+    facts), also enumeration-free; [Enumerated] — the exhaustive checker
+    ran.  A static proof is sound only if the certifier is (cross-checked
+    by the qcheck suite); the split is what the benchmarks report as the
+    fast-path hit rate. *)
+type provenance = Static | Static_abs | Enumerated
 
 val provenance_to_string : provenance -> string
 val pp_provenance : Format.formatter -> provenance -> unit

@@ -20,9 +20,11 @@ type phase = { phase_name : string; cfg : Gen.config; size : int }
 (* The rotation of generator configs, each aimed at one family of
    barrier-sensitive shapes: "store-heavy" concentrates non-atomic
    stores on a single location with acquire/release traffic between
-   them (the planted-DSE needle, store–release–acquire–store);
-   "load-heavy" does the same for repeated loads (the planted-LLF
-   needle, load–acquire–load); "loops" drops non-atomic stores
+   them, plus enough non-atomic loads to read a published value back
+   behind the matching acquire (the planted-DSE and planted-RLE
+   needles, store–release–acquire–store and store–release–acquire–load);
+   "load-heavy" does the same for repeated loads (the planted-LLF and
+   planted-CSE needles, load–acquire–load and acquire–acquire); "loops" drops non-atomic stores
    entirely so loop bodies keep an invariant load next to an acquire
    (the planted-LICM needle). *)
 let default_phases =
@@ -38,10 +40,11 @@ let default_phases =
           Gen.na_locs = [ x ];
           at_locs = Gen.default_config.Gen.at_locs @ [ z ];
           w_na_store = 2;
-          w_mode_strong = 3;
+          w_na_load = 3;
+          w_mode_strong = 4;
           size_jitter = 2;
         };
-      size = 9;
+      size = 11;
     };
     {
       phase_name = "load-heavy";

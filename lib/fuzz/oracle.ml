@@ -28,16 +28,23 @@ let of_string s = List.find_opt (fun k -> name k = s) all
 
 (* ------------------------------------------------------------------ *)
 (* Advanced-only refinement, the workhorse of pass checking: a static
-   certificate when the pipeline replay reaches [tgt], the Fig 6
-   enumeration otherwise.  ({!Optimizer.Validate.validate} also decides
-   the simple Def 2.4 notion by enumeration, which fuzzing throughput
-   cannot afford; soundness of a pass is the advanced notion.) *)
+   certificate when the pipeline replay reaches [tgt] or the abstract
+   certifier bridges the gap, the Fig 6 enumeration otherwise.
+   ({!Optimizer.Validate.validate} also decides the simple Def 2.4
+   notion by enumeration, which fuzzing throughput cannot afford;
+   soundness of a pass is the advanced notion.)  Routing fuzz traffic
+   through both certifiers is deliberate: an unsound certificate would
+   stop the campaign from refuting a planted bug, which the fixed-seed
+   smoke test would flag. *)
 let refines ~budget ~(src : Stmt.t) ~(tgt : Stmt.t) : bool =
   match Optimizer.Certify.attempt ~src ~tgt () with
   | Some _ -> true
-  | None ->
-    let d = Domain.of_stmts [ src; tgt ] in
-    Seq_model.Advanced.check ~budget d ~src ~tgt
+  | None -> (
+    match Optimizer.Certabs.attempt ~src ~tgt () with
+    | Some _ -> true
+    | None ->
+      let d = Domain.of_stmts [ src; tgt ] in
+      Seq_model.Advanced.check ~budget d ~src ~tgt)
 
 let check_pass_correct ~budget (p : Stmt.t) : string option =
   let rec go = function
@@ -115,7 +122,7 @@ let check_lint_agree ~budget (p : Stmt.t) : string option =
       (fun d ->
         match d.Optimizer.Lint.rule with
         | Optimizer.Lint.Racy_read | Optimizer.Lint.Racy_write
-        | Optimizer.Lint.Mixed_access -> true
+        | Optimizer.Lint.Mixed_access | Optimizer.Lint.Unordered_race -> true
         | _ -> false)
       diags
   in

@@ -16,6 +16,21 @@
       load out of a loop whose body performs an acquire — the real LICM
       refuses such loops (§4/App D), because later iterations read
       values the environment supplied at the acquire.
+    - {!Cse_acq}: common-subexpression elimination that treats an
+      acquire load as a pure expression: a second acquire load of the
+      same location is replaced by a copy of the first result.  An
+      acquire load is an environment-choice event — eliminating it
+      erases both the event and the fresh value the environment may
+      supply there (Ex 2.9(iii); the real {!Optimizer.Cse} only
+      numbers pure expressions).
+    - {!Rle_rel}: redundant-load elimination whose store-to-load
+      forwarding facts survive release writes, as if the published
+      value were sealed.  Forwarding across a lone acquire is sound
+      (slf-across-acq-read): without a release the environment never
+      gains the location.  Across a release-{e acquire} pair it is not
+      (Ex 2.12): the environment may take x at the release, change it,
+      and hand it back at the acquire.  The real {!Optimizer.Rle}
+      kills its facts at every acquire-class event.
 
     The fuzzer's job is to {e refute} every variant: find a generated
     program on which the variant's output does not refine its input.
@@ -25,19 +40,23 @@
 
 open Lang
 
-type variant = Dse_rel | Llf_acq | Licm_acq
+type variant = Dse_rel | Llf_acq | Licm_acq | Cse_acq | Rle_rel
 
-let all = [ Dse_rel; Llf_acq; Licm_acq ]
+let all = [ Dse_rel; Llf_acq; Licm_acq; Cse_acq; Rle_rel ]
 
 let name = function
   | Dse_rel -> "dse-across-release"
   | Llf_acq -> "llf-across-acquire"
   | Licm_acq -> "licm-past-acquire"
+  | Cse_acq -> "cse-across-acquire"
+  | Rle_rel -> "load-elim-across-release"
 
 let describe = function
   | Dse_rel -> "dead store elimination ignoring release/acquire barriers"
   | Llf_acq -> "load-to-load forwarding across acquire reads"
   | Licm_acq -> "LICM hoisting a load past an acquire loop head"
+  | Cse_acq -> "CSE numbering an acquire load like a pure expression"
+  | Rle_rel -> "store-to-load forwarding surviving a release publish"
 
 let of_string s = List.find_opt (fun v -> name v = s) all
 
@@ -154,11 +173,81 @@ let licm_apply (p : Stmt.t) : Stmt.t =
   in
   wrap p
 
+(* ------------------------------------------------------------------ *)
+(* Buggy CSE: an acquire load of x whose result register is still live
+   makes a later acquire load of x a "common subexpression" — replaced
+   by a register copy, as if the load were pure (the planted bug; the
+   real pass only numbers pure expressions, because every acquire load
+   is an environment-choice event and never eliminable). *)
+
+let rec cse_forward r x stmts =
+  match stmts with
+  | [] -> []
+  | Stmt.Load (r', Mode.Racq, y) :: rest when Loc.equal x y ->
+    Stmt.Assign (r', Expr.reg r)
+    :: (if Reg.equal r' r then rest else cse_forward r x rest)
+  | (Stmt.Store (_, y, _) | Stmt.Cas (_, y, _, _) | Stmt.Fadd (_, y, _)) :: _
+    when Loc.equal x y ->
+    stmts
+  | (Stmt.If _ | Stmt.While _ | Stmt.Return _ | Stmt.Abort) :: _ -> stmts
+  | s :: rest ->
+    (match defined_reg s with
+     | Some r0 when Reg.equal r0 r -> stmts
+     | _ -> s :: cse_forward r x rest)
+
+let rec cse_block = function
+  | [] -> []
+  | (Stmt.Load (r, Mode.Racq, x) as ld) :: rest ->
+    ld :: cse_block (cse_forward r x rest)
+  | Stmt.If (e, a, b) :: rest ->
+    Stmt.If (e, cse_stmt a, cse_stmt b) :: cse_block rest
+  | Stmt.While (e, a) :: rest -> Stmt.While (e, cse_stmt a) :: cse_block rest
+  | s :: rest -> s :: cse_block rest
+
+and cse_stmt s = Stmt.seq_list (cse_block (spine s))
+
+(* ------------------------------------------------------------------ *)
+(* Buggy RLE: after a non-atomic store of x, forward the stored value to
+   later non-atomic loads of x — with the forwarding fact surviving
+   release writes, acquire reads and fences (the planted bug; the real
+   pass kills at every acquire-class event).  Refutable exactly on
+   store–release–acquire–load shapes. *)
+
+let rec rle_forward e x stmts =
+  let ergs = Expr.regs e in
+  match stmts with
+  | [] -> []
+  | Stmt.Load (r', Mode.Rna, y) :: rest when Loc.equal x y ->
+    Stmt.Assign (r', e)
+    :: (if Reg.Set.mem r' ergs then rest else rle_forward e x rest)
+  | (Stmt.Store (_, y, _) | Stmt.Cas (_, y, _, _) | Stmt.Fadd (_, y, _)) :: _
+    when Loc.equal x y ->
+    stmts
+  | (Stmt.If _ | Stmt.While _ | Stmt.Return _ | Stmt.Abort) :: _ -> stmts
+  | s :: rest ->
+    (match defined_reg s with
+     | Some r0 when Reg.Set.mem r0 ergs -> stmts
+     | _ -> s :: rle_forward e x rest)
+  (* release writes, acquire reads and fences fall through: BUG *)
+
+let rec rle_block = function
+  | [] -> []
+  | (Stmt.Store (Mode.Wna, x, e) as st_) :: rest ->
+    st_ :: rle_block (rle_forward e x rest)
+  | Stmt.If (e, a, b) :: rest ->
+    Stmt.If (e, rle_stmt a, rle_stmt b) :: rle_block rest
+  | Stmt.While (e, a) :: rest -> Stmt.While (e, rle_stmt a) :: rle_block rest
+  | s :: rest -> s :: rle_block rest
+
+and rle_stmt s = Stmt.seq_list (rle_block (spine s))
+
 let apply (v : variant) (p : Stmt.t) : Stmt.t =
   let out =
     match v with
     | Dse_rel -> dse_stmt p
     | Llf_acq -> llf_stmt p
     | Licm_acq -> licm_apply p
+    | Cse_acq -> cse_stmt p
+    | Rle_rel -> rle_stmt p
   in
   Stmt.normalize out

@@ -5,19 +5,24 @@
     barrier-sensitivity removed: {!Dse_rel} eliminates dead stores
     through release/acquire events, {!Llf_acq} forwards non-atomic loads
     across acquire reads, {!Licm_acq} hoists a loop-invariant load out of
-    a loop whose body acquires.  On programs without the dangerous shape
+    a loop whose body acquires, {!Cse_acq} eliminates a repeated acquire
+    load as if it were a pure common subexpression, {!Rle_rel} keeps
+    store-to-load forwarding facts alive across a release publish (so
+    they reach a load behind the matching acquire, Ex 2.12).  On
+    programs without the dangerous shape
     they perform ordinary sound rewrites (or nothing), so a refutation
     requires the generator to produce a genuine counterexample and the
     oracle to recognize it. *)
 
 open Lang
 
-type variant = Dse_rel | Llf_acq | Licm_acq
+type variant = Dse_rel | Llf_acq | Licm_acq | Cse_acq | Rle_rel
 
 val all : variant list
 
 (** Stable machine-readable names: ["dse-across-release"],
-    ["llf-across-acquire"], ["licm-past-acquire"]. *)
+    ["llf-across-acquire"], ["licm-past-acquire"],
+    ["cse-across-acquire"], ["load-elim-across-release"]. *)
 val name : variant -> string
 
 val describe : variant -> string

@@ -1,0 +1,397 @@
+(** Abstract-interpretation certification of refinement (see
+    certabs.mli). *)
+
+open Lang
+
+module Vn = Analysis.Vn
+
+type rule =
+  | Elim_load of Reg.t * Loc.t
+  | Intro_load of Reg.t * Loc.t
+  | Elim_store of Loc.t * bool  (** [true] = covered, [false] = no-op *)
+  | Intro_store of Loc.t * bool  (** [true] = covered, [false] = no-op *)
+  | Reorder of Stmt.t * Stmt.t  (** [Reorder (s1, s2)]: s2 moved above s1 *)
+  | Hoist_past_loop of Stmt.t
+  | Hoist_loop_load of Reg.t * Loc.t
+
+type cert = { rules : rule list }
+
+let equal_stmt (a : Stmt.t) (b : Stmt.t) = Stdlib.compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Spines and leaf classification                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec flatten s acc =
+  match s with
+  | Stmt.Seq (a, b) -> flatten a (flatten b acc)
+  | Stmt.Skip -> acc
+  | s -> s :: acc
+
+let spine s = flatten s []
+
+let is_leaf = function
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> false
+  | _ -> true
+
+(* Evaluation cannot fault: no division/modulo anywhere. *)
+let rec total_expr = function
+  | Expr.Const _ | Expr.Reg _ -> true
+  | Expr.Binop ((Expr.Div | Expr.Mod), _, _) -> false
+  | Expr.Binop (_, a, b) -> total_expr a && total_expr b
+  | Expr.Unop (_, a) -> total_expr a
+
+type cls =
+  | Pure_total  (** register-only, cannot fault: [Assign] of a total expr *)
+  | Pure_ub  (** register-only but may fault (division) *)
+  | Na_read of Loc.t
+  | Na_write of Loc.t
+  | Rlx_read of Loc.t
+  | Rlx_write of Loc.t
+  | Acq_read of Loc.t
+  | Rel_write of Loc.t
+  | F_acq
+  | F_rel
+  | F_strong  (** acq-rel and sc fences *)
+  | Rmw of Loc.t
+  | Env_choice  (** [Choose]/[Freeze]: emits a choice label *)
+  | Observable  (** [Print] *)
+  | Control  (** [Return]/[Abort] *)
+  | Compound
+
+let classify = function
+  | Stmt.Skip -> Pure_total
+  | Stmt.Assign (_, e) -> if total_expr e then Pure_total else Pure_ub
+  | Stmt.Load (_, Mode.Rna, x) -> Na_read x
+  | Stmt.Load (_, Mode.Rrlx, x) -> Rlx_read x
+  | Stmt.Load (_, Mode.Racq, x) -> Acq_read x
+  | Stmt.Store (Mode.Wna, x, _) -> Na_write x
+  | Stmt.Store (Mode.Wrlx, x, _) -> Rlx_write x
+  | Stmt.Store (Mode.Wrel, x, _) -> Rel_write x
+  | Stmt.Fence Mode.Facq -> F_acq
+  | Stmt.Fence Mode.Frel -> F_rel
+  | Stmt.Fence (Mode.Facqrel | Mode.Fsc) -> F_strong
+  | Stmt.Cas (_, x, _, _) | Stmt.Fadd (_, x, _) -> Rmw x
+  | Stmt.Choose _ | Stmt.Freeze _ -> Env_choice
+  | Stmt.Print _ -> Observable
+  | Stmt.Abort | Stmt.Return _ -> Control
+  | Stmt.Seq _ | Stmt.If _ | Stmt.While _ -> Compound
+
+let defs = function
+  | Stmt.Assign (r, _)
+  | Stmt.Load (r, _, _)
+  | Stmt.Cas (r, _, _, _)
+  | Stmt.Fadd (r, _, _)
+  | Stmt.Choose r
+  | Stmt.Freeze (r, _) ->
+    Reg.Set.singleton r
+  | _ -> Reg.Set.empty
+
+let uses = function
+  | Stmt.Assign (_, e)
+  | Stmt.Store (_, _, e)
+  | Stmt.Print e
+  | Stmt.Return e
+  | Stmt.Freeze (_, e)
+  | Stmt.Fadd (_, _, e) ->
+    Expr.regs e
+  | Stmt.Cas (_, _, e1, e2) -> Reg.Set.union (Expr.regs e1) (Expr.regs e2)
+  | _ -> Reg.Set.empty
+
+let loc_of = function
+  | Stmt.Load (_, _, x)
+  | Stmt.Store (_, x, _)
+  | Stmt.Cas (_, x, _, _)
+  | Stmt.Fadd (_, x, _) ->
+    Some x
+  | _ -> None
+
+let writes = function
+  | Stmt.Store _ | Stmt.Cas _ | Stmt.Fadd _ -> true
+  | _ -> false
+
+let reg_indep s1 s2 =
+  let d1 = defs s1 and d2 = defs s2 in
+  Reg.Set.is_empty (Reg.Set.inter d1 (Reg.Set.union d2 (uses s2)))
+  && Reg.Set.is_empty (Reg.Set.inter d2 (uses s1))
+
+(* May [s2] move up past [s1] (src has s1; s2, tgt has s2 first)?  Each
+   clause is one of the catalog's certified reorderings; everything else
+   — acquires moving down, releases moving up, UB crossing an acquire,
+   RMWs and strong fences in any swap — is refused.  Proves the advanced
+   notion only (late-UB clause, Remark 3). *)
+let may_swap s1 s2 =
+  is_leaf s1 && is_leaf s2
+  && (not (equal_stmt s1 s2))
+  && reg_indep s1 s2
+  && (match (loc_of s1, loc_of s2) with
+     | Some x, Some y when Loc.equal x y && (writes s1 || writes s2) -> false
+     | _ -> true)
+  &&
+  match (classify s1, classify s2) with
+  | (Control | Compound), _ | _, (Control | Compound) -> false
+  (* pure register traffic commutes with anything non-control *)
+  | Pure_total, _ | _, Pure_total -> true
+  (* independent non-atomics commute (Ex 2.5) *)
+  | (Na_read _ | Na_write _), (Na_read _ | Na_write _) -> true
+  (* late UB / Remark 3: a non-atomic access or a faulting pure
+     computation may move up past a relaxed read or a choice label *)
+  | (Rlx_read _ | Env_choice), (Na_read _ | Na_write _ | Pure_ub) -> true
+  (* roach motel: an acquire may move up past a non-atomic (the
+     non-atomic sinks into the critical section, Ex 2.9 i'/iii') *)
+  | (Na_read _ | Na_write _), (Acq_read _ | F_acq) -> true
+  (* roach motel: a non-atomic may move up past a release (into the
+     section the release closes, Ex 2.9 ii'/iv') *)
+  | (Rel_write _ | F_rel), (Na_read _ | Na_write _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Store elimination / introduction windows                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Between a deleted store to [x] and its covering store: leaves that
+   neither observe [x] nor publish memory (no release, no fence, no
+   RMW).  The DSE pass handles the across-release windows the advanced
+   notion additionally allows (Ex 3.5). *)
+let transparent_for x = function
+  | Stmt.Assign _ | Stmt.Choose _ | Stmt.Freeze _ | Stmt.Skip -> true
+  | Stmt.Load (_, (Mode.Rna | Mode.Rrlx), y) -> not (Loc.equal x y)
+  | Stmt.Store ((Mode.Wna | Mode.Wrlx), y, _) -> not (Loc.equal x y)
+  | _ -> false
+
+let rec covered_elim x = function
+  | [] -> false
+  | Stmt.Store (Mode.Wna, y, _) :: _ when Loc.equal x y -> true
+  | s :: rest -> transparent_for x s && covered_elim x rest
+
+(* Between an introduced store and the (already justified) store that
+   overwrites it: register-pure leaves only — nothing may fault, touch
+   memory, or emit an observable. *)
+let pure_reg_leaf = function
+  | Stmt.Assign (_, e) | Stmt.Freeze (_, e) -> total_expr e
+  | Stmt.Choose _ | Stmt.Skip -> true
+  | _ -> false
+
+let rec covered_intro x = function
+  | [] -> false
+  | Stmt.Store (Mode.Wna, y, _) :: _ when Loc.equal x y -> true
+  | s :: rest -> pure_reg_leaf s && covered_intro x rest
+
+(* ------------------------------------------------------------------ *)
+(* Loop rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let memory_silent s =
+  let fp = Stmt.footprint s in
+  Loc.Set.is_empty fp.Stmt.na && Loc.Set.is_empty fp.Stmt.at
+
+(* Hoisting a load of [x] out of a loop body is justified when nothing
+   in the body can change what the load observes: no acquire-class
+   event (which could import fresh memory for [x]) and no store to [x]
+   itself. *)
+let rec body_stable_for x = function
+  | Stmt.Load (_, Mode.Racq, _)
+  | Stmt.Cas _ | Stmt.Fadd _
+  | Stmt.Fence (Mode.Facq | Mode.Facqrel | Mode.Fsc) ->
+    false
+  | Stmt.Store (_, y, _) -> not (Loc.equal x y)
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) ->
+    body_stable_for x a && body_stable_for x b
+  | Stmt.While (_, b) -> body_stable_for x b
+  | _ -> true
+
+(* Replace every non-atomic load of [x] by a copy from [r']. *)
+let rec subst_loads x r' = function
+  | Stmt.Load (r, Mode.Rna, y) when Loc.equal x y ->
+    Stmt.Assign (r, Expr.Reg r')
+  | Stmt.Seq (a, b) -> Stmt.Seq (subst_loads x r' a, subst_loads x r' b)
+  | Stmt.If (e, a, b) -> Stmt.If (e, subst_loads x r' a, subst_loads x r' b)
+  | Stmt.While (e, b) -> Stmt.While (e, subst_loads x r' b)
+  | s -> s
+
+(* ------------------------------------------------------------------ *)
+(* The matcher                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-point context: VN must-facts plus the set of locations provably
+   held with both permissions (an own na store since the last
+   release-class event) — the licence for no-op store introduction. *)
+type env = { st : Vn.state; ws : Loc.Set.t }
+
+let init_env = { st = Vn.empty; ws = Loc.Set.empty }
+
+let step c env s =
+  let st = if is_leaf s then Vn.transfer c env.st s else Vn.empty in
+  let ws =
+    if not (is_leaf s) then Loc.Set.empty
+    else
+      match s with
+      | Stmt.Store (Mode.Wna, x, _) -> Loc.Set.add x env.ws
+      | Stmt.Store (Mode.Wrel, _, _)
+      | Stmt.Fence (Mode.Frel | Mode.Facqrel | Mode.Fsc)
+      | Stmt.Cas _ | Stmt.Fadd _ ->
+        Loc.Set.empty
+      | _ -> env.ws
+  in
+  { st; ws }
+
+let ( <|> ) a b = match a with Some _ as r -> r | None -> b ()
+
+(* [go] rewrites the source spine into the target spine, one certified
+   refinement step at a time; [env] always describes the current
+   (rewritten) program at the match point, which coincides with the
+   matched target prefix.  [fuel] bounds the non-consuming rules. *)
+let rec go c src_regs env srcs tgts fuel acc =
+  match (srcs, tgts) with
+  | [], [] -> Some (List.rev acc)
+  | s :: ss, t :: ts when equal_stmt s t ->
+    go c src_regs (step c env s) ss ts fuel acc
+    <|> fun () -> rules c src_regs env srcs tgts fuel acc
+  | _ -> rules c src_regs env srcs tgts fuel acc
+
+and rules c src_regs env srcs tgts fuel acc =
+  let elim_load () =
+    match (srcs, tgts) with
+    | Stmt.Load (r, Mode.Rna, x) :: ss, Stmt.Assign (r2, e) :: ts
+      when Reg.equal r r2 -> (
+      match (Vn.eval c env.st e, Vn.mem_vn env.st x) with
+      | Some n1, Some n2 when n1 = n2 ->
+        let env = step c env (Stmt.Assign (r, e)) in
+        go c src_regs env ss ts fuel (Elim_load (r, x) :: acc)
+      | _ -> None)
+    | _ -> None
+  in
+  let intro_load () =
+    match (srcs, tgts) with
+    | Stmt.Assign (r, e) :: ss, (Stmt.Load (r2, Mode.Rna, x) as ld) :: ts
+      when Reg.equal r r2 -> (
+      match (Vn.eval c env.st e, Vn.mem_vn env.st x) with
+      | Some n1, Some n2 when n1 = n2 ->
+        go c src_regs (step c env ld) ss ts fuel (Intro_load (r, x) :: acc)
+      | _ -> None)
+    | _ -> None
+  in
+  let elim_store () =
+    match srcs with
+    | Stmt.Store (Mode.Wna, x, e) :: ss ->
+      let noop () =
+        match (Vn.eval c env.st e, Vn.mem_vn env.st x) with
+        | Some n1, Some n2 when n1 = n2 ->
+          (* value unchanged: deleting the store leaves memory — and
+             every standing fact — intact *)
+          go c src_regs env ss tgts fuel (Elim_store (x, false) :: acc)
+        | _ -> None
+      in
+      let covered () =
+        if covered_elim x ss then
+          go c src_regs env ss tgts fuel (Elim_store (x, true) :: acc)
+        else None
+      in
+      noop () <|> covered
+    | _ -> None
+  in
+  let intro_store () =
+    match tgts with
+    | (Stmt.Store (Mode.Wna, x, e) as st_) :: ts when total_expr e ->
+      let noop () =
+        if Loc.Set.mem x env.ws then
+          match (Vn.eval c env.st e, Vn.mem_vn env.st x) with
+          | Some n1, Some n2 when n1 = n2 ->
+            go c src_regs (step c env st_) srcs ts fuel
+              (Intro_store (x, false) :: acc)
+          | _ -> None
+        else None
+      in
+      let covered () =
+        if covered_intro x ts then
+          (* permission is contingent on the covering store, so the
+             introduced one must not enter [ws] itself *)
+          let env = { (step c env st_) with ws = env.ws } in
+          go c src_regs env srcs ts fuel (Intro_store (x, true) :: acc)
+        else None
+      in
+      noop () <|> covered
+    | _ -> None
+  in
+  let reorder () =
+    match (srcs, tgts) with
+    | s1 :: s2 :: ss, t :: _
+      when fuel > 0 && equal_stmt s2 t && may_swap s1 s2 ->
+      go c src_regs env (s2 :: s1 :: ss) tgts (fuel - 1)
+        (Reorder (s1, s2) :: acc)
+    | _ -> None
+  in
+  let hoist_past_loop () =
+    match (srcs, tgts) with
+    | (Stmt.While (_, _) as w) :: s2 :: ss, t :: _
+      when fuel > 0 && equal_stmt s2 t && memory_silent w
+           && (match classify s2 with
+              | Na_read _ | Pure_total -> true
+              | _ -> false)
+           && Reg.Set.is_empty
+                (Reg.Set.inter (Stmt.footprint w).Stmt.regs
+                   (Reg.Set.union (defs s2) (uses s2))) ->
+      go c src_regs env (s2 :: w :: ss) tgts (fuel - 1)
+        (Hoist_past_loop s2 :: acc)
+    | _ -> None
+  in
+  let hoist_loop_load () =
+    match (srcs, tgts) with
+    | Stmt.While (e, body) :: ss,
+      (Stmt.Load (r', Mode.Rna, x) as ld) :: Stmt.While (e', body') :: ts
+      when Expr.equal e e'
+           && (not (Reg.Set.mem r' src_regs))
+           && body_stable_for x body
+           && equal_stmt (subst_loads x r' body) body' ->
+      let env = step c env ld in
+      (* the two loops are matched as a rewritten compound pair *)
+      let env = step c env (Stmt.While (e, body)) in
+      go c src_regs env ss ts fuel (Hoist_loop_load (r', x) :: acc)
+    | _ -> None
+  in
+  elim_load () <|> intro_load <|> elim_store <|> intro_store <|> reorder
+  <|> hoist_past_loop <|> hoist_loop_load
+
+let attempt ?(fuel = 64) ~(src : Stmt.t) ~(tgt : Stmt.t) () : cert option =
+  if
+    not
+      (Analysis.Modes.consistent [ src ] && Analysis.Modes.consistent [ tgt ])
+  then None
+  else
+    let s = Stmt.normalize src and t = Stmt.normalize tgt in
+    if equal_stmt s t then Some { rules = [] }
+    else
+      let c = Vn.create () in
+      let src_regs = (Stmt.footprint s).Stmt.regs in
+      match go c src_regs init_env (spine s) (spine t) fuel [] with
+      | Some rules -> Some { rules }
+      | None -> None
+
+(* ------------------------------------------------------------------ *)
+
+let rule_name = function
+  | Elim_load _ -> "elim-load"
+  | Intro_load _ -> "intro-load"
+  | Elim_store (_, false) -> "elim-noop-store"
+  | Elim_store (_, true) -> "elim-covered-store"
+  | Intro_store (_, false) -> "intro-noop-store"
+  | Intro_store (_, true) -> "intro-covered-store"
+  | Reorder _ -> "reorder"
+  | Hoist_past_loop _ -> "hoist-past-loop"
+  | Hoist_loop_load _ -> "hoist-loop-load"
+
+let pp_rule ppf r =
+  match r with
+  | Elim_load (rg, x) | Intro_load (rg, x) ->
+    Fmt.pf ppf "%s %a:%a" (rule_name r) Reg.pp rg Loc.pp x
+  | Elim_store (x, _) | Intro_store (x, _) ->
+    Fmt.pf ppf "%s %a" (rule_name r) Loc.pp x
+  | Reorder (s1, s2) ->
+    Fmt.pf ppf "reorder [%a] above [%a]" Stmt.pp s2 Stmt.pp s1
+  | Hoist_past_loop s -> Fmt.pf ppf "hoist [%a] past loop" Stmt.pp s
+  | Hoist_loop_load (rg, x) ->
+    Fmt.pf ppf "hoist-loop-load %a:%a" Reg.pp rg Loc.pp x
+
+let pp ppf (c : cert) =
+  if c.rules = [] then Fmt.pf ppf "trivial (src = tgt)"
+  else Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_rule) c.rules

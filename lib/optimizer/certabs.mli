@@ -1,0 +1,63 @@
+(** [Static_abs]: certification of refinement directly from abstract
+    facts, with no pass pipeline and no state enumeration.
+
+    {!Certify} discharges src ⊒ tgt only when replaying the optimizer
+    pipeline happens to reproduce [tgt] syntactically.  This module
+    instead rewrites the source spine into the target spine one
+    certified local step at a time, consulting the {!Analysis.Vn}
+    must-facts (value availability, mode-aware kills) and a
+    permission-licence set at every point:
+
+    - {b elim/intro-load}: a non-atomic load exchanged with a register
+      copy of the provably identical value (SLF/LLF/RLE and their
+      converse, load introduction — Ex 2.6);
+    - {b elim/intro-store}: a non-atomic store deleted or introduced
+      when it provably rewrites the value already present (no-op form,
+      Ex 2.6/2.10 — introduction additionally demands the write licence:
+      an own na store since the last release-class event), or when a
+      covering store overwrites it before anything can observe the
+      window (covered form, Ex 2.6(i'));
+    - {b reorder}: adjacent independent leaves swapped under the
+      catalog's certified-commutation table — independent non-atomics
+      (Ex 2.5), roach-motel moves into acquire/release-delimited
+      sections (Ex 2.9), and the advanced notion's late-UB moves past
+      relaxed reads and choice labels (Remark 3, §3);
+    - {b hoist}: a non-atomic read or pure computation moved above a
+      memory-silent loop (Ex 2.7), and the LICM shape — a loop-invariant
+      load hoisted into a fresh register with in-body loads becoming
+      copies (Ex 1.3).
+
+    Refinement composes transitively, so the rule chain is a
+    certificate.  Like {!Certify}, a certificate proves the {e advanced}
+    notion (Def 3.3) — the late-UB and roach-motel clauses are exactly
+    the moves the simple notion refuses — and [None] only ever means the
+    fast path does not apply.  Soundness is cross-checked two ways by
+    the test suite: every certificate over the litmus corpus agrees with
+    the enumerated verdict, and a qcheck property re-validates certified
+    pairs by enumeration. *)
+
+open Lang
+
+type rule =
+  | Elim_load of Reg.t * Loc.t
+  | Intro_load of Reg.t * Loc.t
+  | Elim_store of Loc.t * bool  (** [true] = covered, [false] = no-op *)
+  | Intro_store of Loc.t * bool  (** [true] = covered, [false] = no-op *)
+  | Reorder of Stmt.t * Stmt.t  (** [Reorder (s1, s2)]: s2 moved above s1 *)
+  | Hoist_past_loop of Stmt.t
+  | Hoist_loop_load of Reg.t * Loc.t
+
+(** The refinement steps that rewrite the (normalized) source into the
+    target, in order; [rules = []] means the two are syntactically
+    equal. *)
+type cert = { rules : rule list }
+
+(** [attempt ~src ~tgt ()] tries to certify src ⊒ tgt (advanced notion)
+    by abstract interpretation.  [fuel] bounds the non-consuming
+    reorder/hoist steps.  [None] means only that this fast path does not
+    apply — never that the refinement fails. *)
+val attempt : ?fuel:int -> src:Stmt.t -> tgt:Stmt.t -> unit -> cert option
+
+val rule_name : rule -> string
+val pp_rule : Format.formatter -> rule -> unit
+val pp : Format.formatter -> cert -> unit

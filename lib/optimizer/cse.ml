@@ -1,0 +1,69 @@
+(** Common-subexpression elimination over value numbers.
+
+    Rewrites [r := e] (for a non-trivial pure expression [e]) to
+    [r := s] whenever some register [s] provably holds [e]'s value — the
+    {!Analysis.Vn} must-facts.  Expressions range over registers only,
+    so the rewrite is a pure register-level equivalence: no memory event
+    changes, which is what makes CSE one of the {e bidirectional}
+    clean-up passes ({!Certabs} exploits this).  Value numbers still
+    thread through non-atomic loads and stores, so an expression
+    computed from a loaded value stays available exactly as long as the
+    mode-aware kill rules allow (acquire events kill location bindings;
+    relaxed/release accesses do not). *)
+
+open Lang
+
+module Vn = Analysis.Vn
+
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed; input coordinates *)
+}
+
+(* Only non-trivial pure computations are worth a copy: an operator
+   application whose operands are all numbered. *)
+let nontrivial = function
+  | Expr.Binop _ | Expr.Unop _ -> true
+  | Expr.Const _ | Expr.Reg _ -> false
+
+let rec go (c : Vn.ctx) (stats : stats) (path : Analysis.Path.t)
+    (st : Vn.state) (s : Stmt.t) : Stmt.t * Vn.state =
+  match s with
+  | Stmt.Assign (r, e) when nontrivial e ->
+    (match Vn.eval c st e with
+     | Some n ->
+       let hs = Reg.Set.remove r (Vn.holders st n) in
+       (match Reg.Set.min_elt_opt hs with
+        | Some s_reg ->
+          stats.rewrites <- stats.rewrites + 1;
+          stats.sites <- path :: stats.sites;
+          let st = Vn.transfer c st (Stmt.Assign (r, Expr.Reg s_reg)) in
+          (Stmt.Assign (r, Expr.Reg s_reg), st)
+        | None -> (s, Vn.transfer c st s))
+     | None -> (s, Vn.transfer c st s))
+  | Stmt.Seq (a, b) ->
+    let a', st = go c stats (Analysis.Path.child path Analysis.Path.Fst) st a in
+    let b', st = go c stats (Analysis.Path.child path Analysis.Path.Snd) st b in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let a', sa = go c stats (Analysis.Path.child path Analysis.Path.Then) st a in
+    let b', sb = go c stats (Analysis.Path.child path Analysis.Path.Else) st b in
+    (Stmt.If (e, a', b'), Vn.join sa sb)
+  | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
+    let probe h =
+      let throwaway = { rewrites = 0; max_loop_iters = 0; sites = [] } in
+      snd (go c throwaway bpath h body)
+    in
+    let head, iters = Vn.loop_fix probe st in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go c stats bpath head body in
+    (Stmt.While (e, body'), head)
+  | leaf -> (leaf, Vn.transfer c st leaf)
+
+(** Run the CSE pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go (Vn.create ()) stats Analysis.Path.root Vn.empty s in
+  (s', stats.rewrites, stats.max_loop_iters, List.rev stats.sites)

@@ -1,0 +1,14 @@
+(** Common-subexpression elimination over {!Analysis.Vn} value numbers.
+
+    [r := e] becomes [r := s] when register [s] provably holds [e]'s
+    value.  Pure register-level: no memory event changes, so the rewrite
+    is an {e equivalence} (sound in both directions) — which {!Certabs}
+    exploits when normalizing candidate targets.  Availability of values
+    computed from loads is bounded by the VN kill rules: acquire events
+    clear location bindings, relaxed and release accesses do not. *)
+
+open Lang
+
+(** [run s] = (rewritten, rewrites, max loop fixpoint iterations,
+    rewrite sites in input coordinates). *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

@@ -3,12 +3,14 @@
 
 open Lang
 
-type pass = CP | SLF | LLF | DSE | LICM | DAE
+type pass = CP | SLF | LLF | RLE | CSE | DSE | LICM | DAE
 
 (* The paper's four passes, bracketed by the sequential clean-up passes:
    constant propagation feeds SLF (its Fig 3 domain forwards constants),
-   dead-assignment elimination sweeps up the copies LLF leaves behind. *)
-let all_passes = [ CP; SLF; LLF; DSE; LICM; DAE ]
+   the value-numbering passes (RLE, CSE) catch the copy-chained
+   redundancies the set-based forwardings miss, dead-assignment
+   elimination sweeps up the copies the forwarding passes leave behind. *)
+let all_passes = [ CP; SLF; LLF; RLE; CSE; DSE; LICM; DAE ]
 
 let paper_passes = [ SLF; LLF; DSE; LICM ]
 
@@ -16,6 +18,8 @@ let pass_name = function
   | CP -> "constant propagation"
   | SLF -> "store-to-load forwarding"
   | LLF -> "load-to-load forwarding"
+  | RLE -> "redundant load elimination"
+  | CSE -> "common subexpression elimination"
   | DSE -> "dead store elimination"
   | LICM -> "loop invariant code motion"
   | DAE -> "dead assignment elimination"
@@ -24,6 +28,8 @@ let pass_of_string = function
   | "cp" -> Some CP
   | "slf" -> Some SLF
   | "llf" -> Some LLF
+  | "rle" -> Some RLE
+  | "cse" -> Some CSE
   | "dse" -> Some DSE
   | "licm" -> Some LICM
   | "dae" -> Some DAE
@@ -35,6 +41,8 @@ let run_pass (p : pass) (s : Stmt.t) :
   | CP -> Cp.run s
   | SLF -> Slf.run s
   | LLF -> Llf.run s
+  | RLE -> Rle.run s
+  | CSE -> Cse.run s
   | DSE -> Dse.run s
   | LICM -> Licm.run s
   | DAE -> Dae.run s

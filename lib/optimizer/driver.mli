@@ -3,10 +3,11 @@
 
 open Lang
 
-type pass = CP | SLF | LLF | DSE | LICM | DAE
+type pass = CP | SLF | LLF | RLE | CSE | DSE | LICM | DAE
 
-(** CP; SLF; LLF; DSE; LICM; DAE — the paper's four passes bracketed by
-    the sequential clean-up extensions. *)
+(** CP; SLF; LLF; RLE; CSE; DSE; LICM; DAE — the paper's four passes
+    bracketed by the sequential clean-up extensions and the
+    value-numbering passes. *)
 val all_passes : pass list
 
 (** The paper's §4 pipeline only. *)

@@ -8,6 +8,8 @@ type rule =
   | Racy_read
   | Racy_write
   | Mixed_access
+  | Unordered_race
+  | Drf_guarded
   | Store_intro
   | Dead_store
   | Redundant_load
@@ -17,26 +19,30 @@ let rule_name = function
   | Racy_read -> "racy-read"
   | Racy_write -> "racy-write"
   | Mixed_access -> "mixed-access"
+  | Unordered_race -> "unordered-race"
+  | Drf_guarded -> "drf-guarded"
   | Store_intro -> "store-intro"
   | Dead_store -> "dead-store"
   | Redundant_load -> "redundant-load"
   | Dead_assign -> "dead-assign"
 
 let severity_of_rule = function
-  | Racy_write | Mixed_access -> Error
+  | Racy_write | Mixed_access | Unordered_race -> Error
   | Racy_read -> Warning
-  | Store_intro | Dead_store | Redundant_load | Dead_assign -> Hint
+  | Drf_guarded | Store_intro | Dead_store | Redundant_load | Dead_assign ->
+    Hint
 
 type diag = {
   rule : rule;
   sev : severity;
   thread : int;
   path : Analysis.Path.t;
+  loc : Loc.t option;
   message : string;
 }
 
-let mk rule thread path message =
-  { rule; sev = severity_of_rule rule; thread; path; message }
+let mk ?loc rule thread path message =
+  { rule; sev = severity_of_rule rule; thread; path; loc; message }
 
 (* racy-read / racy-write / store-intro, per thread, from the permission
    must-analysis. *)
@@ -47,13 +53,13 @@ let perm_diags thread (s : Stmt.t) : diag list =
       (fun (a : Analysis.Perm.access) ->
         match a.kind with
         | `Read ->
-          mk Racy_read thread a.path
+          mk ~loc:a.loc Racy_read thread a.path
             (Fmt.str
                "non-atomic read of %s may be racy: not provably permitted \
                 here, an adversarial environment makes it return undef"
                (Loc.name a.loc))
         | `Write ->
-          mk Racy_write thread a.path
+          mk ~loc:a.loc Racy_write thread a.path
             (Fmt.str
                "non-atomic write to %s may be racy: not provably permitted \
                 here, a race makes it undefined behavior"
@@ -63,7 +69,7 @@ let perm_diags thread (s : Stmt.t) : diag list =
   let intro =
     List.map
       (fun (path, x) ->
-        mk Store_intro thread path
+        mk ~loc:x Store_intro thread path
           (Fmt.str
              "%s is not provably in the written-set here: introducing a \
               store of %s ahead of this point would be unsound"
@@ -99,6 +105,144 @@ let hint_diags thread (s : Stmt.t) : diag list =
   @ hint Dead_assign Driver.DAE "%s would remove this dead instruction"
       (sites_of Driver.DAE)
 
+(* --- Closed-world refinement of the race rules ---------------------
+
+   The per-thread permission rules are open-world: they assume an
+   adversarial environment, so every unprotected non-atomic access warns.
+   Given the {e full} thread set, the static DRF certifier
+   ({!Analysis.Drf}) either proves all cross-thread conflicting pairs
+   ordered — downgrading those warnings to hints citing the protocol —
+   or exposes pairs that no release/acquire edge could possibly order —
+   upgrading the racy reads to precise errors. *)
+
+let rec has_sync = function
+  | Stmt.Load (_, Mode.Racq, _)
+  | Stmt.Store (Mode.Wrel, _, _)
+  | Stmt.Cas _ | Stmt.Fadd _ | Stmt.Fence _ ->
+    true
+  | Stmt.Seq (a, b) | Stmt.If (_, a, b) -> has_sync a || has_sync b
+  | Stmt.While (_, b) -> has_sync b
+  | _ -> false
+
+let unconditional (p : Analysis.Path.t) =
+  List.for_all
+    (function Analysis.Path.Fst | Analysis.Path.Snd -> true | _ -> false)
+    p
+
+let drf_adjust (threads : Stmt.t list) (diags : diag list) : diag list =
+  if List.length threads < 2 then diags
+  else
+    match Analysis.Drf.certify threads with
+    | Analysis.Drf.Race_free evs ->
+      let protocol_for x =
+        List.find_map
+          (function
+            | Analysis.Drf.Owner_protocol p
+              when Loc.equal p.Analysis.Drf.ploc x ->
+              Some p
+            | _ -> None)
+          evs
+      in
+      List.map
+        (fun d ->
+          match (d.rule, d.loc) with
+          | (Racy_read | Racy_write), Some x ->
+            let evidence =
+              match protocol_for x with
+              | Some p ->
+                if d.thread = p.Analysis.Drf.owner then
+                  Fmt.str
+                    "every access of %s by this owner thread happens before \
+                     the release publish of %s at %s"
+                    (Loc.name x)
+                    (Loc.name p.Analysis.Drf.flag)
+                    (Analysis.Path.to_string p.Analysis.Drf.publish)
+                else (
+                  match List.assoc_opt d.thread p.Analysis.Drf.guards with
+                  | Some g ->
+                    Fmt.str
+                      "access of %s is ordered after thread %d's release \
+                       publish of %s (at %s) by the acquire-guarded branch \
+                       at %s"
+                      (Loc.name x) p.Analysis.Drf.owner
+                      (Loc.name p.Analysis.Drf.flag)
+                      (Analysis.Path.to_string p.Analysis.Drf.publish)
+                      (Analysis.Path.to_string g)
+                  | None ->
+                    Fmt.str "access of %s is owner-protocol ordered"
+                      (Loc.name x))
+              | None ->
+                Fmt.str
+                  "no other thread of this closed program conflicts on %s"
+                  (Loc.name x)
+            in
+            {
+              d with
+              rule = Drf_guarded;
+              sev = severity_of_rule Drf_guarded;
+              message = Fmt.str "statically race-free: %s" evidence;
+            }
+          | _ -> d)
+        diags
+    | Analysis.Drf.Unproven pairs ->
+      let arr = Array.of_list threads in
+      let unorderable (pr : Analysis.Drf.pair) =
+        ((not (has_sync arr.(pr.Analysis.Drf.a.Analysis.Drf.thread)))
+        || not (has_sync arr.(pr.Analysis.Drf.b.Analysis.Drf.thread)))
+        && unconditional pr.Analysis.Drf.a.Analysis.Drf.path
+        && unconditional pr.Analysis.Drf.b.Analysis.Drf.path
+      in
+      let sides =
+        List.concat_map
+          (fun (pr : Analysis.Drf.pair) ->
+            if unorderable pr then
+              [
+                (pr.Analysis.Drf.a, pr.Analysis.Drf.b);
+                (pr.Analysis.Drf.b, pr.Analysis.Drf.a);
+              ]
+            else [])
+          pairs
+      in
+      let desync t = if has_sync arr.(t) then None else Some t in
+      List.map
+        (fun d ->
+          if d.rule <> Racy_read then d
+          else
+            match
+              List.find_opt
+                (fun ((acc : Analysis.Drf.access), _) ->
+                  acc.Analysis.Drf.thread = d.thread
+                  && Analysis.Path.equal acc.Analysis.Drf.path d.path)
+                sides
+            with
+            | Some (acc, (other : Analysis.Drf.access)) ->
+              let culprit =
+                match
+                  ( desync acc.Analysis.Drf.thread,
+                    desync other.Analysis.Drf.thread )
+                with
+                | Some t, _ | None, Some t -> t
+                | None, None -> other.Analysis.Drf.thread
+              in
+              {
+                d with
+                rule = Unordered_race;
+                sev = severity_of_rule Unordered_race;
+                message =
+                  Fmt.str
+                    "non-atomic read of %s races: it conflicts with thread \
+                     %d's %s of %s at %s and no release/acquire edge can \
+                     order them (thread %d performs no synchronization)"
+                    (Loc.name acc.Analysis.Drf.loc)
+                    other.Analysis.Drf.thread
+                    (if other.Analysis.Drf.write then "write" else "read")
+                    (Loc.name other.Analysis.Drf.loc)
+                    (Analysis.Path.to_string other.Analysis.Drf.path)
+                    culprit;
+              }
+            | None -> d)
+        diags
+
 let lint ?(hints = true) (threads : Stmt.t list) : diag list =
   let per_thread =
     List.concat
@@ -107,7 +251,7 @@ let lint ?(hints = true) (threads : Stmt.t list) : diag list =
            perm_diags i s @ if hints then hint_diags i s else [])
          threads)
   in
-  let diags = mixed_diags threads @ per_thread in
+  let diags = drf_adjust threads (mixed_diags threads @ per_thread) in
   (* deterministic order: thread, then path, then rule *)
   List.stable_sort
     (fun a b ->

@@ -12,6 +12,15 @@
       non-atomically, in one thread or across threads — SEQ's
       well-formedness precondition is violated; within a single thread
       {!Seq_model.Config} would also raise [Mixed_access] at run time;
+    - [unordered-race] (error): a [racy-read] made precise by the static
+      DRF certifier on the {e closed} thread set — the conflicting pair
+      is unconditional and one of the threads performs no
+      release/acquire-class event at all, so no execution can order the
+      two accesses: the read {e will} be able to return [undef];
+    - [drf-guarded] (hint): a would-be [racy-read]/[racy-write]
+      downgraded because {!Analysis.Drf.certify} proved the closed
+      thread set race-free; the message cites the ownership-protocol
+      evidence (owner, flag, publish and guard paths);
     - [store-intro] (hint): a non-atomic store at a point where x is not
       provably in the written-set F — an optimizer must not {e introduce}
       a store of x ahead of this point (F-validity, §3);
@@ -39,6 +48,8 @@ type rule =
   | Racy_read
   | Racy_write
   | Mixed_access
+  | Unordered_race
+  | Drf_guarded
   | Store_intro
   | Dead_store
   | Redundant_load
@@ -52,12 +63,16 @@ type diag = {
   sev : severity;
   thread : int;  (** index into the linted thread list *)
   path : Analysis.Path.t;
+  loc : Loc.t option;  (** the accessed location, for the access rules *)
   message : string;
 }
 
 (** Lint a thread list (a single program is [ [s] ]).  [hints] (default
     [true]) controls the optimizer-pass hint rules; the race/UB/mixing
-    rules always run. *)
+    rules always run.  With two or more threads the static DRF certifier
+    refines the open-world race rules over the closed thread set —
+    downgrading to [drf-guarded] on a [Race_free] verdict, upgrading
+    provably unorderable racy reads to [unordered-race]. *)
 val lint : ?hints:bool -> Stmt.t list -> diag list
 
 (** [has_errors diags]: some diagnostic has severity [Error]. *)

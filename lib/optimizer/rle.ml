@@ -1,0 +1,52 @@
+(** Redundant-load elimination across atomics (see rle.mli). *)
+
+open Lang
+
+module Vn = Analysis.Vn
+
+type stats = {
+  mutable rewrites : int;
+  mutable max_loop_iters : int;
+  mutable sites : Analysis.Path.t list;  (* reversed; input coordinates *)
+}
+
+let rec go (c : Vn.ctx) (stats : stats) (path : Analysis.Path.t)
+    (st : Vn.state) (s : Stmt.t) : Stmt.t * Vn.state =
+  match s with
+  | Stmt.Load (r, Mode.Rna, x) ->
+    (match Vn.mem_vn st x with
+     | Some n ->
+       let hs = Reg.Set.remove r (Vn.holders st n) in
+       (match Reg.Set.min_elt_opt hs with
+        | Some b ->
+          stats.rewrites <- stats.rewrites + 1;
+          stats.sites <- path :: stats.sites;
+          let st = Vn.transfer c st (Stmt.Assign (r, Expr.Reg b)) in
+          (Stmt.Assign (r, Expr.Reg b), st)
+        | None -> (s, Vn.transfer c st s))
+     | None -> (s, Vn.transfer c st s))
+  | Stmt.Seq (a, b) ->
+    let a', st = go c stats (Analysis.Path.child path Analysis.Path.Fst) st a in
+    let b', st = go c stats (Analysis.Path.child path Analysis.Path.Snd) st b in
+    (Stmt.seq a' b', st)
+  | Stmt.If (e, a, b) ->
+    let a', sa = go c stats (Analysis.Path.child path Analysis.Path.Then) st a in
+    let b', sb = go c stats (Analysis.Path.child path Analysis.Path.Else) st b in
+    (Stmt.If (e, a', b'), Vn.join sa sb)
+  | Stmt.While (e, body) ->
+    let bpath = Analysis.Path.child path Analysis.Path.Body in
+    let probe h =
+      let throwaway = { rewrites = 0; max_loop_iters = 0; sites = [] } in
+      snd (go c throwaway bpath h body)
+    in
+    let head, iters = Vn.loop_fix probe st in
+    stats.max_loop_iters <- max stats.max_loop_iters iters;
+    let body', _ = go c stats bpath head body in
+    (Stmt.While (e, body'), head)
+  | leaf -> (leaf, Vn.transfer c st leaf)
+
+(** Run the RLE pass. *)
+let run (s : Stmt.t) : Stmt.t * int * int * Analysis.Path.t list =
+  let stats = { rewrites = 0; max_loop_iters = 1; sites = [] } in
+  let s', _ = go (Vn.create ()) stats Analysis.Path.root Vn.empty s in
+  (s', stats.rewrites, stats.max_loop_iters, List.rev stats.sites)

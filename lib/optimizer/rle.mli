@@ -1,0 +1,20 @@
+(** Redundant-load elimination across atomics.
+
+    Value-numbering generalization of SLF/LLF (App D, Fig 8): a
+    non-atomic load [r := x.load(na)] becomes [r := b] whenever register
+    [b] provably holds [x]'s current memory value — including through
+    copy chains and stored expressions the set-based forwarding passes
+    cannot track (e.g. [a := x.load(na); c := a; a := ...; b :=
+    x.load(na)] forwards from [c]).  "Across atomics": the fact survives
+    relaxed loads and stores, release stores and release fences — it is
+    killed only by acquire events and same-location clobbers, per the
+    {!Analysis.Vn} kill rules (Ex 2.11: only a release-{e acquire} pair
+    blocks forwarding).  Atomic loads are never eliminated: every one is
+    a labeled environment choice ({!Seq_model.Config}), so each relaxed
+    or acquire read gets a fresh value number by construction. *)
+
+open Lang
+
+(** [run s] = (rewritten, rewrites, max loop fixpoint iterations,
+    rewrite sites in input coordinates). *)
+val run : Stmt.t -> Stmt.t * int * int * Analysis.Path.t list

@@ -16,10 +16,14 @@
 
 open Lang
 
-type proof = Static of Certify.cert | Enumerated
+type proof =
+  | Static of Certify.cert
+  | Static_abs of Certabs.cert
+  | Enumerated
 
 let provenance = function
   | Static _ -> Engine.Verdict.Static
+  | Static_abs _ -> Engine.Verdict.Static_abs
   | Enumerated -> Engine.Verdict.Enumerated
 
 type verdict = {
@@ -43,10 +47,16 @@ let validate ?(values = Domain.default_values) ?(fast_path = true) ?passes
   let cert =
     if fast_path then Certify.attempt ?passes ~src ~tgt () else None
   in
-  let valid, proof =
+  let abs_cert =
     match cert with
-    | Some c -> (true, Static c)
-    | None -> (Seq_model.Advanced.check ~budget d ~src ~tgt, Enumerated)
+    | Some _ -> None
+    | None -> if fast_path then Certabs.attempt ~src ~tgt () else None
+  in
+  let valid, proof =
+    match (cert, abs_cert) with
+    | Some c, _ -> (true, Static c)
+    | None, Some c -> (true, Static_abs c)
+    | None, None -> (Seq_model.Advanced.check ~budget d ~src ~tgt, Enumerated)
   in
   let simple = valid && Seq_model.Refine.check ~budget d ~src ~tgt in
   { valid; simple; domain = d; proof }

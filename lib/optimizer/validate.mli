@@ -15,11 +15,18 @@
 open Lang
 
 (** How [valid] was established: [Static cert] — the pass-replay
-    certificate proved it with no enumeration; [Enumerated] — the Fig 6
-    simulation ran.  The certificate cites the pass names and rewrite
-    sites involved, in the same {!Analysis.Path} coordinates the linter
-    uses. *)
-type proof = Static of Certify.cert | Enumerated
+    certificate proved it with no enumeration; [Static_abs cert] — the
+    abstract-interpretation certifier ({!Certabs}) proved it from
+    dataflow facts when no pipeline replay reached the target;
+    [Enumerated] — the Fig 6 simulation ran.  A replay certificate cites
+    the pass names and rewrite sites involved, in the same
+    {!Analysis.Path} coordinates the linter uses; an abstract
+    certificate cites the local rewrite rules that bridge source and
+    target. *)
+type proof =
+  | Static of Certify.cert
+  | Static_abs of Certabs.cert
+  | Enumerated
 
 (** Collapse a proof to the engine's provenance label. *)
 val provenance : proof -> Engine.Verdict.provenance

@@ -1,6 +1,6 @@
 (** Two-tier content-addressed result cache (see .mli). *)
 
-let format_version = 1
+let format_version = 2
 
 let entry_magic = "SEQC"
 

@@ -50,6 +50,7 @@ let of_validate (v : Optimizer.Validate.verdict) =
   let origin : Proto.origin =
     match v.Optimizer.Validate.proof with
     | Optimizer.Validate.Static _ -> Proto.Static
+    | Optimizer.Validate.Static_abs _ -> Proto.Static_abs
     | Optimizer.Validate.Enumerated -> Proto.Enumerated
   in
   (verdict, origin)
@@ -148,6 +149,8 @@ let serve_check t (c : Proto.check) (b : Proto.budget) : Proto.check_result =
             let verdict, origin = of_validate v in
             (match origin with
              | Proto.Static -> Engine.Metrics.incr t.metrics "origin.static"
+             | Proto.Static_abs ->
+               Engine.Metrics.incr t.metrics "origin.static_abs"
              | Proto.Enumerated ->
                Engine.Metrics.incr t.metrics "origin.enumerated");
             Proto.Checked
@@ -250,6 +253,8 @@ let serve_optimize t ~prog ~values ~fast_path (b : Proto.budget) :
           let verdict, origin = of_validate v in
           (match origin with
            | Proto.Static -> Engine.Metrics.incr t.metrics "origin.static"
+           | Proto.Static_abs ->
+             Engine.Metrics.incr t.metrics "origin.static_abs"
            | Proto.Enumerated ->
              Engine.Metrics.incr t.metrics "origin.enumerated");
           Proto.Optimized

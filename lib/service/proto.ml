@@ -1,6 +1,6 @@
 (** seqd wire protocol: framing and tagged binary codec (see .mli). *)
 
-let version = 1
+let version = 2
 let magic = "SEQD"
 let max_frame = 16 * 1024 * 1024
 
@@ -142,10 +142,11 @@ let tier_to_string = function
   | Mem -> "mem"
   | Disk -> "disk"
 
-type origin = Static | Enumerated
+type origin = Static | Static_abs | Enumerated
 
 let origin_to_string = function
   | Static -> "static"
+  | Static_abs -> "static-abs"
   | Enumerated -> "enumerated"
 
 type verdict =
@@ -325,12 +326,16 @@ let r_tier r =
   | 2 -> Disk
   | n -> fail "unknown tier tag %d" n
 
-let w_origin buf = function Static -> w_u8 buf 0 | Enumerated -> w_u8 buf 1
+let w_origin buf = function
+  | Static -> w_u8 buf 0
+  | Enumerated -> w_u8 buf 1
+  | Static_abs -> w_u8 buf 2
 
 let r_origin r =
   match r_u8 r with
   | 0 -> Static
   | 1 -> Enumerated
+  | 2 -> Static_abs
   | n -> fail "unknown origin tag %d" n
 
 let w_verdict buf = function

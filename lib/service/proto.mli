@@ -66,8 +66,10 @@ type tier = Computed | Mem | Disk
 val tier_to_string : tier -> string
 
 (** How a definite verdict was originally established (mirrors
-    {!Engine.Verdict.provenance}); preserved across cache tiers. *)
-type origin = Static | Enumerated
+    {!Engine.Verdict.provenance}); preserved across cache tiers.
+    [Static_abs] is the abstract-interpretation certifier — wire tag 2,
+    introduced with protocol version 2. *)
+type origin = Static | Static_abs | Enumerated
 
 val origin_to_string : origin -> string
 

@@ -357,6 +357,8 @@ let test_validate_provenance () =
   let _, v = Optimizer.Validate.certified_optimize ~values:values2 s in
   (match v.Optimizer.Validate.proof with
    | Optimizer.Validate.Static _ -> ()
+   | Optimizer.Validate.Static_abs _ ->
+     Alcotest.fail "pipeline images take the replay route, not the abstract one"
    | Optimizer.Validate.Enumerated -> Alcotest.fail "expected the static route");
   Alcotest.(check bool) "valid" true v.Optimizer.Validate.valid;
   (* with the fast path off, same verdict through enumeration *)
@@ -365,11 +367,142 @@ let test_validate_provenance () =
   in
   (match v'.Optimizer.Validate.proof with
    | Optimizer.Validate.Enumerated -> ()
-   | Optimizer.Validate.Static _ -> Alcotest.fail "fast path was disabled");
+   | Optimizer.Validate.Static _ | Optimizer.Validate.Static_abs _ ->
+     Alcotest.fail "fast path was disabled");
   Alcotest.(check bool) "same valid" v.Optimizer.Validate.valid
     v'.Optimizer.Validate.valid;
   Alcotest.(check bool) "same simple" v.Optimizer.Validate.simple
     v'.Optimizer.Validate.simple
+
+
+(* ------------------------------------------------------------------ *)
+(* seqabs: value numbering, available accesses, static DRF              *)
+(* ------------------------------------------------------------------ *)
+
+(* Degenerate nested loops: the fixpoint terminates with no widening
+   bound (the must-state chain shrinks pointwise), and only
+   iteration-independent bindings survive the join. *)
+let test_vn_nested_loops () =
+  let s =
+    parse
+      "a = 1; b = a + 1; c = 0; \
+       while (d < 2) { while (e < 2) { e = e + 1; c = c + 1 }; d = d + 1 }; \
+       return b + c"
+  in
+  let facts = Analysis.Vn.analyze s in
+  let ret_state =
+    match
+      List.find_map
+        (fun (p, st) ->
+          match Analysis.Path.find s p with
+          | Some (Stmt.Return _) -> Some st
+          | _ -> None)
+        (Analysis.Path.Map.bindings facts)
+    with
+    | Some st -> st
+    | None -> Alcotest.fail "no before-fact recorded at the return"
+  in
+  let bound r = Analysis.Vn.reg_vn ret_state (Reg.make r) <> None in
+  Alcotest.(check bool) "loop-independent a survives" true (bound "a");
+  Alcotest.(check bool) "loop-independent b survives" true (bound "b");
+  Alcotest.(check bool) "iteration-dependent c is dropped" false (bound "c");
+  Alcotest.(check bool) "loop counter d is dropped" false (bound "d");
+  Alcotest.(check bool) "inner counter e is dropped" false (bound "e")
+
+(* loop_fix directly on degenerate bodies: identity stabilizes
+   immediately; a body rebinding a register to a fresh number every
+   probe converges by dropping the binding. *)
+let test_vn_loop_fix_degenerate () =
+  let ctx = Analysis.Vn.create () in
+  let a = Reg.make "a" in
+  let st0 =
+    Analysis.Vn.transfer ctx Analysis.Vn.empty
+      (Stmt.Assign (a, Expr.int 1))
+  in
+  let _, iters = Analysis.Vn.loop_fix (fun st -> st) st0 in
+  Alcotest.(check bool) "identity body stabilizes immediately" true
+    (iters <= 2);
+  let step st =
+    { st with Analysis.Vn.regs = Reg.Map.add a (Analysis.Vn.fresh ctx)
+                                   st.Analysis.Vn.regs }
+  in
+  let stf, iters' = Analysis.Vn.loop_fix step st0 in
+  Alcotest.(check bool) "fresh-per-probe binding is dropped" true
+    (Analysis.Vn.reg_vn stf a = None);
+  Alcotest.(check bool) "convergence within the binding count" true
+    (iters' <= 3)
+
+let test_avail_findings () =
+  let s =
+    parse
+      "X.store(na, 1); a = X.load(na); b = X.load(na); X.store(na, b); \
+       return b"
+  in
+  let fs = Analysis.Avail.analyze s in
+  let kinds =
+    List.sort_uniq compare
+      (List.map
+         (fun f -> (Analysis.Avail.kind_name f.Analysis.Avail.kind,
+                    f.Analysis.Avail.permitted))
+         fs)
+  in
+  Alcotest.(check bool) "the second load is redundant (permitted)" true
+    (List.mem ("redundant-load", true) kinds);
+  Alcotest.(check bool) "the write-back store is a noop (permitted)" true
+    (List.mem ("noop-store", true) kinds)
+
+(* Static DRF vs the promising-machine reference: every Race_free
+   verdict must be confirmed by the promise-free race check, and the
+   ownership-protocol needle (MP-rel-acq) must actually be certified. *)
+let test_drf_catalog_agreement () =
+  let verdicts =
+    List.map
+      (fun (c : Litmus.Catalog.concurrent) ->
+        let threads = Parser.threads_of_string c.Litmus.Catalog.threads in
+        (c.Litmus.Catalog.cname, threads, Analysis.Drf.certify threads))
+      Litmus.Catalog.concurrent_programs
+  in
+  let race_free =
+    List.filter_map
+      (fun (nm, threads, v) ->
+        match v with
+        | Analysis.Drf.Race_free _ -> Some (nm, threads)
+        | Analysis.Drf.Unproven _ -> None)
+      verdicts
+  in
+  Alcotest.(check bool) "MP-rel-acq certified race-free" true
+    (List.mem_assoc "MP-rel-acq" race_free);
+  Alcotest.(check bool) "WW-race stays unproven" true
+    (List.for_all (fun (nm, _) -> nm <> "WW-race") race_free);
+  List.iter
+    (fun (nm, threads) ->
+      let r = Baselines.Drf.check threads in
+      Alcotest.(check bool)
+        (nm ^ ": promise-free reference confirms race-freedom") true
+        r.Baselines.Drf.pf_race_free)
+    race_free
+
+(* Certabs on the catalog: never certifies an advanced-unsound pair, and
+   covers strictly more of it than pipeline replay (the E14 uplift). *)
+let test_certabs_corpus () =
+  let replay = ref 0 and union = ref 0 in
+  List.iter
+    (fun (t : Litmus.Catalog.transformation) ->
+      let src = Parser.stmt_of_string t.Litmus.Catalog.src in
+      let tgt = Parser.stmt_of_string t.Litmus.Catalog.tgt in
+      let c = Optimizer.Certify.attempt ~src ~tgt () in
+      let a = Optimizer.Certabs.attempt ~src ~tgt () in
+      if c <> None then incr replay;
+      if c <> None || a <> None then incr union;
+      if a <> None then
+        Alcotest.(check string)
+          (t.Litmus.Catalog.name ^ ": abstract certificates are sound")
+          "sound"
+          (Litmus.Catalog.verdict_to_string t.Litmus.Catalog.advanced))
+    Litmus.Catalog.transformations;
+  Alcotest.(check bool)
+    "abstract tier certifies strictly more than pipeline replay" true
+    (!union > !replay)
 
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                    *)
@@ -500,12 +633,60 @@ let sites_always_resolve =
           List.for_all (fun p -> Analysis.Path.find s p <> None) sites)
         Optimizer.Driver.all_passes)
 
+
+(* Static_abs soundness: whenever the abstract certifier accepts a
+   random pair, enumeration confirms the advanced refinement. *)
+let certabs_soundness =
+  QCheck.Test.make
+    ~name:"an abstract certificate is never refuted by enumeration"
+    ~count:40
+    (QCheck.pair
+       (stmt_arbitrary small_cfg ~size:4)
+       (stmt_arbitrary small_cfg ~size:4))
+    (fun (src, tgt) ->
+      match Optimizer.Certabs.attempt ~src ~tgt () with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+        let d = Domain.of_stmts ~values:values2 [ src; tgt ] in
+        Seq_model.Advanced.check d ~src ~tgt)
+
+(* Analysis facts are invariant under Stmt.normalize: paths move, but
+   the observable facts (racy accesses, availability findings, lint
+   rules with their severities and locations) must not. *)
+let facts_normalize_invariant =
+  let avail_sig s =
+    List.sort compare
+      (List.map
+         (fun f ->
+           (f.Analysis.Avail.loc, f.Analysis.Avail.kind,
+            f.Analysis.Avail.permitted))
+         (Analysis.Avail.analyze s))
+  in
+  let lint_sig s =
+    List.sort compare
+      (List.map
+         (fun d ->
+           (d.Optimizer.Lint.rule, d.Optimizer.Lint.sev, d.Optimizer.Lint.loc))
+         (Optimizer.Lint.lint [ s ]))
+  in
+  QCheck.Test.make ~name:"analysis facts are invariant under normalize"
+    ~count:40
+    (stmt_arbitrary small_cfg ~size:5)
+    (fun s ->
+      let n = Stmt.normalize s in
+      List.sort_uniq compare (racy_pairs s)
+      = List.sort_uniq compare (racy_pairs n)
+      && avail_sig s = avail_sig n
+      && lint_sig s = lint_sig n)
+
 let qcheck_tests =
   List.map (QCheck_alcotest.to_alcotest ~long:false)
     [
       lint_soundness;
       certify_pipeline_images;
       certify_soundness;
+      certabs_soundness;
+      facts_normalize_invariant;
       validate_route_independent;
       sites_always_resolve;
     ]
@@ -541,5 +722,15 @@ let suite =
       test_certify_refuses_mixed;
     Alcotest.test_case "validate: provenance and route equivalence" `Quick
       test_validate_provenance;
+    Alcotest.test_case "vn: nested-loop fixpoint keeps only invariants"
+      `Quick test_vn_nested_loops;
+    Alcotest.test_case "vn: loop_fix on degenerate bodies" `Quick
+      test_vn_loop_fix_degenerate;
+    Alcotest.test_case "avail: redundant load and noop store cited" `Quick
+      test_avail_findings;
+    Alcotest.test_case "drf: static certifier agrees with the reference"
+      `Quick test_drf_catalog_agreement;
+    Alcotest.test_case "certabs: corpus coverage is sound and uplifting"
+      `Quick test_certabs_corpus;
   ]
   @ qcheck_tests

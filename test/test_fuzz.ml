@@ -263,6 +263,26 @@ let test_planted_licm () =
   sound_on Fuzz.Planted.Licm_acq
     "i = 0; while i < 2 { a = X.load(na); i = i + 1 }; return a"
 
+let test_planted_cse () =
+  (* acquire–acquire: the second load is an environment-choice event and
+     never a common subexpression *)
+  refuted Fuzz.Planted.Cse_acq
+    "a = Y.load(acq); b = Y.load(acq); return b";
+  (* pure-expression CSE territory: the variant leaves na loads alone *)
+  sound_on Fuzz.Planted.Cse_acq
+    "a = X.load(na); b = X.load(na); return b"
+
+let test_planted_rle () =
+  (* store–release–acquire–load (Ex 2.12): the environment may take X at
+     the release, change it, and hand it back at the acquire *)
+  refuted Fuzz.Planted.Rle_rel
+    "X.store(na, 1); Y.store(rel, 1); a = Y.load(acq); b = X.load(na); \
+     return b";
+  (* across a lone acquire the forwarding is sound (slf-across-acq-read):
+     without a release the environment never gains X *)
+  sound_on Fuzz.Planted.Rle_rel
+    "X.store(na, 1); a = Y.load(acq); b = X.load(na); return b"
+
 (* ------------------------------------------------------------------ *)
 (* 6. The real passes are never flagged: pass-correct returns no finding
    on random programs (each pass's output refines its input). *)
@@ -350,6 +370,8 @@ let suite =
       Alcotest.test_case "planted DSE ground truth" `Quick test_planted_dse;
       Alcotest.test_case "planted LLF ground truth" `Quick test_planted_llf;
       Alcotest.test_case "planted LICM ground truth" `Quick test_planted_licm;
+      Alcotest.test_case "planted CSE ground truth" `Quick test_planted_cse;
+      Alcotest.test_case "planted RLE ground truth" `Quick test_planted_rle;
       Alcotest.test_case "campaign is jobs-deterministic" `Quick
         test_campaign_jobs_deterministic;
       Alcotest.test_case "campaign refutes every planted variant" `Slow

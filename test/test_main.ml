@@ -19,4 +19,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("service", Test_service.suite);
       ("fuzz", Test_fuzz.suite);
+      ("cli", Test_cli.suite);
     ]
