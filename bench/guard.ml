@@ -28,6 +28,17 @@
    function of the corpus and the certifiers, so any drop is a code
    regression, not noise.
 
+   E15 (backend grid, gated on the baseline having an E15 table): on
+   every row of the current record's differential grid the inclusion
+   chain SC ⊆ TSO ⊆ ARMv8 must have held ([chain_ok]), and the SB-rlx
+   row must separate TSO from SC — the weak outcome allowed under TSO,
+   forbidden under SC.  Both are categorical properties of the machines,
+   so any violation is a code regression.
+
+   Records whose schema version this guard does not know are skipped
+   with a notice (exit 0) instead of being misread: field meanings may
+   have changed under the same names.
+
    The baseline's speedup fields are conservative floors (below the
    worst ratio observed across healthy runs), not a verbatim run record:
    same-run ratios still wobble with GC pressure and machine load, and
@@ -41,6 +52,11 @@ module J = Service.Json
 
 let soft_floor = 0.75
 let hard_floor = 0.1
+
+(* Schema versions this guard knows how to judge.  A record written by a
+   newer (or older) harness is skipped with a notice instead of being
+   misread: field meanings may have changed under the same names. *)
+let known_schemas = [ "seq-bench/5"; "seq-bench/6" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -73,6 +89,17 @@ let row_name row = Option.bind (J.member "name" row) J.to_string_opt
 
 let find_row name rows =
   List.find_opt (fun r -> row_name r = Some name) rows
+
+(* Skip-with-notice (exit 0) on a record whose schema the guard does not
+   know; fail hard only when the schema field itself is missing. *)
+let check_schema path doc =
+  match Option.bind (J.member "schema" doc) J.to_string_opt with
+  | None -> fail "%s: no \"schema\" field" path
+  | Some s when List.mem s known_schemas -> ()
+  | Some s ->
+    Fmt.pr "guard: %s: unknown schema %S (known: %s) — skipping@." path s
+      (String.concat ", " known_schemas);
+    exit 0
 
 (* ---------------- E12: speedup floors ---------------- *)
 
@@ -232,6 +259,70 @@ let check_e14 ~current ~cur_tbls ~base_tbls =
       if !bad = [] then Fmt.pr "guard: E14 coverage within bounds@.";
       !bad)
 
+(* ---------------- E15: backend grid invariants ---------------- *)
+
+(* Categorical, machine-independent: on every E15 row the inclusion
+   chain SC ⊆ TSO ⊆ ARMv8 must have held, and the SB row must separate
+   TSO from SC (allowed under TSO, forbidden under SC) — the one
+   separation the whole backend grid exists to exhibit.  Rows the sweep
+   left UNKNOWN are skipped with a notice. *)
+let check_e15 ~current ~cur_tbls ~base_tbls =
+  match table_rows "E15" base_tbls with
+  | None -> []  (* baseline predates the backend grid *)
+  | Some _ -> (
+    match table_rows "E15" cur_tbls with
+    | None -> fail "%s: no E15 table" current
+    | Some cur_rows ->
+      let bad = ref [] in
+      let known =
+        List.filter (fun row -> J.member "unknown" row = None) cur_rows
+      in
+      (match List.length cur_rows - List.length known with
+       | 0 -> ()
+       | n -> Fmt.pr "guard: E15: %d UNKNOWN row(s) skipped@." n);
+      let model row m =
+        match
+          Option.bind (J.member "models" row) (fun ms -> J.member m ms)
+        with
+        | Some (J.Bool b) -> b
+        | _ ->
+          fail "%s: E15 row %S has no %S verdict" current
+            (Option.value (row_name row) ~default:"?")
+            m
+      in
+      List.iter
+        (fun row ->
+          let name = Option.value (row_name row) ~default:"?" in
+          let chain_ok =
+            match J.member "chain_ok" row with
+            | Some (J.Bool b) -> b
+            | _ -> fail "%s: E15 row %S has no chain_ok" current name
+          in
+          Fmt.pr "E15 %-12s chain_ok=%b sc=%b tso=%b armv8=%b ps=%b@." name
+            chain_ok (model row "sc") (model row "tso") (model row "armv8")
+            (model row "ps");
+          if not chain_ok then begin
+            Fmt.epr
+              "guard: E15 %s: inclusion chain SC ⊆ TSO ⊆ ARMv8 violated@."
+              name;
+            bad := ("chain:" ^ name) :: !bad
+          end)
+        known;
+      (match find_row "SB-rlx" known with
+       | None ->
+         if find_row "SB-rlx" cur_rows = None then
+           fail "%s: E15 table has no SB-rlx row" current
+       | Some row ->
+         if not (model row "tso" && not (model row "sc")) then begin
+           Fmt.epr
+             "guard: E15 SB-rlx must separate TSO from SC (allowed under \
+              TSO, forbidden under SC)@.";
+           bad := "SB-separation" :: !bad
+         end);
+      if !bad = [] then
+        Fmt.pr "guard: all %d E15 rows within bounds@." (List.length known);
+      !bad)
+
 let () =
   let current, baseline =
     match Array.to_list Sys.argv with
@@ -239,14 +330,18 @@ let () =
     | [ _; c; b ] -> (c, b)
     | _ -> fail "usage: guard.exe CURRENT.json [BASELINE.json]"
   in
-  let cur_tbls = tables current (load current) in
-  let base_tbls = tables baseline (load baseline) in
+  let cur_doc = load current and base_doc = load baseline in
+  check_schema current cur_doc;
+  check_schema baseline base_doc;
+  let cur_tbls = tables current cur_doc in
+  let base_tbls = tables baseline base_doc in
   let hard, soft = check_e12 ~current ~cur_tbls ~baseline ~base_tbls in
   let chaos_bad = check_e13 ~current ~cur_tbls ~base_tbls in
   let abs_bad = check_e14 ~current ~cur_tbls ~base_tbls in
-  match hard, soft, chaos_bad, abs_bad with
-  | [], [], [], [] -> ()
-  | hard, soft, chaos_bad, abs_bad ->
+  let grid_bad = check_e15 ~current ~cur_tbls ~base_tbls in
+  match hard, soft, chaos_bad, abs_bad, grid_bad with
+  | [], [], [], [], [] -> ()
+  | hard, soft, chaos_bad, abs_bad, grid_bad ->
     List.iter
       (Fmt.epr "guard: HARD regression (order of magnitude): %s@.")
       hard;
@@ -256,4 +351,5 @@ let () =
       soft;
     List.iter (Fmt.epr "guard: E13 chaos invariant violated: %s@.") chaos_bad;
     List.iter (Fmt.epr "guard: E14 certifier floor violated: %s@.") abs_bad;
+    List.iter (Fmt.epr "guard: E15 grid invariant violated: %s@.") grid_bad;
     exit (if hard <> [] then 2 else 1)

@@ -303,6 +303,102 @@ let litmus_table ~pool ~robust () =
   swept_in (Engine.Pool.size pool) ms
 
 (* ------------------------------------------------------------------ *)
+(* E15: the N-model differential backend grid                           *)
+(* ------------------------------------------------------------------ *)
+
+let backend_grid_table ~pool ~robust () =
+  let title =
+    "E15 — Differential litmus grid: {SC, TSO, ARMv8, PS_na} with the \
+     inclusion chain SC ⊆ TSO ⊆ ARMv8"
+  in
+  header title;
+  let jrow (r : Matrix.e15_row) =
+    [ ("weak", J.List (List.map (fun n -> J.Int n) r.ge.C.weak));
+      ( "models",
+        J.Obj (List.map (fun (m, allowed) -> (m, J.Bool allowed)) r.cells) );
+      ("chain_ok", J.Bool r.chain_ok);
+      ("truncated", J.Bool r.truncated);
+      ("ok", J.Bool (Matrix.e15_ok r)) ]
+  in
+  let ms =
+    if supervised robust then begin
+      let faults = faults_for robust ~tasks:(List.length C.grid_programs) in
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Matrix.e15_rows_v ~pool ~budget:robust.spec
+              ~retries:robust.retries ~faults ())
+      in
+      Fmt.pr "%s" (Matrix.render_e15_v ~stats:true rows);
+      count_outcomes ~ok:Matrix.e15_ok rows;
+      add_table ~ms "E15" title
+        (List.map
+           (fun ((ge : C.grid_entry), o) ->
+             jrow_outcome ~name:ge.C.g.C.cname ~row:jrow o)
+           rows);
+      ms
+    end
+    else begin
+      let rows, ms = Engine.Stats.timed (fun () -> Matrix.e15_rows ~pool ()) in
+      Fmt.pr "%s" (Matrix.render_e15 ~stats:true rows);
+      List.iter
+        (fun r -> if not (Matrix.e15_ok r) then incr mismatches)
+        rows;
+      add_table ~ms "E15" title
+        (List.map
+           (fun (r : Matrix.e15_row) ->
+             J.Obj (("name", J.String r.ge.C.g.C.cname) :: jrow r))
+           rows);
+      ms
+    end
+  in
+  swept_in (Engine.Pool.size pool) ms;
+  (* the pass-soundness half: SEQ-validated passes re-checked as
+     behavior-set refinement per backend (catchfire included — the one
+     model that refutes load introduction, E6) *)
+  let ptitle =
+    "E15 — Pass soundness per backend: SEQ-validated passes in a \
+     concurrent context"
+  in
+  header ptitle;
+  let pjrow (r : Matrix.e15p_row) =
+    [ ("context", J.String r.ctx_name);
+      ( "models",
+        J.Obj (List.map (fun (m, refines) -> (m, J.Bool refines)) r.cells) );
+      ("truncated", J.Bool r.truncated) ]
+  in
+  let pms =
+    if supervised robust then begin
+      let faults = faults_for robust ~tasks:(List.length C.grid_passes) in
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Matrix.e15p_rows_v ~pool ~budget:robust.spec
+              ~retries:robust.retries ~faults ())
+      in
+      Fmt.pr "%s" (Matrix.render_e15p_v ~stats:true rows);
+      count_outcomes ~ok:(fun (_ : Matrix.e15p_row) -> true) rows;
+      add_table ~ms "E15-passes" ptitle
+        (List.map
+           (fun ((tr_name, _), o) ->
+             jrow_outcome ~name:tr_name ~row:pjrow o)
+           rows);
+      ms
+    end
+    else begin
+      let rows, ms =
+        Engine.Stats.timed (fun () -> Matrix.e15p_rows ~pool ())
+      in
+      Fmt.pr "%s" (Matrix.render_e15p ~stats:true rows);
+      add_table ~ms "E15-passes" ptitle
+        (List.map
+           (fun (r : Matrix.e15p_row) ->
+             J.Obj (("name", J.String r.tr.C.name) :: pjrow r))
+           rows);
+      ms
+    end
+  in
+  swept_in (Engine.Pool.size pool) pms
+
+(* ------------------------------------------------------------------ *)
 (* E5: adequacy                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -908,7 +1004,7 @@ let temp_dir prefix =
   Unix.mkdir f 0o700;
   f
 
-let service_table ~jobs ~robust () =
+let service_table ~jobs ~robust ~backend () =
   let title =
     "E10 — seqd service: corpus throughput per cache tier (cold/warm/restart)"
   in
@@ -929,7 +1025,7 @@ let service_table ~jobs ~robust () =
     List.map
       (fun (t : C.transformation) ->
         { Service.Proto.src = t.C.src; tgt = t.C.tgt; values = [];
-          fast_path = true })
+          fast_path = true; backend })
       C.transformations
   in
   let n = List.length checks in
@@ -1000,7 +1096,7 @@ let service_table ~jobs ~robust () =
    replays across runs (bench/guard.ml floors the fault count). *)
 let e13_seed = 7
 
-let chaos_table ~jobs ~robust () =
+let chaos_table ~jobs ~robust ~backend () =
   let title =
     "E13 — seqd under chaos: per-request latency, clean vs fault-injected"
   in
@@ -1038,7 +1134,7 @@ let chaos_table ~jobs ~robust () =
            (List.map
               (fun (t : C.transformation) ->
                 { Service.Proto.src = t.C.src; tgt = t.C.tgt; values = [];
-                  fast_path = true })
+                  fast_path = true; backend })
               C.transformations)));
   let run_pass label addr policy =
     let wrong = ref 0 in
@@ -1261,9 +1357,21 @@ let () =
   let inject_faults =
     Option.value (parse_int "--inject-faults" args) ~default:0
   in
+  let backend =
+    Option.value
+      (parse_opt "--backend" args)
+      ~default:Service.Proto.default_backend
+  in
   (match
-     Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
-       ~max_states ()
+     match
+       Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
+         ~max_states ()
+     with
+     | Error _ as e -> e
+     | Ok () ->
+       Engine.Cliopts.validate_choice ~flag:"--backend"
+         ~choices:(Service.Proto.default_backend :: Backends.Registry.names)
+         backend
    with
    | Error msg -> usage_error msg
    | Ok () -> ());
@@ -1281,6 +1389,7 @@ let () =
     transformation_matrix ~pool ~robust ();
     optimizer_table ();
     litmus_table ~pool ~robust ();
+    backend_grid_table ~pool ~robust ();
     adequacy_table ~pool ~full ~robust ();
     catchfire_table ();
     drf_table ();
@@ -1291,8 +1400,8 @@ let () =
     enumcore_table ();
     Engine.Pool.shutdown pool;
     if service then begin
-      service_table ~jobs ~robust ();
-      chaos_table ~jobs ~robust ()
+      service_table ~jobs ~robust ~backend ();
+      chaos_table ~jobs ~robust ~backend ()
     end;
     if not no_bechamel then bechamel_benches ()
   in
@@ -1301,7 +1410,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/5");
+         [ ("schema", J.String "seq-bench/6");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

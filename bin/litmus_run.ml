@@ -21,6 +21,66 @@ let read_input = function
   | None | Some "-" -> In_channel.input_all In_channel.stdin
   | Some path -> In_channel.with_open_text path In_channel.input_all
 
+(* The E15 differential grid: every grid litmus program under every
+   backend, plus the pass-soundness grid.  Tables are rendered with
+   [stats:false] so stdout is byte-identical across runs and [--jobs]
+   settings (the CI determinism step diffs them); timing goes to
+   stderr. *)
+let run_grid jobs spec retries faults keep_going =
+  let plain =
+    Engine.Budget.spec_is_unlimited spec && retries = 0
+    && faults == Engine.Faults.none
+  in
+  let out, truncated, unknown, mismatch =
+    if plain then begin
+      let rows, ms =
+        Engine.Stats.timed (fun () -> Litmus.Matrix.e15_rows ~jobs ())
+      in
+      let prows, pms =
+        Engine.Stats.timed (fun () -> Litmus.Matrix.e15p_rows ~jobs ())
+      in
+      Fmt.epr "-- grid swept in %.1f ms, pass grid in %.1f ms (jobs=%d)@." ms
+        pms jobs;
+      ( Litmus.Matrix.render_e15 rows ^ "\n" ^ Litmus.Matrix.render_e15p prows,
+        List.exists (fun (r : Litmus.Matrix.e15_row) -> r.truncated) rows
+        || List.exists (fun (r : Litmus.Matrix.e15p_row) -> r.truncated) prows,
+        false,
+        List.exists (fun r -> not (Litmus.Matrix.e15_ok r)) rows )
+    end
+    else begin
+      let rows, ms =
+        Engine.Stats.timed (fun () ->
+            Litmus.Matrix.e15_rows_v ~jobs ~budget:spec ~retries ~faults ())
+      in
+      let prows, pms =
+        Engine.Stats.timed (fun () ->
+            Litmus.Matrix.e15p_rows_v ~jobs ~budget:spec ~retries ~faults ())
+      in
+      Fmt.epr "-- grid swept in %.1f ms, pass grid in %.1f ms (jobs=%d)@." ms
+        pms jobs;
+      let oks l =
+        List.filter_map
+          (fun (_, (o : _ Engine.Sweep.outcome)) ->
+            match o.result with Ok r -> Some r | Error _ -> None)
+          l
+      in
+      let ok_rows = oks rows and ok_prows = oks prows in
+      ( Litmus.Matrix.render_e15_v rows ^ "\n"
+        ^ Litmus.Matrix.render_e15p_v prows,
+        List.exists (fun (r : Litmus.Matrix.e15_row) -> r.truncated) ok_rows
+        || List.exists
+             (fun (r : Litmus.Matrix.e15p_row) -> r.truncated)
+             ok_prows,
+        List.exists (fun (_, o) -> not (Engine.Sweep.outcome_ok o)) rows
+        || List.exists (fun (_, o) -> not (Engine.Sweep.outcome_ok o)) prows,
+        List.exists (fun r -> not (Litmus.Matrix.e15_ok r)) ok_rows )
+    end
+  in
+  Fmt.pr "%s" out;
+  if mismatch || truncated then 3
+  else if unknown && not keep_going then 4
+  else 0
+
 let run_all params jobs spec retries faults keep_going =
   if
     Engine.Budget.spec_is_unlimited spec && retries = 0
@@ -57,11 +117,16 @@ let run_all params jobs spec retries faults keep_going =
     if truncated then 3 else if unknown && not keep_going then 4 else 0
   end
 
-let run input promises batch max_states compare_baselines named all jobs
-    timeout_ms keep_going retries inject_faults inject_seed =
+let run input promises batch max_states compare_baselines named all grid
+    backend jobs timeout_ms keep_going retries inject_faults inject_seed =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   match
-    Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
-      ~max_states:(Some max_states) ()
+    let* () =
+      Engine.Cliopts.validate ~retries ~inject_faults ~jobs ~timeout_ms
+        ~max_states:(Some max_states) ()
+    in
+    Engine.Cliopts.validate_choice ~flag:"--backend"
+      ~choices:Backends.Registry.names backend
   with
   | Error msg ->
     Fmt.epr "litmus_run: %s@." msg;
@@ -84,7 +149,8 @@ let run input promises batch max_states compare_baselines named all jobs
           ~tasks:(List.length Litmus.Catalog.concurrent_programs)
           ~faulty:inject_faults ()
     in
-    if all then run_all params jobs spec retries faults keep_going
+    if grid then run_grid jobs spec retries faults keep_going
+    else if all then run_all params jobs spec retries faults keep_going
     else
     let text =
       match named with
@@ -115,15 +181,31 @@ let run input promises batch max_states compare_baselines named all jobs
           (Analysis.Modes.pp_conflict ~src:progs) c)
       (Analysis.Modes.combined_conflicts progs);
     let budget = Engine.Budget.start spec in
-    (match Promising.Machine.explore ~params ~budget progs with
-     | exception Engine.Budget.Exhausted reason ->
-       Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string reason);
-       raise Exit
-     | r ->
-    Fmt.pr "PS_na behaviors (%d states%s%s):@.  %a@." r.Promising.Machine.states
-      (if r.Promising.Machine.truncated then ", TRUNCATED" else "")
-      (if r.Promising.Machine.races then ", races observed" else "")
-      Promising.Machine.pp_behaviors r.Promising.Machine.behaviors);
+    (if backend = "ps" then
+       match Promising.Machine.explore ~params ~budget progs with
+       | exception Engine.Budget.Exhausted reason ->
+         Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string reason);
+         raise Exit
+       | r ->
+         Fmt.pr "PS_na behaviors (%d states%s%s):@.  %a@."
+           r.Promising.Machine.states
+           (if r.Promising.Machine.truncated then ", TRUNCATED" else "")
+           (if r.Promising.Machine.races then ", races observed" else "")
+           Promising.Machine.pp_behaviors r.Promising.Machine.behaviors
+     else
+       let (module M : Backends.Backend.MACHINE) =
+         Option.get (Backends.Registry.find backend)
+       in
+       match M.explore ~max_states ~budget progs with
+       | exception Engine.Budget.Exhausted reason ->
+         Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string reason);
+         raise Exit
+       | r ->
+         Fmt.pr "%s behaviors (%d states%s%s):@.  %a@." M.name
+           r.Backends.Backend.states
+           (if r.Backends.Backend.truncated then ", TRUNCATED" else "")
+           (if r.Backends.Backend.races then ", races observed" else "")
+           Promising.Machine.pp_behaviors r.Backends.Backend.behaviors);
     if compare_baselines then begin
       let sc = Baselines.Sc.explore progs in
       Fmt.pr "SC behaviors (%d states%s):@.  %a@." sc.Baselines.Sc.states
@@ -165,9 +247,19 @@ let all =
   Arg.(value & flag & info [ "all" ]
          ~doc:"Sweep every litmus test of the built-in catalog (parallel).")
 
+let grid =
+  Arg.(value & flag & info [ "grid" ]
+         ~doc:"Print the E15 N-model differential grid (litmus rows under \
+               every backend, plus the pass-soundness grid).")
+
+let backend =
+  Arg.(value & opt string "ps" & info [ "backend" ] ~docv:"NAME"
+         ~doc:"Memory-model backend for single-program exploration \
+               (sc, catchfire, tso, armv8, ps).")
+
 let jobs =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ]
-         ~doc:"Worker domains for the --all sweep.")
+         ~doc:"Worker domains for the --all/--grid sweeps.")
 
 let timeout_ms =
   Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"MS"
@@ -195,7 +287,7 @@ let cmd =
     (Cmd.info "litmus_run" ~version:"1.0"
        ~doc:"PS_na litmus-test explorer (PLDI 2022)")
     Term.(const run $ input $ promises $ batch $ max_states $ compare_baselines
-          $ named $ all $ jobs $ timeout_ms $ keep_going $ retries
-          $ inject_faults $ inject_seed)
+          $ named $ all $ grid $ backend $ jobs $ timeout_ms $ keep_going
+          $ retries $ inject_faults $ inject_seed)
 
 let () = exit (Cmd.eval' cmd)

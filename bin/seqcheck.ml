@@ -81,8 +81,8 @@ let corpus_summary (results : Service.Proto.check_result list) =
          | Service.Proto.Unknown _ -> true
          | _ -> false))
 
-let run_client addr src_path tgt_path values corpus timeout_ms max_states
-    keep_going retries =
+let run_client addr backend src_path tgt_path values corpus timeout_ms
+    max_states keep_going retries =
   let budget = { Service.Proto.timeout_ms; max_states } in
   let policy =
     { Service.Client.resilient_policy with attempts = retries + 1 }
@@ -94,7 +94,7 @@ let run_client addr src_path tgt_path values corpus timeout_ms max_states
           List.map
             (fun (t : Litmus.Catalog.transformation) ->
               { Service.Proto.src = t.src; tgt = t.tgt; values;
-                fast_path = true })
+                fast_path = true; backend })
             entries
         in
         (* one connection, one batch: the server sweeps it in parallel *)
@@ -133,8 +133,8 @@ let run_client addr src_path tgt_path values corpus timeout_ms max_states
           1
         | Some src_path, Some tgt_path ->
           let r =
-            Service.Client.check ~values ~budget c ~src:(read src_path)
-              ~tgt:(read tgt_path) ()
+            Service.Client.check ~values ~backend ~budget c
+              ~src:(read src_path) ~tgt:(read tgt_path) ()
           in
           Fmt.pr "%s@." (Service.Proto.check_result_to_string r);
           exit_of_verdict ~keep_going r.Service.Proto.verdict)
@@ -173,9 +173,15 @@ let run_corpus jobs spec retries keep_going =
 exception Static_mixed
 
 let run src_path tgt_path values advanced_only corpus jobs timeout_ms
-    max_states keep_going retries lint server =
+    max_states keep_going retries lint backend server =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   match
-    Engine.Cliopts.validate ~retries ~jobs ~timeout_ms ~max_states ()
+    let* () =
+      Engine.Cliopts.validate ~retries ~jobs ~timeout_ms ~max_states ()
+    in
+    Engine.Cliopts.validate_choice ~flag:"--backend"
+      ~choices:(Service.Proto.default_backend :: Backends.Registry.names)
+      backend
   with
   | Error msg ->
     Fmt.epr "seqcheck: %s@." msg;
@@ -188,7 +194,7 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
          check undecided, not erroneous: exit 4 with a diagnostic, never
          an uncaught Unix_error/Proto.Error escaping the sweep *)
       try
-        run_client addr src_path tgt_path values corpus timeout_ms
+        run_client addr backend src_path tgt_path values corpus timeout_ms
           max_states keep_going retries
       with
       | Unix.Unix_error (e, _, arg) ->
@@ -218,6 +224,40 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
     | Some src_path, Some tgt_path ->
     let src = Parser.stmt_of_string (read src_path) in
     let tgt = Parser.stmt_of_string (read tgt_path) in
+    if backend <> Service.Proto.default_backend then begin
+      (* a hardware backend: behavior-set inclusion under the named
+         machine (mixed access is tolerated, as by PS_na) *)
+      let (module M : Backends.Backend.MACHINE) =
+        Option.get (Backends.Registry.find backend)
+      in
+      let values = List.map (fun n -> Value.Int n) values in
+      let budget = Engine.Budget.start spec in
+      match
+        let r_src = M.explore ~values ~budget [ src ] in
+        let r_tgt = M.explore ~values ~budget [ tgt ] in
+        (r_src, r_tgt)
+      with
+      | exception Engine.Budget.Exhausted r ->
+        Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string r);
+        if keep_going then 0 else 4
+      | r_src, r_tgt ->
+        if
+          r_src.Backends.Backend.truncated
+          || r_tgt.Backends.Backend.truncated
+        then begin
+          Fmt.pr "UNKNOWN(%s: truncated)@." M.name;
+          if keep_going then 0 else 4
+        end
+        else if Backends.Backend.refines ~src:r_src ~tgt:r_tgt then begin
+          Fmt.pr "REFINES (behavior inclusion under %s)@." M.name;
+          0
+        end
+        else begin
+          Fmt.pr "DOES NOT REFINE (under %s)@." M.name;
+          3
+        end
+    end
+    else begin
     (* static well-formedness pre-check: mixing within a single program
        is what [Config.check_no_mixing] would reject at run time — catch
        it up front with sites.  A location whose mode class differs only
@@ -308,6 +348,7 @@ let run src_path tgt_path values advanced_only corpus jobs timeout_ms
      | exception Engine.Budget.Exhausted r ->
        Fmt.pr "UNKNOWN(%s)@." (Engine.Budget.reason_to_string r);
        if keep_going then 0 else 4)
+    end
   with
   | Parser.Error msg ->
     Fmt.epr "parse error: %s@." msg;
@@ -369,6 +410,13 @@ let lint =
   Arg.(value & flag & info [ "lint" ]
          ~doc:"Print static race/UB diagnostics for both programs before                checking (see seqlint).")
 
+let backend =
+  Arg.(value & opt string "seq" & info [ "backend" ] ~docv:"NAME"
+         ~doc:"Memory model the check runs under: seq (the default \
+               SEQ sequential refinement) or a hardware backend (sc, \
+               catchfire, tso, armv8, ps) meaning behavior-set \
+               inclusion under that machine.")
+
 let server =
   Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
          ~doc:"Send the check(s) to a running seqd at this address (a \
@@ -381,6 +429,7 @@ let cmd =
     (Cmd.info "seqcheck" ~version:"1.0"
        ~doc:"SEQ behavioral-refinement checker (PLDI 2022)")
     Term.(const run $ src $ tgt $ values $ advanced_only $ corpus $ jobs
-          $ timeout_ms $ max_states $ keep_going $ retries $ lint $ server)
+          $ timeout_ms $ max_states $ keep_going $ retries $ lint $ backend
+          $ server)
 
 let () = exit (Cmd.eval' cmd)

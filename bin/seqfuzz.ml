@@ -102,19 +102,21 @@ let write_out dir (r : Fuzz.Campaign.report) =
     r.Fuzz.Campaign.findings
 
 let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
-    out keep_going =
-  match
-    Engine.Cliopts.validate ~jobs ~timeout_ms:budget_ms ~max_states ()
-  with
-  | Error msg ->
-    Fmt.epr "seqfuzz: %s@." msg;
-    Engine.Cliopts.usage_exit
-  | Ok () ->
-    (match Engine.Cliopts.validate_nonneg ~flag:"--max-execs" max_execs with
-     | Error msg ->
-       Fmt.epr "seqfuzz: %s@." msg;
-       Engine.Cliopts.usage_exit
-     | Ok () ->
+    out keep_going backend =
+  let ( let* ) r f =
+    match r with
+    | Error msg ->
+      Fmt.epr "seqfuzz: %s@." msg;
+      Engine.Cliopts.usage_exit
+    | Ok () -> f ()
+  in
+  let* () = Engine.Cliopts.validate ~jobs ~timeout_ms:budget_ms ~max_states () in
+  let* () = Engine.Cliopts.validate_nonneg ~flag:"--max-execs" max_execs in
+  let* () =
+    Engine.Cliopts.validate_choice ~flag:"--backend"
+      ~choices:Backends.Registry.names backend
+  in
+  (
        (* Unlike seqcheck, an unbounded default is not viable here: the
           enumerated checks are exponential in the acquire count of
           generated programs.  A state budget keeps every check bounded
@@ -122,6 +124,16 @@ let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
        let max_states = Some (Option.value max_states ~default:20_000) in
        let budget = Engine.Budget.spec ?timeout_ms:budget_ms ?max_states () in
        let oracles = if oracles = [] then Fuzz.Oracle.all else oracles in
+       (* --backend retargets the hardware-envelope oracle; explicitly
+          requested machines (--oracle baseline-hw:<m>) are kept as-is. *)
+       let oracles =
+         List.map
+           (function
+             | Fuzz.Oracle.Baseline_hw m when m = Fuzz.Oracle.default_hw ->
+               Fuzz.Oracle.Baseline_hw backend
+             | k -> k)
+           oracles
+       in
        let planted = if planted = [] then Fuzz.Planted.all else planted in
        let r =
          Fuzz.Campaign.run ~jobs ~budget ~oracles ~planted
@@ -159,7 +171,7 @@ let oracles =
   Arg.(value & opt_all oracle_conv [] & info [ "oracle" ] ~docv:"NAME"
          ~doc:"Run only this differential oracle (repeatable; default: \
                all of pass-correct, analysis-sound, lint-agree, \
-               baseline-env).")
+               baseline-env, baseline-hw).")
 
 let planted =
   Arg.(value & opt_all variant_conv [] & info [ "planted" ] ~docv:"NAME"
@@ -190,12 +202,18 @@ let keep_going =
          ~doc:"Exit 0 even when some checks were UNKNOWN (budget ran \
                out), as long as nothing failed.")
 
+let backend =
+  Arg.(value & opt string Fuzz.Oracle.default_hw
+       & info [ "backend" ] ~docv:"NAME"
+           ~doc:"Hardware machine the baseline-hw oracle cross-checks \
+                 against (sc, catchfire, tso, armv8, ps; default tso).")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqfuzz" ~version:"1.0"
        ~doc:"differential fuzzer for the SEQ toolchain (planted-bug \
              oracles, shrinking)")
     Term.(const run $ seed $ max_execs $ jobs $ oracles $ planted
-          $ no_shrink $ budget_ms $ max_states $ out $ keep_going)
+          $ no_shrink $ budget_ms $ max_states $ out $ keep_going $ backend)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,37 @@
+(** Shared backend interface: result type, signature, refinement (see
+    backend.mli). *)
+
+open Lang
+
+type behavior = Promising.Machine.behavior =
+  | Ret of (Value.t * Value.t list) list
+  | Bot
+
+module Behavior_set = Promising.Machine.Behavior_set
+
+type result = {
+  behaviors : Behavior_set.t;
+  races : bool;
+  truncated : bool;
+  states : int;
+}
+
+module type MACHINE = sig
+  val name : string
+
+  val explore :
+    ?values:Value.t list ->
+    ?max_states:int ->
+    ?budget:Engine.Budget.t ->
+    Stmt.t list ->
+    result
+end
+
+let default_values = [ Value.Int 0; Value.Int 1; Value.Int 2 ]
+let default_max_states = 200_000
+
+let refines ~(src : result) ~(tgt : result) : bool =
+  Promising.Machine.refines ~src:src.behaviors ~tgt:tgt.behaviors
+
+let subset ~(small : result) ~(big : result) : bool =
+  Behavior_set.subset small.behaviors big.behaviors

@@ -26,6 +26,13 @@ let validate_max_states = function
 
 let validate_inject_faults n = validate_nonneg ~flag:"--inject-faults" n
 
+let validate_choice ~flag ~choices v =
+  if List.mem v choices then Ok ()
+  else
+    err flag
+      (Printf.sprintf "unknown value %S (choose from: %s)" v
+         (String.concat ", " choices))
+
 let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
 
 let validate ?(retries = 0) ?(inject_faults = 0) ~jobs ~timeout_ms ~max_states

@@ -49,3 +49,10 @@ val validate_pos : flag:string -> int -> (unit, string) result
 
 (** [validate_nonneg ~flag n]: a generic "must be >= 0" check. *)
 val validate_nonneg : flag:string -> int -> (unit, string) result
+
+(** [validate_choice ~flag ~choices v]: [v] must be one of [choices]
+    (used by [--backend], validated against [Backends.Registry.names];
+    the error message lists the valid choices).  Engine cannot depend on
+    the backends library, so callers pass the known names in. *)
+val validate_choice :
+  flag:string -> choices:string list -> string -> (unit, string) result

@@ -15,16 +15,31 @@ type kind =
   | Analysis_sound  (** static racy-access set covers SEQ's dynamic races *)
   | Lint_agree  (** a lint-clean program has no dynamic racy access *)
   | Baseline_env  (** single-thread SC behaviors ⊆ SEQ; DRF ⇒ catchfire=SC *)
+  | Baseline_hw of string
+      (** SC behaviors ⊆ the named hardware backend's (default tso) *)
 
-let all = [ Pass_correct; Analysis_sound; Lint_agree; Baseline_env ]
+let default_hw = "tso"
+
+let all =
+  [ Pass_correct; Analysis_sound; Lint_agree; Baseline_env;
+    Baseline_hw default_hw ]
 
 let name = function
   | Pass_correct -> "pass-correct"
   | Analysis_sound -> "analysis-sound"
   | Lint_agree -> "lint-agree"
   | Baseline_env -> "baseline-env"
+  | Baseline_hw m -> if m = default_hw then "baseline-hw" else "baseline-hw:" ^ m
 
-let of_string s = List.find_opt (fun k -> name k = s) all
+let of_string s =
+  match List.find_opt (fun k -> name k = s) all with
+  | Some _ as k -> k
+  | None ->
+    (* a non-default machine renders as "baseline-hw:<machine>" *)
+    (match String.split_on_char ':' s with
+     | [ "baseline-hw"; m ] when Backends.Registry.find m <> None ->
+       Some (Baseline_hw m)
+     | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Advanced-only refinement, the workhorse of pass checking: a static
@@ -227,9 +242,40 @@ let check_baseline_env ~budget (p : Stmt.t) : string option =
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Hardware envelope.  Every hardware backend only ever relaxes SC —
+   store buffering and local reordering add interleavings, they never
+   remove one — so the SC behavior set of a generated program must be
+   included in the hardware machine's (the first link of the
+   SC ⊆ TSO ⊆ ARMv8 chain the E15 grid pins on the catalog, here
+   cross-checked on arbitrary generated programs).  Size-gated and
+   truncation-skipped like {!check_baseline_env}: inclusion is a
+   statement about complete behavior sets. *)
+let hw_max_states = 20_000
+
+let check_baseline_hw ~budget machine (p : Stmt.t) : string option =
+  if Stmt.size p > baseline_env_max_size then None
+  else
+    let (module M : Backends.Backend.MACHINE) =
+      match Backends.Registry.find machine with
+      | Some m -> m
+      | None -> invalid_arg ("Oracle.baseline-hw: unknown backend " ^ machine)
+    in
+    let sc =
+      Backends.Registry.Sc_machine.explore ~max_states:hw_max_states ~budget
+        [ p ]
+    in
+    if sc.Backends.Backend.truncated then None
+    else
+      let hw = M.explore ~max_states:hw_max_states ~budget [ p ] in
+      if hw.Backends.Backend.truncated then None
+      else if Backends.Backend.subset ~small:sc ~big:hw then None
+      else Some ("SC behavior missing under " ^ M.name)
+
 let check (k : kind) ~budget (p : Stmt.t) : string option =
   match k with
   | Pass_correct -> check_pass_correct ~budget p
   | Analysis_sound -> check_analysis_sound ~budget p
   | Lint_agree -> check_lint_agree ~budget p
   | Baseline_env -> check_baseline_env ~budget p
+  | Baseline_hw m -> check_baseline_hw ~budget m p

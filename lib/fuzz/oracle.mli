@@ -22,11 +22,20 @@ type kind =
   | Baseline_env
       (** single-thread SC behaviors are included in SEQ's enumerated
           behaviors; on race-free programs catch-fire agrees with SC *)
+  | Baseline_hw of string
+      (** SC behaviors are included in the named hardware backend's
+          ({!Backends.Registry} name; relaxation only ever adds
+          behaviors) — size-gated like [Baseline_env] *)
+
+(** The machine [all]'s hardware-envelope oracle checks against
+    (["tso"]). *)
+val default_hw : string
 
 val all : kind list
 
 (** Stable names: ["pass-correct"], ["analysis-sound"], ["lint-agree"],
-    ["baseline-env"]. *)
+    ["baseline-env"], ["baseline-hw"] (a non-default machine renders as
+    ["baseline-hw:<machine>"]). *)
 val name : kind -> string
 
 val of_string : string -> kind option

@@ -373,6 +373,101 @@ let concurrent_programs =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* The E15 differential backend grid                                    *)
+(* ------------------------------------------------------------------ *)
+
+type grid_entry = {
+  g : concurrent;
+  weak : int list;
+  allowed : (string * bool) list;
+}
+
+let conc cname = List.find (fun c -> c.cname = cname) concurrent_programs
+
+(** The grid corpus: each row is a litmus program with a designated weak
+    outcome (one return value per thread) and the expected per-backend
+    allowed/forbidden verdicts.  The classic separations live here: SB
+    separates TSO from SC, MP-rlx separates ARMv8 from TSO, LB separates
+    PS_na from ARMv8 (promise steps exhibit load buffering, which the
+    speculation-free ARMv8 machine does not), and IRIW shows the ARMv8
+    machine's non-multi-copy-atomic reads. *)
+let grid_programs =
+  [
+    {
+      g = conc "SB-rlx";
+      weak = [ 0; 0 ];
+      allowed =
+        [ ("sc", false); ("tso", true); ("armv8", true); ("ps", true) ];
+    };
+    {
+      g = conc "SB-sc-fence";
+      weak = [ 0; 0 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", false); ("ps", false) ];
+    };
+    {
+      g = conc "MP-rel-acq";
+      weak = [ 0; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", false); ("ps", false) ];
+    };
+    {
+      g =
+        {
+          cname = "MP-rlx";
+          cref = "classic";
+          threads =
+            "Y.store(rlx,1); Z.store(rlx,1); return 0 ||| \
+             a = Z.load(rlx); if a == 1 { b = Y.load(rlx) }; return 10*a+b";
+        };
+      weak = [ 0; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", true); ("ps", true) ];
+    };
+    {
+      g = conc "MP-fences";
+      weak = [ 0; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", false); ("ps", false) ];
+    };
+    {
+      g = conc "LB-rlx";
+      weak = [ 1; 1 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", false); ("ps", true) ];
+    };
+    {
+      g =
+        {
+          cname = "IRIW-rlx";
+          cref = "classic";
+          threads =
+            "Y.store(rlx,1); return 0 ||| Z.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); b = Z.load(rlx); return 10*a+b ||| \
+             c = Z.load(rlx); d = Y.load(rlx); return 10*c+d";
+        };
+      weak = [ 0; 0; 10; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", true); ("ps", true) ];
+    };
+  ]
+
+(** The E15 pass-soundness grid: SEQ-validated transformations plugged
+    into a concurrent context (from {!contexts}) and re-checked as
+    behavior-set refinement under every backend — where a pass sound on
+    SEQ/PS_na over- or under-approximates a hardware model, the cell
+    shows it (e.g. load introduction fails only under catch-fire, E6). *)
+let grid_passes : (string * string) list =
+  [
+    ("store-to-load-fwd", "na-writer");
+    ("reorder-na-rw-diff", "na-writer");
+    ("irrelevant-load-intro", "na-writer");
+    ("unused-load-elim", "na-writer");
+    ("overwritten-store-elim", "na-reader");
+    ("read-before-write-elim", "na-writer");
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Context library for the adequacy experiment (E5)                     *)
 (* ------------------------------------------------------------------ *)
 

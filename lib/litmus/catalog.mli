@@ -29,6 +29,25 @@ type concurrent = {
 
 val concurrent_programs : concurrent list
 
+(** One row of the E15 differential backend grid: a litmus program, its
+    designated weak outcome (one return value per thread), and the
+    expected allowed/forbidden verdict per backend name. *)
+type grid_entry = {
+  g : concurrent;
+  weak : int list;
+  allowed : (string * bool) list;
+}
+
+(** The grid corpus (SB, MP, LB and IRIW-style rows): the classic
+    separations — SB separates TSO from SC, MP-rlx separates ARMv8 from
+    TSO, LB separates PS_na from ARMv8. *)
+val grid_programs : grid_entry list
+
+(** The E15 pass-soundness grid: (transformation name, context name)
+    pairs — each SEQ-validated pass is plugged into the context and
+    re-checked as behavior-set refinement under every backend. *)
+val grid_passes : (string * string) list
+
 (** Concurrent contexts for the adequacy experiment (E5), following the
     corpus location conventions. *)
 val contexts : (string * string) list

@@ -304,3 +304,262 @@ let render_e5_v ?(stats = false)
     (List.length rows) n_contexts !violations
     (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* E15: the N-model differential grid                                   *)
+(* ------------------------------------------------------------------ *)
+
+module B = Backends.Backend
+
+(** Backends the litmus grid sweeps, in strength order. *)
+let e15_models = [ "sc"; "tso"; "armv8"; "ps" ]
+
+(** Backends the pass-soundness grid sweeps ([catchfire] joins: it is
+    the one model that refutes load introduction, E6). *)
+let e15p_models = [ "sc"; "catchfire"; "tso"; "armv8"; "ps" ]
+
+type e15_row = {
+  ge : Catalog.grid_entry;
+  cells : (string * bool) list;  (* backend name -> weak outcome allowed *)
+  chain_ok : bool;  (* SC ⊆ TSO ⊆ ARMv8 held on this row *)
+  truncated : bool;
+  wall_ms : float;
+}
+
+let e15_ok (r : e15_row) =
+  r.chain_ok
+  && List.for_all
+       (fun (m, got) ->
+         match List.assoc_opt m r.ge.Catalog.allowed with
+         | Some expect -> got = expect
+         | None -> true)
+       r.cells
+
+let machine name : (module B.MACHINE) =
+  match Backends.Registry.find name with
+  | Some m -> m
+  | None -> invalid_arg ("Matrix: unknown backend " ^ name)
+
+let e15_row ?values ?max_states ?budget (ge : Catalog.grid_entry) : e15_row =
+  let row, ms =
+    Engine.Stats.timed (fun () ->
+        let progs = Parser.threads_of_string ge.Catalog.g.Catalog.threads in
+        let weak =
+          B.Ret (List.map (fun n -> (Value.Int n, [])) ge.Catalog.weak)
+        in
+        let results =
+          List.map
+            (fun name ->
+              let (module M : B.MACHINE) = machine name in
+              (name, M.explore ?values ?max_states ?budget progs))
+            e15_models
+        in
+        let get name = List.assoc name results in
+        {
+          ge;
+          cells =
+            List.map
+              (fun (name, r) -> (name, B.Behavior_set.mem weak r.B.behaviors))
+              results;
+          chain_ok =
+            B.subset ~small:(get "sc") ~big:(get "tso")
+            && B.subset ~small:(get "tso") ~big:(get "armv8");
+          truncated = List.exists (fun (_, r) -> r.B.truncated) results;
+          wall_ms = 0.;
+        })
+  in
+  { row with wall_ms = ms }
+
+let e15_rows ?pool ?jobs ?values () : e15_row list =
+  Engine.Sweep.run ?pool ?jobs
+    ~f:(fun ge -> e15_row ?values ge)
+    Catalog.grid_programs
+
+(** The fault-tolerant grid sweep, supervised as {!e12_rows_v}. *)
+let e15_rows_v ?pool ?jobs ?values ?budget ?retries ?faults
+    ?(corpus = Catalog.grid_programs) () :
+    (Catalog.grid_entry * e15_row Engine.Sweep.outcome) list =
+  let outcomes =
+    Engine.Sweep.run_verdict ?pool ?jobs ?budget ?retries ?faults
+      ~f:(fun ~budget ge -> e15_row ?values ~budget ge)
+      corpus
+  in
+  List.combine corpus outcomes
+
+let e15_weak_string (ge : Catalog.grid_entry) =
+  String.concat "," (List.map string_of_int ge.Catalog.weak)
+
+let pr_e15_header buf stats =
+  let pr fmt = bpr buf fmt in
+  pr "%-12s %-18s %-10s %-7s %-7s %-7s %-7s %-9s %s%s\n" "litmus"
+    "paper ref" "weak" "sc" "tso" "armv8" "ps" "chain" "ok"
+    (if stats then "  [ms]" else "")
+
+let pr_e15_row buf stats (r : e15_row) =
+  let pr fmt = bpr buf fmt in
+  let ok = e15_ok r in
+  let cell name =
+    match List.assoc_opt name r.cells with
+    | Some true -> "allow"
+    | Some false -> "forbid"
+    | None -> "-"
+  in
+  pr "%-12s %-18s %-10s %-7s %-7s %-7s %-7s %-9s %s%s%s\n"
+    r.ge.Catalog.g.Catalog.cname r.ge.Catalog.g.Catalog.cref
+    (e15_weak_string r.ge) (cell "sc") (cell "tso") (cell "armv8")
+    (cell "ps")
+    (if r.chain_ok then "ok" else "VIOLATION")
+    (if ok then "ok" else "MISMATCH")
+    (if r.truncated then " (TRUNCATED)" else "")
+    (if stats then Printf.sprintf "  [%.1f]" r.wall_ms else "");
+  ok
+
+let pr_e15_unknown buf stats (ge : Catalog.grid_entry)
+    (o : e15_row Engine.Sweep.outcome) reason =
+  let pr fmt = bpr buf fmt in
+  pr "%-12s %-18s %-10s %-7s %-7s %-7s %-7s %-9s UNKNOWN(%s)%s\n"
+    ge.Catalog.g.Catalog.cname ge.Catalog.g.Catalog.cref
+    (e15_weak_string ge) "-" "-" "-" "-" "-"
+    (Engine.Verdict.reason_to_string reason)
+    (if stats then Printf.sprintf "  [%.1f]" o.Engine.Sweep.wall_ms else "")
+
+let render_e15 ?(stats = false) (rows : e15_row list) : string =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e15_header buf stats;
+  let mismatches = ref 0 in
+  List.iter (fun r -> if not (pr_e15_row buf stats r) then incr mismatches) rows;
+  pr "-- %d grid rows, %d mismatches\n" (List.length rows) !mismatches;
+  Buffer.contents buf
+
+(** Render supervised grid outcomes; byte-identical to {!render_e15}
+    when every outcome is [Ok]. *)
+let render_e15_v ?(stats = false)
+    (rows : (Catalog.grid_entry * e15_row Engine.Sweep.outcome) list) : string
+    =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e15_header buf stats;
+  let mismatches = ref 0 and unknown = ref 0 in
+  List.iter
+    (fun (ge, o) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> if not (pr_e15_row buf stats r) then incr mismatches
+      | Error reason ->
+        incr unknown;
+        pr_e15_unknown buf stats ge o reason)
+    rows;
+  pr "-- %d grid rows, %d mismatches%s\n" (List.length rows) !mismatches
+    (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
+  Buffer.contents buf
+
+(* The pass-soundness half of E15: SEQ-validated transformations in a
+   concurrent context, re-checked as behavior-set refinement per
+   backend. *)
+
+type e15p_row = {
+  tr : Catalog.transformation;
+  ctx_name : string;
+  cells : (string * bool) list;  (* backend name -> tgt refines src *)
+  truncated : bool;
+  wall_ms : float;
+}
+
+let e15p_row ?values ?max_states ?budget ((tr_name, ctx_name) : string * string)
+    : e15p_row =
+  let row, ms =
+    Engine.Stats.timed (fun () ->
+        let tr =
+          match Catalog.find_transformation tr_name with
+          | Some tr -> tr
+          | None -> invalid_arg ("Matrix: unknown transformation " ^ tr_name)
+        in
+        let ctx =
+          match List.assoc_opt ctx_name Catalog.contexts with
+          | Some c -> c
+          | None -> invalid_arg ("Matrix: unknown context " ^ ctx_name)
+        in
+        let src = Parser.threads_of_string (tr.Catalog.src ^ " ||| " ^ ctx) in
+        let tgt = Parser.threads_of_string (tr.Catalog.tgt ^ " ||| " ^ ctx) in
+        let truncated = ref false in
+        let cells =
+          List.map
+            (fun name ->
+              let (module M : B.MACHINE) = machine name in
+              let r_src = M.explore ?values ?max_states ?budget src in
+              let r_tgt = M.explore ?values ?max_states ?budget tgt in
+              if r_src.B.truncated || r_tgt.B.truncated then truncated := true;
+              (name, B.refines ~src:r_src ~tgt:r_tgt))
+            e15p_models
+        in
+        { tr; ctx_name; cells; truncated = !truncated; wall_ms = 0. })
+  in
+  { row with wall_ms = ms }
+
+let e15p_rows ?pool ?jobs ?values () : e15p_row list =
+  Engine.Sweep.run ?pool ?jobs
+    ~f:(fun pc -> e15p_row ?values pc)
+    Catalog.grid_passes
+
+(** The fault-tolerant pass-grid sweep. *)
+let e15p_rows_v ?pool ?jobs ?values ?budget ?retries ?faults
+    ?(corpus = Catalog.grid_passes) () :
+    ((string * string) * e15p_row Engine.Sweep.outcome) list =
+  let outcomes =
+    Engine.Sweep.run_verdict ?pool ?jobs ?budget ?retries ?faults
+      ~f:(fun ~budget pc -> e15p_row ?values ~budget pc)
+      corpus
+  in
+  List.combine corpus outcomes
+
+let pr_e15p_header buf stats =
+  let pr fmt = bpr buf fmt in
+  pr "%-26s %-20s %-9s %-11s %-9s %-9s %-9s%s\n" "transformation" "context"
+    "sc" "catchfire" "tso" "armv8" "ps"
+    (if stats then "  [ms]" else "")
+
+let pr_e15p_row buf stats (r : e15p_row) =
+  let pr fmt = bpr buf fmt in
+  let cell name =
+    match List.assoc_opt name r.cells with
+    | Some true -> "ok"
+    | Some false -> "REFUTED"
+    | None -> "-"
+  in
+  pr "%-26s %-20s %-9s %-11s %-9s %-9s %-9s%s%s\n" r.tr.Catalog.name
+    r.ctx_name (cell "sc") (cell "catchfire") (cell "tso") (cell "armv8")
+    (cell "ps")
+    (if r.truncated then " (TRUNCATED)" else "")
+    (if stats then Printf.sprintf "  [%.1f]" r.wall_ms else "")
+
+let render_e15p ?(stats = false) (rows : e15p_row list) : string =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e15p_header buf stats;
+  List.iter (fun r -> pr_e15p_row buf stats r) rows;
+  pr "-- %d pass rows\n" (List.length rows);
+  Buffer.contents buf
+
+(** Render supervised pass-grid outcomes; byte-identical to
+    {!render_e15p} when every outcome is [Ok]. *)
+let render_e15p_v ?(stats = false)
+    (rows : ((string * string) * e15p_row Engine.Sweep.outcome) list) : string
+    =
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr_e15p_header buf stats;
+  let unknown = ref 0 in
+  List.iter
+    (fun ((tr_name, ctx_name), o) ->
+      match o.Engine.Sweep.result with
+      | Ok r -> pr_e15p_row buf stats r
+      | Error reason ->
+        incr unknown;
+        pr "%-26s %-20s UNKNOWN(%s)%s\n" tr_name ctx_name
+          (Engine.Verdict.reason_to_string reason)
+          (if stats then Printf.sprintf "  [%.1f]" o.Engine.Sweep.wall_ms
+           else ""))
+    rows;
+  pr "-- %d pass rows%s\n" (List.length rows)
+    (if !unknown > 0 then Printf.sprintf ", %d unknown" !unknown else "");
+  Buffer.contents buf

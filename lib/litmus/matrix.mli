@@ -99,3 +99,87 @@ val render_e5 : ?stats:bool -> Adequacy.row list -> string
 val render_e5_v :
   ?stats:bool ->
   (Catalog.transformation * Adequacy.row Engine.Sweep.outcome) list -> string
+
+(** One row of the E15 N-model differential backend grid: the litmus
+    program explored under every backend in {!e15_models}, with
+    per-backend allowed/forbidden verdicts for the designated weak
+    outcome and an inclusion-chain check (SC ⊆ TSO ⊆ ARMv8). *)
+type e15_row = {
+  ge : Catalog.grid_entry;
+  cells : (string * bool) list;  (** backend name -> weak outcome allowed *)
+  chain_ok : bool;  (** SC ⊆ TSO ⊆ ARMv8 held on this row *)
+  truncated : bool;
+  wall_ms : float;
+}
+
+(** Backends swept by the litmus grid, in strength order:
+    ["sc"; "tso"; "armv8"; "ps"]. *)
+val e15_models : string list
+
+(** Backends swept by the pass-soundness grid (adds ["catchfire"]). *)
+val e15p_models : string list
+
+(** Every cell matches the catalog expectation and the chain held. *)
+val e15_ok : e15_row -> bool
+
+val e15_row :
+  ?values:Value.t list -> ?max_states:int -> ?budget:Engine.Budget.t ->
+  Catalog.grid_entry -> e15_row
+
+(** The full grid corpus, one engine task per litmus program. *)
+val e15_rows :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list -> unit ->
+  e15_row list
+
+(** The fault-tolerant E15 sweep; supervised outcomes as
+    {!e12_rows_v}.  [corpus] defaults to {!Catalog.grid_programs}. *)
+val e15_rows_v :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list ->
+  ?budget:Engine.Budget.spec -> ?retries:int -> ?faults:Engine.Faults.plan ->
+  ?corpus:Catalog.grid_entry list -> unit ->
+  (Catalog.grid_entry * e15_row Engine.Sweep.outcome) list
+
+val render_e15 : ?stats:bool -> e15_row list -> string
+
+(** Render supervised E15 outcomes; byte-identical to {!render_e15}
+    when every outcome is [Ok]. *)
+val render_e15_v :
+  ?stats:bool ->
+  (Catalog.grid_entry * e15_row Engine.Sweep.outcome) list -> string
+
+(** One row of the E15 pass-soundness grid: a SEQ-validated
+    transformation plugged into a concurrent context and re-checked as
+    behavior-set refinement under every backend in {!e15p_models} —
+    showing where each pass over-/under-approximates hardware. *)
+type e15p_row = {
+  tr : Catalog.transformation;
+  ctx_name : string;
+  cells : (string * bool) list;  (** backend name -> tgt refines src *)
+  truncated : bool;
+  wall_ms : float;
+}
+
+val e15p_row :
+  ?values:Value.t list -> ?max_states:int -> ?budget:Engine.Budget.t ->
+  string * string -> e15p_row
+
+(** The full pass grid, one engine task per (transformation, context)
+    pair from {!Catalog.grid_passes}. *)
+val e15p_rows :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list -> unit ->
+  e15p_row list
+
+(** The fault-tolerant pass-grid sweep. *)
+val e15p_rows_v :
+  ?pool:Engine.Pool.t -> ?jobs:int -> ?values:Value.t list ->
+  ?budget:Engine.Budget.spec -> ?retries:int -> ?faults:Engine.Faults.plan ->
+  ?corpus:(string * string) list -> unit ->
+  ((string * string) * e15p_row Engine.Sweep.outcome) list
+
+val render_e15p : ?stats:bool -> e15p_row list -> string
+
+(** Render supervised pass-grid outcomes; byte-identical to
+    {!render_e15p} when every outcome is [Ok]. *)
+val render_e15p_v :
+  ?stats:bool ->
+  ((string * string) * e15p_row Engine.Sweep.outcome) list -> string

@@ -197,9 +197,12 @@ let unexpected what = function
   | Proto.Busy -> failwith (Printf.sprintf "server busy (gave up on %s)" what)
   | _ -> failwith (Printf.sprintf "unexpected response to %s" what)
 
-let check ?(values = []) ?(fast_path = true) ?(budget = Proto.no_budget) t
-    ~src ~tgt () =
-  match request t (Proto.Check ({ src; tgt; values; fast_path }, budget)) with
+let check ?(values = []) ?(fast_path = true)
+    ?(backend = Proto.default_backend) ?(budget = Proto.no_budget) t ~src ~tgt
+    () =
+  match
+    request t (Proto.Check ({ src; tgt; values; fast_path; backend }, budget))
+  with
   | Proto.Checked cr -> cr
   | resp -> unexpected "check" resp
 

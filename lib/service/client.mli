@@ -70,10 +70,14 @@ val request : t -> Proto.request -> Proto.response
 val ping : t -> bool
 
 (** Check one refinement pair ([values = []] means the server default
-    domain; [fast_path] defaults to [true]). *)
+    domain; [fast_path] defaults to [true]; [backend] defaults to
+    {!Proto.default_backend}, i.e. the SEQ sequential refinement — a
+    hardware backend name means behavior-set inclusion under that
+    machine, cached under its own key). *)
 val check :
   ?values:int list ->
   ?fast_path:bool ->
+  ?backend:string ->
   ?budget:Proto.budget ->
   t ->
   src:string ->

@@ -110,7 +110,49 @@ let check_key (c : Proto.check) ~(src : Stmt.t) ~(tgt : Stmt.t) ~values =
       Fingerprint.canonical_stmt tgt;
       Fingerprint.canonical_values values;
       (if c.Proto.fast_path then "fp" else "nofp");
+      (* per-backend verdicts must never be served for one another *)
+      "backend:" ^ c.Proto.backend;
     ]
+
+(* A check under a hardware backend: behavior-set inclusion under the
+   named machine (no static certificates — always enumerated).  A
+   truncated exploration leaves the verdict Unknown (not cached). *)
+let check_hw t (module M : Backends.Backend.MACHINE) ~src ~tgt ~values
+    (b : Proto.budget) : Proto.response =
+  let budget = Engine.Budget.start (spec_of t b) in
+  match
+    Engine.Verdict.capture (fun () ->
+        let r_src = M.explore ~values ~budget [ src ] in
+        let r_tgt = M.explore ~values ~budget [ tgt ] in
+        if r_src.Backends.Backend.truncated || r_tgt.Backends.Backend.truncated
+        then None
+        else Some (Backends.Backend.refines ~src:r_src ~tgt:r_tgt))
+  with
+  | Ok (Some refines) ->
+    Engine.Metrics.incr t.metrics "origin.enumerated";
+    Proto.Checked
+      {
+        verdict = (if refines then Proto.Refines_simple else Proto.Refuted);
+        origin = Some Proto.Enumerated;
+        tier = Proto.Computed;
+        states = Engine.Budget.states_used budget;
+      }
+  | Ok None ->
+    Proto.Checked
+      {
+        verdict = Proto.Unknown (Printf.sprintf "%s: truncated" M.name);
+        origin = None;
+        tier = Proto.Computed;
+        states = Engine.Budget.states_used budget;
+      }
+  | Error reason ->
+    Proto.Checked
+      {
+        verdict = Proto.Unknown (Engine.Verdict.reason_to_string reason);
+        origin = None;
+        tier = Proto.Computed;
+        states = Engine.Budget.states_used budget;
+      }
 
 let serve_check t (c : Proto.check) (b : Proto.budget) : Proto.check_result =
   match
@@ -139,6 +181,20 @@ let serve_check t (c : Proto.check) (b : Proto.budget) : Proto.check_result =
           | Proto.Checked _ -> true
           | _ -> false)
         (fun () ->
+          if c.Proto.backend <> Proto.default_backend then
+            match Backends.Registry.find c.Proto.backend with
+            | Some m -> check_hw t m ~src ~tgt ~values b
+            | None ->
+              Proto.Checked
+                {
+                  verdict =
+                    Proto.Unknown
+                      (Printf.sprintf "unknown backend %S" c.Proto.backend);
+                  origin = None;
+                  tier = Proto.Computed;
+                  states = 0;
+                }
+          else
           let budget = Engine.Budget.start (spec_of t b) in
           match
             Engine.Verdict.capture (fun () ->

@@ -1,6 +1,6 @@
 (** seqd wire protocol: framing and tagged binary codec (see .mli). *)
 
-let version = 2
+let version = 3
 let magic = "SEQD"
 let max_frame = 16 * 1024 * 1024
 
@@ -118,7 +118,10 @@ type check = {
   tgt : string;
   values : int list;
   fast_path : bool;
+  backend : string;
 }
+
+let default_backend = "seq"
 
 type litmus_params = { promises : int; batch : int; lit_max_states : int }
 
@@ -235,14 +238,16 @@ let w_check buf (c : check) =
   w_str buf c.src;
   w_str buf c.tgt;
   w_list buf w_i64 c.values;
-  w_bool buf c.fast_path
+  w_bool buf c.fast_path;
+  w_str buf c.backend
 
 let r_check r =
   let src = r_str r in
   let tgt = r_str r in
   let values = r_list r r_int in
   let fast_path = r_bool r in
-  { src; tgt; values; fast_path }
+  let backend = r_str r in
+  { src; tgt; values; fast_path; backend }
 
 let encode_request req =
   let buf = Buffer.create 256 in

@@ -37,13 +37,23 @@ type budget = { timeout_ms : float option; max_states : int option }
 val no_budget : budget
 
 (** One refinement check: [values] is the finite domain (empty = the
-    default domain), [fast_path] allows static certificates. *)
+    default domain), [fast_path] allows static certificates.  [backend]
+    selects the memory model the check runs under: {!default_backend}
+    (["seq"]) is the SEQ sequential refinement (Def 2.4 / Def 3.3); a
+    registered hardware backend name (["sc"], ["tso"], ["armv8"],
+    ["ps"], ...) means behavior-set inclusion under that machine —
+    introduced with protocol version 3, keyed into the cache so verdicts
+    never leak between backends. *)
 type check = {
   src : string;
   tgt : string;
   values : int list;
   fast_path : bool;
+  backend : string;
 }
+
+(** ["seq"], the classic sequential-refinement check. *)
+val default_backend : string
 
 type litmus_params = { promises : int; batch : int; lit_max_states : int }
 

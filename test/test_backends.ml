@@ -1,0 +1,198 @@
+(* The hardware-backend zoo (lib/backends): x86-TSO store buffers,
+   ARMv8-flavoured local reordering, the shared MACHINE signature and
+   registry, and the SC ⊆ TSO ⊆ ARMv8 inclusion chain the E15 grid
+   asserts per row. *)
+
+open Lang
+module B = Backends.Backend
+module Tso = Backends.Tso
+module Armv8 = Backends.Armv8
+module Registry = Backends.Registry
+module Sc = Baselines.Sc
+
+let threads = Parser.threads_of_string
+let test name f = Alcotest.test_case name `Quick f
+let check_bool msg = Alcotest.(check bool) msg
+let check_int msg = Alcotest.(check int) msg
+let ret vs = B.Ret (List.map (fun v -> (v, [])) vs)
+let i n = Value.Int n
+let mem b (r : B.result) = B.Behavior_set.mem b r.B.behaviors
+
+let sb =
+  "Y.store(rlx,1); a = Z.load(rlx); return a ||| \
+   Z.store(rlx,1); b = Y.load(rlx); return b"
+
+let sb_fence =
+  "Y.store(rlx,1); fence(sc); a = Z.load(rlx); return a ||| \
+   Z.store(rlx,1); fence(sc); b = Y.load(rlx); return b"
+
+let mp_rlx =
+  "X.store(rlx,1); Y.store(rlx,1); return 0 ||| \
+   a = Y.load(rlx); if a == 1 { b = X.load(rlx) }; return 10*a+b"
+
+let mp_rel_acq =
+  "X.store(na,1); Y.store(rel,1); return 0 ||| \
+   a = Y.load(acq); if a == 1 { b = X.load(na) }; return 10*a+b"
+
+let mp_fences =
+  "X.store(na,1); fence(rel); Y.store(rlx,1); return 0 ||| \
+   a = Y.load(rlx); fence(acq); if a == 1 { b = X.load(na) }; return 10*a+b"
+
+(* The acceptance separations: SB separates TSO from SC, MP-rlx
+   separates ARMv8 from TSO. *)
+
+let separation_tests =
+  [
+    test "SB both-zero: allowed under TSO, forbidden under SC" (fun () ->
+        let tso = Tso.explore (threads sb) in
+        check_bool "TSO allows 0,0" true (mem (ret [ i 0; i 0 ]) tso);
+        let sc = Registry.Sc_machine.explore (threads sb) in
+        check_bool "SC forbids 0,0" false (mem (ret [ i 0; i 0 ]) sc));
+    test "SC fences restore SC on SB under TSO and ARMv8" (fun () ->
+        let tso = Tso.explore (threads sb_fence) in
+        check_bool "TSO forbids fenced 0,0" false (mem (ret [ i 0; i 0 ]) tso);
+        let arm = Armv8.explore (threads sb_fence) in
+        check_bool "ARMv8 forbids fenced 0,0" false
+          (mem (ret [ i 0; i 0 ]) arm));
+    test "MP-rlx stale read: allowed under ARMv8, forbidden under TSO"
+      (fun () ->
+        let arm = Armv8.explore (threads mp_rlx) in
+        check_bool "ARMv8 allows a=1,b=0" true (mem (ret [ i 0; i 10 ]) arm);
+        let tso = Tso.explore (threads mp_rlx) in
+        check_bool "TSO forbids a=1,b=0" false (mem (ret [ i 0; i 10 ]) tso));
+    test "MP-rel-acq: the release view forbids the stale read under ARMv8"
+      (fun () ->
+        let arm = Armv8.explore (threads mp_rel_acq) in
+        check_bool "ARMv8 forbids a=1,b=0" false
+          (mem (ret [ i 0; i 10 ]) arm);
+        check_bool "ARMv8 allows a=1,b=1" true (mem (ret [ i 0; i 11 ]) arm));
+    test "MP-fences: full barriers forbid the stale read under ARMv8"
+      (fun () ->
+        let arm = Armv8.explore (threads mp_fences) in
+        check_bool "ARMv8 forbids a=1,b=0" false
+          (mem (ret [ i 0; i 10 ]) arm));
+  ]
+
+let machine_tests =
+  [
+    test "TSO forwards its own buffered store" (fun () ->
+        let r = Tso.explore (threads "X.store(rlx,1); a = X.load(rlx); return a") in
+        check_bool "reads 1" true (mem (ret [ i 1 ]) r);
+        check_int "exactly one behavior" 1 (B.Behavior_set.cardinal r.B.behaviors));
+    test "ARMv8 per-location coherence: own writes are not reordered"
+      (fun () ->
+        let r =
+          Armv8.explore
+            (threads "X.store(rlx,1); X.store(rlx,2); return 0 ||| \
+                      a = X.load(rlx); b = X.load(rlx); return 10*a+b")
+        in
+        (* reads of one location are coherent: never 2 then 1 *)
+        check_bool "no 2,1" false (mem (ret [ i 0; i 21 ]) r));
+    test "RMWs are SC points: a CAS lock still excludes under TSO/ARMv8"
+      (fun () ->
+        let lock =
+          "a = 0; while a == 0 { a = cas(L, 0, 1) }; X.store(na, 1); \
+           L.store(rel, 0) ||| \
+           b = 0; while b == 0 { b = cas(L, 0, 1) }; c = X.load(na); \
+           L.store(rel, 0); return c"
+        in
+        let tso = Tso.explore (threads lock) in
+        check_bool "TSO race-free" false tso.B.races;
+        let arm = Armv8.explore (threads lock) in
+        check_bool "ARMv8 race-free" false arm.B.races);
+    test "race verdicts agree with the SC baseline" (fun () ->
+        let racy = "a = X.load(na); return a ||| X.store(na,1); return 0" in
+        let tso = Tso.explore (threads racy) in
+        let arm = Armv8.explore (threads racy) in
+        check_bool "TSO races" true tso.B.races;
+        check_bool "ARMv8 races" true arm.B.races;
+        let sync = threads mp_rel_acq in
+        check_bool "TSO rel-acq race-free" false (Tso.explore sync).B.races;
+        check_bool "ARMv8 rel-acq race-free" false (Armv8.explore sync).B.races);
+    test "UB is ⊥ under every backend" (fun () ->
+        let progs = threads "abort ||| return 0" in
+        List.iter
+          (fun (module M : B.MACHINE) ->
+            check_bool (M.name ^ " has ⊥") true
+              (mem B.Bot (M.explore progs)))
+          Registry.all);
+    test "budget exhaustion escapes as Engine.Budget.Exhausted" (fun () ->
+        let budget = Engine.Budget.make ~max_states:5 () in
+        check_bool "raises" true
+          (try
+             ignore (Tso.explore ~budget (threads sb));
+             false
+           with Engine.Budget.Exhausted _ -> true));
+  ]
+
+let registry_tests =
+  [
+    test "registry: every name resolves, unknown names do not" (fun () ->
+        check_bool "five machines" true (List.length Registry.all = 5);
+        List.iter
+          (fun name ->
+            check_bool ("find " ^ name) true
+              (Option.is_some (Registry.find name)))
+          Registry.names;
+        check_bool "unknown rejected" true (Option.is_none (Registry.find "sc2")));
+    test "refines across backends: TSO target vs SC source refuted on SB"
+      (fun () ->
+        let progs = threads sb in
+        let sc = Registry.Sc_machine.explore progs in
+        let tso = Tso.explore progs in
+        check_bool "SC ⊑ TSO as sets" true (B.subset ~small:sc ~big:tso);
+        check_bool "tgt TSO refines src TSO" true (B.refines ~src:tso ~tgt:tso);
+        check_bool "tgt TSO does not refine src SC" false
+          (B.refines ~src:sc ~tgt:tso));
+  ]
+
+(* The inclusion chain on the whole litmus catalog. *)
+let chain_on_catalog =
+  test "SC ⊆ TSO ⊆ ARMv8 on the litmus catalog" (fun () ->
+      List.iter
+        (fun (c : Litmus.Catalog.concurrent) ->
+          let progs = threads c.Litmus.Catalog.threads in
+          let sc = Registry.Sc_machine.explore ~max_states:50_000 progs in
+          let tso = Tso.explore ~max_states:50_000 progs in
+          let arm = Armv8.explore ~max_states:50_000 progs in
+          if not (sc.B.truncated || tso.B.truncated || arm.B.truncated) then begin
+            check_bool (c.Litmus.Catalog.cname ^ ": SC ⊆ TSO") true
+              (B.subset ~small:sc ~big:tso);
+            check_bool (c.Litmus.Catalog.cname ^ ": TSO ⊆ ARMv8") true
+              (B.subset ~small:tso ~big:arm)
+          end)
+        Litmus.Catalog.concurrent_programs)
+
+(* The qcheck inclusion property on generated two-thread programs:
+   budget-bounded, truncated explorations skipped. *)
+let gen_cfg =
+  {
+    Gen.default_config with
+    Gen.na_locs = [ Loc.make "X" ];
+    at_locs = [ Loc.make "Y"; Loc.make "Z" ];
+    regs = [ Reg.make "a"; Reg.make "b" ];
+    values = [ 0; 1 ];
+    allow_loops = false;
+  }
+
+let pair_gen : (Stmt.t * Stmt.t) QCheck.Gen.t =
+ fun rand ->
+  (Gen.gen_program gen_cfg rand ~size:3, Gen.gen_program gen_cfg rand ~size:3)
+
+let chain_qcheck =
+  QCheck.Test.make ~name:"SC ⊆ TSO ⊆ ARMv8 on generated programs" ~count:30
+    (QCheck.make
+       ~print:(fun (s, t) -> Stmt.to_string s ^ " ||| " ^ Stmt.to_string t)
+       pair_gen)
+    (fun (s, t) ->
+      let progs = [ s; t ] in
+      let max_states = 30_000 in
+      let sc = Registry.Sc_machine.explore ~max_states progs in
+      let tso = Tso.explore ~max_states progs in
+      let arm = Armv8.explore ~max_states progs in
+      sc.B.truncated || tso.B.truncated || arm.B.truncated
+      || (B.subset ~small:sc ~big:tso && B.subset ~small:tso ~big:arm))
+
+let suite =
+  separation_tests @ machine_tests @ registry_tests
+  @ [ chain_on_catalog; QCheck_alcotest.to_alcotest chain_qcheck ]

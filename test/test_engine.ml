@@ -151,6 +151,31 @@ let det_explore_with_domain_memo =
       let seq = sweep 1 and par = sweep 4 in
       List.length seq = List.length par && List.for_all2 String.equal seq par)
 
+(* Hardware backends must be scheduling-proof too: Tso's store-buffer
+   interleaving and Armv8's reordering frontier are explored with
+   worklists whose visit order could silently leak into the behavior
+   set.  Sweeping the E15 grid at jobs:4 vs jobs:1 pins every cell,
+   chain verdict and state count (wall_ms excluded — it is the one
+   timing field). *)
+let e15_summary (r : Litmus.Matrix.e15_row) =
+  Printf.sprintf "%s:%s:%b:%b" r.Litmus.Matrix.ge.C.g.C.cname
+    (String.concat ","
+       (List.map
+          (fun (m, allowed) -> Printf.sprintf "%s=%b" m allowed)
+          r.Litmus.Matrix.cells))
+    r.Litmus.Matrix.chain_ok r.Litmus.Matrix.truncated
+
+let det_backend_grid =
+  QCheck.Test.make
+    ~name:"backend grid: jobs:4 = jobs:1 on random E15 slices" ~count:4
+    QCheck.(list_of_size Gen.(return (List.length C.grid_programs)) bool)
+    (fun mask ->
+      let tasks = slice_of mask C.grid_programs in
+      let f ge = e15_summary (Litmus.Matrix.e15_row ge) in
+      let seq = S.run ~jobs:1 ~f tasks in
+      let par = S.run ~jobs:4 ~chunk:1 ~f tasks in
+      List.length seq = List.length par && List.for_all2 String.equal seq par)
+
 let suite =
   [
     Alcotest.test_case "sweep: empty task list" `Quick test_empty;
@@ -166,4 +191,5 @@ let suite =
     Alcotest.test_case "sweep: run_timed" `Quick test_run_timed;
     QCheck_alcotest.to_alcotest det_transformations;
     QCheck_alcotest.to_alcotest det_explore_with_domain_memo;
+    QCheck_alcotest.to_alcotest det_backend_grid;
   ]

@@ -164,6 +164,50 @@ let test_e5_golden () =
   in
   check_golden ~what:"E5 slice" ~expected:golden_e5 ~actual
 
+(* E15 differential grid: per-backend allow/forbid verdicts for the weak
+   behavior of each catalog grid entry, plus the SC ⊆ TSO ⊆ ARMv8 chain
+   check.  Pins the hardware machines' behavior sets: a TSO buffer or
+   ARMv8 reordering change that admits or loses a weak behavior flips a
+   cell here.  Regenerate with:
+     dune exec bin/litmus_run.exe -- --grid 2>/dev/null *)
+let golden_e15 =
+  {golden|litmus       paper ref          weak       sc      tso     armv8   ps      chain     ok
+SB-rlx       classic            0,0        forbid  allow   allow   allow   ok        ok
+SB-sc-fence  extension (SC fences) 0,0        forbid  forbid  forbid  forbid  ok        ok
+MP-rel-acq   classic            0,10       forbid  forbid  forbid  forbid  ok        ok
+MP-rlx       classic            0,10       forbid  forbid  allow   allow   ok        ok
+MP-fences    extension (fences) 0,10       forbid  forbid  forbid  forbid  ok        ok
+LB-rlx       classic            1,1        forbid  forbid  forbid  allow   ok        ok
+IRIW-rlx     classic            0,0,10,10  forbid  forbid  allow   allow   ok        ok
+-- 7 grid rows, 0 mismatches
+|golden}
+
+let test_e15_golden () =
+  let actual =
+    Litmus.Matrix.render_e15 ~stats:false (Litmus.Matrix.e15_rows ~jobs:2 ())
+  in
+  check_golden ~what:"E15 grid" ~expected:golden_e15 ~actual
+
+(* E15 pass-soundness grid: catchfire must refute irrelevant-load-intro
+   (a load of a racy location is UB there, not a no-op) while every
+   other backend accepts all six pairs. *)
+let golden_e15p =
+  {golden|transformation             context              sc        catchfire   tso       armv8     ps
+store-to-load-fwd          na-writer            ok        ok          ok        ok        ok
+reorder-na-rw-diff         na-writer            ok        ok          ok        ok        ok
+irrelevant-load-intro      na-writer            ok        REFUTED     ok        ok        ok
+unused-load-elim           na-writer            ok        ok          ok        ok        ok
+overwritten-store-elim     na-reader            ok        ok          ok        ok        ok
+read-before-write-elim     na-writer            ok        ok          ok        ok        ok
+-- 6 pass rows
+|golden}
+
+let test_e15p_golden () =
+  let actual =
+    Litmus.Matrix.render_e15p ~stats:false (Litmus.Matrix.e15p_rows ~jobs:2 ())
+  in
+  check_golden ~what:"E15 pass grid" ~expected:golden_e15p ~actual
+
 (* seqlint over examples/programs/*.wm must reproduce the checked-in
    examples/seqlint.golden byte for byte (same rendering as
    bin/seqlint.ml, same shell-glob file order). *)
@@ -213,6 +257,8 @@ let suite =
     Alcotest.test_case "E1/E2 table matches golden" `Quick test_e12_golden;
     Alcotest.test_case "E4 table matches golden" `Quick test_e4_golden;
     Alcotest.test_case "E5 slice matches golden" `Quick test_e5_golden;
+    Alcotest.test_case "E15 grid matches golden" `Quick test_e15_golden;
+    Alcotest.test_case "E15 pass grid matches golden" `Quick test_e15p_golden;
     Alcotest.test_case "seqlint output matches golden" `Quick
       test_seqlint_golden;
   ]

@@ -10,6 +10,7 @@ let () =
       ("promising", Test_promising.suite);
       ("optimizer", Test_optimizer.suite);
       ("baselines", Test_baselines.suite);
+      ("backends", Test_backends.suite);
       ("engine", Test_engine.suite);
       ("robustness", Test_robustness.suite);
       ("adequacy", Test_adequacy.suite);

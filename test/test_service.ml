@@ -53,7 +53,7 @@ let some_budget = { Proto.timeout_ms = Some 1.5; max_states = Some 42 }
 
 let sample_check =
   { Proto.src = "return 0"; tgt = "return 0"; values = [ 0; 1 ];
-    fast_path = true }
+    fast_path = true; backend = Proto.default_backend }
 
 let sample_requests =
   [
@@ -297,7 +297,8 @@ let test_fingerprint_keys () =
 (* ------------------------------------------------------------------ *)
 
 let check_of (t : C.transformation) =
-  { Proto.src = t.C.src; tgt = t.C.tgt; values = []; fast_path = true }
+  { Proto.src = t.C.src; tgt = t.C.tgt; values = []; fast_path = true;
+    backend = Proto.default_backend }
 
 let handler_check h ?(budget = Proto.no_budget) t =
   match Handler.handle h (Proto.Check (check_of t, budget)) with
@@ -349,9 +350,45 @@ let test_handler_unknown_uncached () =
     (r2.Proto.tier = Proto.Computed
      && match r2.Proto.verdict with Proto.Unknown _ -> false | _ -> true)
 
+(* Per-backend cache isolation: the key includes the backend name, so a
+   cached SEQ verdict is never served for a tso check (the two notions
+   can genuinely disagree), hw verdicts carry Enumerated provenance, and
+   unknown backend names answer Unknown without polluting the cache. *)
+let test_handler_backend_isolation () =
+  let dir = temp_dir "seq-handler-hw" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let h = Handler.create ~cache_dir:dir () in
+  let tr = List.hd C.transformations in
+  let check b = { (check_of tr) with Proto.backend = b } in
+  let run c =
+    match Handler.handle h (Proto.Check (c, Proto.no_budget)) with
+    | Proto.Checked r -> r
+    | _ -> Alcotest.fail "expected Checked"
+  in
+  let seq = run (check Proto.default_backend) in
+  Alcotest.(check bool) "seq cold computes" true
+    (seq.Proto.tier = Proto.Computed);
+  let tso = run (check "tso") in
+  Alcotest.(check bool) "tso computes despite warm seq entry" true
+    (tso.Proto.tier = Proto.Computed);
+  Alcotest.(check bool) "hw verdict has enumerated provenance" true
+    (tso.Proto.origin = Some Proto.Enumerated);
+  Alcotest.(check bool) "tso warm pass hits memory" true
+    ((run (check "tso")).Proto.tier = Proto.Mem);
+  Alcotest.(check bool) "seq entry survives untouched" true
+    ((run (check Proto.default_backend)).Proto.tier = Proto.Mem);
+  (* an unknown backend name is a per-request error, not a cacheable
+     verdict *)
+  let bogus = run (check "bogus") in
+  (match bogus.Proto.verdict with
+   | Proto.Unknown _ -> ()
+   | _ -> Alcotest.fail "unknown backend must answer Unknown");
+  Alcotest.(check bool) "unknown backend is not cached" true
+    ((run (check "bogus")).Proto.tier = Proto.Computed)
+
 let test_handler_parse_error () =
   let h = Handler.create () in
-  (match Handler.handle h (Proto.Check ({ Proto.src = "while ("; tgt = "return 0"; values = []; fast_path = true }, Proto.no_budget)) with
+  (match Handler.handle h (Proto.Check ({ Proto.src = "while ("; tgt = "return 0"; values = []; fast_path = true; backend = Proto.default_backend }, Proto.no_budget)) with
    | Proto.Checked { verdict = Proto.Unknown _; origin = None; _ } -> ()
    | _ -> Alcotest.fail "parse failure must answer Unknown");
   (* and handle never raises on garbage programs in other requests *)
@@ -879,6 +916,8 @@ let suite =
       test_fingerprint_keys;
     Alcotest.test_case "handler: tier progression, provenance" `Quick
       test_handler_tiers_and_provenance;
+    Alcotest.test_case "handler: per-backend verdicts never leak" `Quick
+      test_handler_backend_isolation;
     Alcotest.test_case "handler: Unknown is never cached" `Quick
       test_handler_unknown_uncached;
     Alcotest.test_case "handler: parse errors answer Unknown" `Quick
