@@ -56,7 +56,7 @@ let hard_floor = 0.1
 (* Schema versions this guard knows how to judge.  A record written by a
    newer (or older) harness is skipped with a notice instead of being
    misread: field meanings may have changed under the same names. *)
-let known_schemas = [ "seq-bench/5"; "seq-bench/6" ]
+let known_schemas = [ "seq-bench/5"; "seq-bench/6"; "seq-bench/7" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -323,6 +323,89 @@ let check_e15 ~current ~cur_tbls ~base_tbls =
         Fmt.pr "guard: all %d E15 rows within bounds@." (List.length known);
       !bad)
 
+(* ---------------- E16: guided-fuzzing invariants ---------------- *)
+
+(* Categorical plus one floor: the guided campaign must refute every
+   planted variant ([min_planted] from the baseline), must not need
+   more execs than the blind campaign to refute them all (the two
+   campaigns share every even corpus index, so the comparison is exact,
+   not statistical), and its coverage-point count must stay at or above
+   the baseline floor [min_points] (signals are pure functions of the
+   deterministic corpus, so a drop is a code regression, not noise). *)
+let check_e16 ~current ~cur_tbls ~base_tbls =
+  match table_rows "E16" base_tbls with
+  | None -> []  (* baseline predates guided fuzzing *)
+  | Some base_rows -> (
+    let floor_row =
+      match find_row "guided" base_rows with
+      | Some r -> r
+      | None -> fail "baseline E16 table has no \"guided\" row"
+    in
+    let floor k =
+      match Option.bind (J.member k floor_row) J.to_float_opt with
+      | Some f -> int_of_float f
+      | None -> fail "baseline E16 guided row has no %S floor" k
+    in
+    let min_planted = floor "min_planted" and min_points = floor "min_points" in
+    match table_rows "E16" cur_tbls with
+    | None -> fail "%s: no E16 table" current
+    | Some cur_rows ->
+      let geti row k =
+        match Option.bind (J.member k row) J.to_float_opt with
+        | Some f -> int_of_float f
+        | None ->
+          fail "%s: E16 row %S has no %S" current
+            (Option.value (row_name row) ~default:"?")
+            k
+      in
+      let guided =
+        match find_row "guided" cur_rows with
+        | Some r -> r
+        | None -> fail "%s: E16 table has no guided row" current
+      in
+      let bad = ref [] in
+      let planted = geti guided "planted_refuted" in
+      let points = geti guided "points" in
+      Fmt.pr "E16 guided: planted %d (floor %d)  points %d (floor %d)@."
+        planted min_planted points min_points;
+      if planted < min_planted then begin
+        Fmt.epr "guard: E16 guided refuted %d planted variants (floor %d)@."
+          planted min_planted;
+        bad := "planted-floor" :: !bad
+      end;
+      if points < min_points then begin
+        Fmt.epr "guard: E16 guided coverage %d points below floor %d@." points
+          min_points;
+        bad := "points-floor" :: !bad
+      end;
+      let refutes =
+        List.filter
+          (fun row ->
+            match row_name row with
+            | Some n ->
+              String.length n > 7 && String.sub n 0 7 = "refute:"
+            | None -> false)
+          cur_rows
+      in
+      let all r k =
+        List.fold_left
+          (fun acc row ->
+            let i = geti row k in
+            if acc < 0 || i < 0 then -1 else max acc i)
+          0 r
+      in
+      let b_all = all refutes "blind_exec" and g_all = all refutes "guided_exec" in
+      Fmt.pr "E16 execs-to-refute-all: blind #%d  guided #%d@." b_all g_all;
+      if b_all >= 0 && (g_all < 0 || g_all > b_all) then begin
+        Fmt.epr
+          "guard: E16 guided needs more execs than blind to refute every \
+           planted variant (#%d > #%d)@."
+          g_all b_all;
+        bad := "execs-to-refute" :: !bad
+      end;
+      if !bad = [] then Fmt.pr "guard: E16 within bounds@.";
+      !bad)
+
 let () =
   let current, baseline =
     match Array.to_list Sys.argv with
@@ -339,9 +422,10 @@ let () =
   let chaos_bad = check_e13 ~current ~cur_tbls ~base_tbls in
   let abs_bad = check_e14 ~current ~cur_tbls ~base_tbls in
   let grid_bad = check_e15 ~current ~cur_tbls ~base_tbls in
-  match hard, soft, chaos_bad, abs_bad, grid_bad with
-  | [], [], [], [], [] -> ()
-  | hard, soft, chaos_bad, abs_bad, grid_bad ->
+  let fuzz_bad = check_e16 ~current ~cur_tbls ~base_tbls in
+  match hard, soft, chaos_bad, abs_bad, grid_bad, fuzz_bad with
+  | [], [], [], [], [], [] -> ()
+  | hard, soft, chaos_bad, abs_bad, grid_bad, fuzz_bad ->
     List.iter
       (Fmt.epr "guard: HARD regression (order of magnitude): %s@.")
       hard;
@@ -352,4 +436,7 @@ let () =
     List.iter (Fmt.epr "guard: E13 chaos invariant violated: %s@.") chaos_bad;
     List.iter (Fmt.epr "guard: E14 certifier floor violated: %s@.") abs_bad;
     List.iter (Fmt.epr "guard: E15 grid invariant violated: %s@.") grid_bad;
+    List.iter
+      (Fmt.epr "guard: E16 guided-fuzzing invariant violated: %s@.")
+      fuzz_bad;
     exit (if hard <> [] then 2 else 1)

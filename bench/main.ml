@@ -818,6 +818,116 @@ let fuzz_table ~pool ~robust () =
   add_table "E11" title jrows
 
 (* ------------------------------------------------------------------ *)
+(* E16: coverage-guided fuzzing — blind vs guided campaigns            *)
+(* ------------------------------------------------------------------ *)
+
+(* Both campaigns share the generation skeleton (same seed, same
+   per-index RNG streams, same fresh/mutant parity), so their exec
+   numbering is directly comparable: the refute:<variant> rows record
+   the first corpus index refuting each planted variant under blind and
+   guided mutation.  The guard holds guided to refuting every variant
+   in no more execs than blind, and to strictly more coverage points —
+   the two claims the subsystem exists to deliver. *)
+let guided_fuzz_table ~pool ~robust () =
+  let title =
+    "E16 — coverage-guided fuzzing: blind vs guided campaigns (coverage \
+     growth, execs-to-refute per planted variant)"
+  in
+  header title;
+  (* mirrors the refutation test in test/test_fuzz.ml: at this budget a
+     blind seed-2 campaign refutes all five variants, so the comparison
+     is between two fully-refuting campaigns, not a coverage race *)
+  let budget =
+    if Engine.Budget.spec_is_unlimited robust.spec then
+      Engine.Budget.spec ~max_states:20_000 ()
+    else robust.spec
+  in
+  let seed = 2 and max_execs = 150 in
+  let campaign ~guided =
+    Fuzz.Campaign.run ~pool ~budget ~seed ~max_execs
+      ~oracles:[ Fuzz.Oracle.Pass_correct ] ~coverage:true ~guided ()
+  in
+  let blind = campaign ~guided:false in
+  let guided = campaign ~guided:true in
+  let cov r =
+    match r.Fuzz.Campaign.cov with
+    | Some c -> (c.Fuzz.Campaign.cov_points, c.Fuzz.Campaign.cov_admitted,
+                 c.Fuzz.Campaign.corpus_size)
+    | None -> (0, 0, 0)
+  in
+  let nplanted r =
+    List.length (List.filter (fun (_, h) -> h <> None) r.Fuzz.Campaign.planted)
+  in
+  let first_refute r nm =
+    match List.assoc_opt nm r.Fuzz.Campaign.planted with
+    | Some (Some fi) -> fi.Fuzz.Campaign.index
+    | _ -> -1
+  in
+  Fmt.pr "%-8s %6s %7s %7s %9s %8s %8s@." "mode" "execs" "unique" "points"
+    "admitted" "planted" "ms";
+  let campaign_row name r =
+    let points, admitted, corpus = cov r in
+    Fmt.pr "%-8s %6d %7d %7d %9d %6d/%d %.1f@." name
+      r.Fuzz.Campaign.requested_execs r.Fuzz.Campaign.unique_execs points
+      admitted (nplanted r)
+      (List.length r.Fuzz.Campaign.planted)
+      r.Fuzz.Campaign.wall_ms;
+    J.Obj
+      [ ("name", J.String name);
+        ("execs", J.Int r.Fuzz.Campaign.requested_execs);
+        ("unique", J.Int r.Fuzz.Campaign.unique_execs);
+        ("points", J.Int points);
+        ("admitted", J.Int admitted);
+        ("corpus", J.Int corpus);
+        ("planted_refuted", J.Int (nplanted r));
+        ("findings", J.Int (List.length r.Fuzz.Campaign.findings));
+        ("unknowns", J.Int r.Fuzz.Campaign.unknowns);
+        ("wall_ms", J.Float r.Fuzz.Campaign.wall_ms);
+        ("execs_per_s", J.Float (Fuzz.Campaign.execs_per_s r)) ]
+  in
+  let blind_row = campaign_row "blind" blind in
+  let guided_row = campaign_row "guided" guided in
+  let variant_rows =
+    List.map
+      (fun (nm, _) ->
+        let b = first_refute blind nm and g = first_refute guided nm in
+        Fmt.pr "  refute %-24s blind #%d  guided #%d@." nm b g;
+        if g < 0 then begin
+          incr mismatches;
+          Fmt.pr "-- ERROR: guided campaign failed to refute %s@." nm
+        end;
+        J.Obj
+          [ ("name", J.String ("refute:" ^ nm));
+            ("blind_exec", J.Int b);
+            ("guided_exec", J.Int g) ])
+      blind.Fuzz.Campaign.planted
+  in
+  (* Both campaigns share the even (fresh) half of the corpus, so the
+     per-variant indices tie wherever a fresh program is the first
+     refuter; the regression signal is the aggregate — the exec count
+     at which the LAST variant falls, i.e. how long a campaign must run
+     to refute everything.  Guided must not need more than blind. *)
+  let to_refute_all r =
+    List.fold_left
+      (fun acc (nm, _) ->
+        let i = first_refute r nm in
+        if acc < 0 || i < 0 then -1 else max acc i)
+      0 r.Fuzz.Campaign.planted
+  in
+  let b_all = to_refute_all blind and g_all = to_refute_all guided in
+  if b_all >= 0 && (g_all < 0 || g_all > b_all) then begin
+    incr mismatches;
+    Fmt.pr "-- ERROR: guided needs more execs to refute all variants \
+            (#%d > #%d)@." g_all b_all
+  end;
+  let bp, _, _ = cov blind and gp, _, _ = cov guided in
+  Fmt.pr
+    "-- coverage: blind %d points, guided %d points; all-refuted at blind \
+     #%d, guided #%d@."
+    bp gp b_all g_all;
+  add_table "E16" title (blind_row :: guided_row :: variant_rows)
+
+(* ------------------------------------------------------------------ *)
 (* E12: enumeration core — packed fast path vs the reference checker   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1397,6 +1507,7 @@ let () =
     fastpath_table ();
     certabs_table ();
     fuzz_table ~pool ~robust ();
+    guided_fuzz_table ~pool ~robust ();
     enumcore_table ();
     Engine.Pool.shutdown pool;
     if service then begin
@@ -1410,7 +1521,7 @@ let () =
    | Some path ->
      let doc =
        J.Obj
-         [ ("schema", J.String "seq-bench/6");
+         [ ("schema", J.String "seq-bench/7");
            ("jobs", J.Int jobs);
            ("full", J.Bool full);
            ("total_ms", J.Float total_ms);

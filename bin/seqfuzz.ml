@@ -102,7 +102,7 @@ let write_out dir (r : Fuzz.Campaign.report) =
     r.Fuzz.Campaign.findings
 
 let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
-    out keep_going backend =
+    out keep_going backend coverage corpus_dir resume =
   let ( let* ) r f =
     match r with
     | Error msg ->
@@ -115,6 +115,11 @@ let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
   let* () =
     Engine.Cliopts.validate_choice ~flag:"--backend"
       ~choices:Backends.Registry.names backend
+  in
+  let* () =
+    if resume && corpus_dir = None then
+      Error "--resume needs a --corpus DIR to resume from"
+    else Ok ()
   in
   (
        (* Unlike seqcheck, an unbounded default is not viable here: the
@@ -137,7 +142,8 @@ let run seed max_execs jobs oracles planted no_shrink budget_ms max_states
        let planted = if planted = [] then Fuzz.Planted.all else planted in
        let r =
          Fuzz.Campaign.run ~jobs ~budget ~oracles ~planted
-           ~shrink:(not no_shrink) ~seed ~max_execs ()
+           ~shrink:(not no_shrink) ~guided:coverage ?corpus_dir ~resume
+           ~seed ~max_execs ()
        in
        print_string (Fuzz.Campaign.render r);
        Fmt.epr "-- %d unique execs in %.1f ms (jobs=%d, %.1f execs/s)@."
@@ -208,12 +214,34 @@ let backend =
            ~doc:"Hardware machine the baseline-hw oracle cross-checks \
                  against (sc, catchfire, tso, armv8, ps; default tso).")
 
+let coverage =
+  Arg.(value & flag & info [ "coverage" ]
+         ~doc:"Coverage-guided campaign: derive deterministic coverage \
+               signals per program, keep a shrunk pool of \
+               coverage-novel seeds, and bias mutation energy toward \
+               recently-novel ones.  The report stays byte-identical \
+               across --jobs.")
+
+let corpus_dir =
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Persist the coverage pool, counterexample reproducers \
+               and swept fingerprints into this SEQC store (the seqd \
+               cache format; repairable with seqd --fsck) at the end \
+               of the run.  Implies coverage accounting.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Warm-start from the --corpus store: replay its pool and \
+               reproducers first and skip every already-swept program \
+               without running an oracle.")
+
 let cmd =
   Cmd.v
     (Cmd.info "seqfuzz" ~version:"1.0"
        ~doc:"differential fuzzer for the SEQ toolchain (planted-bug \
-             oracles, shrinking)")
+             oracles, coverage-guided corpus, shrinking)")
     Term.(const run $ seed $ max_execs $ jobs $ oracles $ planted
-          $ no_shrink $ budget_ms $ max_states $ out $ keep_going $ backend)
+          $ no_shrink $ budget_ms $ max_states $ out $ keep_going $ backend
+          $ coverage $ corpus_dir $ resume)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,14 +4,32 @@
 
     Determinism contract (tested): every field of the report except
     [wall_ms]/[execs_per_s] is a pure function of (seed, max_execs,
-    phases, oracles, planted, shrink, budget spec) — never of [jobs] or
-    scheduling.  Program [i] of the corpus is derived from its own RNG
-    stream [Random.State.make [| seed; i |]]; the corpus, dedup and
+    phases, oracles, planted, shrink, budget spec, coverage flags,
+    store contents) — never of [jobs] or scheduling.  Program [i] of
+    the corpus is derived from its own RNG stream
+    [Random.State.make [| seed; i |]]; the corpus, dedup, coverage and
     shrink phases are sequential; the oracle sweep runs under
     {!Engine.Sweep.run_verdict}'s parallel=sequential contract.  (A
     wall-clock budget — [timeout_ms] — makes individual outcomes
     machine-dependent; jobs-independence is only claimed for state/fuel
-    budgets, which is what the CLI smoke tests use.) *)
+    budgets, which is what the CLI smoke tests use.)
+
+    Coverage-guided mode ([guided], implying [coverage]) keeps the same
+    generation skeleton — same per-index streams, same phase rotation,
+    same fresh/mutant parity — and changes exactly one decision: the
+    mutation parent at odd indices comes from an energy-weighted
+    {!Schedule.pick} over the {!Corpus} pool instead of position
+    [i / 2].  [coverage] alone only accounts (signals, pool admission,
+    novelty counters) without steering, so its corpus is the blind one —
+    the comparable baseline the E16 bench rows use.
+
+    With a [corpus_dir], the pool, the counterexample reproducers, and
+    every swept fingerprint are persisted through {!Persist} at the end
+    of the run; [resume] loads them back first.  Resumed pool members
+    and reproducers are re-swept (they are the regression corpus —
+    indices [0..resumed-1]); any regenerated program whose fingerprint
+    the store has already swept is skipped without running an oracle,
+    which is what makes the second campaign warm. *)
 
 open Lang
 
@@ -83,6 +101,15 @@ type finding = {
   shrink_steps : int;
 }
 
+type coverage_stats = {
+  cov_points : int;  (** distinct coverage signals after the run *)
+  cov_admitted : int;  (** generated programs admitted to the pool *)
+  corpus_size : int;  (** pool size after the run (incl. resumed) *)
+  resumed : int;  (** programs replayed from the store *)
+  fresh_execs : int;  (** swept programs no earlier run had seen *)
+  persisted : int;  (** store entries written (0 without a store) *)
+}
+
 type report = {
   seed : int;
   requested_execs : int;
@@ -95,6 +122,7 @@ type report = {
   unknowns : int;  (** individual checks whose budget ran out *)
   quarantined : int;
   shrink_steps_total : int;
+  cov : coverage_stats option;  (** [None] on blind campaigns *)
   wall_ms : float;  (** the only timing field; everything else is
                         jobs-independent *)
 }
@@ -133,24 +161,103 @@ type task_result = {
 
 let run ?pool ?(jobs = 1) ?(budget = Engine.Budget.spec_unlimited)
     ?(oracles = Oracle.all) ?(planted = Planted.all) ?(shrink = true)
-    ?(phases = default_phases) ~seed ~max_execs () : report =
+    ?(phases = default_phases) ?(coverage = false) ?(guided = false)
+    ?corpus_dir ?(resume = false) ~seed ~max_execs () : report =
   if phases = [] then invalid_arg "Campaign.run: empty phase list";
+  let coverage = coverage || guided || corpus_dir <> None in
   let t0 = Unix.gettimeofday () in
-  let progs = build_corpus ~seed ~max_execs ~phases in
-  (* fingerprint dedup, in corpus order *)
-  let seen = Hashtbl.create 64 in
-  let tasks = ref [] in
-  Array.iteri
-    (fun i p ->
-      if i < max_execs then begin
+  (* the pool and the fingerprint sets driving coverage accounting *)
+  let pool_c = if coverage then Some (Corpus.create ()) else None in
+  let prior_seen = Hashtbl.create 16 in
+  let swept_seen = Hashtbl.create 64 in
+  (* warm resume: replay the persisted pool + reproducers as tasks
+     [0..resumed-1] and pre-mark every fingerprint the store has swept *)
+  let resumed_tasks =
+    match (corpus_dir, pool_c) with
+    | Some dir, Some c when resume ->
+      let store = Persist.load ~dir in
+      List.iter
+        (fun fp -> Hashtbl.replace prior_seen fp ())
+        store.Persist.seen;
+      let replay = store.Persist.corpus @ store.Persist.findings in
+      List.iter (fun p -> ignore (Corpus.add ~shrink_admit:false c p)) replay;
+      let dedup = Hashtbl.create 64 in
+      List.filter_map
+        (fun p ->
+          let fp = Fingerprint.stmt p in
+          if Hashtbl.mem dedup fp then None
+          else begin
+            Hashtbl.add dedup fp ();
+            Hashtbl.replace prior_seen fp ();
+            Some (fp, p)
+          end)
+        replay
+    | _ -> []
+  in
+  let n_resumed = List.length resumed_tasks in
+  let resumed_tasks = List.mapi (fun i (fp, p) -> (i, fp, p)) resumed_tasks in
+  let admitted = ref 0 and fresh = ref 0 in
+  let tasks =
+    match pool_c with
+    | None ->
+      let progs = build_corpus ~seed ~max_execs ~phases in
+      (* fingerprint dedup, in corpus order *)
+      let seen = Hashtbl.create 64 in
+      let tasks = ref [] in
+      Array.iteri
+        (fun i p ->
+          if i < max_execs then begin
+            let fp = Fingerprint.stmt p in
+            if not (Hashtbl.mem seen fp) then begin
+              Hashtbl.add seen fp ();
+              tasks := (i, fp, p) :: !tasks
+            end
+          end)
+        progs;
+      List.rev !tasks
+    | Some c ->
+      (* Same generation skeleton as [build_corpus], fused with the
+         coverage accounting so admission order equals corpus order.
+         In guided mode the mutation parent comes from the pool. *)
+      let nph = List.length phases in
+      let progs = Array.make (max 1 max_execs) Stmt.Skip in
+      List.iter
+        (fun (_, fp, _) -> Hashtbl.replace swept_seen fp ())
+        resumed_tasks;
+      let gen = ref [] in
+      for i = 0 to max_execs - 1 do
+        let st = Random.State.make [| seed; i |] in
+        let ph = List.nth phases (i / 2 mod nph) in
+        let p =
+          if i < 2 * nph || i mod 2 = 0 then
+            Gen.gen_program ph.cfg st ~size:ph.size
+          else begin
+            let parent =
+              match if guided then Schedule.pick c st else None with
+              | Some e -> e.Corpus.program
+              | None -> progs.(i / 2)
+            in
+            Mutate.mutate ph.cfg st parent
+          end
+        in
+        let p = Stmt.normalize p in
+        progs.(i) <- p;
         let fp = Fingerprint.stmt p in
-        if not (Hashtbl.mem seen fp) then begin
-          Hashtbl.add seen fp ();
-          tasks := (i, fp, p) :: !tasks
+        if not (Hashtbl.mem swept_seen fp) then begin
+          Hashtbl.replace swept_seen fp ();
+          (match Corpus.add ~shrink_admit:shrink c p with
+           | Corpus.Admitted _ -> incr admitted
+           | Corpus.Known | Corpus.Subsumed -> ());
+          (* a fingerprint an earlier campaign already swept costs no
+             oracle run — the store remembers its verdict was clean *)
+          if not (Hashtbl.mem prior_seen fp) then begin
+            incr fresh;
+            gen := (n_resumed + i, fp, p) :: !gen
+          end
         end
-      end)
-    progs;
-  let tasks = List.rev !tasks in
+      done;
+      resumed_tasks @ List.rev !gen
+  in
   let unique_execs = List.length tasks in
   (* Each oracle and each planted check runs under its OWN budget
      started from the spec, with exhaustion trapped per check: one
@@ -284,16 +391,58 @@ let run ?pool ?(jobs = 1) ?(budget = Engine.Budget.spec_unlimited)
               } ))
       planted
   in
+  (* persistence, then the coverage ledger *)
+  let cov =
+    match pool_c with
+    | None -> None
+    | Some c ->
+      let persisted =
+        match corpus_dir with
+        | None -> 0
+        | Some dir ->
+          let members =
+            List.map (fun e -> e.Corpus.program) (Corpus.entries c)
+          in
+          let repro fi =
+            match fi.shrunk with Some s -> s | None -> fi.program
+          in
+          let reproducers =
+            List.map repro findings
+            @ List.filter_map (fun (_, h) -> Option.map repro h) planted_report
+          in
+          let all_seen = Hashtbl.copy swept_seen in
+          Hashtbl.iter (fun fp () -> Hashtbl.replace all_seen fp ()) prior_seen;
+          let seen_fps =
+            List.sort String.compare
+              (Hashtbl.fold (fun fp () acc -> fp :: acc) all_seen [])
+          in
+          Persist.save ~dir ~corpus:members ~findings:reproducers
+            ~seen:seen_fps
+      in
+      Some
+        {
+          cov_points = Coverage.points (Corpus.coverage c);
+          cov_admitted = !admitted;
+          corpus_size = Corpus.size c;
+          resumed = n_resumed;
+          fresh_execs = !fresh;
+          persisted;
+        }
+  in
   {
     seed;
     requested_execs = max_execs;
     unique_execs;
-    dedup_dropped = max_execs - unique_execs;
+    dedup_dropped =
+      (match cov with
+       | None -> max_execs - unique_execs
+       | Some cs -> max_execs - cs.fresh_execs);
     findings;
     planted = planted_report;
     unknowns = !unknowns;
     quarantined = !quarantined;
     shrink_steps_total = !shrink_steps_total;
+    cov;
     wall_ms = (Unix.gettimeofday () -. t0) *. 1000.;
   }
 
@@ -327,6 +476,13 @@ let render (r : report) : string =
   Buffer.add_string b
     (Printf.sprintf "seqfuzz seed=%d execs=%d unique=%d dedup=%d\n" r.seed
        r.requested_execs r.unique_execs r.dedup_dropped);
+  (match r.cov with
+   | None -> ()
+   | Some c ->
+     Buffer.add_string b
+       (Printf.sprintf
+          "coverage: points=%d admitted=%d corpus=%d resumed=%d fresh=%d\n"
+          c.cov_points c.cov_admitted c.corpus_size c.resumed c.fresh_execs));
   List.iter
     (fun (nm, hit) ->
       match hit with
@@ -380,7 +536,7 @@ let json_of_finding (fi : finding) : Service.Json.t =
     schema embeds the same fields (docs/ENGINE.md). *)
 let json (r : report) : Service.Json.t =
   Service.Json.Obj
-    [
+    ([
       ("seed", Service.Json.Int r.seed);
       ("execs", Service.Json.Int r.requested_execs);
       ("unique", Service.Json.Int r.unique_execs);
@@ -408,6 +564,23 @@ let json (r : report) : Service.Json.t =
       ("unknowns", Service.Json.Int r.unknowns);
       ("quarantined", Service.Json.Int r.quarantined);
       ("shrink_steps", Service.Json.Int r.shrink_steps_total);
-      ("wall_ms", Service.Json.Float r.wall_ms);
-      ("execs_per_s", Service.Json.Float (execs_per_s r));
     ]
+     @ (match r.cov with
+        | None -> []
+        | Some c ->
+          [
+            ( "coverage",
+              Service.Json.Obj
+                [
+                  ("points", Service.Json.Int c.cov_points);
+                  ("admitted", Service.Json.Int c.cov_admitted);
+                  ("corpus", Service.Json.Int c.corpus_size);
+                  ("resumed", Service.Json.Int c.resumed);
+                  ("fresh", Service.Json.Int c.fresh_execs);
+                  ("persisted", Service.Json.Int c.persisted);
+                ] );
+          ])
+     @ [
+         ("wall_ms", Service.Json.Float r.wall_ms);
+         ("execs_per_s", Service.Json.Float (execs_per_s r));
+       ])

@@ -31,6 +31,19 @@ type finding = {
   shrink_steps : int;
 }
 
+(** The coverage ledger of a [coverage]/[guided] campaign.  Every field
+    except [persisted] is jobs-independent like the rest of the report;
+    [persisted] is too (the store is content-addressed, so the write
+    count is a pure function of the deterministic report contents). *)
+type coverage_stats = {
+  cov_points : int;  (** distinct coverage signals after the run *)
+  cov_admitted : int;  (** generated programs admitted to the pool *)
+  corpus_size : int;  (** pool size after the run (incl. resumed) *)
+  resumed : int;  (** programs replayed from the store *)
+  fresh_execs : int;  (** swept programs no earlier run had seen *)
+  persisted : int;  (** store entries written (0 without a store) *)
+}
+
 type report = {
   seed : int;
   requested_execs : int;
@@ -43,11 +56,20 @@ type report = {
   unknowns : int;
   quarantined : int;
   shrink_steps_total : int;
+  cov : coverage_stats option;  (** [None] on blind campaigns *)
   wall_ms : float;  (** the only scheduling-dependent field *)
 }
 
 val execs_per_s : report -> float
 
+(** [coverage] turns on signal accounting and pool admission without
+    steering (the corpus is the blind one — the E16 baseline);
+    [guided] (implies [coverage]) draws mutation parents from the pool
+    by {!Schedule.pick}; [corpus_dir] (implies [coverage]) persists the
+    pool, reproducers and swept fingerprints through {!Persist} at the
+    end of the run; [resume] replays a persisted store first — its pool
+    and reproducers become tasks [0..resumed-1] and its swept
+    fingerprints are skipped without running an oracle. *)
 val run :
   ?pool:Engine.Pool.t ->
   ?jobs:int ->
@@ -56,6 +78,10 @@ val run :
   ?planted:Planted.variant list ->
   ?shrink:bool ->
   ?phases:phase list ->
+  ?coverage:bool ->
+  ?guided:bool ->
+  ?corpus_dir:string ->
+  ?resume:bool ->
   seed:int ->
   max_execs:int ->
   unit ->

@@ -1,0 +1,49 @@
+(** A minimized, deduplicated pool of coverage-novel programs.
+
+    Admission is by coverage novelty: a program joins the pool only if
+    it exhibits at least one {!Coverage} signal no member has shown.
+    Novel candidates are shrunk on admission — {!Shrink.shrink} against
+    the cheap AST subset of their novel signals — so the pool stays a
+    pool of {e small} witnesses, which keeps mutation energy well spent.
+    Everything is deterministic: admission order is the only state, and
+    equal admission sequences build equal pools. *)
+
+open Lang
+
+type entry = {
+  program : Stmt.t;  (** normalized, possibly shrunk *)
+  fingerprint : string;  (** {!Lang.Fingerprint.stmt} of [program] *)
+  signals : Coverage.signal list;  (** full signal set of [program] *)
+  new_points : int;  (** signals novel at admission time *)
+  added_at : int;  (** admission index, 0-based *)
+}
+
+type verdict =
+  | Admitted of entry
+  | Known  (** fingerprint already processed (member or not) *)
+  | Subsumed  (** no novel signal: every point already covered *)
+
+type t
+
+val create : unit -> t
+
+(** The underlying monotone signal set (shared with the campaign's
+    novelty counters). *)
+val coverage : t -> Coverage.t
+
+(** Members in admission order. *)
+val entries : t -> entry list
+
+val size : t -> int
+
+(** Admit a candidate if it covers novel signals.  [shrink_admit]
+    (default true) shrinks the candidate first, preserving its novel AST
+    signals; the admitted entry's signals are those of the shrunk
+    program. *)
+val add : ?shrink_admit:bool -> t -> Stmt.t -> verdict
+
+(** Rebuild the pool by re-admitting members in order without shrinking,
+    dropping the ones whose signals are covered by earlier members —
+    used after loading a persisted pool, whose members may have become
+    mutually redundant across runs. *)
+val minimize : t -> t

@@ -1,0 +1,60 @@
+(** Deterministic coverage signals for guided fuzzing.
+
+    A {e signal} is a short string naming one structural feature a
+    program exercises — an instruction-class n-gram of its canonical
+    AST, a permission/written-mask profile of its packed sequential
+    state space, or a behavior-set digest under a hardware backend.
+    Signals are pure functions of the program (no wall clock, no RNG,
+    no [--jobs]): the guided campaign's determinism contract rests on
+    that, and the determinism qcheck in test/test_fuzz.ml locks it.
+
+    Every extractor is capped by construction — a bounded id-graph walk,
+    a bounded backend exploration behind a size gate — so signal
+    extraction stays a small constant cost per unique program even on
+    unlimited-budget campaigns. *)
+
+open Lang
+
+(** ["class:detail"], e.g. ["ast1:st.rel"], ["core:pw:3/1"],
+    ["hw:tso:set:<md5>"]. *)
+type signal = string
+
+(** Instruction-class unigrams and program-order bigrams of the
+    canonical AST ([ast1:]/[ast2:] classes).  Cheap — used as the
+    shrink-on-admit preservation check. *)
+val ast_signals : Stmt.t -> signal list
+
+(** Permission/written-mask profiles ([core:pw:]) and a log₂ size bucket
+    ([core:size:]) of the packed {!Seq_model.Core} id-graph reachable
+    from the program's initial configuration, walked breadth-first up to
+    a fixed configuration cap; [core:unpackable] when the footprint
+    exceeds the packed representation. *)
+val state_signals : Stmt.t -> signal list
+
+(** Behavior-set digests, size buckets, and race/truncation markers
+    ([hw:<machine>:]) under the SC and x86-TSO backends, plus
+    [hw:diverge] when the two sets differ.  Empty above the size gate —
+    the backends are the most expensive extractor. *)
+val behavior_signals : Stmt.t -> signal list
+
+(** All of the above, sorted and deduplicated. *)
+val signals : Stmt.t -> signal list
+
+(** Does the signal belong to the cheap AST class? *)
+val is_ast : signal -> bool
+
+(** A monotone set of signals seen so far. *)
+type t
+
+val create : unit -> t
+
+(** Distinct signals seen. *)
+val points : t -> int
+
+val mem : t -> signal -> bool
+
+(** The subset of [sigs] not yet seen (without recording them). *)
+val novel : t -> signal list -> signal list
+
+(** Record [sigs]; returns how many were new. *)
+val admit : t -> signal list -> int

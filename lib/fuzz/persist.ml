@@ -1,0 +1,108 @@
+(** Warm-resume corpus store (see .mli). *)
+
+open Lang
+
+type store = {
+  corpus : Stmt.t list;
+  findings : Stmt.t list;
+  seen : string list;
+  skipped : int;
+}
+
+let empty = { corpus = []; findings = []; seen = []; skipped = 0 }
+
+let kind_corpus = "corpus"
+let kind_finding = "finding"
+let kind_seen = "seen"
+
+let key_of ~kind body = Fingerprint.key [ "fuzz"; kind; body ]
+
+let save ~dir ~corpus ~findings ~seen =
+  (* Opening a throwaway cache on the directory gives the store the
+     exact create-time semantics of the daemon cache: mkdir, VERSION
+     stamp, clear-and-restamp on a foreign format. *)
+  ignore (Service.Cache.create ~dir ~mem_capacity:1 ());
+  let n = ref 0 in
+  let put kind body =
+    let key = key_of ~kind body in
+    let sdir, path = Service.Cache.entry_path dir key in
+    Service.Cache.write_atomic ~dir:sdir ~path
+      (Service.Cache.entry_of_payload (kind ^ "\n" ^ body));
+    incr n
+  in
+  List.iter (fun p -> put kind_corpus (Stmt.to_string (Stmt.normalize p))) corpus;
+  List.iter
+    (fun p -> put kind_finding (Stmt.to_string (Stmt.normalize p)))
+    findings;
+  List.iter (fun fp -> put kind_seen fp) seen;
+  !n
+
+let version_ok dir =
+  match
+    In_channel.with_open_text (Filename.concat dir "VERSION")
+      In_channel.input_line
+  with
+  | Some line ->
+    int_of_string_opt (String.trim line) = Some Service.Cache.format_version
+  | None -> false
+  | exception Sys_error _ -> false
+
+let load ~dir =
+  if (not (Sys.file_exists dir)) || not (Sys.is_directory dir) then empty
+  else if not (version_ok dir) then empty
+  else begin
+    let shards =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun name ->
+             name <> "VERSION" && Sys.is_directory (Filename.concat dir name))
+      |> List.sort String.compare
+    in
+    let files =
+      List.concat_map
+        (fun shard ->
+          let sdir = Filename.concat dir shard in
+          Sys.readdir sdir |> Array.to_list
+          |> List.filter (fun f -> Filename.extension f <> ".tmp")
+          |> List.sort String.compare
+          |> List.map (fun f -> Filename.concat sdir f))
+        shards
+    in
+    let st = ref empty in
+    List.iter
+      (fun path ->
+        let skip () = st := { !st with skipped = !st.skipped + 1 } in
+        match In_channel.with_open_bin path In_channel.input_all with
+        | exception Sys_error _ -> skip ()
+        | raw -> (
+          match Service.Cache.payload_of_entry raw with
+          | None -> skip ()
+          | Some payload -> (
+            match String.index_opt payload '\n' with
+            | None -> skip ()
+            | Some i ->
+              let kind = String.sub payload 0 i in
+              let body =
+                String.sub payload (i + 1) (String.length payload - i - 1)
+              in
+              if kind = kind_seen then
+                st := { !st with seen = body :: !st.seen }
+              else if kind = kind_corpus || kind = kind_finding then begin
+                match Parser.stmt_of_string body with
+                | exception _ -> skip ()
+                | p ->
+                  let p = Stmt.normalize p in
+                  if kind = kind_corpus then
+                    st := { !st with corpus = p :: !st.corpus }
+                  else st := { !st with findings = p :: !st.findings }
+              end
+              else skip ())))
+      files;
+    (* The per-kind lists were built by consing over key-sorted files:
+       reverse back into key order. *)
+    {
+      corpus = List.rev !st.corpus;
+      findings = List.rev !st.findings;
+      seen = List.rev !st.seen;
+      skipped = !st.skipped;
+    }
+  end

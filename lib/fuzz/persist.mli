@@ -1,0 +1,51 @@
+(** Warm-resume corpus store, in the {!Service.Cache} disk format.
+
+    A campaign store is a SEQC store: a [VERSION] file, two-character
+    shard directories, and validated entries (magic, format version,
+    length, MD5) written atomically — exactly the daemon cache's layout,
+    through the primitives {!Service.Cache} exposes.  [seqd --fsck] (and
+    {!Service.Cache.fsck}) repair a corpus store the same way they
+    repair a cache.
+
+    Entries are content-addressed: the key is a {!Lang.Fingerprint.key}
+    over the entry's kind and body, so saving is idempotent and two
+    campaigns can share a store.  The payload is [kind ^ "\n" ^ body]
+    with three kinds:
+
+    - [corpus] — a pool member (canonical program text, re-parsed on
+      load);
+    - [finding] — a counterexample reproducer (same encoding);
+    - [seen] — a program fingerprint the store's campaigns already
+      swept, so a resumed campaign skips it without re-running a single
+      oracle.
+
+    Loading is read-only and as forgiving as a cache lookup: a corrupt
+    or foreign entry is skipped (and counted), never an error; a store
+    whose [VERSION] disagrees with {!Service.Cache.format_version} loads
+    empty.  Load order is the sorted shard/file order — deterministic,
+    independent of directory enumeration order. *)
+
+open Lang
+
+type store = {
+  corpus : Stmt.t list;  (** pool members, key order *)
+  findings : Stmt.t list;  (** reproducers, key order *)
+  seen : string list;  (** swept fingerprints, key order *)
+  skipped : int;  (** corrupt/foreign/unparseable entries ignored *)
+}
+
+val empty : store
+
+(** Write (idempotently) the given pool members, reproducers, and swept
+    fingerprints into the store at [dir], creating or re-versioning it
+    as {!Service.Cache.create} would.  Returns the number of entries
+    written. *)
+val save :
+  dir:string ->
+  corpus:Stmt.t list ->
+  findings:Stmt.t list ->
+  seen:string list ->
+  int
+
+(** Read a store back; a missing directory is {!empty}. *)
+val load : dir:string -> store

@@ -1,0 +1,26 @@
+(** Novelty/recency energy scheduling (see .mli). *)
+
+type energy = int
+
+let recency_window = 8
+
+let weight ~now (e : Corpus.entry) =
+  let age = now - 1 - e.Corpus.added_at in
+  e.Corpus.new_points * (1 + max 0 (recency_window - age))
+
+let weights c =
+  let now = Corpus.size c in
+  List.map (fun e -> (e, weight ~now e)) (Corpus.entries c)
+
+let pick c st =
+  let ws = weights c in
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 ws in
+  if total <= 0 then None
+  else begin
+    let r = Random.State.int st total in
+    let rec go r = function
+      | [] -> None
+      | (e, w) :: rest -> if r < w then Some e else go (r - w) rest
+    in
+    go r ws
+  end

@@ -1,0 +1,25 @@
+(** Energy scheduling: bias mutation budget toward recently-novel seeds.
+
+    A member's energy is its admission-time novelty (how many new
+    coverage points it brought) boosted by recency (a linear window over
+    admission indices), so the campaign keeps mutating the frontier of
+    the coverage map rather than long-exhausted early seeds.  Picking is
+    a single weighted draw from the supplied RNG state — the per-index
+    campaign streams keep it deterministic and jobs-independent. *)
+
+type energy = int
+
+(** Admission indices inside this window of the newest member get a
+    recency boost. *)
+val recency_window : int
+
+(** [weight ~now e]: [e.new_points * (1 + recency boost)]; [now] is the
+    current pool size. *)
+val weight : now:int -> Corpus.entry -> energy
+
+(** Members paired with their current energies, in admission order. *)
+val weights : Corpus.t -> (Corpus.entry * energy) list
+
+(** One energy-weighted draw; [None] on an empty (or zero-energy) pool.
+    Consumes at most one [int] from the RNG state. *)
+val pick : Corpus.t -> Random.State.t -> Corpus.entry option

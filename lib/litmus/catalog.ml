@@ -450,6 +450,79 @@ let grid_programs =
       allowed =
         [ ("sc", false); ("tso", false); ("armv8", true); ("ps", true) ];
     };
+    (* R: like SB but the second thread's store and the first thread's
+       pair race through a third observer fixing Z's coherence order
+       1 -> 2.  A TSO store buffer lets T2 read Y=0 while its Z=2 is
+       still buffered — the classic write-to-read separation again, but
+       witnessed through coherence rather than two reads. *)
+    {
+      g =
+        {
+          cname = "R-rlx";
+          cref = "classic";
+          threads =
+            "Y.store(rlx,1); Z.store(rlx,1); return 0 ||| \
+             Z.store(rlx,2); a = Y.load(rlx); return a ||| \
+             c = Z.load(rlx); d = Z.load(rlx); return 10*c+d";
+        };
+      weak = [ 0; 0; 12 ];
+      allowed =
+        [ ("sc", false); ("tso", true); ("armv8", true); ("ps", true) ];
+    };
+    (* S: needs T1's Z=2;Y=1 to become visible out of order (Y=1 read
+       before Z=2 lands), which FIFO TSO buffers cannot do — only the
+       ARMv8 machine's cross-location store-store reordering (and PS_na
+       promises) exhibit it. *)
+    {
+      g =
+        {
+          cname = "S-rlx";
+          cref = "classic";
+          threads =
+            "Z.store(rlx,2); Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); Z.store(rlx,1); return a ||| \
+             c = Z.load(rlx); d = Z.load(rlx); return 10*c+d";
+        };
+      weak = [ 0; 1; 12 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", true); ("ps", true) ];
+    };
+    (* WRC: write-read causality.  T3 observing Z=1 but Y=0 needs its
+       two loads reordered (or non-multi-copy-atomic stores); TSO has
+       neither, the ARMv8 machine's per-location read floors allow the
+       stale Y read after the fresh Z read. *)
+    {
+      g =
+        {
+          cname = "WRC-rlx";
+          cref = "classic";
+          threads =
+            "Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); Z.store(rlx,1); return a ||| \
+             b = Z.load(rlx); c = Y.load(rlx); return 10*b+c";
+        };
+      weak = [ 0; 1; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", true); ("ps", true) ];
+    };
+    (* CoRR: coherence of read-read.  Reading Y=1 then Y=0 violates
+       per-location coherence, which every model in the zoo enforces
+       (the ARMv8 machine's reads raise their own location's floor; PS
+       views only rise) — an all-forbid row keeping the weak side of the
+       grid honest. *)
+    {
+      g =
+        {
+          cname = "CoRR-rlx";
+          cref = "classic";
+          threads =
+            "Y.store(rlx,1); return 0 ||| \
+             a = Y.load(rlx); b = Y.load(rlx); return 10*a+b";
+        };
+      weak = [ 0; 10 ];
+      allowed =
+        [ ("sc", false); ("tso", false); ("armv8", false); ("ps", false) ];
+    };
   ]
 
 (** The E15 pass-soundness grid: SEQ-validated transformations plugged

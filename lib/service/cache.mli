@@ -86,3 +86,27 @@ val fsck_clean : fsck_report -> bool
 (** Scan and repair [dir].  A missing directory yields an all-zero
     (clean) report. *)
 val fsck : dir:string -> fsck_report
+
+(** {2 Store primitives}
+
+    The on-disk building blocks, exposed for sibling stores that share
+    the SEQC format (the fuzz corpus store, {!Fuzz.Persist}): the entry
+    codec, the atomic write discipline, and the shard layout.  A store
+    assembled from these is {!fsck}-compatible — every entry validates
+    (or is pruned) exactly as a cache entry would. *)
+
+(** Wrap a payload in the entry framing: magic, format version,
+    big-endian length, MD5, payload. *)
+val entry_of_payload : string -> string
+
+(** Validate an entry's magic/version/length/MD5 and return its payload;
+    {e any} mismatch is [None], never an error. *)
+val payload_of_entry : string -> string option
+
+(** Atomic best-effort write: a unique temp file in [dir] renamed onto
+    [path]; [dir] is created if missing, IO errors are swallowed. *)
+val write_atomic : dir:string -> path:string -> string -> unit
+
+(** [entry_path root key] = [(shard_dir, entry_file)] under the sharded
+    layout (first two key characters name the shard). *)
+val entry_path : string -> string -> string * string

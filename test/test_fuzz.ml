@@ -345,6 +345,131 @@ let test_campaign_refutes_planted () =
                    ~src:s ~tgt)))
     r.Fuzz.Campaign.planted
 
+(* ------------------------------------------------------------------ *)
+(* 8. Coverage-guided subsystem: signal determinism, corpus/persist
+   round-trips (with cache-style corrupt-entry rejection), guided
+   campaigns keeping the byte-identity contract. *)
+
+let coverage_signals_deterministic =
+  QCheck.Test.make
+    ~name:"coverage signals are deterministic, sorted, deduplicated"
+    ~count:40
+    (stmt_arbitrary rich_cfg ~size:6)
+    (fun p ->
+      let p = Stmt.normalize p in
+      let s1 = Fuzz.Coverage.signals p in
+      let s2 = Fuzz.Coverage.signals p in
+      s1 = s2 && s1 = List.sort_uniq String.compare s1 && s1 <> [])
+
+let fresh_tmp_dir prefix =
+  let base = Filename.temp_file prefix "" in
+  Sys.remove base;
+  base
+
+(* The lexicographically first entry file of a store (deterministic). *)
+let first_entry_file dir =
+  let shards =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           f <> "VERSION" && Sys.is_directory (Filename.concat dir f))
+    |> List.sort String.compare
+  in
+  let sdir = Filename.concat dir (List.hd shards) in
+  let files = Sys.readdir sdir |> Array.to_list |> List.sort String.compare in
+  Filename.concat sdir (List.hd files)
+
+let test_persist_roundtrip () =
+  let dir = fresh_tmp_dir "seqfuzz-corpus" in
+  let progs =
+    List.map Lang.Parser.stmt_of_string
+      [
+        "X.store(na, 1); Y.store(rel, 1); return 0";
+        "a = Y.load(acq); b = X.load(na); return b";
+        "a = Z.load(rlx); return a";
+      ]
+  in
+  let c = Fuzz.Corpus.create () in
+  List.iter (fun p -> ignore (Fuzz.Corpus.add ~shrink_admit:false c p)) progs;
+  let members =
+    List.map (fun e -> e.Fuzz.Corpus.program) (Fuzz.Corpus.entries c)
+  in
+  Alcotest.(check int) "all three programs are coverage-novel" 3
+    (List.length members);
+  let seen = [ "00deadbeef"; "11cafe" ] in
+  let n =
+    Fuzz.Persist.save ~dir ~corpus:members
+      ~findings:[ List.hd members ] ~seen
+  in
+  Alcotest.(check int) "entries written" 6 n;
+  let st = Fuzz.Persist.load ~dir in
+  let fps ps = List.sort String.compare (List.map Lang.Fingerprint.stmt ps) in
+  Alcotest.(check int) "nothing skipped" 0 st.Fuzz.Persist.skipped;
+  Alcotest.(check (list string))
+    "corpus round-trips" (fps members)
+    (fps st.Fuzz.Persist.corpus);
+  Alcotest.(check int) "finding round-trips" 1
+    (List.length st.Fuzz.Persist.findings);
+  Alcotest.(check (list string))
+    "seen fingerprints round-trip"
+    (List.sort String.compare seen)
+    (List.sort String.compare st.Fuzz.Persist.seen);
+  (* minimize: re-admission in order keeps every coverage point *)
+  let c2 = Fuzz.Corpus.create () in
+  List.iter
+    (fun p -> ignore (Fuzz.Corpus.add ~shrink_admit:false c2 p))
+    st.Fuzz.Persist.corpus;
+  let m = Fuzz.Corpus.minimize c2 in
+  Alcotest.(check bool) "minimized pool is no larger" true
+    (Fuzz.Corpus.size m <= Fuzz.Corpus.size c2);
+  Alcotest.(check int) "minimized pool keeps the coverage points"
+    (Fuzz.Coverage.points (Fuzz.Corpus.coverage c2))
+    (Fuzz.Coverage.points (Fuzz.Corpus.coverage m));
+  (* corrupt-entry rejection, mirroring the cache tests: a truncated
+     entry is skipped by load (never an error) and pruned by fsck *)
+  let victim = first_entry_file dir in
+  Out_channel.with_open_bin victim (fun oc ->
+      Out_channel.output_string oc "SEQ");
+  let st2 = Fuzz.Persist.load ~dir in
+  Alcotest.(check int) "corrupt entry skipped" 1 st2.Fuzz.Persist.skipped;
+  let rep = Service.Cache.fsck ~dir in
+  Alcotest.(check int) "fsck prunes the corrupt entry" 1
+    rep.Service.Cache.pruned;
+  Alcotest.(check bool) "fsck keeps the rest" true
+    (rep.Service.Cache.valid = 5);
+  let st3 = Fuzz.Persist.load ~dir in
+  Alcotest.(check int) "clean after fsck" 0 st3.Fuzz.Persist.skipped
+
+let guided_campaign_jobs_deterministic =
+  QCheck.Test.make
+    ~name:"guided campaigns are byte-identical at jobs 1 vs jobs 4" ~count:3
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let run jobs =
+        Fuzz.Campaign.run ~jobs ~budget:small_budget ~guided:true ~seed
+          ~max_execs:16 ()
+      in
+      Fuzz.Campaign.render (run 1) = Fuzz.Campaign.render (run 4))
+
+let test_campaign_resume_warm () =
+  let dir = fresh_tmp_dir "seqfuzz-resume" in
+  let run resume =
+    Fuzz.Campaign.run ~jobs:2 ~budget:small_budget
+      ~oracles:[ Fuzz.Oracle.Pass_correct ] ~guided:true ~corpus_dir:dir
+      ~resume ~seed:7 ~max_execs:40 ()
+  in
+  let r1 = run false in
+  let c1 = Option.get r1.Fuzz.Campaign.cov in
+  Alcotest.(check bool) "first run persists" true
+    (c1.Fuzz.Campaign.persisted > 0);
+  let r2 = run true in
+  let c2 = Option.get r2.Fuzz.Campaign.cov in
+  Alcotest.(check bool) "second run resumes the pool" true
+    (c2.Fuzz.Campaign.resumed > 0);
+  Alcotest.(check bool) "second run is warm (fewer fresh execs)" true
+    (c2.Fuzz.Campaign.fresh_execs < c1.Fuzz.Campaign.fresh_execs);
+  Alcotest.(check bool) "coverage points are monotone across runs" true
+    (c2.Fuzz.Campaign.cov_points >= c1.Fuzz.Campaign.cov_points)
+
 let qsuite = List.map (QCheck_alcotest.to_alcotest ~long:false)
 
 let suite =
@@ -357,6 +482,8 @@ let suite =
       mutate_normalized;
       shrink_invariants;
       passes_never_flagged;
+      coverage_signals_deterministic;
+      guided_campaign_jobs_deterministic;
     ]
   @ [
       Alcotest.test_case "round-trip: negative constants" `Quick
@@ -376,4 +503,8 @@ let suite =
         test_campaign_jobs_deterministic;
       Alcotest.test_case "campaign refutes every planted variant" `Slow
         test_campaign_refutes_planted;
+      Alcotest.test_case "persist round-trip (corrupt entries rejected)" `Quick
+        test_persist_roundtrip;
+      Alcotest.test_case "resumed campaign is warm" `Quick
+        test_campaign_resume_warm;
     ]

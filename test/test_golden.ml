@@ -179,7 +179,11 @@ MP-rlx       classic            0,10       forbid  forbid  allow   allow   ok   
 MP-fences    extension (fences) 0,10       forbid  forbid  forbid  forbid  ok        ok
 LB-rlx       classic            1,1        forbid  forbid  forbid  allow   ok        ok
 IRIW-rlx     classic            0,0,10,10  forbid  forbid  allow   allow   ok        ok
--- 7 grid rows, 0 mismatches
+R-rlx        classic            0,0,12     forbid  allow   allow   allow   ok        ok
+S-rlx        classic            0,1,12     forbid  forbid  allow   allow   ok        ok
+WRC-rlx      classic            0,1,10     forbid  forbid  allow   allow   ok        ok
+CoRR-rlx     classic            0,10       forbid  forbid  forbid  forbid  ok        ok
+-- 11 grid rows, 0 mismatches
 |golden}
 
 let test_e15_golden () =
